@@ -1,0 +1,80 @@
+// Section 9.2 memory claim: common-memory sharing cuts per-sandbox memory consumption
+// by up to 89.1% (paper: a 4GB llama model replicated across 8 containers would need
+// ~36GB; sharing reduces it to ~8GB). This bench launches N sandboxes against one
+// shared model region and reports footprint with and without sharing.
+#include <cstdio>
+
+#include "src/libos/libos.h"
+#include "src/sim/world.h"
+
+using namespace erebor;
+
+int main() {
+  std::printf("=== Memory sharing ablation (section 9.2) ===\n");
+  const uint64_t model_bytes = 24ull << 20;  // scaled llama model
+  const uint64_t confined_bytes = 3ull << 20;  // per-sandbox K-V cache + heap
+  std::printf("model (common candidate): %llu MB; per-sandbox confined: %llu MB\n\n",
+              static_cast<unsigned long long>(model_bytes >> 20),
+              static_cast<unsigned long long>(confined_bytes >> 20));
+  std::printf("%-10s %16s %18s %10s\n", "sandboxes", "shared (MB)", "replicated (MB)",
+              "savings");
+
+  for (const int n : {1, 2, 4, 8}) {
+    WorldConfig config;
+    config.mode = SimMode::kEreborFull;
+    config.machine.memory_frames = 96 * 1024;
+    World world(config);
+    if (!world.Boot().ok()) {
+      std::printf("boot failed\n");
+      return 1;
+    }
+    auto region = world.monitor()->CreateCommonRegion("model", model_bytes);
+    if (!region.ok()) {
+      std::printf("region failed\n");
+      return 1;
+    }
+    Cpu& cpu = world.machine().cpu(0);
+    int initialized = 0;
+    for (int i = 0; i < n; ++i) {
+      SandboxSpec spec;
+      spec.name = "sb" + std::to_string(i);
+      spec.confined_budget_bytes = confined_bytes + (1 << 20);
+      auto env = std::make_shared<LibosEnv>(
+          LibosManifest{.name = spec.name, .heap_bytes = confined_bytes},
+          LibosBackend::kSandboxed);
+      auto sandbox = world.LaunchSandboxProcess(
+          spec.name, spec,
+          [env, &initialized](SyscallContext& ctx) -> StepOutcome {
+            if (!env->initialized()) {
+              if (!env->Initialize(ctx).ok()) {
+                return StepOutcome::kExited;
+              }
+              ++initialized;
+            }
+            return StepOutcome::kExited;
+          });
+      if (!sandbox.ok()) {
+        std::printf("launch failed: %s\n", sandbox.status().ToString().c_str());
+        return 1;
+      }
+      (void)world.monitor()->AttachCommon(cpu, **sandbox, (*region)->id,
+                                          kLibosCommonBase, false);
+    }
+    (void)world.RunUntil([&] { return initialized == n; });
+
+    // Footprint with sharing: one model copy + n confined arenas.
+    const uint64_t shared_frames =
+        world.monitor()->frame_table().CountType(FrameType::kSandboxCommon) +
+        world.monitor()->frame_table().CountType(FrameType::kSandboxConfined);
+    // Without sharing every sandbox holds a private replica of the model.
+    const uint64_t replicated_frames =
+        shared_frames + static_cast<uint64_t>(n - 1) * (model_bytes >> kPageShift);
+    const double savings =
+        100.0 * (1.0 - static_cast<double>(shared_frames) / replicated_frames);
+    std::printf("%-10d %16.1f %18.1f %9.1f%%\n", n, shared_frames * 4096.0 / 1048576,
+                replicated_frames * 4096.0 / 1048576, savings);
+  }
+  std::printf("\npaper: 0.15-9.2x memory reduction, up to 89.1%% for a single sandbox's "
+              "share (llama: ~36GB -> ~8GB across 8 containers)\n");
+  return 0;
+}

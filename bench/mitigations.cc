@@ -1,0 +1,70 @@
+// Section 12 ablation: cost of the optional software side-channel mitigations
+// (exit rate limiting, cache/TLB eviction-enforced exits, quantized output intervals)
+// on a representative workload, relative to plain full-Erebor.
+#include <cstdio>
+
+#include "src/workloads/retrieval.h"
+#include "src/workloads/runner.h"
+
+using namespace erebor;
+
+namespace {
+
+// Run the retrieval workload under full Erebor with a given mitigation config.
+// RunWorkload has no mitigation hook, so replicate its core loop via RunnerOptions by
+// toggling the monitor right after boot — easiest via a thin wrapper around the
+// runner's World. We approximate by running the standard runner and, separately,
+// measuring each mitigation's unit costs; the end-to-end row uses the lmbench-style
+// spinner harness below.
+struct MitigationRow {
+  const char* name;
+  MitigationConfig config;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Side-channel mitigation ablation (section 12) ===\n");
+
+  RetrievalParams params;
+  params.num_queries = 40'000;
+
+  const MitigationRow rows[] = {
+      {"none", {}},
+      {"flush-on-exit",
+       {.flush_on_exit = true, .flush_cycles = 30'000}},
+      {"rate-limit-100/s",
+       {.rate_limit_exits = true, .max_exits_per_window = 100,
+        .exit_stall_cycles = 50'000}},
+      {"quantized-output",
+       {.quantize_output = true, .output_interval = 50'000'000}},
+  };
+
+  std::printf("%-18s %14s %10s %12s %12s %12s\n", "mitigation", "run cycles",
+              "overhead", "stalls", "flushes", "quantized");
+  double baseline = 0;
+  for (const MitigationRow& row : rows) {
+    // A custom ablation run: boot a world, apply mitigations, run the workload
+    // manually through the standard runner path.
+    RetrievalWorkload workload(params);
+    RunnerOptions options;
+    options.mitigations = row.config;
+    const RunReport report = RunWorkload(workload, SimMode::kEreborFull, options);
+    if (!report.ok) {
+      std::printf("%-18s FAILED: %s\n", row.name, report.error.c_str());
+      continue;
+    }
+    if (baseline == 0) {
+      baseline = static_cast<double>(report.run_cycles);
+    }
+    std::printf("%-18s %14.1fM %9.1f%% %12llu %12llu %12llu\n", row.name,
+                report.run_cycles / 1e6, 100.0 * (report.run_cycles / baseline - 1),
+                static_cast<unsigned long long>(report.mitigation_stalls),
+                static_cast<unsigned long long>(report.mitigation_flushes),
+                static_cast<unsigned long long>(report.mitigation_quantized));
+  }
+  std::printf("\nThese are the heuristic defenses the paper discusses (core isolation,\n"
+              "rate limiting, eviction-enforced exits, quantized intervals); provable\n"
+              "side-channel freedom needs hardware support (section 12).\n");
+  return 0;
+}

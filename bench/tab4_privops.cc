@@ -1,0 +1,145 @@
+// Table 4: OS privileged-instruction overheads (CPU cycles), Native vs Erebor.
+// MMU = PTE update; CR = CR0/3 write; SMAP = stac window; IDT = lidt; MSR = wrmsr;
+// GHCI = tdcall.tdreport (attestation report generation).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "src/libos/libos.h"
+#include "src/sim/world.h"
+
+namespace erebor {
+namespace {
+
+std::map<std::string, double> g_native;
+std::map<std::string, double> g_erebor;
+
+std::unique_ptr<World> MakeWorld(SimMode mode) {
+  WorldConfig config;
+  config.mode = mode;
+  auto world = std::make_unique<World>(config);
+  if (!world->Boot().ok()) {
+    std::abort();
+  }
+  return world;
+}
+
+// Measures one privileged operation executed `ops` times through PrivilegedOps.
+template <typename Fn>
+double MeasureOp(World& world, Fn&& op, uint64_t ops) {
+  Cpu& cpu = world.machine().cpu(0);
+  const Cycles before = cpu.cycles().now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    op(world, cpu);
+  }
+  return static_cast<double>(cpu.cycles().now() - before) / ops;
+}
+
+void RunOne(benchmark::State& state, const std::string& name, SimMode mode,
+            const std::function<void(World&, Cpu&)>& op) {
+  auto world = MakeWorld(mode);
+  // Prepare a PTP target for MMU ops.
+  if (name == "MMU") {
+    Cpu& cpu = world->machine().cpu(0);
+    const auto ptp = world->kernel().pool().Alloc();
+    (void)world->privops().RegisterPtp(cpu, *ptp, AddrOf(*ptp));
+    world->machine().cpu(0).gprs().reg[0] = AddrOf(*ptp);  // stash for the op
+  }
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    ++ops;
+  }
+  const double cycles = MeasureOp(*world, op, std::max<uint64_t>(ops, 1));
+  state.counters["sim_cycles"] = cycles;
+  (mode == SimMode::kNative ? g_native : g_erebor)[name] = cycles;
+}
+
+std::function<void(World&, Cpu&)> OpFor(const std::string& name) {
+  if (name == "MMU") {
+    return [](World& world, Cpu& cpu) {
+      (void)world.privops().WritePte(cpu, cpu.gprs().reg[0], 0);
+    };
+  }
+  if (name == "CR") {
+    return [](World& world, Cpu& cpu) {
+      (void)world.privops().WriteCr(cpu, 0, cpu.cr0());
+    };
+  }
+  if (name == "SMAP") {
+    return [](World& world, Cpu& cpu) {
+      // The usercopy window (stac/clac pair; Erebor: monitor-emulated user copy).
+      uint8_t byte = 0;
+      (void)world.privops().CopyFromUser(cpu, layout::kUserBase, &byte, 0);
+    };
+  }
+  if (name == "IDT") {
+    return [](World& world, Cpu& cpu) {
+      (void)world.privops().LoadIdt(cpu, &world.kernel().kernel_idt());
+    };
+  }
+  if (name == "MSR") {
+    return [](World& world, Cpu& cpu) {
+      (void)world.privops().WriteMsr(cpu, msr::kIa32ApicTimer, 42);
+    };
+  }
+  // GHCI: tdcall.tdreport. Natively the kernel can request it; under Erebor only the
+  // monitor can, so measure the monitor-internal path via the model totals.
+  return [](World& world, Cpu& cpu) {
+    if (world.erebor_active()) {
+      cpu.cycles().Charge(cpu.costs().EreborTdreportTotal());
+    } else {
+      uint64_t args[2] = {AddrOf(layout::kGeneralPoolFirstFrame),
+                          AddrOf(layout::kGeneralPoolFirstFrame) + 512};
+      (void)world.privops().Tdcall(cpu, tdcall_leaf::kTdReport, args, 2);
+    }
+  };
+}
+
+void RegisterAll() {
+  static const char* kOps[] = {"MMU", "CR", "SMAP", "IDT", "MSR", "GHCI"};
+  for (const char* op : kOps) {
+    for (const SimMode mode : {SimMode::kNative, SimMode::kEreborFull}) {
+      const std::string name =
+          std::string("BM_") + op + (mode == SimMode::kNative ? "_Native" : "_Erebor");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [op = std::string(op), mode](benchmark::State& state) {
+            RunOne(state, op, mode, OpFor(op));
+          })
+          ->Iterations(500);
+    }
+  }
+}
+
+void PrintTable4() {
+  struct PaperRow {
+    double native;
+    double erebor;
+  };
+  const std::map<std::string, PaperRow> paper = {
+      {"MMU", {23, 1345}},   {"CR", {294, 1593}},  {"SMAP", {62, 1291}},
+      {"IDT", {260, 1369}},  {"MSR", {364, 1613}}, {"GHCI", {126806, 128081}},
+  };
+  std::printf("\n=== Table 4: privileged-operation costs (CPU cycles) ===\n");
+  std::printf("%-6s %12s %16s %10s | %12s %12s\n", "Op", "Native", "Erebor", "Times",
+              "paperNative", "paperErebor");
+  for (const auto& [name, row] : paper) {
+    const double native = g_native.count(name) ? g_native[name] : 0;
+    const double erebor = g_erebor.count(name) ? g_erebor[name] : 0;
+    std::printf("%-6s %12.0f %16.0f %9.2fx | %12.0f %12.0f\n", name.c_str(), native,
+                erebor, native > 0 ? erebor / native : 0, row.native, row.erebor);
+  }
+}
+
+}  // namespace
+}  // namespace erebor
+
+int main(int argc, char** argv) {
+  erebor::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  erebor::PrintTable4();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 6: program execution statistics under full Erebor — sandbox exit rates
+// (#PF / #Timer / #VE per second), EMC/s, processing time, confined/common memory,
+// and one-time initialization overhead vs Native.
+#include <cstdio>
+
+#include "src/workloads/runner.h"
+
+using namespace erebor;
+
+int main() {
+  std::printf("=== Table 6: program execution statistics (full Erebor) ===\n");
+  std::printf("%-12s %8s %8s %8s %8s %9s %9s %9s %9s %9s\n", "program", "#PF/s",
+              "#Timer/s", "#VE/s", "Total/s", "EMC/s", "Time(s)", "Conf(MB)", "Com(MB)",
+              "InitOvh");
+  for (auto& workload : MakePaperWorkloads()) {
+    RunReport native = RunWorkload(*workload, SimMode::kNative);
+    RunReport erebor = RunWorkload(*workload, SimMode::kEreborFull);
+    if (!erebor.ok || !native.ok) {
+      std::printf("%-12s FAILED: %s\n", workload->name().c_str(),
+                  (erebor.ok ? native.error : erebor.error).c_str());
+      continue;
+    }
+    const double init_overhead =
+        native.init_cycles > 0
+            ? 100.0 * (static_cast<double>(erebor.init_cycles) / native.init_cycles - 1)
+            : 0;
+    std::printf("%-12s %7.1fk %7.1fk %7.1fk %7.1fk %8.1fk %9.3f %9.1f %9.1f %8.1f%%\n",
+                workload->name().c_str(), erebor.pf_per_sec / 1000,
+                erebor.timer_per_sec / 1000, erebor.ve_per_sec / 1000,
+                erebor.total_exits_per_sec / 1000, erebor.emc_per_sec / 1000,
+                erebor.run_seconds, erebor.confined_bytes / 1048576.0,
+                erebor.common_bytes / 1048576.0, init_overhead);
+  }
+  std::printf("\npaper (workloads at ~100x our scaled data sizes): #PF 0.5-1.8k/s, "
+              "#Timer 0.5-2.7k/s, #VE 0.7-1.7k/s, EMC 39.5-87.6k/s, init overhead "
+              "11.5-52.7%%, confined 501-1340MB, common up to 4GB\n");
+  std::printf("note: PF/s runs above paper for llama/drugbank because the scaled-down "
+              "runs amortize one-time cold faults over a ~100x shorter execution.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 7 (section 10): the cross-CVM architectural features Erebor relies on, plus
+// the measured cost impact of SEV's missing PKS (the Nested-Kernel private-mapping
+// fallback) on the EMC and MMU paths.
+#include <cstdio>
+
+#include "src/hw/platform.h"
+#include "src/sim/world.h"
+
+using namespace erebor;
+
+int main() {
+  std::printf("=== Table 7: cross-CVM architectural features for Erebor ===\n");
+  std::printf("%-5s %-9s %-6s %-8s %-11s %-20s %-5s %-5s\n", "Plat", "Registers",
+              "Ctxt.", "GHCI", "K/U sep.", "Prot. key", "Fwd", "Back");
+  for (const PlatformFeatures& row : CvmPlatformTable()) {
+    std::printf("%-5s %-9s %-6s %-8s %-11s %-20s %-5s %-5s\n", row.name.c_str(),
+                row.registers.c_str(), row.context_switch.c_str(), row.ghci.c_str(),
+                row.ku_separation.c_str(), row.protection_key.c_str(),
+                row.cfi_forward.c_str(), row.cfi_backward.c_str());
+  }
+
+  std::printf("\n=== SEV fallback cost (no PKS -> private page tables + WP) ===\n");
+  std::printf("%-28s %10s %10s\n", "operation", "TDX (PKS)", "SEV (fallback)");
+  const CycleModel tdx = PlatformCycleModel(CvmPlatform::kIntelTdx);
+  const CycleModel sev = PlatformCycleModel(CvmPlatform::kAmdSev);
+  std::printf("%-28s %10llu %10llu\n", "EMC round trip",
+              static_cast<unsigned long long>(tdx.emc_round_trip),
+              static_cast<unsigned long long>(sev.emc_round_trip));
+  std::printf("%-28s %10llu %10llu\n", "monitor PTE op (total)",
+              static_cast<unsigned long long>(tdx.EreborPteTotal()),
+              static_cast<unsigned long long>(sev.EreborPteTotal()));
+
+  // End-to-end: boot a world with the SEV cost model and measure a gated PTE write.
+  WorldConfig config;
+  config.mode = SimMode::kEreborFull;
+  config.machine.cycles = sev;
+  World world(config);
+  if (!world.Boot().ok()) {
+    std::printf("SEV-model world failed to boot\n");
+    return 1;
+  }
+  Cpu& cpu = world.machine().cpu(0);
+  const auto ptp = world.kernel().pool().Alloc();
+  (void)world.privops().RegisterPtp(cpu, *ptp, AddrOf(*ptp));
+  const Cycles before = cpu.cycles().now();
+  (void)world.privops().WritePte(cpu, AddrOf(*ptp), 0);
+  std::printf("%-28s %10s %10llu\n", "measured gated PTE write", "-",
+              static_cast<unsigned long long>(cpu.cycles().now() - before));
+  std::printf("\npaper: SEV lacks PKS; Nested-Kernel-style write protection gives the "
+              "same policy at slightly higher cost. All other features map 1:1.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Warm-start ablation (section 9.2): the 11.5%-52.7% initialization overhead is a
+// one-time cost, and "containers can be pre-initialized in real settings (warm-start
+// techniques)". This bench measures, per workload: cold initialization (boot a
+// sandbox + declare/pin confined memory + preload) vs warm assignment (a
+// pre-initialized sandbox just receives the client session).
+#include <cstdio>
+
+#include "src/libos/libos.h"
+#include "src/sim/world.h"
+
+using namespace erebor;
+
+int main() {
+  std::printf("=== Warm-start ablation (section 9.2) ===\n");
+  std::printf("%-14s %18s %22s %10s\n", "heap size", "cold init (Mcyc)",
+              "warm assignment (Mcyc)", "speedup");
+
+  for (const uint64_t heap_mb : {2ull, 6ull, 12ull}) {
+    WorldConfig config;
+    config.mode = SimMode::kEreborFull;
+    config.machine.memory_frames = 64 * 1024;
+    World world(config);
+    if (!world.Boot().ok()) {
+      std::printf("boot failed\n");
+      return 1;
+    }
+    Cpu& cpu = world.machine().cpu(0);
+
+    // Cold path: full sandbox bring-up.
+    auto env = std::make_shared<LibosEnv>(
+        LibosManifest{.name = "svc", .heap_bytes = heap_mb << 20},
+        LibosBackend::kSandboxed);
+    bool up = false;
+    SandboxSpec spec;
+    spec.name = "svc";
+    spec.confined_budget_bytes = (heap_mb + 2) << 20;
+    const Cycles cold_start = world.machine().TotalCycles();
+    auto sandbox = world.LaunchSandboxProcess(
+        "svc", spec, [env, &up](SyscallContext& ctx) -> StepOutcome {
+          if (!env->initialized()) {
+            (void)env->Initialize(ctx);
+            up = true;
+          }
+          return StepOutcome::kYield;
+        });
+    if (!sandbox.ok() || !world.RunUntil([&] { return up; }).ok()) {
+      std::printf("cold init failed\n");
+      return 1;
+    }
+    const Cycles cold = world.machine().TotalCycles() - cold_start;
+
+    // Warm path: the pre-initialized sandbox just gets the client's session installed
+    // (the monitor decrypts + shepherds the data in and seals).
+    const Bytes client_data(64 * 1024, 0x21);
+    const Cycles warm_start = world.machine().TotalCycles();
+    if (!world.monitor()->DebugInstallClientData(cpu, **sandbox, client_data).ok()) {
+      std::printf("warm assignment failed\n");
+      return 1;
+    }
+    const Cycles warm = world.machine().TotalCycles() - warm_start;
+
+    std::printf("%10lluMB %18.2f %22.3f %9.0fx\n",
+                static_cast<unsigned long long>(heap_mb), cold / 1e6, warm / 1e6,
+                static_cast<double>(cold) / warm);
+  }
+  std::printf("\nPre-initializing sandboxes moves the entire one-time cost off the "
+              "client's critical path; assignment is just channel setup + sealing.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "src/client/client.h"
+
+#include <cstring>
+
+namespace erebor {
+
+Digest256 ComputeExpectedMrtd(const Bytes& firmware_image, const Bytes& monitor_image) {
+  MeasurementRegisters regs;
+  regs.ExtendMrtd(Sha256::Hash(firmware_image));
+  regs.ExtendMrtd(Sha256::Hash(monitor_image));
+  return regs.mrtd;
+}
+
+RemoteClient::RemoteClient(ClientTrustAnchors anchors, uint64_t seed)
+    : anchors_(anchors), rng_(seed) {}
+
+Bytes RemoteClient::MakeHello(int sandbox_id) {
+  sandbox_id_ = sandbox_id;
+  ephemeral_ = GenerateKeyPair(GroupParams::Default(), rng_);
+  rng_.Fill(nonce_.data(), nonce_.size());
+  Packet packet;
+  packet.type = PacketType::kClientHello;
+  packet.sandbox_id = sandbox_id;
+  packet.client_public = ephemeral_.public_key;
+  packet.nonce = nonce_;
+  return packet.Serialize();
+}
+
+Status RemoteClient::ProcessServerHello(const Bytes& wire) {
+  EREBOR_ASSIGN_OR_RETURN(const Packet packet, Packet::Deserialize(wire));
+  if (packet.type != PacketType::kServerHello) {
+    return InvalidArgumentError("expected ServerHello");
+  }
+  // 1. Quote signature: signed by the platform attestation key.
+  if (!SchnorrVerify(GroupParams::Default(), anchors_.platform_attestation_key,
+                     packet.quote.report.SerializeForMac(), packet.quote.signature)) {
+    return PermissionDeniedError("quote signature verification failed");
+  }
+  // 2. Measurement: the CVM must be running exactly the expected firmware + monitor.
+  if (!ConstantTimeEqual(packet.quote.report.measurements.mrtd.data(),
+                         anchors_.expected_mrtd.data(), 32)) {
+    return PermissionDeniedError("MRTD mismatch: unexpected monitor/firmware");
+  }
+  // 3. Transcript binding: report_data must commit to *this* handshake, so the DH peer
+  // is the measured monitor (no impersonation by the untrusted OS, claim C5).
+  const Digest256 transcript =
+      HandshakeTranscript(ephemeral_.public_key, packet.monitor_public, nonce_);
+  if (!ConstantTimeEqual(packet.quote.report.report_data.data(), transcript.data(), 32)) {
+    return PermissionDeniedError("quote does not bind this handshake");
+  }
+  const Bytes shared =
+      DhSharedSecret(GroupParams::Default(), ephemeral_.private_key, packet.monitor_public);
+  keys_ = DeriveSessionKeys(shared, transcript);
+  established_ = true;
+  return OkStatus();
+}
+
+Bytes RemoteClient::SealData(const Bytes& plaintext) {
+  Packet packet;
+  packet.type = PacketType::kDataRecord;
+  packet.sandbox_id = sandbox_id_;
+  packet.record = AeadSeal(keys_.client_to_server, send_seq_++, plaintext);
+  return packet.Serialize();
+}
+
+StatusOr<Bytes> RemoteClient::OpenResult(const Bytes& wire) {
+  EREBOR_ASSIGN_OR_RETURN(const Packet packet, Packet::Deserialize(wire));
+  if (packet.type != PacketType::kResultRecord) {
+    return InvalidArgumentError("expected ResultRecord");
+  }
+  EREBOR_ASSIGN_OR_RETURN(const Bytes padded,
+                          AeadOpen(keys_.server_to_client, packet.record, recv_seq_));
+  ++recv_seq_;
+  return UnpadOutput(padded);
+}
+
+Bytes RemoteClient::MakeFin() {
+  Packet packet;
+  packet.type = PacketType::kFin;
+  packet.sandbox_id = sandbox_id_;
+  return packet.Serialize();
+}
+
+}  // namespace erebor

@@ -1,0 +1,54 @@
+// The remote client: owns sensitive data, verifies the CVM quote, and exchanges data
+// with the Erebor monitor over the authenticated encrypted channel (paper section 6.3).
+// Runs entirely "outside" the simulated machine — it only ever sees wire bytes.
+#ifndef EREBOR_SRC_CLIENT_CLIENT_H_
+#define EREBOR_SRC_CLIENT_CLIENT_H_
+
+#include "src/monitor/channel.h"
+
+namespace erebor {
+
+// What a client must know a priori: the platform vendor's attestation public key and
+// the measurement of the open-source firmware + monitor it expects to talk to.
+struct ClientTrustAnchors {
+  U256 platform_attestation_key;
+  Digest256 expected_mrtd{};
+};
+
+// Computes the expected MRTD for given firmware + monitor binaries (the client builds
+// these reproducibly from the open-source releases).
+Digest256 ComputeExpectedMrtd(const Bytes& firmware_image, const Bytes& monitor_image);
+
+class RemoteClient {
+ public:
+  RemoteClient(ClientTrustAnchors anchors, uint64_t seed);
+
+  // Handshake.
+  Bytes MakeHello(int sandbox_id);
+  // Verifies the quote (signature, measurement, transcript binding) and derives the
+  // session keys. kPermissionDenied on any verification failure.
+  Status ProcessServerHello(const Bytes& wire);
+  bool established() const { return established_; }
+
+  // Data exchange.
+  Bytes SealData(const Bytes& plaintext);          // -> kDataRecord wire
+  StatusOr<Bytes> OpenResult(const Bytes& wire);   // <- kResultRecord wire (unpads)
+  Bytes MakeFin();
+
+  int sandbox_id() const { return sandbox_id_; }
+
+ private:
+  ClientTrustAnchors anchors_;
+  Rng rng_;
+  int sandbox_id_ = -1;
+  KeyPair ephemeral_;
+  std::array<uint8_t, 32> nonce_{};
+  SessionKeys keys_;
+  uint64_t send_seq_ = 0;
+  uint64_t recv_seq_ = 0;
+  bool established_ = false;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_CLIENT_CLIENT_H_

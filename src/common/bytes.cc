@@ -1,0 +1,31 @@
+#include "src/common/bytes.h"
+
+namespace erebor {
+
+std::string HexEncode(const uint8_t* data, size_t len) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xF]);
+  }
+  return out;
+}
+
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t len) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < len; ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+void SecureZero(uint8_t* data, size_t len) {
+  volatile uint8_t* p = data;
+  for (size_t i = 0; i < len; ++i) {
+    p[i] = 0;
+  }
+}
+
+}  // namespace erebor

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// The simulation must be reproducible run-to-run, so all randomness flows through
+// explicitly-seeded SplitMix64/Xoshiro generators rather than std::random_device.
+#ifndef EREBOR_SRC_COMMON_RNG_H_
+#define EREBOR_SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace erebor {
+
+// SplitMix64: used for seeding and for simple streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** — the main workload generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Zipf-distributed rank in [0, n) with exponent s (used for skewed DB queries).
+  uint64_t NextZipf(uint64_t n, double s);
+  // Fill a byte buffer.
+  void Fill(uint8_t* data, size_t len);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Generates a synthetic power-law graph (edge list) for the graph workload.
+struct EdgeList {
+  uint32_t num_nodes = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+};
+
+EdgeList GeneratePowerLawGraph(uint32_t num_nodes, uint32_t num_edges, uint64_t seed);
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_COMMON_RNG_H_

@@ -1,0 +1,129 @@
+// Status / StatusOr error-handling primitives used throughout the Erebor simulation.
+//
+// The simulation models faults (page faults, #GP, #CP, ...) as error returns rather
+// than C++ exceptions, so nearly every fallible API returns Status or StatusOr<T>.
+#ifndef EREBOR_SRC_COMMON_STATUS_H_
+#define EREBOR_SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace erebor {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kPermissionDenied,   // policy violation (monitor refused, PKS/SMAP/W^X denial, ...)
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,  // out of frames / budget / descriptors
+  kFailedPrecondition, // operation issued in the wrong state
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kAborted,            // execution killed (e.g. sealed sandbox attempted an exit)
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A lightweight status: a code plus a human-readable message. kOk carries no message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+Status InvalidArgumentError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status AbortedError(std::string message);
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// StatusOr<T>: either a value or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : rep_(value) {}          // NOLINT(google-explicit-constructor)
+  StatusOr(T&& value) : rep_(std::move(value)) {}    // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagation helpers.
+#define EREBOR_RETURN_IF_ERROR(expr)         \
+  do {                                       \
+    ::erebor::Status _st = (expr);           \
+    if (!_st.ok()) {                         \
+      return _st;                            \
+    }                                        \
+  } while (0)
+
+#define EREBOR_CONCAT_INNER(a, b) a##b
+#define EREBOR_CONCAT(a, b) EREBOR_CONCAT_INNER(a, b)
+
+#define EREBOR_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto EREBOR_CONCAT(_statusor_, __LINE__) = (expr);              \
+  if (!EREBOR_CONCAT(_statusor_, __LINE__).ok()) {                \
+    return EREBOR_CONCAT(_statusor_, __LINE__).status();          \
+  }                                                               \
+  lhs = std::move(EREBOR_CONCAT(_statusor_, __LINE__)).value()
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_COMMON_STATUS_H_

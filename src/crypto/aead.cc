@@ -1,0 +1,69 @@
+#include "src/crypto/aead.h"
+
+#include <cstring>
+
+namespace erebor {
+
+namespace {
+
+ChaChaNonce NonceFromSequence(uint64_t sequence) {
+  ChaChaNonce nonce{};
+  StoreLe64(nonce.data() + 4, sequence);
+  return nonce;
+}
+
+Digest256 ComputeTag(const AeadKeys& keys, uint64_t sequence, const Bytes& ciphertext) {
+  HmacSha256 mac(keys.mac_key);
+  uint8_t seq_bytes[8];
+  StoreLe64(seq_bytes, sequence);
+  mac.Update(seq_bytes, sizeof(seq_bytes));
+  mac.Update(ciphertext);
+  return mac.Finish();
+}
+
+AeadKeys KeysFromMaterial(const Bytes& material) {
+  AeadKeys keys;
+  std::memcpy(keys.cipher_key.data(), material.data(), 32);
+  keys.mac_key.assign(material.begin() + 32, material.begin() + 64);
+  return keys;
+}
+
+}  // namespace
+
+SessionKeys DeriveSessionKeys(const Bytes& shared_secret, const Digest256& transcript_hash) {
+  const Bytes salt(transcript_hash.begin(), transcript_hash.end());
+  const Digest256 prk = HkdfExtract(salt, shared_secret);
+  const Bytes c2s = HkdfExpand(prk, "erebor channel c2s", 64);
+  const Bytes s2c = HkdfExpand(prk, "erebor channel s2c", 64);
+  SessionKeys keys;
+  keys.client_to_server = KeysFromMaterial(c2s);
+  keys.server_to_client = KeysFromMaterial(s2c);
+  return keys;
+}
+
+SealedRecord AeadSeal(const AeadKeys& keys, uint64_t sequence, const Bytes& plaintext) {
+  SealedRecord record;
+  record.sequence = sequence;
+  record.ciphertext = plaintext;
+  ChaCha20Xor(keys.cipher_key, NonceFromSequence(sequence), 1, record.ciphertext.data(),
+              record.ciphertext.size());
+  record.tag = ComputeTag(keys, sequence, record.ciphertext);
+  return record;
+}
+
+StatusOr<Bytes> AeadOpen(const AeadKeys& keys, const SealedRecord& record,
+                         uint64_t expected_sequence) {
+  if (record.sequence != expected_sequence) {
+    return PermissionDeniedError("AEAD record sequence mismatch (replay or reorder)");
+  }
+  const Digest256 expected_tag = ComputeTag(keys, record.sequence, record.ciphertext);
+  if (!ConstantTimeEqual(expected_tag.data(), record.tag.data(), expected_tag.size())) {
+    return PermissionDeniedError("AEAD tag verification failed");
+  }
+  Bytes plaintext = record.ciphertext;
+  ChaCha20Xor(keys.cipher_key, NonceFromSequence(record.sequence), 1, plaintext.data(),
+              plaintext.size());
+  return plaintext;
+}
+
+}  // namespace erebor

@@ -1,0 +1,41 @@
+// Authenticated encryption: ChaCha20 + HMAC-SHA256 encrypt-then-MAC with a sequence
+// number in the associated data (anti-replay). This is the record layer of the
+// monitor<->client secure channel (paper section 6.3).
+#ifndef EREBOR_SRC_CRYPTO_AEAD_H_
+#define EREBOR_SRC_CRYPTO_AEAD_H_
+
+#include "src/common/status.h"
+#include "src/crypto/chacha20.h"
+#include "src/crypto/hmac.h"
+
+namespace erebor {
+
+struct AeadKeys {
+  ChaChaKey cipher_key{};
+  Bytes mac_key;  // 32 bytes
+};
+
+// Derives directional AEAD keys from a DH shared secret and a transcript hash.
+struct SessionKeys {
+  AeadKeys client_to_server;
+  AeadKeys server_to_client;
+};
+
+SessionKeys DeriveSessionKeys(const Bytes& shared_secret, const Digest256& transcript_hash);
+
+// Sealed record: nonce (derived from seq), ciphertext, 32-byte tag.
+struct SealedRecord {
+  uint64_t sequence = 0;
+  Bytes ciphertext;
+  Digest256 tag{};
+};
+
+SealedRecord AeadSeal(const AeadKeys& keys, uint64_t sequence, const Bytes& plaintext);
+
+// Fails (kPermissionDenied) on tag mismatch or sequence tampering.
+StatusOr<Bytes> AeadOpen(const AeadKeys& keys, const SealedRecord& record,
+                         uint64_t expected_sequence);
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_CRYPTO_AEAD_H_

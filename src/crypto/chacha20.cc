@@ -1,0 +1,74 @@
+#include "src/crypto/chacha20.h"
+
+namespace erebor {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl32(d ^ a, 16);
+  c += d;
+  b = Rotl32(b ^ c, 12);
+  a += b;
+  d = Rotl32(d ^ a, 8);
+  c += d;
+  b = Rotl32(b ^ c, 7);
+}
+
+void Block(const uint32_t state[16], uint8_t out[64]) {
+  uint32_t x[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = state[i];
+  }
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                 uint8_t* data, size_t len) {
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = LoadLe32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = LoadLe32(nonce.data() + 4 * i);
+  }
+
+  uint8_t keystream[64];
+  size_t offset = 0;
+  while (offset < len) {
+    Block(state, keystream);
+    state[12]++;
+    const size_t take = std::min<size_t>(64, len - offset);
+    for (size_t i = 0; i < take; ++i) {
+      data[offset + i] ^= keystream[i];
+    }
+    offset += take;
+  }
+}
+
+}  // namespace erebor

@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439 block function), from scratch. Used as the bulk
+// cipher of the monitor<->client secure channel.
+#ifndef EREBOR_SRC_CRYPTO_CHACHA20_H_
+#define EREBOR_SRC_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace erebor {
+
+using ChaChaKey = std::array<uint8_t, 32>;
+using ChaChaNonce = std::array<uint8_t, 12>;
+
+// XOR-encrypt/decrypt `data` in place with the keystream starting at block `counter`.
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                 uint8_t* data, size_t len);
+
+inline Bytes ChaCha20Encrypt(const ChaChaKey& key, const ChaChaNonce& nonce,
+                             const Bytes& plaintext) {
+  Bytes out = plaintext;
+  ChaCha20Xor(key, nonce, 1, out.data(), out.size());
+  return out;
+}
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_CRYPTO_CHACHA20_H_

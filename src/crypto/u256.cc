@@ -1,0 +1,226 @@
+#include "src/crypto/u256.h"
+
+#include <cstring>
+
+namespace erebor {
+
+namespace {
+
+// 512-bit intermediate used for products and reduction.
+struct U512 {
+  uint64_t limb[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  bool Bit(int i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+
+  int BitLength() const {
+    for (int i = 7; i >= 0; --i) {
+      if (limb[i] != 0) {
+        return 64 * i + 64 - __builtin_clzll(limb[i]);
+      }
+    }
+    return 0;
+  }
+};
+
+U512 MulFull(const U256& a, const U256& b) {
+  U512 out;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const __uint128_t cur = static_cast<__uint128_t>(a.limb(i)) * b.limb(j) +
+                              out.limb[i + j] + carry;
+      out.limb[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out.limb[i + 4] = carry;
+  }
+  return out;
+}
+
+// Reduce a 512-bit value modulo a 256-bit modulus via binary long division.
+U256 Reduce(const U512& value, const U256& mod) {
+  // Remainder held in 320 bits (mod < 2^256, so remainder fits in 257 bits; use 5 limbs).
+  uint64_t rem[5] = {0, 0, 0, 0, 0};
+  const int nbits = value.BitLength();
+  for (int i = nbits - 1; i >= 0; --i) {
+    // rem = (rem << 1) | bit.
+    uint64_t carry = value.Bit(i) ? 1u : 0u;
+    for (int l = 0; l < 5; ++l) {
+      const uint64_t next_carry = rem[l] >> 63;
+      rem[l] = (rem[l] << 1) | carry;
+      carry = next_carry;
+    }
+    // If rem >= mod, subtract.
+    bool ge = rem[4] != 0;
+    if (!ge) {
+      int cmp = 0;
+      for (int l = 3; l >= 0; --l) {
+        if (rem[l] != mod.limb(l)) {
+          cmp = rem[l] > mod.limb(l) ? 1 : -1;
+          break;
+        }
+      }
+      ge = cmp >= 0;
+    }
+    if (ge) {
+      uint64_t borrow = 0;
+      for (int l = 0; l < 5; ++l) {
+        const uint64_t m = (l < 4) ? mod.limb(l) : 0;
+        const __uint128_t rhs = static_cast<__uint128_t>(m) + borrow;
+        if (static_cast<__uint128_t>(rem[l]) >= rhs) {
+          rem[l] = static_cast<uint64_t>(rem[l] - rhs);
+          borrow = 0;
+        } else {
+          rem[l] =
+              static_cast<uint64_t>((static_cast<__uint128_t>(1) << 64) + rem[l] - rhs);
+          borrow = 1;
+        }
+      }
+    }
+  }
+  return U256(rem[0], rem[1], rem[2], rem[3]);
+}
+
+}  // namespace
+
+U256 U256::FromBytesBe(const uint8_t* data, size_t len) {
+  U256 out;
+  if (len > 32) {
+    len = 32;
+  }
+  for (size_t i = 0; i < len; ++i) {
+    const size_t bit_index = (len - 1 - i) * 8;
+    out.limb_[bit_index / 64] |= static_cast<uint64_t>(data[i]) << (bit_index % 64);
+  }
+  return out;
+}
+
+U256 U256::FromHex(const std::string& hex) {
+  U256 out;
+  for (char c : hex) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      continue;
+    }
+    // out = out * 16 + digit.
+    uint64_t carry = digit;
+    for (int l = 0; l < 4; ++l) {
+      const __uint128_t cur = (static_cast<__uint128_t>(out.limb_[l]) << 4) | carry;
+      out.limb_[l] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+  }
+  return out;
+}
+
+Bytes U256::ToBytesBe() const {
+  Bytes out(32);
+  for (int i = 0; i < 32; ++i) {
+    const int bit_index = (31 - i) * 8;
+    out[i] = static_cast<uint8_t>(limb_[bit_index / 64] >> (bit_index % 64));
+  }
+  return out;
+}
+
+std::string U256::ToHex() const { return HexEncode(ToBytesBe()); }
+
+int U256::BitLength() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb_[i] != 0) {
+      return 64 * i + 64 - __builtin_clzll(limb_[i]);
+    }
+  }
+  return 0;
+}
+
+int U256::Compare(const U256& other) const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb_[i] != other.limb_[i]) {
+      return limb_[i] > other.limb_[i] ? 1 : -1;
+    }
+  }
+  return 0;
+}
+
+U256 U256::Add(const U256& a, const U256& b, uint64_t* carry_out) {
+  U256 out;
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const __uint128_t cur = static_cast<__uint128_t>(a.limb_[i]) + b.limb_[i] + carry;
+    out.limb_[i] = static_cast<uint64_t>(cur);
+    carry = static_cast<uint64_t>(cur >> 64);
+  }
+  if (carry_out != nullptr) {
+    *carry_out = carry;
+  }
+  return out;
+}
+
+U256 U256::Sub(const U256& a, const U256& b, uint64_t* borrow_out) {
+  U256 out;
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const __uint128_t rhs = static_cast<__uint128_t>(b.limb_[i]) + borrow;
+    if (static_cast<__uint128_t>(a.limb_[i]) >= rhs) {
+      out.limb_[i] = static_cast<uint64_t>(a.limb_[i] - rhs);
+      borrow = 0;
+    } else {
+      out.limb_[i] =
+          static_cast<uint64_t>((static_cast<__uint128_t>(1) << 64) + a.limb_[i] - rhs);
+      borrow = 1;
+    }
+  }
+  if (borrow_out != nullptr) {
+    *borrow_out = borrow;
+  }
+  return out;
+}
+
+U256 U256::AddMod(const U256& a, const U256& b, const U256& mod) {
+  uint64_t carry = 0;
+  U256 sum = Add(a, b, &carry);
+  if (carry != 0 || sum.Compare(mod) >= 0) {
+    sum = Sub(sum, mod);
+  }
+  return sum;
+}
+
+U256 U256::SubMod(const U256& a, const U256& b, const U256& mod) {
+  if (a.Compare(b) >= 0) {
+    return Sub(a, b);
+  }
+  return Sub(Add(a, mod), b);
+}
+
+U256 U256::MulMod(const U256& a, const U256& b, const U256& mod) {
+  return Reduce(MulFull(a, b), mod);
+}
+
+U256 U256::Mod(const U256& a, const U256& mod) {
+  U512 wide;
+  for (int i = 0; i < 4; ++i) {
+    wide.limb[i] = a.limb_[i];
+  }
+  return Reduce(wide, mod);
+}
+
+U256 U256::PowMod(const U256& base, const U256& exp, const U256& mod) {
+  U256 result(1);
+  U256 acc = Mod(base, mod);
+  const int nbits = exp.BitLength();
+  for (int i = 0; i < nbits; ++i) {
+    if (exp.Bit(i)) {
+      result = MulMod(result, acc, mod);
+    }
+    acc = MulMod(acc, acc, mod);
+  }
+  return result;
+}
+
+}  // namespace erebor

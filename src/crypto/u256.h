@@ -1,0 +1,59 @@
+// Fixed-width 256-bit unsigned integer with modular arithmetic, from scratch.
+// Backs the Diffie-Hellman key exchange and Schnorr quote signatures used by the
+// simulated attestation stack. Not constant-time and not production-grade parameters;
+// this is a protocol-faithful simulation substrate (see DESIGN.md).
+#ifndef EREBOR_SRC_CRYPTO_U256_H_
+#define EREBOR_SRC_CRYPTO_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace erebor {
+
+class U256 {
+ public:
+  // Little-endian limbs: limb_[0] is least significant.
+  constexpr U256() : limb_{0, 0, 0, 0} {}
+  constexpr explicit U256(uint64_t v) : limb_{v, 0, 0, 0} {}
+  constexpr U256(uint64_t l0, uint64_t l1, uint64_t l2, uint64_t l3) : limb_{l0, l1, l2, l3} {}
+
+  static U256 FromBytesBe(const uint8_t* data, size_t len);  // len <= 32
+  static U256 FromHex(const std::string& hex);
+
+  Bytes ToBytesBe() const;  // 32 bytes, big-endian
+  std::string ToHex() const;
+
+  bool IsZero() const { return (limb_[0] | limb_[1] | limb_[2] | limb_[3]) == 0; }
+  bool Bit(int i) const { return (limb_[i / 64] >> (i % 64)) & 1; }
+  int BitLength() const;
+
+  uint64_t limb(int i) const { return limb_[i]; }
+
+  // Comparison.
+  int Compare(const U256& other) const;
+  bool operator==(const U256& o) const { return Compare(o) == 0; }
+  bool operator!=(const U256& o) const { return Compare(o) != 0; }
+  bool operator<(const U256& o) const { return Compare(o) < 0; }
+  bool operator>=(const U256& o) const { return Compare(o) >= 0; }
+
+  // Plain arithmetic (wrapping); carry/borrow returned where useful.
+  static U256 Add(const U256& a, const U256& b, uint64_t* carry_out = nullptr);
+  static U256 Sub(const U256& a, const U256& b, uint64_t* borrow_out = nullptr);
+
+  // Modular arithmetic; all operands must already be < mod.
+  static U256 AddMod(const U256& a, const U256& b, const U256& mod);
+  static U256 SubMod(const U256& a, const U256& b, const U256& mod);
+  static U256 MulMod(const U256& a, const U256& b, const U256& mod);
+  static U256 PowMod(const U256& base, const U256& exp, const U256& mod);
+  static U256 Mod(const U256& a, const U256& mod);
+
+ private:
+  std::array<uint64_t, 4> limb_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_CRYPTO_U256_H_

@@ -1,0 +1,38 @@
+// Host-side attack harness: drives the untrusted-host interfaces maliciously so the
+// security tests can check that each attempt is blocked by the simulated protections.
+#ifndef EREBOR_SRC_HOST_ATTACKS_H_
+#define EREBOR_SRC_HOST_ATTACKS_H_
+
+#include "src/host/vmm.h"
+
+namespace erebor {
+
+class HostAttacker {
+ public:
+  HostAttacker(Machine* machine, TdxModule* tdx) : machine_(machine), tdx_(tdx) {}
+
+  // AV (traditional CVM threat): host directs a device to DMA-read guest memory.
+  // Succeeds only for shared frames.
+  Status DmaReadGuestMemory(Paddr gpa, uint8_t* out, uint64_t len) {
+    return machine_->dma().DeviceRead(gpa, out, len);
+  }
+
+  // Host snapshot of a guest vCPU's registers across an asynchronous exit. The TDX
+  // module scrubs them, so the attacker sees zeros while the guest is saved.
+  Gprs SnoopGuestRegisters(int cpu_index) {
+    return tdx_->HostVisibleGuestState(machine_->cpu(cpu_index));
+  }
+
+  // Host injects a device interrupt to preempt the guest at an arbitrary point.
+  void PreemptGuest(int cpu_index) {
+    machine_->interrupts().Inject(cpu_index, Vector::kDevice);
+  }
+
+ private:
+  Machine* machine_;
+  TdxModule* tdx_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_HOST_ATTACKS_H_

@@ -1,0 +1,74 @@
+#include "src/host/vmm.h"
+
+namespace erebor {
+
+StatusOr<Bytes> HostNetwork::WorldReceive() {
+  if (to_world_.empty()) {
+    return NotFoundError("no packet pending for world");
+  }
+  Bytes packet = std::move(to_world_.front());
+  to_world_.pop_front();
+  return packet;
+}
+
+StatusOr<Bytes> HostNetwork::GuestReceive() {
+  if (to_guest_.empty()) {
+    return NotFoundError("no packet pending for guest");
+  }
+  Bytes packet = std::move(to_guest_.front());
+  to_guest_.pop_front();
+  return packet;
+}
+
+HostVmm::HostVmm(Machine* machine, TdxModule* tdx) : machine_(machine), tdx_(tdx) {}
+
+GhciResponse HostVmm::HandleVmcall(const GhciRequest& request) {
+  GhciResponse response;
+  switch (request.reason) {
+    case GhciReason::kCpuid: {
+      ++cpuid_requests_;
+      // A fixed, synthetic CPUID surface: family/model in ret0, feature bits in ret1.
+      response.ret0 = 0x000806F8;  // Emerald Rapids-ish signature
+      response.ret1 = 0xBFEBFBFF;
+      break;
+    }
+    case GhciReason::kMmioRead:
+      response.ret0 = 0;  // devices return zero for unmapped MMIO
+      break;
+    case GhciReason::kMmioWrite:
+      break;
+    case GhciReason::kNetTx: {
+      // The guest placed a packet in *shared* memory at arg0 (length arg1); the host
+      // device DMA-reads it. DMA enforcement rejects private frames.
+      Bytes packet(request.arg1);
+      const Status st = machine_->dma().DeviceRead(request.arg0, packet.data(), packet.size());
+      if (st.ok()) {
+        ++net_tx_packets_;
+        network_.GuestTransmit(std::move(packet));
+        response.ret0 = 1;
+      } else {
+        response.ret0 = 0;  // transmission failed (blocked by IOMMU)
+      }
+      break;
+    }
+    case GhciReason::kNetRx: {
+      auto packet = network_.GuestReceive();
+      if (packet.ok()) {
+        response.payload = std::move(*packet);
+        response.ret0 = response.payload.size();
+      } else {
+        response.ret0 = 0;
+      }
+      break;
+    }
+    case GhciReason::kHalt:
+      break;
+  }
+  return response;
+}
+
+void HostVmm::InjectDeviceInterrupt(int cpu_index) {
+  machine_->interrupts().Inject(cpu_index, Vector::kDevice);
+}
+
+}  // namespace erebor

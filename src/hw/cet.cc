@@ -1,0 +1,43 @@
+#include "src/hw/cet.h"
+
+namespace erebor {
+
+CodeLabelId CodeRegistry::Register(std::string name, CodeDomain domain, bool endbr) {
+  if (labels_.empty()) {
+    labels_.push_back(CodeLabel{"<invalid>", CodeDomain::kKernel, false});
+  }
+  labels_.push_back(CodeLabel{std::move(name), domain, endbr});
+  return static_cast<CodeLabelId>(labels_.size() - 1);
+}
+
+const CodeLabel* CodeRegistry::Lookup(CodeLabelId id) const {
+  if (id == kInvalidCodeLabel || id >= labels_.size()) {
+    return nullptr;
+  }
+  return &labels_[id];
+}
+
+Status ShadowStack::Activate(int cpu_index) {
+  if (active_cpu_ >= 0 && active_cpu_ != cpu_index) {
+    return FailedPreconditionError("shadow stack '" + name_ +
+                                   "' token already held by another core");
+  }
+  active_cpu_ = cpu_index;
+  return OkStatus();
+}
+
+void ShadowStack::Deactivate() { active_cpu_ = -1; }
+
+StatusOr<CodeLabelId> ShadowStack::PopReturn(CodeLabelId actual_return_site) {
+  if (frames_.empty()) {
+    return PermissionDeniedError("#CP: shadow stack underflow on '" + name_ + "'");
+  }
+  const CodeLabelId expected = frames_.back();
+  frames_.pop_back();
+  if (expected != actual_return_site) {
+    return PermissionDeniedError("#CP: return address mismatch on '" + name_ + "'");
+  }
+  return expected;
+}
+
+}  // namespace erebor

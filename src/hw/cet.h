@@ -1,0 +1,74 @@
+// Control-flow Enforcement Technology (CET) simulation: indirect branch tracking (IBT)
+// and hardware shadow stacks (SST), per paper section 2.2.
+//
+// The simulation does not execute machine code, so control-flow transfers are modelled
+// through a code-label registry: every entry point that software can branch to
+// indirectly is registered as a CodeLabel, optionally marked as starting with endbr64.
+// Cpu::IndirectBranch() performs the IBT check (#CP if the target lacks endbr64), and
+// ShadowStack models the write-protected return-address stack with activation tokens.
+#ifndef EREBOR_SRC_HW_CET_H_
+#define EREBOR_SRC_HW_CET_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/types.h"
+
+namespace erebor {
+
+using CodeLabelId = uint32_t;
+inline constexpr CodeLabelId kInvalidCodeLabel = 0;
+
+// Which software component owns a label (diagnostics + W^X modelling).
+enum class CodeDomain : uint8_t { kKernel, kMonitor, kUser };
+
+struct CodeLabel {
+  std::string name;
+  CodeDomain domain = CodeDomain::kKernel;
+  bool endbr = false;  // first instruction is endbr64 (valid indirect-branch target)
+};
+
+// Registry of all branch targets in the simulated system.
+class CodeRegistry {
+ public:
+  CodeLabelId Register(std::string name, CodeDomain domain, bool endbr);
+
+  const CodeLabel* Lookup(CodeLabelId id) const;
+
+  size_t size() const { return labels_.size(); }
+
+ private:
+  std::vector<CodeLabel> labels_;  // index 0 reserved (invalid)
+};
+
+// Hardware shadow stack: per-logical-core, write-protected, with a busy token so only
+// one core can activate a given stack at a time.
+class ShadowStack {
+ public:
+  explicit ShadowStack(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Token handling: activation fails if the stack is already active on another core.
+  Status Activate(int cpu_index);
+  void Deactivate();
+  bool active() const { return active_cpu_ >= 0; }
+
+  void PushReturn(CodeLabelId return_site) { frames_.push_back(return_site); }
+
+  // Pops and verifies against the actual return site; mismatch -> #CP.
+  StatusOr<CodeLabelId> PopReturn(CodeLabelId actual_return_site);
+
+  size_t depth() const { return frames_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<CodeLabelId> frames_;
+  int active_cpu_ = -1;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_HW_CET_H_

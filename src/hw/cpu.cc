@@ -1,0 +1,284 @@
+#include "src/hw/cpu.h"
+
+#include "src/common/log.h"
+
+namespace erebor {
+
+Cpu::Cpu(int index, PhysMemory* memory, CodeRegistry* registry, const CycleModel* costs)
+    : index_(index), memory_(memory), registry_(registry), costs_(costs) {}
+
+uint64_t Cpu::Msr(uint32_t index) const {
+  const auto it = msrs_.find(index);
+  return it == msrs_.end() ? 0 : it->second;
+}
+
+Status Cpu::CheckSensitive(const char* what) {
+  if (mode_ == CpuMode::kUser) {
+    // Privileged instruction in ring 3 -> #GP (paper section 2.1: tdcall from
+    // userspace triggers a general protection fault).
+    return PermissionDeniedError(std::string("#GP: ") + what + " executed in user mode");
+  }
+  if (fence_enabled_ && !in_monitor_) {
+    // Models the verified absence of this instruction from the deprivileged kernel:
+    // the monitor scanned the kernel image (C1), W^X prevents injecting new bytes
+    // (C2), and SMEP prevents executing user pages (C2). Any attempt therefore means
+    // the attack was already stopped by one of those mechanisms.
+    return PermissionDeniedError(std::string("sensitive instruction '") + what +
+                                 "' unavailable to deprivileged kernel (Erebor fence)");
+  }
+  return OkStatus();
+}
+
+Status Cpu::WriteCr0(uint64_t value) {
+  EREBOR_RETURN_IF_ERROR(CheckSensitive("mov %cr0"));
+  cycles_.Charge(costs_->native_cr_write);
+  cr0_ = value;
+  return OkStatus();
+}
+
+Status Cpu::WriteCr3(uint64_t value) {
+  EREBOR_RETURN_IF_ERROR(CheckSensitive("mov %cr3"));
+  cycles_.Charge(costs_->native_cr_write);
+  cr3_ = value;
+  return OkStatus();
+}
+
+Status Cpu::WriteCr4(uint64_t value) {
+  EREBOR_RETURN_IF_ERROR(CheckSensitive("mov %cr4"));
+  cycles_.Charge(costs_->native_cr_write);
+  cr4_ = value;
+  return OkStatus();
+}
+
+StatusOr<uint64_t> Cpu::ReadMsr(uint32_t index) const {
+  if (mode_ == CpuMode::kUser) {
+    return PermissionDeniedError("#GP: rdmsr in user mode");
+  }
+  return Msr(index);
+}
+
+Status Cpu::WriteMsr(uint32_t index, uint64_t value) {
+  EREBOR_RETURN_IF_ERROR(CheckSensitive("wrmsr"));
+  cycles_.Charge(costs_->native_wrmsr);
+  msrs_[index] = value;
+  return OkStatus();
+}
+
+void Cpu::TrustedWriteMsr(uint32_t index, uint64_t value) { msrs_[index] = value; }
+
+void Cpu::TrustedWriteCr(int reg, uint64_t value) {
+  switch (reg) {
+    case 0:
+      cr0_ = value;
+      break;
+    case 3:
+      cr3_ = value;
+      break;
+    case 4:
+      cr4_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+Status Cpu::Stac() {
+  EREBOR_RETURN_IF_ERROR(CheckSensitive("stac"));
+  cycles_.Charge(costs_->native_stac);
+  ac_flag_ = true;
+  return OkStatus();
+}
+
+Status Cpu::Clac() {
+  // clac is also removed from the instrumented kernel; pair it with stac's policy.
+  EREBOR_RETURN_IF_ERROR(CheckSensitive("clac"));
+  ac_flag_ = false;
+  return OkStatus();
+}
+
+Status Cpu::Lidt(const IdtTable* table) {
+  EREBOR_RETURN_IF_ERROR(CheckSensitive("lidt"));
+  cycles_.Charge(costs_->native_lidt);
+  idt_ = table;
+  return OkStatus();
+}
+
+Status Cpu::Tdcall(uint64_t leaf, uint64_t* args, size_t nargs) {
+  EREBOR_RETURN_IF_ERROR(CheckSensitive("tdcall"));
+  if (tdcall_sink_ == nullptr) {
+    return UnavailableError("no TDX module attached");
+  }
+  return tdcall_sink_->Tdcall(*this, leaf, args, nargs);
+}
+
+StatusOr<WalkResult> Cpu::Translate(Vaddr va, AccessType access, Fault* fault_out) {
+  return TranslateAs(mode_, va, access, fault_out);
+}
+
+StatusOr<WalkResult> Cpu::TranslateAs(CpuMode as_mode, Vaddr va, AccessType access,
+                                      Fault* fault_out) {
+  auto fail = [&](uint64_t err_bits, const std::string& reason) -> Status {
+    if (fault_out != nullptr) {
+      fault_out->vector = Vector::kPageFault;
+      fault_out->error_code =
+          err_bits |
+          (access == AccessType::kWrite ? pf_err::kWrite : 0) |
+          (access == AccessType::kExecute ? pf_err::kInstruction : 0) |
+          (as_mode == CpuMode::kUser ? pf_err::kUser : 0);
+      fault_out->address = va;
+      fault_out->reason = reason;
+    }
+    return PermissionDeniedError("#PF: " + reason);
+  };
+
+  auto walk = WalkPageTables(*memory_, cr3_, va);
+  if (!walk.ok()) {
+    if (fault_out != nullptr) {
+      fault_out->vector = Vector::kPageFault;
+      fault_out->error_code = (access == AccessType::kWrite ? pf_err::kWrite : 0) |
+                              (access == AccessType::kExecute ? pf_err::kInstruction : 0) |
+                              (as_mode == CpuMode::kUser ? pf_err::kUser : 0);
+      fault_out->address = va;
+      fault_out->reason = walk.status().message();
+    }
+    return walk.status();
+  }
+  const WalkResult& r = *walk;
+
+  if (as_mode == CpuMode::kUser) {
+    if (!r.user_accessible) {
+      return fail(pf_err::kPresent, "user access to supervisor page");
+    }
+    if (access == AccessType::kWrite && !r.writable) {
+      return fail(pf_err::kPresent, "user write to read-only page");
+    }
+    if (access == AccessType::kWrite && r.shadow_stack) {
+      return fail(pf_err::kPresent | pf_err::kShadowStack, "write to shadow-stack page");
+    }
+    if (access == AccessType::kExecute && r.no_execute) {
+      return fail(pf_err::kPresent, "execute of NX page");
+    }
+    return r;
+  }
+
+  // Supervisor-mode checks.
+  if (r.user_accessible) {
+    if (access == AccessType::kExecute && (cr4_ & cr::kCr4Smep) != 0) {
+      return fail(pf_err::kPresent, "SMEP: supervisor execute of user page");
+    }
+    if (access != AccessType::kExecute && (cr4_ & cr::kCr4Smap) != 0 && !ac_flag_) {
+      return fail(pf_err::kPresent, "SMAP: supervisor access to user page");
+    }
+  } else if ((cr4_ & cr::kCr4Pks) != 0 && access != AccessType::kExecute) {
+    // Supervisor protection keys (PKS): data accesses only.
+    const uint64_t pkrs_value = Msr(msr::kIa32Pkrs);
+    if ((pkrs_value & pkrs::Ad(r.pkey)) != 0) {
+      return fail(pf_err::kPresent | pf_err::kProtectionKey,
+                  "PKS: access-disabled key " + std::to_string(r.pkey));
+    }
+    if (access == AccessType::kWrite && (pkrs_value & pkrs::Wd(r.pkey)) != 0) {
+      return fail(pf_err::kPresent | pf_err::kProtectionKey,
+                  "PKS: write-disabled key " + std::to_string(r.pkey));
+    }
+  }
+  if (access == AccessType::kWrite && r.shadow_stack) {
+    return fail(pf_err::kPresent | pf_err::kShadowStack, "write to shadow-stack page");
+  }
+  if (access == AccessType::kWrite && !r.writable && (cr0_ & cr::kCr0Wp) != 0) {
+    return fail(pf_err::kPresent, "CR0.WP: supervisor write to read-only page");
+  }
+  if (access == AccessType::kExecute && r.no_execute) {
+    return fail(pf_err::kPresent, "execute of NX page");
+  }
+  return r;
+}
+
+Status Cpu::ReadVirt(Vaddr va, uint8_t* out, uint64_t len, Fault* fault_out) {
+  while (len > 0) {
+    EREBOR_ASSIGN_OR_RETURN(const WalkResult r,
+                            Translate(va, AccessType::kRead, fault_out));
+    const uint64_t page_remaining = kPageSize - (va & kPageMask);
+    const uint64_t take = std::min(len, page_remaining);
+    EREBOR_RETURN_IF_ERROR(memory_->Read(r.pa, out, take));
+    va += take;
+    out += take;
+    len -= take;
+  }
+  return OkStatus();
+}
+
+Status Cpu::WriteVirt(Vaddr va, const uint8_t* data, uint64_t len, Fault* fault_out) {
+  while (len > 0) {
+    EREBOR_ASSIGN_OR_RETURN(const WalkResult r,
+                            Translate(va, AccessType::kWrite, fault_out));
+    const uint64_t page_remaining = kPageSize - (va & kPageMask);
+    const uint64_t take = std::min(len, page_remaining);
+    EREBOR_RETURN_IF_ERROR(memory_->Write(r.pa, data, take));
+    va += take;
+    data += take;
+    len -= take;
+  }
+  return OkStatus();
+}
+
+Status Cpu::IndirectBranch(CodeLabelId target) {
+  const CodeLabel* label = registry_->Lookup(target);
+  if (label == nullptr) {
+    return InvalidArgumentError("indirect branch to unknown label");
+  }
+  const bool ibt_enabled = (cr4_ & cr::kCr4Cet) != 0 &&
+                           (Msr(msr::kIa32SCet) & msr::kCetIbtEn) != 0;
+  if (ibt_enabled && !label->endbr) {
+    return PermissionDeniedError("#CP: indirect branch to non-endbr64 target '" +
+                                 label->name + "'");
+  }
+  return OkStatus();
+}
+
+Status Cpu::ShadowCall(CodeLabelId return_site) {
+  const bool sst_enabled = (cr4_ & cr::kCr4Cet) != 0 &&
+                           (Msr(msr::kIa32SCet) & msr::kCetShstkEn) != 0;
+  if (!sst_enabled || shadow_stack_ == nullptr) {
+    return OkStatus();
+  }
+  shadow_stack_->PushReturn(return_site);
+  return OkStatus();
+}
+
+Status Cpu::ShadowReturn(CodeLabelId return_site) {
+  const bool sst_enabled = (cr4_ & cr::kCr4Cet) != 0 &&
+                           (Msr(msr::kIa32SCet) & msr::kCetShstkEn) != 0;
+  if (!sst_enabled || shadow_stack_ == nullptr) {
+    return OkStatus();
+  }
+  return shadow_stack_->PopReturn(return_site).status();
+}
+
+void Cpu::BindHandler(CodeLabelId label, FaultHandler handler) {
+  handlers_[label] = std::move(handler);
+}
+
+Status Cpu::Deliver(const Fault& fault) {
+  if (idt_ == nullptr) {
+    return FailedPreconditionError("fault with no IDT loaded: " + fault.reason);
+  }
+  const CodeLabelId gate = idt_->gate[static_cast<uint8_t>(fault.vector)];
+  if (gate == kInvalidCodeLabel) {
+    return FailedPreconditionError("no gate for " + VectorName(fault.vector) + ": " +
+                                   fault.reason);
+  }
+  const auto it = handlers_.find(gate);
+  if (it == handlers_.end()) {
+    return InternalError("IDT gate label has no bound handler");
+  }
+  const bool external = fault.vector == Vector::kTimer || fault.vector == Vector::kDevice ||
+                        fault.vector == Vector::kIpi;
+  cycles_.Charge(external ? costs_->interrupt_delivery : costs_->exception_delivery);
+  ++delivered_faults_;
+  // Exception delivery pushes the return site onto the shadow stack; the simulation
+  // models the balanced push/pop inside the handler invocation.
+  it->second(*this, fault);
+  return OkStatus();
+}
+
+}  // namespace erebor

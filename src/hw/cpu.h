@@ -1,0 +1,206 @@
+// Simulated virtual CPU.
+//
+// The Cpu enforces, on every checked access, the architectural protections the paper's
+// monitor relies on: page-table permissions (P/W/U, NX), CR0.WP, SMEP/SMAP (with the
+// RFLAGS.AC stac/clac window), supervisor protection keys (PKS via IA32_PKRS), CET IBT
+// on indirect branches, and #GP on privileged instructions from user mode. Sensitive
+// privileged instructions (Table 2 of the paper: mov-CR, wrmsr, stac, lidt, tdcall) are
+// additionally gated by the "sensitive-instruction fence", which models the combined
+// effect of the monitor's boot-time byte scan + W^X + SMEP: once Erebor is active, only
+// monitor-context code can execute them.
+#ifndef EREBOR_SRC_HW_CPU_H_
+#define EREBOR_SRC_HW_CPU_H_
+
+#include <array>
+#include <functional>
+#include <map>
+
+#include "src/common/status.h"
+#include "src/hw/cet.h"
+#include "src/hw/cycles.h"
+#include "src/hw/paging.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/types.h"
+
+namespace erebor {
+
+// General-purpose register file. Workloads park secrets here so tests can verify the
+// monitor's register scrubbing at interrupts (paper section 6.2).
+struct Gprs {
+  std::array<uint64_t, 16> reg{};
+
+  void Clear() { reg.fill(0); }
+  bool IsClear() const {
+    for (uint64_t r : reg) {
+      if (r != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Model-specific registers used by the simulation (real x86 indices).
+namespace msr {
+inline constexpr uint32_t kIa32Pkrs = 0x6E1;
+inline constexpr uint32_t kIa32SCet = 0x6A2;
+inline constexpr uint32_t kIa32Pl0Ssp = 0x6A4;
+inline constexpr uint32_t kIa32Lstar = 0xC0000082;
+inline constexpr uint32_t kIa32UintrTt = 0x985;
+inline constexpr uint32_t kIa32ApicTimer = 0x832;  // simulated timer period control
+
+// IA32_S_CET bits.
+inline constexpr uint64_t kCetShstkEn = 1ULL << 0;
+inline constexpr uint64_t kCetIbtEn = 1ULL << 2;
+// IA32_UINTR_TT valid bit.
+inline constexpr uint64_t kUintrTtValid = 1ULL << 0;
+}  // namespace msr
+
+// Control-register bits.
+namespace cr {
+inline constexpr uint64_t kCr0Wp = 1ULL << 16;
+inline constexpr uint64_t kCr4Smep = 1ULL << 20;
+inline constexpr uint64_t kCr4Smap = 1ULL << 21;
+inline constexpr uint64_t kCr4Pks = 1ULL << 24;
+inline constexpr uint64_t kCr4Cet = 1ULL << 23;
+}  // namespace cr
+
+// PKRS permission helpers: 2 bits per key, AD (access-disable) then WD (write-disable).
+namespace pkrs {
+inline constexpr uint64_t Ad(uint8_t key) { return 1ULL << (2 * key); }
+inline constexpr uint64_t Wd(uint8_t key) { return 1ULL << (2 * key + 1); }
+inline constexpr uint64_t DenyAll(uint8_t key) { return Ad(key) | Wd(key); }
+inline constexpr uint64_t DenyWrite(uint8_t key) { return Wd(key); }
+}  // namespace pkrs
+
+// Interrupt descriptor table: 256 gates, each a code label (the label's callback is
+// looked up in the machine-wide handler map at delivery).
+struct IdtTable {
+  std::array<CodeLabelId, 256> gate{};
+};
+
+class Cpu;
+using FaultHandler = std::function<void(Cpu&, const Fault&)>;
+
+// tdcall sink: implemented by the TDX module, installed by the machine.
+class TdcallSink {
+ public:
+  virtual ~TdcallSink() = default;
+  // Returns the tdcall result (leaf-specific payload handled by the tdx module).
+  virtual Status Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) = 0;
+};
+
+class Cpu {
+ public:
+  Cpu(int index, PhysMemory* memory, CodeRegistry* registry, const CycleModel* costs);
+
+  int index() const { return index_; }
+  PhysMemory& memory() { return *memory_; }
+  CodeRegistry& registry() { return *registry_; }
+  const CycleModel& costs() const { return *costs_; }
+  CycleCounter& cycles() { return cycles_; }
+  const CycleCounter& cycles() const { return cycles_; }
+  Gprs& gprs() { return gprs_; }
+
+  CpuMode mode() const { return mode_; }
+  void SetMode(CpuMode mode) { mode_ = mode; }
+
+  // ---- Control registers ----
+  uint64_t cr0() const { return cr0_; }
+  uint64_t cr3() const { return cr3_; }
+  uint64_t cr4() const { return cr4_; }
+  Status WriteCr0(uint64_t value);
+  Status WriteCr3(uint64_t value);
+  Status WriteCr4(uint64_t value);
+
+  // ---- MSRs ----
+  StatusOr<uint64_t> ReadMsr(uint32_t index) const;
+  Status WriteMsr(uint32_t index, uint64_t value);
+  uint64_t pkrs() const { return Msr(msr::kIa32Pkrs); }
+
+  // ---- SMAP window ----
+  Status Stac();
+  Status Clac();
+  bool ac_flag() const { return ac_flag_; }
+
+  // ---- IDT ----
+  Status Lidt(const IdtTable* table);
+  const IdtTable* idt() const { return idt_; }
+
+  // ---- tdcall ----
+  Status Tdcall(uint64_t leaf, uint64_t* args, size_t nargs);
+  void SetTdcallSink(TdcallSink* sink) { tdcall_sink_ = sink; }
+
+  // ---- Sensitive-instruction fence (see file comment) ----
+  void EnableSensitiveFence() { fence_enabled_ = true; }
+  bool fence_enabled() const { return fence_enabled_; }
+  void SetMonitorContext(bool in_monitor) { in_monitor_ = in_monitor; }
+  bool in_monitor() const { return in_monitor_; }
+
+  // Trusted variants used only by monitor gate code (the gate is part of the scanned,
+  // attested monitor binary, so its embedded sensitive instructions are legitimate).
+  void TrustedWriteMsr(uint32_t index, uint64_t value);
+  void TrustedWriteCr(int reg, uint64_t value);
+  void TrustedLidt(const IdtTable* table) { idt_ = table; }
+  void TrustedSetAc(bool ac) { ac_flag_ = ac; }
+
+  // ---- Checked memory access ----
+  // Translates `va` for `access` under mode `as_mode` (defaults to the current mode),
+  // applying all architectural checks. On denial returns kPermissionDenied/kNotFound
+  // and fills `fault_out` (if non-null) with the would-be exception.
+  StatusOr<WalkResult> Translate(Vaddr va, AccessType access, Fault* fault_out = nullptr);
+  StatusOr<WalkResult> TranslateAs(CpuMode as_mode, Vaddr va, AccessType access,
+                                   Fault* fault_out = nullptr);
+
+  Status ReadVirt(Vaddr va, uint8_t* out, uint64_t len, Fault* fault_out = nullptr);
+  Status WriteVirt(Vaddr va, const uint8_t* data, uint64_t len, Fault* fault_out = nullptr);
+
+  // ---- Control flow (CET) ----
+  // Indirect call/jmp to `target`: #CP unless the label is an endbr64 target (when IBT
+  // is enabled for supervisor mode via IA32_S_CET).
+  Status IndirectBranch(CodeLabelId target);
+
+  // Shadow-stack assisted call/return (used on monitor entry/exit paths).
+  void SetShadowStack(ShadowStack* stack) { shadow_stack_ = stack; }
+  ShadowStack* shadow_stack() { return shadow_stack_; }
+  Status ShadowCall(CodeLabelId return_site);
+  Status ShadowReturn(CodeLabelId return_site);
+
+  // ---- Exception / interrupt delivery ----
+  void BindHandler(CodeLabelId label, FaultHandler handler);
+  // Dispatches through the loaded IDT. Returns non-OK if no gate is installed.
+  Status Deliver(const Fault& fault);
+
+  // Statistics.
+  uint64_t delivered_faults() const { return delivered_faults_; }
+
+ private:
+  uint64_t Msr(uint32_t index) const;
+  Status CheckSensitive(const char* what);
+
+  int index_;
+  PhysMemory* memory_;
+  CodeRegistry* registry_;
+  const CycleModel* costs_;
+  CycleCounter cycles_;
+
+  CpuMode mode_ = CpuMode::kSupervisor;
+  Gprs gprs_;
+  uint64_t cr0_ = cr::kCr0Wp;
+  uint64_t cr3_ = 0;
+  uint64_t cr4_ = 0;
+  bool ac_flag_ = false;
+  bool fence_enabled_ = false;
+  bool in_monitor_ = false;
+
+  std::map<uint32_t, uint64_t> msrs_;
+  const IdtTable* idt_ = nullptr;
+  TdcallSink* tdcall_sink_ = nullptr;
+  ShadowStack* shadow_stack_ = nullptr;
+  std::map<CodeLabelId, FaultHandler> handlers_;
+  uint64_t delivered_faults_ = 0;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_HW_CPU_H_

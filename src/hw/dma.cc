@@ -1,0 +1,28 @@
+#include "src/hw/dma.h"
+
+namespace erebor {
+
+Status DmaEngine::CheckShared(Paddr pa, uint64_t len) {
+  if (!memory_->Contains(pa, len)) {
+    return OutOfRangeError("DMA outside physical memory");
+  }
+  for (FrameNum f = FrameOf(pa); f <= FrameOf(pa + len - 1); ++f) {
+    if (!memory_->IsShared(f)) {
+      ++blocked_;
+      return PermissionDeniedError("IOMMU: DMA to private CVM frame " + std::to_string(f));
+    }
+  }
+  return OkStatus();
+}
+
+Status DmaEngine::DeviceRead(Paddr pa, uint8_t* out, uint64_t len) {
+  EREBOR_RETURN_IF_ERROR(CheckShared(pa, len));
+  return memory_->Read(pa, out, len);
+}
+
+Status DmaEngine::DeviceWrite(Paddr pa, const uint8_t* data, uint64_t len) {
+  EREBOR_RETURN_IF_ERROR(CheckShared(pa, len));
+  return memory_->Write(pa, data, len);
+}
+
+}  // namespace erebor

@@ -1,0 +1,32 @@
+// Device DMA engine. In a TDX CVM, devices (directed by the untrusted host) can only
+// touch *shared* guest memory; the host IOMMU + TDX module deny DMA to private frames
+// (paper section 2.1). Attack tests drive this path directly.
+#ifndef EREBOR_SRC_HW_DMA_H_
+#define EREBOR_SRC_HW_DMA_H_
+
+#include "src/common/status.h"
+#include "src/hw/phys_mem.h"
+
+namespace erebor {
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(PhysMemory* memory) : memory_(memory) {}
+
+  // Device-initiated read/write of guest physical memory. Every touched frame must be
+  // shared; otherwise the transaction is rejected (kPermissionDenied).
+  Status DeviceRead(Paddr pa, uint8_t* out, uint64_t len);
+  Status DeviceWrite(Paddr pa, const uint8_t* data, uint64_t len);
+
+  uint64_t blocked_transactions() const { return blocked_; }
+
+ private:
+  Status CheckShared(Paddr pa, uint64_t len);
+
+  PhysMemory* memory_;
+  uint64_t blocked_ = 0;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_HW_DMA_H_

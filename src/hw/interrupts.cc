@@ -1,0 +1,37 @@
+#include "src/hw/interrupts.h"
+
+namespace erebor {
+
+InterruptController::InterruptController(int num_cpus)
+    : queues_(num_cpus), next_timer_(num_cpus, 0) {}
+
+void InterruptController::Inject(int cpu_index, Vector vector) {
+  if (cpu_index >= 0 && static_cast<size_t>(cpu_index) < queues_.size()) {
+    queues_[cpu_index].push_back(vector);
+  }
+}
+
+bool InterruptController::HasPending(const Cpu& cpu) const {
+  const int i = cpu.index();
+  if (!queues_[i].empty()) {
+    return true;
+  }
+  return timer_period_ != 0 && cpu.cycles().now() >= next_timer_[i];
+}
+
+StatusOr<Vector> InterruptController::TakePending(Cpu& cpu) {
+  const int i = cpu.index();
+  if (!queues_[i].empty()) {
+    const Vector v = queues_[i].front();
+    queues_[i].pop_front();
+    return v;
+  }
+  if (timer_period_ != 0 && cpu.cycles().now() >= next_timer_[i]) {
+    next_timer_[i] = cpu.cycles().now() + timer_period_;
+    ++timer_fires_;
+    return Vector::kTimer;
+  }
+  return NotFoundError("no pending interrupt");
+}
+
+}  // namespace erebor

@@ -1,0 +1,41 @@
+// External interrupt controller: a cycle-driven APIC timer per CPU, device interrupts
+// and IPIs. The untrusted host can also inject interrupts (asynchronous CVM exits).
+#ifndef EREBOR_SRC_HW_INTERRUPTS_H_
+#define EREBOR_SRC_HW_INTERRUPTS_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/hw/types.h"
+
+namespace erebor {
+
+class InterruptController {
+ public:
+  explicit InterruptController(int num_cpus);
+
+  // Timer period in cycles (0 disables). Applies to all CPUs.
+  void SetTimerPeriod(Cycles period) { timer_period_ = period; }
+  Cycles timer_period() const { return timer_period_; }
+
+  // Queues an interrupt for a CPU (device or IPI).
+  void Inject(int cpu_index, Vector vector);
+
+  // Returns the next pending vector for the CPU, if any, considering both the queue and
+  // the timer deadline against the CPU's cycle counter.
+  bool HasPending(const Cpu& cpu) const;
+  StatusOr<Vector> TakePending(Cpu& cpu);
+
+  uint64_t timer_fires() const { return timer_fires_; }
+
+ private:
+  Cycles timer_period_ = 0;
+  std::vector<std::deque<Vector>> queues_;
+  std::vector<Cycles> next_timer_;
+  uint64_t timer_fires_ = 0;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_HW_INTERRUPTS_H_

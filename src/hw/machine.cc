@@ -1,0 +1,23 @@
+#include "src/hw/machine.h"
+
+namespace erebor {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(config.memory_frames),
+      interrupts_(config.num_cpus),
+      dma_(&memory_) {
+  for (int i = 0; i < config.num_cpus; ++i) {
+    cpus_.push_back(std::make_unique<Cpu>(i, &memory_, &registry_, &config_.cycles));
+  }
+}
+
+Cycles Machine::TotalCycles() const {
+  Cycles total = 0;
+  for (const auto& cpu : cpus_) {
+    total += cpu->cycles().now();
+  }
+  return total;
+}
+
+}  // namespace erebor

@@ -1,0 +1,104 @@
+// x86-64-style 4-level paging structures and walker over simulated physical memory.
+//
+// Page tables are real in-simulation data: page-table pages (PTPs) are 4 KiB frames of
+// 512 64-bit entries living in PhysMemory, written by the guest kernel (natively) or by
+// the Erebor monitor (when MMU interfaces are virtualized). The walker is used by the
+// CPU for every checked access, so PTE-level protections (U/S, W, NX, protection keys,
+// shadow-stack encoding) are enforced exactly where the paper relies on them.
+#ifndef EREBOR_SRC_HW_PAGING_H_
+#define EREBOR_SRC_HW_PAGING_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/common/status.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/types.h"
+
+namespace erebor {
+
+using Pte = uint64_t;
+
+namespace pte {
+inline constexpr Pte kPresent = 1ULL << 0;
+inline constexpr Pte kWritable = 1ULL << 1;
+inline constexpr Pte kUser = 1ULL << 2;
+inline constexpr Pte kAccessed = 1ULL << 5;
+inline constexpr Pte kDirty = 1ULL << 6;
+inline constexpr Pte kPageSize = 1ULL << 7;  // huge-page leaf at L2/L3
+inline constexpr Pte kNoExecute = 1ULL << 63;
+
+inline constexpr int kPkeyShift = 59;
+inline constexpr Pte kPkeyMask = 0xFULL << kPkeyShift;
+
+inline constexpr Pte kFrameMask = 0x000FFFFFFFFFF000ULL;
+
+inline constexpr Pte Make(FrameNum frame, Pte flags) {
+  return ((frame << kPageShift) & kFrameMask) | flags;
+}
+inline constexpr FrameNum Frame(Pte e) { return (e & kFrameMask) >> kPageShift; }
+inline constexpr bool Present(Pte e) { return (e & kPresent) != 0; }
+inline constexpr bool Writable(Pte e) { return (e & kWritable) != 0; }
+inline constexpr bool User(Pte e) { return (e & kUser) != 0; }
+inline constexpr bool NoExecute(Pte e) { return (e & kNoExecute) != 0; }
+inline constexpr uint8_t Pkey(Pte e) { return static_cast<uint8_t>((e & kPkeyMask) >> kPkeyShift); }
+inline constexpr Pte WithPkey(Pte e, uint8_t key) {
+  return (e & ~kPkeyMask) | (static_cast<Pte>(key & 0xF) << kPkeyShift);
+}
+// CET shadow-stack leaf encoding: not-writable but dirty (see paper section 2.2).
+inline constexpr bool IsShadowStack(Pte e) {
+  return Present(e) && !Writable(e) && (e & kDirty) != 0 && !User(e);
+}
+}  // namespace pte
+
+// Virtual-address decomposition: 4 levels x 9 bits + 12-bit offset (48-bit canonical).
+inline constexpr int kPagingLevels = 4;
+inline constexpr uint64_t kPteEntries = 512;
+
+inline constexpr uint64_t PteIndex(Vaddr va, int level) {
+  // level 3 = top (PML4), level 0 = leaf (PT).
+  return (va >> (kPageShift + 9 * level)) & (kPteEntries - 1);
+}
+
+// Result of a successful translation.
+struct WalkResult {
+  Paddr pa = 0;             // final physical address (leaf frame + offset)
+  Pte leaf = 0;             // leaf entry
+  bool user_accessible = false;   // AND of U/S across levels
+  bool writable = false;          // AND of W across levels
+  bool no_execute = false;        // OR of NX across levels
+  uint8_t pkey = 0;               // leaf protection key
+  bool shadow_stack = false;      // leaf uses the shadow-stack encoding
+  int level = 0;                  // leaf level (0 = 4 KiB page, 1 = 2 MiB page)
+  Paddr leaf_entry_pa = 0;        // physical address of the leaf PTE itself
+};
+
+// Walks the tables rooted at `root` (physical address of the PML4 frame). Returns
+// kNotFound if a level is non-present, with the failing level in the message.
+StatusOr<WalkResult> WalkPageTables(const PhysMemory& memory, Paddr root, Vaddr va);
+
+// Builds page-table entries on behalf of software. `AllocFrameFn` supplies zeroed
+// frames for intermediate PTPs. All PTE stores go through `write_pte` so the caller can
+// route them through EMC when Erebor virtualizes the MMU.
+struct PteWriter {
+  // write_pte(entry_pa, value): store a PTE. Returns non-OK if refused.
+  std::function<Status(Paddr, Pte)> write_pte;
+  // alloc_ptp(): allocate + zero a frame for an intermediate page-table page.
+  std::function<StatusOr<FrameNum>()> alloc_ptp;
+};
+
+// Maps `va` -> frame with leaf flags. Creates intermediate levels as needed, with
+// intermediate flags Present|Writable|(User if leaf has User).
+Status MapPage(PhysMemory& memory, Paddr root, Vaddr va, FrameNum frame, Pte leaf_flags,
+               const PteWriter& writer);
+
+// Clears the leaf PTE for `va` (no PTP reclamation; matches minimal-kernel behaviour).
+Status UnmapPage(PhysMemory& memory, Paddr root, Vaddr va, const PteWriter& writer);
+
+// Rewrites the leaf PTE flags for an existing mapping (e.g. dropping kWritable).
+Status ProtectPage(PhysMemory& memory, Paddr root, Vaddr va, Pte new_flags,
+                   const PteWriter& writer);
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_HW_PAGING_H_

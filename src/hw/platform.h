@@ -1,0 +1,74 @@
+// Cross-CVM architectural feature mapping (paper section 10, Table 7).
+//
+// Erebor's monitor needs, per platform: controllable registers, a context-switch
+// table, a guest-host interface, kernel/user separation, a kernel memory-protection
+// key mechanism, and forward+backward HW-CFI. TDX/SEV/CCA all provide them — except
+// SEV's missing PKS, for which the Nested-Kernel fallback (private page tables +
+// write protection) gives the same policy at a higher per-PTE cost; the SevCycleModel
+// captures that.
+#ifndef EREBOR_SRC_HW_PLATFORM_H_
+#define EREBOR_SRC_HW_PLATFORM_H_
+
+#include <array>
+#include <string>
+
+#include "src/hw/cycles.h"
+
+namespace erebor {
+
+enum class CvmPlatform : uint8_t { kIntelTdx, kAmdSev, kArmCca };
+
+struct PlatformFeatures {
+  CvmPlatform platform;
+  std::string name;
+  std::string registers;        // privileged register file
+  std::string context_switch;   // exception/interrupt vector control
+  std::string ghci;             // guest-host interface instruction
+  std::string ku_separation;    // kernel-user separation
+  std::string protection_key;   // supervisor memory keying
+  std::string cfi_forward;
+  std::string cfi_backward;
+  bool has_native_pks;          // false -> Nested-Kernel private-mapping fallback
+};
+
+inline const std::array<PlatformFeatures, 3>& CvmPlatformTable() {
+  static const std::array<PlatformFeatures, 3> kTable = {{
+      {CvmPlatform::kIntelTdx, "TDX", "CR/MSR", "IDT", "tdcall", "SMEP/SMAP", "PKS",
+       "IBT", "SST", true},
+      {CvmPlatform::kAmdSev, "SEV", "CR/MSR", "IDT", "vmgexit", "SMEP/SMAP",
+       "page table (fallback)", "IBT", "SST", false},
+      {CvmPlatform::kArmCca, "CCA", "EL1 Regs", "VBAR", "smc", "PXN/PAN", "PIE", "BTI",
+       "GCS", true},
+  }};
+  return kTable;
+}
+
+// Cycle model for an SEV deployment: without PKS, monitor/PTP protection falls back to
+// Nested-Kernel private page-table mappings with CR0.WP switching — "similar memory
+// protection ... at a slightly higher cost" (section 10). The gate no longer flips
+// PKRS but must switch the active translation view, and every monitor-validated PTE
+// write pays the write-protect toggle.
+inline CycleModel SevCycleModel() {
+  CycleModel model;
+  // Entry/exit switch the private mapping (CR3-class write each way) instead of two
+  // PKRS wrmsr; slightly more expensive round trip.
+  model.emc_round_trip = 1224 + 2 * (model.native_cr_write - model.native_wrmsr) + 300;
+  // Each PTE write toggles CR0.WP around the store.
+  model.monitor_pte_op = 121 + 2 * model.native_cr_write;
+  return model;
+}
+
+inline CycleModel PlatformCycleModel(CvmPlatform platform) {
+  switch (platform) {
+    case CvmPlatform::kAmdSev:
+      return SevCycleModel();
+    case CvmPlatform::kIntelTdx:
+    case CvmPlatform::kArmCca:
+      return CycleModel{};
+  }
+  return CycleModel{};
+}
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_HW_PLATFORM_H_

@@ -1,0 +1,41 @@
+#include "src/hw/types.h"
+
+namespace erebor {
+
+std::string AccessTypeName(AccessType type) {
+  switch (type) {
+    case AccessType::kRead:
+      return "read";
+    case AccessType::kWrite:
+      return "write";
+    case AccessType::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+std::string VectorName(Vector v) {
+  switch (v) {
+    case Vector::kDivideError:
+      return "#DE";
+    case Vector::kInvalidOpcode:
+      return "#UD";
+    case Vector::kGeneralProtection:
+      return "#GP";
+    case Vector::kPageFault:
+      return "#PF";
+    case Vector::kVirtualizationException:
+      return "#VE";
+    case Vector::kControlProtection:
+      return "#CP";
+    case Vector::kTimer:
+      return "TIMER";
+    case Vector::kDevice:
+      return "DEVICE";
+    case Vector::kIpi:
+      return "IPI";
+  }
+  return "INT" + std::to_string(static_cast<int>(v));
+}
+
+}  // namespace erebor

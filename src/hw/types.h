@@ -1,0 +1,72 @@
+// Core hardware types shared by the simulated platform.
+#ifndef EREBOR_SRC_HW_TYPES_H_
+#define EREBOR_SRC_HW_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace erebor {
+
+// Physical address within the guest ("guest physical address"; the simulation does not
+// model a separate host physical space — the sEPT validates GPA ownership instead).
+using Paddr = uint64_t;
+// Guest virtual address.
+using Vaddr = uint64_t;
+// Frame / page numbers.
+using FrameNum = uint64_t;
+
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kPageSize = 1ULL << kPageShift;  // 4 KiB
+inline constexpr uint64_t kPageMask = kPageSize - 1;
+inline constexpr uint64_t kHugePageSize = 2ULL << 20;  // 2 MiB
+
+inline constexpr FrameNum FrameOf(Paddr pa) { return pa >> kPageShift; }
+inline constexpr Paddr AddrOf(FrameNum frame) { return frame << kPageShift; }
+inline constexpr Vaddr PageAlignDown(Vaddr va) { return va & ~kPageMask; }
+inline constexpr Vaddr PageAlignUp(Vaddr va) { return (va + kPageMask) & ~kPageMask; }
+
+// CPU privilege mode (ring 3 vs ring 0). The monitor's "virtual privileged mode" is a
+// software construct on top of kSupervisor (see monitor/gates).
+enum class CpuMode : uint8_t { kUser, kSupervisor };
+
+enum class AccessType : uint8_t { kRead, kWrite, kExecute };
+
+std::string AccessTypeName(AccessType type);
+
+// Exception / interrupt vectors (x86 numbering where one exists).
+enum class Vector : uint8_t {
+  kDivideError = 0,
+  kInvalidOpcode = 6,
+  kGeneralProtection = 13,
+  kPageFault = 14,
+  kVirtualizationException = 20,  // #VE, injected by the TDX module
+  kControlProtection = 21,        // #CP, raised by CET
+  kTimer = 32,                    // APIC timer (external interrupt)
+  kDevice = 33,                   // generic external device interrupt
+  kIpi = 0xF0,                    // inter-processor interrupt
+};
+
+std::string VectorName(Vector v);
+
+// A delivered fault/interrupt. `error_code` carries the x86-style page-fault error bits
+// for kPageFault (P=1<<0, W=1<<1, U=1<<2, I=1<<4, PK=1<<5, SS=1<<6).
+struct Fault {
+  Vector vector = Vector::kGeneralProtection;
+  uint64_t error_code = 0;
+  Vaddr address = 0;     // faulting VA for #PF
+  std::string reason;    // human-readable diagnostic (simulation aid)
+};
+
+namespace pf_err {
+inline constexpr uint64_t kPresent = 1u << 0;
+inline constexpr uint64_t kWrite = 1u << 1;
+inline constexpr uint64_t kUser = 1u << 2;
+inline constexpr uint64_t kInstruction = 1u << 4;
+inline constexpr uint64_t kProtectionKey = 1u << 5;
+inline constexpr uint64_t kShadowStack = 1u << 6;
+inline constexpr uint64_t kSgx = 1u << 15;
+}  // namespace pf_err
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_HW_TYPES_H_

@@ -1,0 +1,286 @@
+#include "src/kernel/addrspace.h"
+
+#include <cstring>
+
+namespace erebor {
+
+PteWriter AddressSpace::MakeWriter(Cpu& cpu, int* pte_writes) {
+  PteWriter writer;
+  writer.write_pte = [this, &cpu, pte_writes](Paddr entry_pa, Pte value) -> Status {
+    if (pte_writes != nullptr) {
+      ++*pte_writes;
+    }
+    return ops_->WritePte(cpu, entry_pa, value);
+  };
+  writer.alloc_ptp = [this, &cpu]() -> StatusOr<FrameNum> {
+    EREBOR_ASSIGN_OR_RETURN(const FrameNum frame, pool_->Alloc());
+    machine_->memory().ZeroFrame(frame);
+    // Touch the frame so the PTP is committed (page tables are real data).
+    machine_->memory().FramePtr(frame);
+    EREBOR_RETURN_IF_ERROR(ops_->RegisterPtp(cpu, frame, root_));
+    owned_ptps_.push_back(frame);
+    return frame;
+  };
+  return writer;
+}
+
+StatusOr<std::unique_ptr<AddressSpace>> AddressSpace::Create(
+    Cpu& cpu, Machine* machine, PrivilegedOps* ops, FrameAllocator* pool,
+    const AddressSpace* kernel_template) {
+  EREBOR_ASSIGN_OR_RETURN(const FrameNum root_frame, pool->Alloc());
+  machine->memory().ZeroFrame(root_frame);
+  machine->memory().FramePtr(root_frame);
+  EREBOR_RETURN_IF_ERROR(ops->RegisterPtp(cpu, root_frame, AddrOf(root_frame)));
+  auto space = std::unique_ptr<AddressSpace>(
+      new AddressSpace(machine, ops, pool, AddrOf(root_frame)));
+  space->owned_ptps_.push_back(root_frame);
+
+  if (kernel_template != nullptr) {
+    // Share the kernel half: copy PML4 entries 256..511 (they point into the kernel's
+    // PDPT subtrees, so every process sees identical kernel mappings).
+    for (uint64_t i = 256; i < kPteEntries; ++i) {
+      const Paddr src_pa = kernel_template->root() + i * sizeof(Pte);
+      const Pte entry = machine->memory().Read64(src_pa);
+      if (pte::Present(entry)) {
+        EREBOR_RETURN_IF_ERROR(
+            ops->WritePte(cpu, space->root() + i * sizeof(Pte), entry));
+      }
+    }
+  }
+  return space;
+}
+
+Status AddressSpace::MapFrame(Cpu& cpu, Vaddr va, FrameNum frame, Pte flags) {
+  PteWriter writer = MakeWriter(cpu);
+  EREBOR_RETURN_IF_ERROR(MapPage(machine_->memory(), root_, va, frame, flags, writer));
+  if ((flags & pte::kUser) != 0) {
+    ++mapped_user_pages_;
+  }
+  return OkStatus();
+}
+
+Status AddressSpace::MapRangeBatched(Cpu& cpu, const std::vector<PageMapping>& mappings) {
+  // Phase 1: materialize the leaf slots (may create intermediate PTPs; those writes
+  // stay per-entry because each links a fresh table).
+  std::vector<PrivilegedOps::PteUpdate> updates;
+  updates.reserve(mappings.size());
+  PteWriter writer = MakeWriter(cpu);
+  for (const PageMapping& mapping : mappings) {
+    // Walk down, creating levels, but defer the leaf store into the batch.
+    Paddr table = root_;
+    const bool user = (mapping.flags & pte::kUser) != 0;
+    for (int level = kPagingLevels - 1; level >= 1; --level) {
+      const Paddr entry_pa = table + PteIndex(mapping.va, level) * sizeof(Pte);
+      Pte entry = machine_->memory().Read64(entry_pa);
+      if (!pte::Present(entry)) {
+        EREBOR_ASSIGN_OR_RETURN(const FrameNum ptp, writer.alloc_ptp());
+        Pte inter = pte::Make(ptp, pte::kPresent | pte::kWritable);
+        if (user) {
+          inter |= pte::kUser;
+        }
+        EREBOR_RETURN_IF_ERROR(writer.write_pte(entry_pa, inter));
+        entry = inter;
+      } else if (user && !pte::User(entry)) {
+        EREBOR_RETURN_IF_ERROR(writer.write_pte(entry_pa, entry | pte::kUser));
+      }
+      table = pte::Frame(entry) << kPageShift;
+    }
+    updates.push_back({table + PteIndex(mapping.va, 0) * sizeof(Pte),
+                       pte::Make(mapping.frame, mapping.flags | pte::kPresent)});
+    if (user) {
+      ++mapped_user_pages_;
+    }
+  }
+  // Phase 2: one privileged call for all leaf entries.
+  return ops_->WritePteBatch(cpu, updates.data(), updates.size());
+}
+
+Status AddressSpace::PopulateVmaBatched(Cpu& cpu, Vaddr start) {
+  Vma* vma = FindVma(start);
+  if (vma == nullptr) {
+    return NotFoundError("no VMA to populate");
+  }
+  std::vector<PageMapping> mappings;
+  for (Vaddr va = vma->start; va < vma->end; va += kPageSize) {
+    if (Lookup(va).ok()) {
+      continue;
+    }
+    FrameNum frame = 0;
+    if (vma->kind == VmaKind::kCommon) {
+      const uint64_t index = (va - vma->start) >> kPageShift;
+      if (index >= vma->backing.size()) {
+        return InternalError("common VMA without backing frame");
+      }
+      frame = vma->backing[index];
+    } else {
+      EREBOR_ASSIGN_OR_RETURN(frame, pool_->Alloc());
+      machine_->memory().ZeroFrame(frame);
+      machine_->memory().FramePtr(frame);
+      owned_frames_.push_back(frame);
+      cpu.cycles().Charge(cpu.costs().page_zero);
+    }
+    mappings.push_back({va, frame, vma->flags});
+  }
+  return MapRangeBatched(cpu, mappings);
+}
+
+Status AddressSpace::UnmapPage(Cpu& cpu, Vaddr va) {
+  PteWriter writer = MakeWriter(cpu);
+  return erebor::UnmapPage(machine_->memory(), root_, va, writer);
+}
+
+Status AddressSpace::ProtectPage(Cpu& cpu, Vaddr va, Pte flags) {
+  PteWriter writer = MakeWriter(cpu);
+  return erebor::ProtectPage(machine_->memory(), root_, va, flags, writer);
+}
+
+StatusOr<WalkResult> AddressSpace::Lookup(Vaddr va) const {
+  return WalkPageTables(machine_->memory(), root_, va);
+}
+
+StatusOr<Vaddr> AddressSpace::CreateVma(uint64_t len, Pte flags, VmaKind kind, Vaddr fixed) {
+  if (len == 0) {
+    return InvalidArgumentError("zero-length VMA");
+  }
+  len = PageAlignUp(len);
+  Vaddr start = fixed;
+  if (start == 0) {
+    start = mmap_cursor_;
+    mmap_cursor_ += len + kPageSize;  // guard gap
+  }
+  // Overlap check.
+  for (const auto& [s, vma] : vmas_) {
+    if (start < vma.end && vma.start < start + len) {
+      return AlreadyExistsError("VMA overlap");
+    }
+  }
+  Vma vma;
+  vma.start = start;
+  vma.end = start + len;
+  vma.flags = flags;
+  vma.kind = kind;
+  vmas_[start] = std::move(vma);
+  return start;
+}
+
+Status AddressSpace::DestroyVma(Cpu& cpu, Vaddr start) {
+  const auto it = vmas_.find(start);
+  if (it == vmas_.end()) {
+    return NotFoundError("no VMA at given start");
+  }
+  for (Vaddr va = it->second.start; va < it->second.end; va += kPageSize) {
+    const auto walk = Lookup(va);
+    if (walk.ok()) {
+      (void)UnmapPage(cpu, va);
+    }
+  }
+  vmas_.erase(it);
+  return OkStatus();
+}
+
+Vma* AddressSpace::FindVma(Vaddr va) {
+  auto it = vmas_.upper_bound(va);
+  if (it == vmas_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return (va >= it->second.start && va < it->second.end) ? &it->second : nullptr;
+}
+
+StatusOr<int> AddressSpace::HandleDemandFault(Cpu& cpu, Vaddr va, PhysMemory* file_source) {
+  Vma* vma = FindVma(va);
+  if (vma == nullptr) {
+    return NotFoundError("segmentation fault: no VMA for address");
+  }
+  const Vaddr page_va = PageAlignDown(va);
+  int pte_writes = 0;
+  PteWriter writer = MakeWriter(cpu, &pte_writes);
+
+  FrameNum frame = 0;
+  switch (vma->kind) {
+    case VmaKind::kCommon: {
+      const uint64_t index = (page_va - vma->start) >> kPageShift;
+      if (index >= vma->backing.size()) {
+        return InternalError("common VMA without backing frame");
+      }
+      frame = vma->backing[index];
+      break;
+    }
+    case VmaKind::kAnon:
+    case VmaKind::kConfined:
+    case VmaKind::kFile: {
+      EREBOR_ASSIGN_OR_RETURN(frame, pool_->Alloc());
+      machine_->memory().ZeroFrame(frame);
+      machine_->memory().FramePtr(frame);
+      owned_frames_.push_back(frame);
+      cpu.cycles().Charge(cpu.costs().page_zero);
+      break;
+    }
+  }
+  EREBOR_RETURN_IF_ERROR(
+      MapPage(machine_->memory(), root_, page_va, frame, vma->flags, writer));
+  if ((vma->flags & pte::kUser) != 0) {
+    ++mapped_user_pages_;
+  }
+  return pte_writes;
+}
+
+Status AddressSpace::CloneUserMappings(Cpu& cpu, const AddressSpace& src) {
+  std::vector<PageMapping> mappings;
+  for (const auto& [start, vma] : src.vmas_) {
+    vmas_[start] = vma;
+    for (Vaddr va = vma.start; va < vma.end; va += kPageSize) {
+      const auto walk = src.Lookup(va);
+      if (!walk.ok()) {
+        continue;  // never faulted in
+      }
+      FrameNum frame = pte::Frame(walk->leaf);
+      if (vma.kind != VmaKind::kCommon) {
+        // Private page: allocate and copy.
+        EREBOR_ASSIGN_OR_RETURN(const FrameNum copy, pool_->Alloc());
+        std::memcpy(machine_->memory().FramePtr(copy),
+                    machine_->memory().FramePtr(frame), kPageSize);
+        cpu.cycles().Charge(cpu.costs().page_copy);
+        owned_frames_.push_back(copy);
+        frame = copy;
+      }
+      mappings.push_back({va, frame, vma.flags});
+    }
+  }
+  return MapRangeBatched(cpu, mappings);
+}
+
+void AddressSpace::ReleaseUserFrames(Cpu& cpu) {
+  for (const FrameNum frame : owned_frames_) {
+    machine_->memory().ZeroFrame(frame);
+    (void)pool_->Free(frame);
+  }
+  owned_frames_.clear();
+  for (const FrameNum frame : owned_ptps_) {
+    (void)pool_->Free(frame);
+  }
+  owned_ptps_.clear();
+}
+
+StatusOr<std::unique_ptr<AddressSpace>> BuildKernelAddressSpace(Cpu& cpu, Machine* machine,
+                                                                PrivilegedOps* ops,
+                                                                FrameAllocator* pool) {
+  EREBOR_ASSIGN_OR_RETURN(auto space,
+                          AddressSpace::Create(cpu, machine, ops, pool, nullptr));
+  // Direct map: supervisor read-write, non-executable.
+  const uint64_t frames = machine->memory().num_frames();
+  for (FrameNum f = 0; f < frames; ++f) {
+    EREBOR_RETURN_IF_ERROR(space->MapFrame(
+        cpu, layout::DirectMap(AddrOf(f)), f,
+        pte::kPresent | pte::kWritable | pte::kNoExecute));
+  }
+  // Kernel text window: executable, read-only.
+  for (FrameNum i = 0; i < layout::kKernelTextFrames; ++i) {
+    EREBOR_RETURN_IF_ERROR(space->MapFrame(cpu, layout::kKernelTextBase + AddrOf(i),
+                                           layout::kKernelTextFirstFrame + i,
+                                           pte::kPresent));
+  }
+  return space;
+}
+
+}  // namespace erebor

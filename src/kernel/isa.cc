@@ -1,0 +1,107 @@
+#include "src/kernel/isa.h"
+
+namespace erebor {
+
+std::string SensitiveOpName(SensitiveOp op) {
+  switch (op) {
+    case SensitiveOp::kMovToCr0:
+      return "mov %cr0";
+    case SensitiveOp::kMovToCr3:
+      return "mov %cr3";
+    case SensitiveOp::kMovToCr4:
+      return "mov %cr4";
+    case SensitiveOp::kWrmsr:
+      return "wrmsr";
+    case SensitiveOp::kStac:
+      return "stac";
+    case SensitiveOp::kClac:
+      return "clac";
+    case SensitiveOp::kLidt:
+      return "lidt";
+    case SensitiveOp::kTdcall:
+      return "tdcall";
+    case SensitiveOp::kVmcall:
+      return "vmcall";
+  }
+  return "?";
+}
+
+Bytes EncodeSensitiveOp(SensitiveOp op) {
+  switch (op) {
+    case SensitiveOp::kMovToCr0:
+      return {0x0F, 0x22, 0xC0};
+    case SensitiveOp::kMovToCr3:
+      return {0x0F, 0x22, 0xD8};
+    case SensitiveOp::kMovToCr4:
+      return {0x0F, 0x22, 0xE0};
+    case SensitiveOp::kWrmsr:
+      return {0x0F, 0x30};
+    case SensitiveOp::kStac:
+      return {0x0F, 0x01, 0xCB};
+    case SensitiveOp::kClac:
+      return {0x0F, 0x01, 0xCA};
+    case SensitiveOp::kLidt:
+      return {0x0F, 0x01, 0x1D, 0x00, 0x00, 0x00, 0x00};  // lidt 0x0(%rip)
+    case SensitiveOp::kTdcall:
+      return {0x66, 0x0F, 0x01, 0xCC};
+    case SensitiveOp::kVmcall:
+      return {0x0F, 0x01, 0xC1};
+  }
+  return {};
+}
+
+Bytes EncodeEndbr64() { return {0xF3, 0x0F, 0x1E, 0xFA}; }
+
+Bytes EncodeEmcCall() {
+  // call rel32 with a symbolic displacement (resolved at load; marker 0x454D0043 "EMC").
+  return {0xE8, 0x43, 0x00, 0x4D, 0x45};
+}
+
+const std::vector<SensitivePattern>& SensitivePatterns() {
+  static const std::vector<SensitivePattern> kPatterns = [] {
+    std::vector<SensitivePattern> patterns;
+    // mov-to-CR: match the two-byte opcode 0F 22 with *any* modrm (all CR targets are
+    // sensitive, including encodings the builder never emits).
+    patterns.push_back({SensitiveOp::kMovToCr0, {0x0F, 0x22}});
+    for (SensitiveOp op : {SensitiveOp::kWrmsr, SensitiveOp::kStac, SensitiveOp::kClac,
+                           SensitiveOp::kTdcall, SensitiveOp::kVmcall}) {
+      patterns.push_back({op, EncodeSensitiveOp(op)});
+    }
+    // lidt: 0F 01 with modrm reg-field /3 (memory forms). Match the common rip-relative
+    // and register-indirect modrm bytes.
+    patterns.push_back({SensitiveOp::kLidt, {0x0F, 0x01, 0x1D}});
+    patterns.push_back({SensitiveOp::kLidt, {0x0F, 0x01, 0x18}});
+    patterns.push_back({SensitiveOp::kLidt, {0x0F, 0x01, 0x5D}});
+    return patterns;
+  }();
+  return kPatterns;
+}
+
+ScanHit ScanForSensitiveBytes(const uint8_t* code, size_t len) {
+  ScanHit hit;
+  const auto& patterns = SensitivePatterns();
+  for (size_t i = 0; i < len; ++i) {
+    for (const auto& pattern : patterns) {
+      const size_t n = pattern.bytes.size();
+      if (i + n > len) {
+        continue;
+      }
+      bool match = true;
+      for (size_t j = 0; j < n; ++j) {
+        if (code[i + j] != pattern.bytes[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        hit.found = true;
+        hit.offset = i;
+        hit.op = pattern.op;
+        return hit;
+      }
+    }
+  }
+  return hit;
+}
+
+}  // namespace erebor

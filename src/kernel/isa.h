@@ -1,0 +1,71 @@
+// Genuine x86-64 byte encodings of the sensitive privileged instructions from Table 2
+// of the paper, plus helpers to emit native or EMC-instrumented instruction streams.
+//
+// The guest kernel "binary" is a real byte image: the native build embeds these
+// opcode sequences and the instrumented build replaces each with a call to the EMC
+// entry gate. The monitor's verified boot performs byte-level scanning over executable
+// sections for these patterns (paper section 5.1), so both the scanner and its attack
+// tests (hidden, misaligned, boundary-straddling opcodes) operate on real encodings.
+#ifndef EREBOR_SRC_KERNEL_ISA_H_
+#define EREBOR_SRC_KERNEL_ISA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace erebor {
+
+enum class SensitiveOp : uint8_t {
+  kMovToCr0,
+  kMovToCr3,
+  kMovToCr4,
+  kWrmsr,
+  kStac,
+  kClac,
+  kLidt,
+  kTdcall,
+  kVmcall,
+};
+
+std::string SensitiveOpName(SensitiveOp op);
+
+// Byte encodings.
+//   mov %rax,%cr0  : 0F 22 C0      mov %rax,%cr3 : 0F 22 D8      mov %rax,%cr4 : 0F 22 E0
+//   wrmsr          : 0F 30
+//   stac           : 0F 01 CB      clac          : 0F 01 CA
+//   lidt (m)       : 0F 01 /3 (modrm 0x1D rip-relative form used here)
+//   tdcall         : 66 0F 01 CC
+//   vmcall         : 0F 01 C1
+Bytes EncodeSensitiveOp(SensitiveOp op);
+
+// endbr64: F3 0F 1E FA.
+Bytes EncodeEndbr64();
+
+// call rel32 (E8 xx xx xx xx) to the EMC entry gate; the relocation target is symbolic
+// in the simulation, so the displacement is a fixed marker value.
+Bytes EncodeEmcCall();
+
+// All byte patterns the scanner must reject, with names for diagnostics.
+struct SensitivePattern {
+  SensitiveOp op;
+  Bytes bytes;
+};
+const std::vector<SensitivePattern>& SensitivePatterns();
+
+// Scans `code` for any sensitive pattern at *any* byte offset (instruction streams can
+// hide opcodes at unaligned offsets). Returns the offset and matched op of the first
+// hit, or nullopt-equivalent via found=false.
+struct ScanHit {
+  bool found = false;
+  size_t offset = 0;
+  SensitiveOp op = SensitiveOp::kWrmsr;
+};
+ScanHit ScanForSensitiveBytes(const uint8_t* code, size_t len);
+inline ScanHit ScanForSensitiveBytes(const Bytes& code) {
+  return ScanForSensitiveBytes(code.data(), code.size());
+}
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_KERNEL_ISA_H_

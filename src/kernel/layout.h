@@ -1,0 +1,49 @@
+// Guest physical and virtual memory layout.
+#ifndef EREBOR_SRC_KERNEL_LAYOUT_H_
+#define EREBOR_SRC_KERNEL_LAYOUT_H_
+
+#include "src/hw/types.h"
+
+namespace erebor {
+namespace layout {
+
+// ---- Physical layout (frame numbers) ----
+inline constexpr FrameNum kFirmwareFirstFrame = 1;     // frame 0 stays unmapped (NULL)
+inline constexpr FrameNum kFirmwareFrames = 32;
+
+inline constexpr FrameNum kMonitorFirstFrame = 64;     // monitor code/data/stacks
+inline constexpr FrameNum kMonitorFrames = 512;        // 2 MiB
+
+inline constexpr FrameNum kKernelTextFirstFrame = 640;
+inline constexpr FrameNum kKernelTextFrames = 256;     // 1 MiB of kernel text
+
+inline constexpr FrameNum kSharedIoFirstFrame = 1024;  // device-visible (shared) window
+inline constexpr FrameNum kSharedIoFrames = 256;       // 1 MiB
+
+inline constexpr FrameNum kGeneralPoolFirstFrame = 1536;
+// The general pool runs to the start of the CMA region; the CMA (confined-memory)
+// region occupies the top fraction of RAM and is sized at boot.
+
+// Fraction of total frames reserved for the sandbox confined-memory CMA region.
+inline constexpr int kCmaFractionPercent = 40;
+
+// ---- Virtual layout ----
+inline constexpr Vaddr kUserBase = 0x0000000000400000ULL;
+inline constexpr Vaddr kUserTop = 0x00007FFFFFFFFFFFULL;
+inline constexpr Vaddr kDirectMapBase = 0xFFFF888000000000ULL;  // va = base + pa
+inline constexpr Vaddr kKernelTextBase = 0xFFFFFFFF81000000ULL;
+
+inline constexpr Vaddr DirectMap(Paddr pa) { return kDirectMapBase + pa; }
+inline constexpr Paddr DirectUnmap(Vaddr va) { return va - kDirectMapBase; }
+
+// ---- PKS protection-key assignment (paper section 5.2) ----
+inline constexpr uint8_t kDefaultKey = 0;      // ordinary kernel/user data
+inline constexpr uint8_t kMonitorKey = 1;      // monitor code/data/stacks: AD for kernel
+inline constexpr uint8_t kPtpKey = 2;          // page-table pages: WD for kernel
+inline constexpr uint8_t kKernelTextKey = 3;   // kernel code: WD always (W^X)
+inline constexpr uint8_t kShadowStackKey = 4;  // CET shadow stacks
+
+}  // namespace layout
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_KERNEL_LAYOUT_H_

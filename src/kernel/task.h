@@ -1,0 +1,66 @@
+// Kernel task (process/thread) model.
+//
+// User programs are modelled as step functions: each scheduler quantum invokes the
+// program, which performs work, issues syscalls through the SyscallContext, and
+// returns an outcome (yield / blocked / exited). Threads of one process share an
+// address space and descriptor table.
+#ifndef EREBOR_SRC_KERNEL_TASK_H_
+#define EREBOR_SRC_KERNEL_TASK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/hw/cpu.h"
+#include "src/kernel/addrspace.h"
+#include "src/kernel/fs.h"
+
+namespace erebor {
+
+enum class TaskState : uint8_t { kRunnable, kBlocked, kExited };
+
+enum class StepOutcome : uint8_t {
+  kYield,    // quantum used; schedule me again
+  kBlocked,  // waiting (futex/wait/net); kernel marks blocked
+  kExited,   // program finished
+};
+
+class SyscallContext;
+using ProgramFn = std::function<StepOutcome(SyscallContext&)>;
+using SignalHandlerFn = std::function<void(int)>;
+
+struct Task {
+  int tid = 0;
+  int pid = 0;
+  std::string name;
+  TaskState state = TaskState::kRunnable;
+  Gprs saved_gprs;
+  std::shared_ptr<AddressSpace> aspace;
+  std::shared_ptr<FdTable> fds;
+  ProgramFn program;
+
+  // Sandbox membership (managed by the monitor).
+  bool is_sandbox_member = false;
+  int sandbox_id = -1;
+  bool killed_by_monitor = false;
+  std::string kill_reason;
+
+  // Blocking state.
+  Vaddr futex_wait_addr = 0;
+  int waiting_for_pid = 0;
+
+  int exit_code = 0;
+
+  // Signals.
+  std::map<int, SignalHandlerFn> signal_handlers;
+  std::vector<int> pending_signals;
+
+  // Statistics.
+  uint64_t syscall_count = 0;
+  uint64_t minor_faults = 0;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_KERNEL_TASK_H_

@@ -1,0 +1,125 @@
+#include "src/libos/manifest.h"
+
+#include <cctype>
+
+#include "src/common/rng.h"
+#include "src/crypto/sha256.h"
+
+namespace erebor {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+// Strips surrounding quotes if present.
+std::string Unquote(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+}  // namespace
+
+StatusOr<uint64_t> ParseSize(const std::string& token) {
+  if (token.empty()) {
+    return InvalidArgumentError("empty size");
+  }
+  uint64_t multiplier = 1;
+  std::string digits = token;
+  const char suffix = static_cast<char>(std::toupper(
+      static_cast<unsigned char>(token.back())));
+  if (suffix == 'K' || suffix == 'M' || suffix == 'G') {
+    multiplier = suffix == 'K' ? 1024ull : suffix == 'M' ? 1024ull * 1024 : 1ull << 30;
+    digits = token.substr(0, token.size() - 1);
+  }
+  if (digits.empty()) {
+    return InvalidArgumentError("size has no digits: " + token);
+  }
+  uint64_t value = 0;
+  for (const char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return InvalidArgumentError("bad size: " + token);
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value * multiplier;
+}
+
+StatusOr<LibosManifest> ParseManifest(const std::string& text) {
+  LibosManifest manifest;
+  size_t pos = 0;
+  int line_number = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    std::string line = Trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("manifest line " + std::to_string(line_number) +
+                                  ": expected key = value");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Unquote(Trim(line.substr(eq + 1)));
+
+    if (key == "name") {
+      if (value.empty()) {
+        return InvalidArgumentError("empty name");
+      }
+      manifest.name = value;
+    } else if (key == "heap") {
+      EREBOR_ASSIGN_OR_RETURN(manifest.heap_bytes, ParseSize(value));
+    } else if (key == "threads") {
+      EREBOR_ASSIGN_OR_RETURN(const uint64_t threads, ParseSize(value));
+      if (threads == 0 || threads > 64) {
+        return InvalidArgumentError("threads out of range");
+      }
+      manifest.num_threads = static_cast<int>(threads);
+    } else if (key == "output_pad") {
+      EREBOR_ASSIGN_OR_RETURN(manifest.output_pad_bytes, ParseSize(value));
+      if (manifest.output_pad_bytes <= 8) {
+        return InvalidArgumentError("output_pad must exceed the length prefix");
+      }
+    } else if (key == "preload") {
+      const size_t colon = value.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        return InvalidArgumentError("preload must be \"path:size\"");
+      }
+      const std::string path = value.substr(0, colon);
+      EREBOR_ASSIGN_OR_RETURN(const uint64_t size, ParseSize(value.substr(colon + 1)));
+      if (size > (64ull << 20)) {
+        return InvalidArgumentError("preload file too large: " + path);
+      }
+      // Synthesize deterministic contents from the path.
+      Bytes contents(size);
+      Rng rng(Sha256::Hash(path)[0] | (size << 8));
+      rng.Fill(contents.data(), contents.size());
+      manifest.preload_files.emplace_back(path, std::move(contents));
+    } else {
+      return InvalidArgumentError("unknown manifest key: " + key);
+    }
+  }
+  if (manifest.name.empty()) {
+    return InvalidArgumentError("manifest missing required key: name");
+  }
+  return manifest;
+}
+
+}  // namespace erebor

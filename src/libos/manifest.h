@@ -1,0 +1,31 @@
+// Text-manifest front end for the LibOS toolchain (paper section 7: the provider
+// describes the application in a Gramine-style manifest). A minimal key = value
+// format with quoted strings, size suffixes and repeatable preload entries:
+//
+//   # llama.cpp service manifest
+//   name = "llama"
+//   heap = "6M"
+//   threads = 4
+//   output_pad = 4096
+//   preload = "tokenizer.bin:4096"
+//   preload = "labels.txt:2K"
+#ifndef EREBOR_SRC_LIBOS_MANIFEST_H_
+#define EREBOR_SRC_LIBOS_MANIFEST_H_
+
+#include <string>
+
+#include "src/libos/libos.h"
+
+namespace erebor {
+
+// Parses `text` into a manifest. Preloaded files are filled deterministically from
+// their name (the provider ships real contents; the simulation synthesizes them).
+// Unknown keys, malformed sizes, or garbage lines return kInvalidArgument.
+StatusOr<LibosManifest> ParseManifest(const std::string& text);
+
+// Parses "4096", "16K", "6M", "1G" into bytes.
+StatusOr<uint64_t> ParseSize(const std::string& token);
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_LIBOS_MANIFEST_H_

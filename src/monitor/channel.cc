@@ -1,0 +1,209 @@
+#include "src/monitor/channel.h"
+
+#include <cstring>
+
+namespace erebor {
+
+namespace {
+
+void Put32(Bytes& out, uint32_t v) {
+  uint8_t tmp[4];
+  StoreLe32(tmp, v);
+  out.insert(out.end(), tmp, tmp + 4);
+}
+
+void Put64(Bytes& out, uint64_t v) {
+  uint8_t tmp[8];
+  StoreLe64(tmp, v);
+  out.insert(out.end(), tmp, tmp + 8);
+}
+
+void PutBytes(Bytes& out, const Bytes& b) {
+  Put32(out, static_cast<uint32_t>(b.size()));
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+void PutU256(Bytes& out, const U256& v) {
+  const Bytes b = v.ToBytesBe();
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& wire) : wire_(wire) {}
+
+  bool ok() const { return ok_; }
+
+  uint8_t Get8() {
+    if (!Need(1)) {
+      return 0;
+    }
+    return wire_[pos_++];
+  }
+  uint32_t Get32() {
+    if (!Need(4)) {
+      return 0;
+    }
+    const uint32_t v = LoadLe32(wire_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t Get64() {
+    if (!Need(8)) {
+      return 0;
+    }
+    const uint64_t v = LoadLe64(wire_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  Bytes GetBytes() {
+    const uint32_t len = Get32();
+    if (!Need(len)) {
+      return {};
+    }
+    Bytes b(wire_.begin() + pos_, wire_.begin() + pos_ + len);
+    pos_ += len;
+    return b;
+  }
+  U256 GetU256() {
+    if (!Need(32)) {
+      return U256();
+    }
+    const U256 v = U256::FromBytesBe(wire_.data() + pos_, 32);
+    pos_ += 32;
+    return v;
+  }
+  template <size_t N>
+  void GetArray(std::array<uint8_t, N>& out) {
+    if (!Need(N)) {
+      return;
+    }
+    std::memcpy(out.data(), wire_.data() + pos_, N);
+    pos_ += N;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (pos_ + n > wire_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const Bytes& wire_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Bytes Packet::Serialize() const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(type));
+  Put32(out, static_cast<uint32_t>(sandbox_id));
+  switch (type) {
+    case PacketType::kClientHello:
+      PutU256(out, client_public);
+      out.insert(out.end(), nonce.begin(), nonce.end());
+      break;
+    case PacketType::kServerHello: {
+      PutU256(out, monitor_public);
+      // Quote: measurements, report data, mac, signature.
+      const Bytes meas = quote.report.measurements.Serialize();
+      PutBytes(out, meas);
+      out.insert(out.end(), quote.report.report_data.begin(), quote.report.report_data.end());
+      out.insert(out.end(), quote.report.mac.begin(), quote.report.mac.end());
+      PutU256(out, quote.signature.commitment);
+      PutU256(out, quote.signature.response);
+      break;
+    }
+    case PacketType::kDataRecord:
+    case PacketType::kResultRecord:
+      Put64(out, record.sequence);
+      PutBytes(out, record.ciphertext);
+      out.insert(out.end(), record.tag.begin(), record.tag.end());
+      break;
+    case PacketType::kFin:
+      break;
+  }
+  return out;
+}
+
+StatusOr<Packet> Packet::Deserialize(const Bytes& wire) {
+  Reader reader(wire);
+  Packet packet;
+  packet.type = static_cast<PacketType>(reader.Get8());
+  packet.sandbox_id = static_cast<int32_t>(reader.Get32());
+  switch (packet.type) {
+    case PacketType::kClientHello:
+      packet.client_public = reader.GetU256();
+      reader.GetArray(packet.nonce);
+      break;
+    case PacketType::kServerHello: {
+      packet.monitor_public = reader.GetU256();
+      const Bytes meas = reader.GetBytes();
+      if (meas.size() != 32 * 5) {
+        return InvalidArgumentError("bad measurement blob");
+      }
+      std::memcpy(packet.quote.report.measurements.mrtd.data(), meas.data(), 32);
+      for (int i = 0; i < 4; ++i) {
+        std::memcpy(packet.quote.report.measurements.rtmr[i].data(),
+                    meas.data() + 32 * (i + 1), 32);
+      }
+      reader.GetArray(packet.quote.report.report_data);
+      reader.GetArray(packet.quote.report.mac);
+      packet.quote.signature.commitment = reader.GetU256();
+      packet.quote.signature.response = reader.GetU256();
+      break;
+    }
+    case PacketType::kDataRecord:
+    case PacketType::kResultRecord: {
+      packet.record.sequence = reader.Get64();
+      packet.record.ciphertext = reader.GetBytes();
+      reader.GetArray(packet.record.tag);
+      break;
+    }
+    case PacketType::kFin:
+      break;
+    default:
+      return InvalidArgumentError("unknown packet type");
+  }
+  if (!reader.ok()) {
+    return InvalidArgumentError("truncated packet");
+  }
+  return packet;
+}
+
+Digest256 HandshakeTranscript(const U256& client_public, const U256& monitor_public,
+                              const std::array<uint8_t, 32>& nonce) {
+  Sha256 hasher;
+  const Bytes c = client_public.ToBytesBe();
+  const Bytes m = monitor_public.ToBytesBe();
+  hasher.Update(c);
+  hasher.Update(m);
+  hasher.Update(nonce.data(), nonce.size());
+  return hasher.Finish();
+}
+
+Bytes PadOutput(const Bytes& plaintext, uint64_t pad_quantum) {
+  Bytes out(8);
+  StoreLe64(out.data(), plaintext.size());
+  out.insert(out.end(), plaintext.begin(), plaintext.end());
+  const uint64_t target = ((out.size() + pad_quantum - 1) / pad_quantum) * pad_quantum;
+  out.resize(target, 0);
+  return out;
+}
+
+StatusOr<Bytes> UnpadOutput(const Bytes& padded) {
+  if (padded.size() < 8) {
+    return InvalidArgumentError("short padded buffer");
+  }
+  const uint64_t len = LoadLe64(padded.data());
+  if (len + 8 > padded.size()) {
+    return InvalidArgumentError("bad pad length");
+  }
+  return Bytes(padded.begin() + 8, padded.begin() + 8 + len);
+}
+
+}  // namespace erebor

@@ -1,0 +1,66 @@
+// Client<->monitor secure channel: wire format and session state (paper section 6.3).
+//
+// Handshake: ClientHello{client_pub, nonce, sandbox} -> ServerHello{monitor_pub, quote}
+// where the quote's report_data binds the handshake transcript, so a verified quote
+// proves the DH peer *is* the measured monitor inside the CVM. Data flows as AEAD
+// records with strictly increasing sequence numbers; output records are padded to a
+// fixed length to close the size side channel.
+#ifndef EREBOR_SRC_MONITOR_CHANNEL_H_
+#define EREBOR_SRC_MONITOR_CHANNEL_H_
+
+#include <deque>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/group.h"
+#include "src/tdx/report.h"
+
+namespace erebor {
+
+enum class PacketType : uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kDataRecord = 3,    // client -> sandbox input
+  kResultRecord = 4,  // sandbox -> client output (padded)
+  kFin = 5,
+};
+
+struct Packet {
+  PacketType type = PacketType::kFin;
+  int32_t sandbox_id = -1;
+
+  // kClientHello
+  U256 client_public;
+  std::array<uint8_t, 32> nonce{};
+
+  // kServerHello
+  U256 monitor_public;
+  TdQuote quote;
+
+  // kDataRecord / kResultRecord
+  SealedRecord record;
+
+  Bytes Serialize() const;
+  static StatusOr<Packet> Deserialize(const Bytes& wire);
+};
+
+// Computes the transcript hash binding both DH shares and the client nonce; the first
+// 32 bytes of the quote's report_data must equal it.
+Digest256 HandshakeTranscript(const U256& client_public, const U256& monitor_public,
+                              const std::array<uint8_t, 32>& nonce);
+
+// Channel session state (one per connected client/sandbox).
+struct ChannelSession {
+  bool established = false;
+  SessionKeys keys;
+  uint64_t next_recv_seq = 0;
+  uint64_t next_send_seq = 0;
+};
+
+// Pads `plaintext` to the next multiple of pad_quantum (length prefix included so the
+// receiver can strip it). pad_quantum must be > 8.
+Bytes PadOutput(const Bytes& plaintext, uint64_t pad_quantum);
+StatusOr<Bytes> UnpadOutput(const Bytes& padded);
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_MONITOR_CHANNEL_H_

@@ -1,0 +1,57 @@
+#include "src/monitor/frame_table.h"
+
+namespace erebor {
+
+std::string FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kNormal:
+      return "normal";
+    case FrameType::kFirmware:
+      return "firmware";
+    case FrameType::kMonitor:
+      return "monitor";
+    case FrameType::kPtp:
+      return "ptp";
+    case FrameType::kKernelText:
+      return "kernel-text";
+    case FrameType::kShadowStack:
+      return "shadow-stack";
+    case FrameType::kSandboxConfined:
+      return "sandbox-confined";
+    case FrameType::kSandboxCommon:
+      return "sandbox-common";
+    case FrameType::kSharedIo:
+      return "shared-io";
+  }
+  return "?";
+}
+
+Status FrameTable::SetType(FrameNum frame, FrameType type) {
+  if (frame >= frames_.size()) {
+    return OutOfRangeError("frame beyond table");
+  }
+  frames_[frame].type = type;
+  return OkStatus();
+}
+
+Status FrameTable::SetRange(FrameNum first, uint64_t count, FrameType type) {
+  if (first + count > frames_.size()) {
+    return OutOfRangeError("frame range beyond table");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    frames_[first + i].type = type;
+  }
+  return OkStatus();
+}
+
+uint64_t FrameTable::CountType(FrameType type) const {
+  uint64_t n = 0;
+  for (const auto& f : frames_) {
+    if (f.type == type) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace erebor

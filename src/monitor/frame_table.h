@@ -1,0 +1,65 @@
+// Monitor-side physical frame ownership table.
+//
+// Every policy decision the monitor makes (W^X, PTP write protection, single-mapping
+// of confined pages, shared-conversion restrictions) is a function of what a frame
+// *is*; this table is the authoritative record, writable only by the monitor.
+#ifndef EREBOR_SRC_MONITOR_FRAME_TABLE_H_
+#define EREBOR_SRC_MONITOR_FRAME_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/types.h"
+
+namespace erebor {
+
+enum class FrameType : uint8_t {
+  kNormal = 0,        // ordinary kernel/user memory
+  kFirmware,          // boot firmware
+  kMonitor,           // monitor code/data/stacks (PKS key 1)
+  kPtp,               // page-table page (PKS key 2, read-only to the kernel)
+  kKernelText,        // kernel code (W^X: never writable)
+  kShadowStack,       // CET shadow stacks
+  kSandboxConfined,   // confined sandbox memory (single mapping, pinned)
+  kSandboxCommon,     // common (shared read-only) sandbox memory
+  kSharedIo,          // device-visible window (only region convertible to shared)
+};
+
+std::string FrameTypeName(FrameType type);
+
+struct FrameInfo {
+  FrameType type = FrameType::kNormal;
+  int owner_sandbox = -1;   // kSandboxConfined / kSandboxCommon owner (-1 = none)
+  uint32_t map_count = 0;   // number of live leaf mappings (single-mapping policy)
+  Paddr ptp_root = 0;       // kPtp: the address-space root this PTP belongs to
+  uint8_t ptp_level = 0;    // kPtp: paging level (4 = PML4 root, 1 = leaf table);
+                            // 0 = not yet linked into a table hierarchy
+  bool pinned = false;      // confined pages are pinned (no swap)
+  // Reverse map: physical address of the last supervisor leaf PTE mapping this frame
+  // (normally its direct-map entry). Lets the monitor retrofit protection keys when a
+  // frame is re-typed *after* the mapping was created (e.g. a PTP allocated from the
+  // general pool at runtime).
+  Paddr supervisor_leaf_pa = 0;
+};
+
+class FrameTable {
+ public:
+  explicit FrameTable(uint64_t num_frames) : frames_(num_frames) {}
+
+  FrameInfo& info(FrameNum frame) { return frames_[frame]; }
+  const FrameInfo& info(FrameNum frame) const { return frames_[frame]; }
+  uint64_t size() const { return frames_.size(); }
+
+  Status SetType(FrameNum frame, FrameType type);
+  Status SetRange(FrameNum first, uint64_t count, FrameType type);
+
+  uint64_t CountType(FrameType type) const;
+
+ private:
+  std::vector<FrameInfo> frames_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_MONITOR_FRAME_TABLE_H_

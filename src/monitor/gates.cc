@@ -1,0 +1,66 @@
+#include "src/monitor/gates.h"
+
+namespace erebor {
+
+EmcGates::EmcGates(Machine* machine) : machine_(machine) {
+  saved_pkrs_.resize(machine->num_cpus(), 0);
+}
+
+void EmcGates::Install() {
+  CodeRegistry& registry = machine_->registry();
+  entry_label_ = registry.Register("emc_entry_gate", CodeDomain::kMonitor, /*endbr=*/true);
+  exit_return_label_ =
+      registry.Register("emc_exit_return", CodeDomain::kMonitor, /*endbr=*/false);
+  internal_label_ =
+      registry.Register("monitor_internal_fn", CodeDomain::kMonitor, /*endbr=*/false);
+
+  for (int i = 0; i < machine_->num_cpus(); ++i) {
+    Cpu& cpu = machine_->cpu(i);
+    // Per-core shadow stack, activated by this core's token.
+    shadow_stacks_.push_back(
+        std::make_unique<ShadowStack>("monitor_ss_cpu" + std::to_string(i)));
+    (void)shadow_stacks_.back()->Activate(i);
+    cpu.SetShadowStack(shadow_stacks_.back().get());
+    // CET on: IBT + shadow stacks; PKS on; kernel-mode PKRS view installed.
+    cpu.TrustedWriteCr(4, cpu.cr4() | cr::kCr4Cet | cr::kCr4Pks);
+    cpu.TrustedWriteMsr(msr::kIa32SCet, msr::kCetIbtEn | msr::kCetShstkEn);
+    cpu.TrustedWriteMsr(msr::kIa32Pl0Ssp, 0xFFFFA00000000000ULL + 0x1000 * i);
+    cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+  }
+}
+
+Status EmcGates::Enter(Cpu& cpu) {
+  // The kernel's instrumented call site branches indirectly to the entry gate; IBT
+  // verifies the endbr64 marker.
+  EREBOR_RETURN_IF_ERROR(cpu.IndirectBranch(entry_label_));
+  // Shadow stack records the return into kernel code for the eventual exit gate ret.
+  EREBOR_RETURN_IF_ERROR(cpu.ShadowCall(exit_return_label_));
+  // Entry gate body: grant PKRS, switch stacks, mark monitor context.
+  cpu.cycles().Charge(cpu.costs().emc_round_trip / 2);
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, MonitorModePkrs());
+  cpu.SetMonitorContext(true);
+  ++entries_;
+  return OkStatus();
+}
+
+void EmcGates::Exit(Cpu& cpu) {
+  cpu.cycles().Charge(cpu.costs().emc_round_trip - cpu.costs().emc_round_trip / 2);
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+  cpu.SetMonitorContext(false);
+  // Balanced shadow-stack return; a mismatch would raise #CP.
+  (void)cpu.ShadowReturn(exit_return_label_);
+}
+
+void EmcGates::InterruptSave(Cpu& cpu) {
+  cpu.cycles().Charge(cpu.costs().int_gate_overhead);
+  saved_pkrs_[cpu.index()] = cpu.pkrs();
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+  cpu.SetMonitorContext(false);
+}
+
+void EmcGates::InterruptRestore(Cpu& cpu) {
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, saved_pkrs_[cpu.index()]);
+  cpu.SetMonitorContext(true);
+}
+
+}  // namespace erebor

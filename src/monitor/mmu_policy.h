@@ -1,0 +1,73 @@
+// MMU virtualization policy engine (paper section 5.2 and 6.1).
+//
+// Every PTE the deprivileged kernel asks the monitor to write is validated — and where
+// the paper's design *rewrites* rather than refuses (forcing protection keys onto
+// monitor/PTP/kernel-text frames, stripping W from kernel text), the policy returns the
+// adjusted value. Confined sandbox frames are simply unmappable by the kernel (the
+// monitor maps them itself through a trusted path that updates map counts).
+#ifndef EREBOR_SRC_MONITOR_MMU_POLICY_H_
+#define EREBOR_SRC_MONITOR_MMU_POLICY_H_
+
+#include "src/hw/paging.h"
+#include "src/kernel/layout.h"
+#include "src/monitor/frame_table.h"
+
+namespace erebor {
+
+struct PolicyDecision {
+  bool allowed = false;
+  Pte adjusted_value = 0;  // value to actually write when allowed
+  // Huge-page request that must be force-split into 4 KiB mappings (paper section 7
+  // future work): the monitor materializes a page table covering the same range.
+  bool needs_split = false;
+  std::string denial_reason;
+};
+
+class MmuPolicy {
+ public:
+  explicit MmuPolicy(FrameTable* frames) : frames_(frames) {}
+
+  // Installed by the sandbox manager: approves user mappings of common-region frames
+  // (root of the requesting address space, target frame, writability).
+  using CommonMappingValidator = std::function<Status(Paddr, FrameNum, bool)>;
+  void SetCommonValidator(CommonMappingValidator validator) {
+    common_validator_ = std::move(validator);
+  }
+
+  // Validates a kernel-requested PTE store at `entry_pa` with `value`. Non-const:
+  // allowed intermediate writes link the child PTP's paging level.
+  PolicyDecision CheckPteWrite(Paddr entry_pa, Pte value);
+
+  // Mirrors the PTP-level linking for monitor-trusted PTE writes (which bypass the
+  // policy checks but must keep the hierarchy metadata coherent).
+  void NoteTrustedLink(Paddr entry_pa, Pte value);
+
+  // Validates a kernel-requested CR write. CR0.WP and the CR4 protection bits are
+  // load-bearing and may never be cleared; CR3 must name a registered root PTP.
+  Status CheckCrWrite(int reg, uint64_t value, uint64_t current_value) const;
+
+  // Validates a kernel-requested MSR write. Monitor-owned MSRs (PKRS, CET, shadow
+  // stack pointer, user-interrupt table) are refused.
+  Status CheckMsrWrite(uint32_t index) const;
+
+  // Validates a MapGPA shared conversion: only the shared-IO window may be shared.
+  Status CheckSharedConversion(FrameNum first, uint64_t count, bool to_shared) const;
+
+  // Accounting hook: called after an allowed leaf write so single-mapping counts and
+  // the supervisor reverse map stay accurate. old_value is the previous entry
+  // contents; entry_pa is where the PTE lives.
+  void NoteLeafWrite(Pte old_value, Pte new_value, Paddr entry_pa = 0);
+
+  // Retrofits a protection key (and optionally strips W) onto a frame's pre-existing
+  // supervisor mapping — closes the window where a frame is re-typed after its
+  // direct-map entry was created with the default key.
+  Status RetrofitKey(PhysMemory& memory, FrameNum frame, uint8_t key, bool strip_write);
+
+ private:
+  FrameTable* frames_;
+  CommonMappingValidator common_validator_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_MONITOR_MMU_POLICY_H_

@@ -1,0 +1,970 @@
+#include "src/monitor/monitor.h"
+
+#include <cstring>
+
+#include "src/common/log.h"
+
+namespace erebor {
+
+Bytes BuildMonitorImage() {
+  // The monitor binary: entry gate (endbr64 + PKRS wrmsr + stack switch), exit gate,
+  // #INT gate and the EMC dispatch body. It legitimately contains sensitive
+  // instructions — it is measured (stage 1), not scanned.
+  Bytes image;
+  auto append = [&image](const Bytes& b) { image.insert(image.end(), b.begin(), b.end()); };
+  append(EncodeEndbr64());                             // entry gate (sole endbr)
+  append(EncodeSensitiveOp(SensitiveOp::kWrmsr));      // grant PKRS
+  append({0x48, 0x89, 0xE0});                          // mov %rsp scratch
+  append(EncodeSensitiveOp(SensitiveOp::kWrmsr));      // revoke PKRS (exit gate)
+  append({0xC3});                                      // ret
+  append(EncodeSensitiveOp(SensitiveOp::kMovToCr4));   // CR management
+  append(EncodeSensitiveOp(SensitiveOp::kLidt));       // IDT control
+  append(EncodeSensitiveOp(SensitiveOp::kTdcall));     // GHCI control
+  append(EncodeSensitiveOp(SensitiveOp::kStac));
+  append(EncodeSensitiveOp(SensitiveOp::kClac));
+  append({'E', 'R', 'E', 'B', 'O', 'R', '-', 'M', 'O', 'N', 'I', 'T', 'O', 'R', '-', '1'});
+  return image;
+}
+
+EreborMonitor::EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host)
+    : machine_(machine), tdx_(tdx), host_(host), rng_(0xE2EB02) {
+  frame_table_ = std::make_unique<FrameTable>(machine->memory().num_frames());
+  policy_ = std::make_unique<MmuPolicy>(frame_table_.get());
+  gates_ = std::make_unique<EmcGates>(machine);
+  sandbox_mgr_ = std::make_unique<SandboxManager>(machine, frame_table_.get(),
+                                                  policy_.get());
+}
+
+Status EreborMonitor::BootStage1(const Bytes& firmware_image, bool arm_fence) {
+  if (stage1_done_) {
+    return FailedPreconditionError("stage 1 already completed");
+  }
+  monitor_image_ = BuildMonitorImage();
+  // Measured boot: firmware then monitor extend MRTD, in load order.
+  tdx_->MeasureBootComponent(firmware_image);
+  tdx_->MeasureBootComponent(monitor_image_);
+
+  // Claim physical regions.
+  EREBOR_RETURN_IF_ERROR(frame_table_->SetRange(layout::kFirmwareFirstFrame,
+                                                layout::kFirmwareFrames,
+                                                FrameType::kFirmware));
+  EREBOR_RETURN_IF_ERROR(frame_table_->SetRange(layout::kMonitorFirstFrame,
+                                                layout::kMonitorFrames,
+                                                FrameType::kMonitor));
+  EREBOR_RETURN_IF_ERROR(frame_table_->SetRange(layout::kKernelTextFirstFrame,
+                                                layout::kKernelTextFrames,
+                                                FrameType::kKernelText));
+  EREBOR_RETURN_IF_ERROR(frame_table_->SetRange(layout::kSharedIoFirstFrame,
+                                                layout::kSharedIoFrames,
+                                                FrameType::kSharedIo));
+  scratch_pa_ = AddrOf(layout::kMonitorFirstFrame + 1);
+
+  // Install gates, CET, PKS views; then arm the fence so only monitor context can
+  // execute sensitive instructions from here on.
+  gates_->Install();
+  monitor_syscall_stub_ = machine_->registry().Register("monitor_syscall_stub",
+                                                        CodeDomain::kMonitor, true);
+  for (int i = 0; i < machine_->num_cpus(); ++i) {
+    machine_->cpu(i).SetTdcallSink(tdx_);
+    if (arm_fence) {
+      machine_->cpu(i).EnableSensitiveFence();
+    }
+  }
+  policy_->SetCommonValidator([this](Paddr root, FrameNum frame, bool writable) {
+    return sandbox_mgr_->ValidateCommonMapping(root, frame, writable);
+  });
+  stage1_done_ = true;
+  return OkStatus();
+}
+
+StatusOr<KernelImage> EreborMonitor::LoadKernelImage(const Bytes& kelf_bytes) {
+  if (!stage1_done_) {
+    return FailedPreconditionError("stage 1 must complete before loading a kernel");
+  }
+  EREBOR_ASSIGN_OR_RETURN(KernelImage image, KernelImage::Deserialize(kelf_bytes));
+
+  // Byte-level scan of every executable section (paper section 5.1): any sensitive
+  // encoding at any offset refuses the boot.
+  for (const auto& section : image.sections) {
+    if (!section.executable) {
+      continue;
+    }
+    const ScanHit hit = ScanForSensitiveBytes(section.data);
+    if (hit.found) {
+      return PermissionDeniedError(
+          "kernel image rejected: sensitive instruction '" + SensitiveOpName(hit.op) +
+          "' at offset " + std::to_string(hit.offset) + " of section " + section.name);
+    }
+    if (section.writable) {
+      return PermissionDeniedError("kernel image rejected: W^X violation in section " +
+                                   section.name);
+    }
+  }
+
+  // Load executable sections into the kernel-text frames (W^X: those frames can never
+  // be mapped writable again).
+  Paddr cursor = AddrOf(layout::kKernelTextFirstFrame);
+  const Paddr text_end = AddrOf(layout::kKernelTextFirstFrame + layout::kKernelTextFrames);
+  for (const auto& section : image.sections) {
+    if (!section.executable) {
+      continue;
+    }
+    if (cursor + section.data.size() > text_end) {
+      return ResourceExhaustedError("kernel text exceeds reserved frames");
+    }
+    EREBOR_RETURN_IF_ERROR(
+        machine_->memory().Write(cursor, section.data.data(), section.data.size()));
+    cursor += PageAlignUp(section.data.size());
+  }
+  // Measure the loaded kernel into RTMR[0] so clients can audit which kernel runs
+  // (it is untrusted but identifiable).
+  EREBOR_RETURN_IF_ERROR(
+      machine_->memory().Write(scratch_pa_, Sha256::Hash(kelf_bytes).data(), 32));
+  Cpu& cpu = machine_->cpu(0);
+  cpu.SetMonitorContext(true);
+  uint64_t args[2] = {0, scratch_pa_};
+  const Status rtmr_status = cpu.Tdcall(tdcall_leaf::kRtmrExtend, args, 2);
+  cpu.SetMonitorContext(false);
+  EREBOR_RETURN_IF_ERROR(rtmr_status);
+
+  kernel_loaded_ = true;
+  return image;
+}
+
+Status EreborMonitor::AttachKernel(Kernel* kernel) {
+  kernel_ = kernel;
+  const FrameNum cma_first = kernel->cma().first();
+  const uint64_t cma_frames = kernel->cma().count();
+  sandbox_mgr_->Attach(kernel, cma_first, cma_frames);
+
+  // Interposition stubs: syscalls, interrupts/exceptions, #VE.
+  kernel->SetSyscallInterposer(
+      [this](SyscallContext& ctx, Task& task, int nr, const uint64_t* args,
+             const SyscallEntryFn& kernel_entry) -> StatusOr<uint64_t> {
+        Cpu& cpu = ctx.cpu();
+        cpu.cycles().Charge(cpu.costs().syscall_stub_overhead);
+        Sandbox* sandbox = sandbox_mgr_->FindByTask(task);
+        if (sandbox != nullptr &&
+            !sandbox_mgr_->SyscallPermitted(*sandbox, task, nr, args)) {
+          ++counters_.sandbox_kills;
+          ++sandbox->exits.kills;
+          kernel_->KillTask(task, "sealed sandbox attempted syscall " + std::to_string(nr));
+          (void)sandbox_mgr_->Teardown(cpu, *sandbox);
+          return AbortedError("sandbox killed: illegal exit via syscall");
+        }
+        return kernel_entry(ctx, task, nr, args);
+      });
+
+  kernel->SetInterruptInterposer(
+      [this](Cpu& cpu, const Fault& fault, const std::function<void()>& kernel_handler) {
+        // #INT gate: an interrupt that lands during EMC execution must not leave the
+        // OS running with monitor permissions.
+        const bool was_in_monitor = cpu.in_monitor();
+        if (was_in_monitor) {
+          gates_->InterruptSave(cpu);
+        }
+        Task* task = kernel_ != nullptr ? kernel_->current(cpu.index()) : nullptr;
+        Sandbox* sandbox = task != nullptr ? sandbox_mgr_->FindByTask(*task) : nullptr;
+        if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
+          // Exit interposition: save and scrub the register file before the untrusted
+          // OS handler can observe it.
+          cpu.cycles().Charge(cpu.costs().interposition_save_restore);
+          sandbox->interposition_save = cpu.gprs();
+          sandbox->interposition_active = true;
+          cpu.gprs().Clear();
+          ++counters_.scrubbed_interrupts;
+          switch (fault.vector) {
+            case Vector::kPageFault:
+              ++sandbox->exits.page_faults;
+              break;
+            case Vector::kTimer:
+              ++sandbox->exits.timer_interrupts;
+              break;
+            case Vector::kDevice:
+              ++sandbox->exits.device_interrupts;
+              break;
+            default:
+              break;
+          }
+          kernel_handler();
+          cpu.gprs() = sandbox->interposition_save;
+          sandbox->interposition_active = false;
+          ApplyExitMitigations(cpu, *sandbox);
+        } else {
+          kernel_handler();
+        }
+        if (was_in_monitor) {
+          gates_->InterruptRestore(cpu);
+        }
+      });
+
+  kernel->SetVeInterposer(
+      [this](SyscallContext& ctx, Task& task, uint32_t leaf,
+             const std::function<StatusOr<uint64_t>()>& hypercall) -> StatusOr<uint64_t> {
+        Sandbox* sandbox = sandbox_mgr_->FindByTask(task);
+        if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
+          ++sandbox->exits.ve_exits;
+          return CachedCpuid(ctx.cpu(), leaf, /*allow_hypercall=*/false);
+        }
+        return CachedCpuid(ctx.cpu(), leaf, /*allow_hypercall=*/true);
+      });
+
+  // The /dev/erebor driver (LibOS + proxy interface).
+  kernel->RegisterDevice("/dev/erebor",
+                         [this](SyscallContext& ctx, Task& task, uint64_t cmd,
+                                Vaddr arg) { return DeviceIoctl(ctx, task, cmd, arg); });
+  return OkStatus();
+}
+
+void EreborMonitor::ApplyExitMitigations(Cpu& cpu, Sandbox& sandbox) {
+  if (mitigations_.flush_on_exit) {
+    // Evict caches/TLB so the untrusted kernel cannot probe the sandbox's footprint.
+    cpu.cycles().Charge(mitigations_.flush_cycles);
+    ++counters_.cache_flushes;
+  }
+  if (mitigations_.rate_limit_exits) {
+    constexpr Cycles kWindow = 2'100'000'000;  // one second at 2.1 GHz
+    const Cycles now = cpu.cycles().now();
+    if (now - sandbox.exit_window_start >= kWindow) {
+      sandbox.exit_window_start = now;
+      sandbox.exits_in_window = 0;
+    }
+    if (++sandbox.exits_in_window > mitigations_.max_exits_per_window) {
+      cpu.cycles().Charge(mitigations_.exit_stall_cycles);
+      ++counters_.exit_stalls;
+    }
+  }
+}
+
+Status EreborMonitor::AuditInvariants() {
+  PhysMemory& memory = machine_->memory();
+  for (FrameNum frame = 0; frame < frame_table_->size(); ++frame) {
+    const FrameInfo& info = frame_table_->info(frame);
+    // Check the recorded supervisor mapping (the direct-map view) of special frames.
+    Pte leaf = 0;
+    if (info.supervisor_leaf_pa != 0) {
+      leaf = memory.Read64(info.supervisor_leaf_pa);
+      if (pte::Present(leaf) && pte::Frame(leaf) != frame) {
+        leaf = 0;  // stale reverse-map record; not a violation by itself
+      }
+    }
+    switch (info.type) {
+      case FrameType::kSandboxConfined:
+        if (info.map_count > 1) {
+          return InternalError("confined frame " + std::to_string(frame) +
+                               " mapped " + std::to_string(info.map_count) + " times");
+        }
+        if (kernel_ != nullptr &&
+            kernel_->kernel_aspace().Lookup(layout::DirectMap(AddrOf(frame))).ok()) {
+          return InternalError("confined frame " + std::to_string(frame) +
+                               " still reachable via the kernel direct map");
+        }
+        break;
+      case FrameType::kMonitor:
+        if (pte::Present(leaf) && pte::Pkey(leaf) != layout::kMonitorKey) {
+          return InternalError("monitor frame " + std::to_string(frame) +
+                               " mapped without the monitor key");
+        }
+        break;
+      case FrameType::kPtp:
+        if (pte::Present(leaf) && pte::Pkey(leaf) != layout::kPtpKey) {
+          return InternalError("PTP frame " + std::to_string(frame) +
+                               " mapped without the PTP key");
+        }
+        if (pte::Present(leaf) && pte::User(leaf)) {
+          return InternalError("PTP frame " + std::to_string(frame) +
+                               " user-accessible");
+        }
+        break;
+      case FrameType::kKernelText:
+        if (pte::Present(leaf) && pte::Writable(leaf)) {
+          return InternalError("kernel-text frame " + std::to_string(frame) +
+                               " writable");
+        }
+        break;
+      case FrameType::kShadowStack:
+      case FrameType::kFirmware:
+      case FrameType::kSharedIo:
+      case FrameType::kNormal:
+        break;
+    }
+    // No private frame of a protected type may be shared with the host.
+    if (memory.IsShared(frame) && info.type != FrameType::kSharedIo) {
+      return InternalError("non-IO frame " + std::to_string(frame) +
+                           " is host-shared (" + FrameTypeName(info.type) + ")");
+    }
+  }
+  return OkStatus();
+}
+
+// ---- Gated execution ----
+
+Status EreborMonitor::WithGate(Cpu& cpu, Cycles op_cycles,
+                               const std::function<Status()>& body) {
+  EREBOR_RETURN_IF_ERROR(gates_->Enter(cpu));
+  cpu.cycles().Charge(op_cycles);
+  ++counters_.emc_total;
+  const Status status = body();
+  gates_->Exit(cpu);
+  return status;
+}
+
+// ---- EMC surface ----
+
+Status EreborMonitor::EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value) {
+  ++counters_.emc_pte;
+  return WithGate(cpu, cpu.costs().monitor_pte_op, [&]() -> Status {
+    const PolicyDecision decision = policy_->CheckPteWrite(entry_pa, value);
+    if (decision.needs_split) {
+      return SplitHugePageLocked(cpu, entry_pa, value);
+    }
+    if (!decision.allowed) {
+      ++counters_.policy_denials;
+      return PermissionDeniedError("EMC WritePte refused: " + decision.denial_reason);
+    }
+    const Pte old = machine_->memory().Read64(entry_pa);
+    machine_->memory().Write64(entry_pa, decision.adjusted_value);
+    policy_->NoteLeafWrite(old, decision.adjusted_value, entry_pa);
+    return OkStatus();
+  });
+}
+
+Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_value) {
+  // Forced huge-page splitting (paper section 7 future work): materialize a level-1
+  // table of 512 4 KiB mappings in place of the requested 2 MiB leaf, so per-page
+  // protection keys (monitor/PTP/text) remain enforceable inside the range.
+  if (kernel_ == nullptr) {
+    return FailedPreconditionError("split requires an attached kernel (frame pool)");
+  }
+  const FrameNum base = pte::Frame(huge_value) & ~0x1FFULL;  // 2 MiB aligned
+  const Pte small_flags = (huge_value & ~(pte::kPageSize | pte::kFrameMask));
+
+  EREBOR_ASSIGN_OR_RETURN(const FrameNum ptp, kernel_->pool().Alloc());
+  machine_->memory().ZeroFrame(ptp);
+  machine_->memory().FramePtr(ptp);
+  FrameInfo& ptp_info = frame_table_->info(ptp);
+  ptp_info.type = FrameType::kPtp;
+  ptp_info.ptp_level = 1;
+  ptp_info.ptp_root = frame_table_->info(FrameOf(entry_pa)).ptp_root;
+
+  // Validate + install every 4 KiB entry through the normal policy (this is the whole
+  // point: per-page rules apply inside the former huge page).
+  for (uint64_t i = 0; i < kPteEntries; ++i) {
+    const Pte small = pte::Make(base + i, small_flags);
+    const Paddr slot = AddrOf(ptp) + i * sizeof(Pte);
+    const PolicyDecision decision = policy_->CheckPteWrite(slot, small);
+    if (!decision.allowed) {
+      ++counters_.policy_denials;
+      (void)kernel_->pool().Free(ptp);
+      ptp_info = FrameInfo{};
+      return PermissionDeniedError("huge-page split refused at subpage " +
+                                   std::to_string(i) + ": " + decision.denial_reason);
+    }
+    machine_->memory().Write64(slot, decision.adjusted_value);
+    policy_->NoteLeafWrite(0, decision.adjusted_value, slot);
+  }
+  cpu.cycles().Charge(kPteEntries * cpu.costs().monitor_pte_op);
+
+  // Link the new table where the huge leaf would have gone.
+  Pte inter = pte::Make(ptp, pte::kPresent | pte::kWritable);
+  if (pte::User(huge_value)) {
+    inter |= pte::kUser;
+  }
+  const Pte old = machine_->memory().Read64(entry_pa);
+  machine_->memory().Write64(entry_pa, inter);
+  policy_->NoteLeafWrite(old, inter);
+  ++counters_.huge_splits;
+  return OkStatus();
+}
+
+Status EreborMonitor::EmcWritePteBatch(Cpu& cpu, const PrivilegedOps::PteUpdate* updates,
+                                       size_t count) {
+  if (count == 0) {
+    return OkStatus();
+  }
+  ++counters_.emc_pte;
+  // One gate round trip for the whole batch; each entry is still policy-validated and
+  // charged the monitor-side op cost.
+  return WithGate(cpu, cpu.costs().monitor_pte_op * count, [&]() -> Status {
+    for (size_t i = 0; i < count; ++i) {
+      const PolicyDecision decision =
+          policy_->CheckPteWrite(updates[i].entry_pa, updates[i].value);
+      if (decision.needs_split) {
+        ++counters_.policy_denials;
+        return PermissionDeniedError("huge-page splits are not supported in batches");
+      }
+      if (!decision.allowed) {
+        ++counters_.policy_denials;
+        return PermissionDeniedError("EMC WritePteBatch refused at entry " +
+                                     std::to_string(i) + ": " + decision.denial_reason);
+      }
+      const Pte old = machine_->memory().Read64(updates[i].entry_pa);
+      machine_->memory().Write64(updates[i].entry_pa, decision.adjusted_value);
+      policy_->NoteLeafWrite(old, decision.adjusted_value, updates[i].entry_pa);
+    }
+    return OkStatus();
+  });
+}
+
+Status EreborMonitor::EmcRegisterPtp(Cpu& cpu, FrameNum frame, Paddr root_pa) {
+  ++counters_.emc_ptp_register;
+  return WithGate(cpu, cpu.costs().monitor_pte_op, [&]() -> Status {
+    if (frame >= frame_table_->size()) {
+      return OutOfRangeError("PTP frame beyond physical memory");
+    }
+    FrameInfo& info = frame_table_->info(frame);
+    if (info.type != FrameType::kNormal) {
+      ++counters_.policy_denials;
+      return PermissionDeniedError("cannot re-type " + FrameTypeName(info.type) +
+                                   " frame as PTP");
+    }
+    // A PTP must start zeroed so no stale attacker-chosen entries become live.
+    machine_->memory().ZeroFrame(frame);
+    info.type = FrameType::kPtp;
+    info.ptp_root = root_pa;
+    // A frame registered as its own root is a PML4; others are linked (and get their
+    // level) when an intermediate entry first points at them.
+    info.ptp_level = AddrOf(frame) == root_pa ? 4 : 0;
+    // The frame may already be mapped (direct map, default key): retrofit the PTP key
+    // so the kernel cannot write the new page table through the old mapping.
+    EREBOR_RETURN_IF_ERROR(policy_->RetrofitKey(machine_->memory(), frame,
+                                                layout::kPtpKey, /*strip_write=*/false));
+    return OkStatus();
+  });
+}
+
+Status EreborMonitor::EmcWriteCr(Cpu& cpu, int reg, uint64_t value) {
+  ++counters_.emc_cr;
+  return WithGate(cpu, cpu.costs().monitor_cr_op, [&]() -> Status {
+    const uint64_t current = reg == 0 ? cpu.cr0() : reg == 3 ? cpu.cr3() : cpu.cr4();
+    EREBOR_RETURN_IF_ERROR(policy_->CheckCrWrite(reg, value, current));
+    if (reg == 4) {
+      // The protection bits are sticky: merge them into whatever the kernel asked for.
+      value |= cr::kCr4Smep | cr::kCr4Smap | cr::kCr4Pks | cr::kCr4Cet;
+    }
+    cpu.TrustedWriteCr(reg, value);
+    return OkStatus();
+  });
+}
+
+Status EreborMonitor::EmcWriteMsr(Cpu& cpu, uint32_t index, uint64_t value) {
+  ++counters_.emc_msr;
+  return WithGate(cpu, cpu.costs().monitor_msr_op, [&]() -> Status {
+    EREBOR_RETURN_IF_ERROR(policy_->CheckMsrWrite(index));
+    if (index == msr::kIa32Lstar) {
+      // Record the kernel's syscall entry but keep the monitor stub in front: the
+      // effective LSTAR is the monitor's interposition label.
+      kernel_syscall_entry_ = static_cast<CodeLabelId>(value);
+      cpu.TrustedWriteMsr(index, monitor_syscall_stub_);
+      return OkStatus();
+    }
+    cpu.TrustedWriteMsr(index, value);
+    return OkStatus();
+  });
+}
+
+Status EreborMonitor::EmcLoadIdt(Cpu& cpu, const IdtTable* table) {
+  ++counters_.emc_idt;
+  return WithGate(cpu, cpu.costs().monitor_idt_op, [&]() -> Status {
+    if (approved_idt_ == nullptr) {
+      approved_idt_ = table;  // first load: the kernel's boot-time table is recorded
+    } else if (approved_idt_ != table) {
+      ++counters_.policy_denials;
+      return PermissionDeniedError("IDT replacement refused: interposition table pinned");
+    }
+    cpu.TrustedLidt(table);  // the op cost is part of monitor_idt_op
+    return OkStatus();
+  });
+}
+
+Status EreborMonitor::EmcCopyToUser(Cpu& cpu, Vaddr dst, const uint8_t* src, uint64_t len) {
+  ++counters_.emc_usercopy;
+  return WithGate(cpu, cpu.costs().monitor_stac_op, [&]() -> Status {
+    // The monitor emulates the user copy on behalf of the kernel. It refuses targets
+    // inside sealed-sandbox confined memory (the kernel must never move sandbox data).
+    for (Vaddr va = PageAlignDown(dst); va < dst + len; va += kPageSize) {
+      const auto walk = WalkPageTables(machine_->memory(), cpu.cr3(), va);
+      if (walk.ok()) {
+        const FrameInfo& info = frame_table_->info(FrameOf(walk->pa));
+        if (info.type == FrameType::kSandboxConfined) {
+          Sandbox* sandbox = sandbox_mgr_->Find(info.owner_sandbox);
+          if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
+            ++counters_.policy_denials;
+            return PermissionDeniedError("usercopy into sealed confined memory refused");
+          }
+        }
+      }
+    }
+    cpu.cycles().Charge(len * cpu.costs().usercopy_per_byte_x100 / 100);
+    cpu.TrustedSetAc(true);  // stac cost is part of monitor_stac_op
+    const Status st = cpu.WriteVirt(dst, src, len);
+    cpu.TrustedSetAc(false);
+    return st;
+  });
+}
+
+Status EreborMonitor::EmcCopyFromUser(Cpu& cpu, Vaddr src, uint8_t* dst, uint64_t len) {
+  ++counters_.emc_usercopy;
+  return WithGate(cpu, cpu.costs().monitor_stac_op, [&]() -> Status {
+    for (Vaddr va = PageAlignDown(src); va < src + len; va += kPageSize) {
+      const auto walk = WalkPageTables(machine_->memory(), cpu.cr3(), va);
+      if (walk.ok()) {
+        const FrameInfo& info = frame_table_->info(FrameOf(walk->pa));
+        if (info.type == FrameType::kSandboxConfined) {
+          Sandbox* sandbox = sandbox_mgr_->Find(info.owner_sandbox);
+          if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
+            ++counters_.policy_denials;
+            return PermissionDeniedError("usercopy from sealed confined memory refused");
+          }
+        }
+      }
+    }
+    cpu.cycles().Charge(len * cpu.costs().usercopy_per_byte_x100 / 100);
+    cpu.TrustedSetAc(true);
+    const Status st = cpu.ReadVirt(src, dst, len);
+    cpu.TrustedSetAc(false);
+    return st;
+  });
+}
+
+Status EreborMonitor::EmcTdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) {
+  ++counters_.emc_tdcall;
+  const Cycles op_cost =
+      leaf == tdcall_leaf::kTdReport ? cpu.costs().monitor_tdreport_op : 64;
+  return WithGate(cpu, op_cost, [&]() -> Status {
+    switch (leaf) {
+      case tdcall_leaf::kTdReport:
+      case tdcall_leaf::kRtmrExtend:
+        // Attestation interfaces are exclusively the monitor's (claim C5): the kernel
+        // cannot obtain digests to impersonate the monitor.
+        ++counters_.policy_denials;
+        return PermissionDeniedError("attestation tdcall reserved for the monitor");
+      case tdcall_leaf::kMapGpa: {
+        if (nargs < 3) {
+          return InvalidArgumentError("map-gpa needs 3 args");
+        }
+        EREBOR_RETURN_IF_ERROR(policy_->CheckSharedConversion(
+            FrameOf(args[0]), args[1], args[2] != 0));
+        return cpu.Tdcall(leaf, args, nargs);
+      }
+      default:
+        return cpu.Tdcall(leaf, args, nargs);
+    }
+  });
+}
+
+Status EreborMonitor::EmcTextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes,
+                                  uint64_t len) {
+  ++counters_.emc_text_poke;
+  return WithGate(cpu, cpu.costs().monitor_pte_op + cpu.costs().page_copy, [&]() -> Status {
+    const FrameNum frame = FrameOf(code_pa);
+    if (frame_table_->info(frame).type != FrameType::kKernelText) {
+      return PermissionDeniedError("text_poke target is not kernel text");
+    }
+    // The patch itself must be clean of sensitive encodings — including sequences that
+    // straddle the patch boundary, so scan with surrounding context.
+    const uint64_t kContext = 8;
+    const Paddr scan_start = code_pa >= kContext ? code_pa - kContext : 0;
+    const uint64_t scan_len = len + 2 * kContext;
+    Bytes window(scan_len);
+    EREBOR_RETURN_IF_ERROR(machine_->memory().Read(scan_start, window.data(), scan_len));
+    std::memcpy(window.data() + (code_pa - scan_start), bytes, len);
+    const ScanHit hit = ScanForSensitiveBytes(window);
+    if (hit.found) {
+      ++counters_.policy_denials;
+      return PermissionDeniedError("text_poke rejected: would introduce " +
+                                   SensitiveOpName(hit.op));
+    }
+    return machine_->memory().Write(code_pa, bytes, len);
+  });
+}
+
+StatusOr<Paddr> EreborMonitor::EmcLoadKernelModule(Cpu& cpu, const Bytes& code) {
+  ++counters_.emc_text_poke;
+  if (kernel_ == nullptr) {
+    return FailedPreconditionError("module load requires an attached kernel");
+  }
+  Paddr load_pa = 0;
+  const Status st = WithGate(
+      cpu, cpu.costs().page_copy * (1 + code.size() / kPageSize), [&]() -> Status {
+        if (code.empty()) {
+          return InvalidArgumentError("empty module");
+        }
+        const ScanHit hit = ScanForSensitiveBytes(code);
+        if (hit.found) {
+          ++counters_.policy_denials;
+          return PermissionDeniedError("module rejected: contains " +
+                                       SensitiveOpName(hit.op) + " at offset " +
+                                       std::to_string(hit.offset));
+        }
+        const uint64_t frames = PageAlignUp(code.size()) >> kPageShift;
+        EREBOR_ASSIGN_OR_RETURN(const FrameNum first,
+                                kernel_->pool().AllocContiguous(frames));
+        for (uint64_t i = 0; i < frames; ++i) {
+          machine_->memory().ZeroFrame(first + i);
+          machine_->memory().FramePtr(first + i);
+          (void)frame_table_->SetType(first + i, FrameType::kKernelText);
+          // W^X through *all* mappings: the direct-map view loses W and gets the
+          // kernel-text key.
+          EREBOR_RETURN_IF_ERROR(policy_->RetrofitKey(machine_->memory(), first + i,
+                                                      layout::kKernelTextKey,
+                                                      /*strip_write=*/true));
+        }
+        EREBOR_RETURN_IF_ERROR(
+            machine_->memory().Write(AddrOf(first), code.data(), code.size()));
+        load_pa = AddrOf(first);
+        return OkStatus();
+      });
+  if (!st.ok()) {
+    return st;
+  }
+  return load_pa;
+}
+
+// ---- Sandbox surface ----
+
+StatusOr<Sandbox*> EreborMonitor::CreateSandbox(Task& leader, const SandboxSpec& spec) {
+  ++counters_.emc_sandbox;
+  return sandbox_mgr_->Create(leader, spec);
+}
+
+Status EreborMonitor::DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint64_t len) {
+  ++counters_.emc_sandbox;
+  return WithGate(cpu, cpu.costs().monitor_pte_op,
+                  [&] { return sandbox_mgr_->DeclareConfined(cpu, sandbox, va, len); });
+}
+
+StatusOr<CommonRegion*> EreborMonitor::CreateCommonRegion(const std::string& name,
+                                                          uint64_t len) {
+  if (kernel_ == nullptr) {
+    return FailedPreconditionError("no kernel attached");
+  }
+  return sandbox_mgr_->CreateCommonRegion(name, len, kernel_->pool());
+}
+
+Status EreborMonitor::AttachCommon(Cpu& cpu, Sandbox& sandbox, int region_id, Vaddr va,
+                                   bool writable_until_seal) {
+  ++counters_.emc_sandbox;
+  return WithGate(cpu, cpu.costs().monitor_pte_op, [&] {
+    return sandbox_mgr_->AttachCommon(cpu, sandbox, region_id, va, writable_until_seal);
+  });
+}
+
+Status EreborMonitor::TeardownSandbox(Cpu& cpu, Sandbox& sandbox) {
+  ++counters_.emc_sandbox;
+  return WithGate(cpu, cpu.costs().monitor_pte_op,
+                  [&] { return sandbox_mgr_->Teardown(cpu, sandbox); });
+}
+
+// ---- Guest memory helpers ----
+
+Status EreborMonitor::ReadGuest(AddressSpace& aspace, Vaddr va, uint8_t* out,
+                                uint64_t len) {
+  uint64_t done = 0;
+  while (done < len) {
+    EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, aspace.Lookup(va + done));
+    const uint64_t take = std::min(len - done, kPageSize - ((va + done) & kPageMask));
+    EREBOR_RETURN_IF_ERROR(machine_->memory().Read(walk.pa, out + done, take));
+    done += take;
+  }
+  return OkStatus();
+}
+
+Status EreborMonitor::WriteGuest(AddressSpace& aspace, Vaddr va, const uint8_t* data,
+                                 uint64_t len) {
+  uint64_t done = 0;
+  while (done < len) {
+    EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, aspace.Lookup(va + done));
+    const uint64_t take = std::min(len - done, kPageSize - ((va + done) & kPageMask));
+    EREBOR_RETURN_IF_ERROR(machine_->memory().Write(walk.pa, data + done, take));
+    done += take;
+  }
+  return OkStatus();
+}
+
+// ---- cpuid cache ----
+
+StatusOr<uint64_t> EreborMonitor::CachedCpuid(Cpu& cpu, uint32_t leaf,
+                                              bool allow_hypercall) {
+  const auto it = cpuid_cache_.find(leaf);
+  if (it != cpuid_cache_.end()) {
+    ++counters_.cached_cpuid_hits;
+    cpu.cycles().Charge(cpu.costs().cached_cpuid_service);
+    return it->second;
+  }
+  if (!allow_hypercall) {
+    // Sealed sandbox asking for an uncached leaf: serve zero rather than exit.
+    ++counters_.cached_cpuid_hits;
+    cpu.cycles().Charge(cpu.costs().cached_cpuid_service);
+    return 0;
+  }
+  // One hypercall, then cache (executed in monitor context: trusted tdcall).
+  const bool was_in_monitor = cpu.in_monitor();
+  cpu.SetMonitorContext(true);
+  uint64_t args[3] = {static_cast<uint64_t>(GhciReason::kCpuid), leaf, 0};
+  const Status st = cpu.Tdcall(tdcall_leaf::kVmcall, args, 3);
+  cpu.SetMonitorContext(was_in_monitor);
+  EREBOR_RETURN_IF_ERROR(st);
+  cpuid_cache_[leaf] = args[1];
+  return args[1];
+}
+
+// ---- Attestation + channel ----
+
+StatusOr<TdQuote> EreborMonitor::GenerateQuote(Cpu& cpu,
+                                               const std::array<uint8_t, 64>& report_data) {
+  EREBOR_RETURN_IF_ERROR(
+      machine_->memory().Write(scratch_pa_, report_data.data(), report_data.size()));
+  const bool was_in_monitor = cpu.in_monitor();
+  cpu.SetMonitorContext(true);
+  uint64_t args[2] = {scratch_pa_, scratch_pa_ + 512};
+  const Status st = cpu.Tdcall(tdcall_leaf::kTdReport, args, 2);
+  cpu.SetMonitorContext(was_in_monitor);
+  EREBOR_RETURN_IF_ERROR(st);
+  EREBOR_ASSIGN_OR_RETURN(const TdReport report, tdx_->TakeLastReport());
+  return tdx_->SignQuote(report);
+}
+
+Status EreborMonitor::HandleHello(Cpu& cpu, const Packet& packet) {
+  Sandbox* sandbox = sandbox_mgr_->Find(packet.sandbox_id);
+  if (sandbox == nullptr) {
+    return NotFoundError("hello for unknown sandbox");
+  }
+  const GroupParams& group = GroupParams::Default();
+  const KeyPair ephemeral = GenerateKeyPair(group, rng_);
+  const Digest256 transcript =
+      HandshakeTranscript(packet.client_public, ephemeral.public_key, packet.nonce);
+
+  std::array<uint8_t, 64> report_data{};
+  std::memcpy(report_data.data(), transcript.data(), transcript.size());
+  EREBOR_ASSIGN_OR_RETURN(const TdQuote quote, GenerateQuote(cpu, report_data));
+
+  const Bytes shared = DhSharedSecret(group, ephemeral.private_key, packet.client_public);
+  sandbox->session.keys = DeriveSessionKeys(shared, transcript);
+  sandbox->session.established = true;
+  sandbox->session.next_recv_seq = 0;
+  sandbox->session.next_send_seq = 0;
+
+  Packet response;
+  response.type = PacketType::kServerHello;
+  response.sandbox_id = sandbox->id;
+  response.monitor_public = ephemeral.public_key;
+  response.quote = quote;
+  sandbox->outbound_wire.push_back(response.Serialize());
+  return OkStatus();
+}
+
+Status EreborMonitor::HandleDataRecord(Cpu& cpu, const Packet& packet) {
+  Sandbox* sandbox = sandbox_mgr_->Find(packet.sandbox_id);
+  if (sandbox == nullptr || !sandbox->session.established) {
+    return FailedPreconditionError("data record without established session");
+  }
+  EREBOR_ASSIGN_OR_RETURN(
+      Bytes plaintext,
+      AeadOpen(sandbox->session.keys.client_to_server, packet.record,
+               sandbox->session.next_recv_seq));
+  ++sandbox->session.next_recv_seq;
+  cpu.cycles().Charge(plaintext.size() * cpu.costs().crypto_per_byte_x100 / 100);
+  sandbox->input_plaintext.push_back(std::move(plaintext));
+  // First client data seals the sandbox (paper section 6.2).
+  return sandbox_mgr_->Seal(cpu, *sandbox);
+}
+
+Status EreborMonitor::HandleFin(Cpu& cpu, const Packet& packet) {
+  Sandbox* sandbox = sandbox_mgr_->Find(packet.sandbox_id);
+  if (sandbox == nullptr) {
+    return NotFoundError("fin for unknown sandbox");
+  }
+  return sandbox_mgr_->Teardown(cpu, *sandbox);
+}
+
+Status EreborMonitor::ProxyDeliver(Cpu& cpu, const Bytes& wire) {
+  return WithGate(cpu, 64, [&]() -> Status {
+    EREBOR_ASSIGN_OR_RETURN(const Packet packet, Packet::Deserialize(wire));
+    switch (packet.type) {
+      case PacketType::kClientHello:
+        return HandleHello(cpu, packet);
+      case PacketType::kDataRecord:
+        return HandleDataRecord(cpu, packet);
+      case PacketType::kFin:
+        return HandleFin(cpu, packet);
+      default:
+        return InvalidArgumentError("unexpected packet type from network");
+    }
+  });
+}
+
+StatusOr<Bytes> EreborMonitor::ProxyFetch(Cpu& cpu, int* source_sandbox_out) {
+  Bytes out;
+  const Status st = WithGate(cpu, 64, [&]() -> Status {
+    for (auto& [id, sandbox] : sandbox_mgr_->mutable_sandboxes()) {
+      if (!sandbox->outbound_wire.empty()) {
+        out = std::move(sandbox->outbound_wire.front());
+        sandbox->outbound_wire.pop_front();
+        if (source_sandbox_out != nullptr) {
+          *source_sandbox_out = id;
+        }
+        return OkStatus();
+      }
+    }
+    return NotFoundError("no outbound packets");
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return out;
+}
+
+Status EreborMonitor::DebugInstallClientData(Cpu& cpu, Sandbox& sandbox, const Bytes& data) {
+  return WithGate(cpu, 64, [&]() -> Status {
+    // Same decrypt/copy cost as the real channel path.
+    cpu.cycles().Charge(data.size() * cpu.costs().crypto_per_byte_x100 / 100);
+    sandbox.input_plaintext.push_back(data);
+    return sandbox_mgr_->Seal(cpu, sandbox);
+  });
+}
+
+StatusOr<Bytes> EreborMonitor::DebugFetchOutput(Sandbox& sandbox) {
+  if (sandbox.outbound_wire.empty()) {
+    return NotFoundError("no output pending");
+  }
+  Bytes out = std::move(sandbox.outbound_wire.front());
+  sandbox.outbound_wire.pop_front();
+  return out;
+}
+
+// ---- /dev/erebor ioctl ----
+
+StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
+                                              uint64_t cmd, Vaddr arg_va) {
+  Cpu& cpu = ctx.cpu();
+  Sandbox* sandbox = sandbox_mgr_->FindByTask(task);
+  ++counters_.emc_sandbox;
+  switch (cmd) {
+    case emc_ioctl::kDeclareConfined: {
+      if (sandbox == nullptr) {
+        return FailedPreconditionError("declare-confined from non-sandbox task");
+      }
+      uint8_t buf[16];
+      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
+      const Vaddr va = LoadLe64(buf);
+      const uint64_t len = LoadLe64(buf + 8);
+      EREBOR_RETURN_IF_ERROR(DeclareConfined(cpu, *sandbox, va, len));
+      return 0;
+    }
+    case emc_ioctl::kInput: {
+      if (sandbox == nullptr) {
+        return FailedPreconditionError("input ioctl from non-sandbox task");
+      }
+      ++sandbox->exits.ioctl_io;
+      uint8_t buf[16];
+      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
+      const Vaddr dst = LoadLe64(buf);
+      const uint64_t cap = LoadLe64(buf + 8);
+      if (sandbox->input_plaintext.empty()) {
+        return UnavailableError("EAGAIN");
+      }
+      const Bytes& data = sandbox->input_plaintext.front();
+      if (data.size() > cap) {
+        return OutOfRangeError("input larger than provided buffer");
+      }
+      Status st = OkStatus();
+      EREBOR_RETURN_IF_ERROR(WithGate(cpu, 64, [&]() -> Status {
+        st = sandbox_mgr_->CopyIntoSandbox(cpu, *sandbox, dst, data.data(), data.size());
+        return st;
+      }));
+      const uint64_t n = data.size();
+      StoreLe64(buf + 8, n);
+      EREBOR_RETURN_IF_ERROR(WriteGuest(*task.aspace, arg_va, buf, sizeof(buf)));
+      sandbox->input_plaintext.pop_front();
+      return n;
+    }
+    case emc_ioctl::kOutput: {
+      if (sandbox == nullptr) {
+        return FailedPreconditionError("output ioctl from non-sandbox task");
+      }
+      ++sandbox->exits.ioctl_io;
+      uint8_t buf[16];
+      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
+      const Vaddr src = LoadLe64(buf);
+      const uint64_t len = LoadLe64(buf + 8);
+      Bytes payload(len);
+      EREBOR_RETURN_IF_ERROR(WithGate(cpu, 64, [&]() -> Status {
+        EREBOR_RETURN_IF_ERROR(
+            sandbox_mgr_->CopyFromSandbox(cpu, *sandbox, src, payload.data(), len));
+        // Pad to the fixed output quantum, then seal (or emit plaintext-padded when no
+        // session exists, the DebugFS-style channel).
+        const Bytes padded = PadOutput(payload, sandbox->spec.output_pad_bytes);
+        cpu.cycles().Charge(padded.size() * cpu.costs().crypto_per_byte_x100 / 100);
+        if (mitigations_.quantize_output) {
+          // Release only at fixed interval boundaries: a result's timing no longer
+          // reflects the (secret-dependent) processing time.
+          const Cycles now = cpu.cycles().now();
+          const Cycles boundary = ((now / mitigations_.output_interval) + 1) *
+                                  mitigations_.output_interval;
+          cpu.cycles().Charge(boundary - now);
+          ++counters_.quantized_outputs;
+        }
+        if (sandbox->session.established) {
+          Packet packet;
+          packet.type = PacketType::kResultRecord;
+          packet.sandbox_id = sandbox->id;
+          packet.record = AeadSeal(sandbox->session.keys.server_to_client,
+                                   sandbox->session.next_send_seq++, padded);
+          sandbox->outbound_wire.push_back(packet.Serialize());
+        } else {
+          sandbox->outbound_wire.push_back(padded);
+        }
+        return OkStatus();
+      }));
+      return len;
+    }
+    case emc_ioctl::kProxyDeliver: {
+      if (sandbox != nullptr) {
+        return PermissionDeniedError("proxy ioctls are not for sandbox tasks");
+      }
+      uint8_t buf[16];
+      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
+      const Vaddr src = LoadLe64(buf);
+      const uint64_t len = LoadLe64(buf + 8);
+      Bytes wire(len);
+      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, src, wire.data(), len));
+      EREBOR_RETURN_IF_ERROR(ProxyDeliver(cpu, wire));
+      return 0;
+    }
+    case emc_ioctl::kProxyFetch: {
+      if (sandbox != nullptr) {
+        return PermissionDeniedError("proxy ioctls are not for sandbox tasks");
+      }
+      uint8_t buf[16];
+      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
+      const Vaddr dst = LoadLe64(buf);
+      const uint64_t cap = LoadLe64(buf + 8);
+      int source_sandbox = -1;
+      auto wire = ProxyFetch(cpu, &source_sandbox);
+      if (!wire.ok()) {
+        return UnavailableError("EAGAIN");
+      }
+      // The proxy's buffer is ordinary pageable memory: fault it in before copying,
+      // and requeue the packet (to its owning sandbox) if the copy cannot complete.
+      Status st = wire->size() > cap ? OutOfRangeError("proxy buffer too small")
+                                     : kernel_->FaultInUserRange(ctx, task, dst,
+                                                                 wire->size());
+      if (st.ok()) {
+        st = WriteGuest(*task.aspace, dst, wire->data(), wire->size());
+      }
+      if (!st.ok()) {
+        Sandbox* origin = sandbox_mgr_->Find(source_sandbox);
+        if (origin != nullptr) {
+          origin->outbound_wire.push_front(std::move(*wire));
+        }
+        return st;
+      }
+      return wire->size();
+    }
+    default:
+      return InvalidArgumentError("unknown erebor ioctl " + std::to_string(cmd));
+  }
+}
+
+}  // namespace erebor

@@ -1,0 +1,256 @@
+// EREBOR-MONITOR: the privileged CVM security monitor (paper sections 5-6).
+//
+// Stage-1 boot: only the firmware and the monitor are loaded and measured (so a remote
+// client's quote verification pins the monitor binary). The monitor claims its memory,
+// installs PKS keys/CET/gates on every vCPU and arms the sensitive-instruction fence.
+// Stage-2 boot: the monitor receives the service provider's kernel image, byte-scans
+// all executable sections for sensitive instructions, and loads it only if clean.
+//
+// At runtime the monitor exposes the gated EMC surface (the kernel's only route to
+// privileged operations), enforces the MMU policy, runs the sandbox manager, and
+// terminates the attestation-rooted secure channel.
+#ifndef EREBOR_SRC_MONITOR_MONITOR_H_
+#define EREBOR_SRC_MONITOR_MONITOR_H_
+
+#include <memory>
+
+#include "src/host/vmm.h"
+#include "src/kernel/image.h"
+#include "src/kernel/kernel.h"
+#include "src/monitor/channel.h"
+#include "src/monitor/gates.h"
+#include "src/monitor/mmu_policy.h"
+#include "src/monitor/sandbox.h"
+
+namespace erebor {
+
+// /dev/erebor ioctl commands (the LibOS toolchain and the untrusted proxy use these).
+namespace emc_ioctl {
+inline constexpr uint64_t kDeclareConfined = 1;  // arg: {va, len}
+inline constexpr uint64_t kInput = 2;            // arg: {buf_va, size_inout}
+inline constexpr uint64_t kOutput = 3;           // arg: {buf_va, size}
+inline constexpr uint64_t kProxyDeliver = 4;     // arg: {buf_va, len}
+inline constexpr uint64_t kProxyFetch = 5;       // arg: {buf_va, cap} -> returns len
+}  // namespace emc_ioctl
+
+// Software side-channel mitigations (paper section 12 "Digital side/covert channel
+// mitigations"): optional, off by default, each trading throughput for channel
+// bandwidth reduction.
+struct MitigationConfig {
+  // Rate limiting for sandbox exits: once a sandbox exceeds the budget within a
+  // one-second (2.1e9-cycle) window, every further exit pays a stall.
+  bool rate_limit_exits = false;
+  uint64_t max_exits_per_window = 10'000;
+  Cycles exit_stall_cycles = 50'000;
+
+  // Cache/TLB eviction-enforced exiting: flush on every sandbox exit so the kernel
+  // cannot probe the sandbox's cache footprint.
+  bool flush_on_exit = false;
+  Cycles flush_cycles = 30'000;
+
+  // Leakage-free quantized communication intervals: results are released only on
+  // fixed interval boundaries, hiding processing time.
+  bool quantize_output = false;
+  Cycles output_interval = 10'000'000;
+};
+
+struct MonitorCounters {
+  uint64_t emc_total = 0;
+  uint64_t emc_pte = 0;
+  uint64_t emc_ptp_register = 0;
+  uint64_t emc_cr = 0;
+  uint64_t emc_msr = 0;
+  uint64_t emc_idt = 0;
+  uint64_t emc_usercopy = 0;
+  uint64_t emc_tdcall = 0;
+  uint64_t emc_text_poke = 0;
+  uint64_t emc_sandbox = 0;
+  uint64_t policy_denials = 0;
+  uint64_t sandbox_kills = 0;
+  uint64_t scrubbed_interrupts = 0;
+  uint64_t cached_cpuid_hits = 0;
+  // Mitigation activity.
+  uint64_t exit_stalls = 0;
+  uint64_t cache_flushes = 0;
+  uint64_t quantized_outputs = 0;
+  uint64_t huge_splits = 0;  // forced huge-page splits (section 7 future work)
+};
+
+class EreborMonitor {
+ public:
+  EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host);
+
+  // ---- Boot ----
+  // arm_fence=false supports the exit-protection-only evaluation ablation, which keeps
+  // the kernel's direct privileged execution (not security-complete).
+  Status BootStage1(const Bytes& firmware_image, bool arm_fence = true);
+  StatusOr<KernelImage> LoadKernelImage(const Bytes& kelf_bytes);  // stage 2
+  Status AttachKernel(Kernel* kernel);
+
+  const Bytes& monitor_image() const { return monitor_image_; }
+  bool stage1_done() const { return stage1_done_; }
+
+  // Enables batched MMU updates (one EMC amortized over a whole PTE batch) — the
+  // optimization the paper points to for lowering fork/pagefault costs (section 9.1).
+  void EnableBatchedMmu(bool enabled) { batched_mmu_ = enabled; }
+  bool batched_mmu() const { return batched_mmu_; }
+
+  // Side-channel mitigation configuration (section 12); applies to sealed sandboxes.
+  void SetMitigations(const MitigationConfig& config) { mitigations_ = config; }
+  const MitigationConfig& mitigations() const { return mitigations_; }
+
+  // ---- EMC surface (PrivilegedOps routes here) ----
+  Status EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value);
+  Status EmcWritePteBatch(Cpu& cpu, const PrivilegedOps::PteUpdate* updates, size_t count);
+  Status EmcRegisterPtp(Cpu& cpu, FrameNum frame, Paddr root_pa);
+  Status EmcWriteCr(Cpu& cpu, int reg, uint64_t value);
+  Status EmcWriteMsr(Cpu& cpu, uint32_t index, uint64_t value);
+  Status EmcLoadIdt(Cpu& cpu, const IdtTable* table);
+  Status EmcCopyToUser(Cpu& cpu, Vaddr dst, const uint8_t* src, uint64_t len);
+  Status EmcCopyFromUser(Cpu& cpu, Vaddr src, uint8_t* dst, uint64_t len);
+  Status EmcTdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs);
+  Status EmcTextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes, uint64_t len);
+  // Dynamic kernel code (loadable module / JITed eBPF): the monitor byte-scans the
+  // blob, installs it into fresh kernel-text frames (W^X from then on) and returns
+  // the load address (paper section 5.2: dynamic code is validated before loading).
+  StatusOr<Paddr> EmcLoadKernelModule(Cpu& cpu, const Bytes& code);
+
+  // ---- Sandbox surface ----
+  SandboxManager& sandboxes() { return *sandbox_mgr_; }
+  StatusOr<Sandbox*> CreateSandbox(Task& leader, const SandboxSpec& spec);
+  Status DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint64_t len);
+  StatusOr<CommonRegion*> CreateCommonRegion(const std::string& name, uint64_t len);
+  Status AttachCommon(Cpu& cpu, Sandbox& sandbox, int region_id, Vaddr va,
+                      bool writable_until_seal);
+  Status TeardownSandbox(Cpu& cpu, Sandbox& sandbox);
+
+  // ---- Attestation + channel (driven by the untrusted proxy) ----
+  // Feeds one wire packet from the network; responses (if any) are queued for fetch.
+  Status ProxyDeliver(Cpu& cpu, const Bytes& wire);
+  // Pops the next outbound wire packet across all sandboxes (empty = none).
+  // source_sandbox_out (optional) receives the owning sandbox id so a failed copy-out
+  // can requeue the packet instead of dropping it.
+  StatusOr<Bytes> ProxyFetch(Cpu& cpu, int* source_sandbox_out = nullptr);
+
+  // Direct injection used when no network path is configured (DebugFS-style testing
+  // channel, mirroring the paper's artifact setup).
+  Status DebugInstallClientData(Cpu& cpu, Sandbox& sandbox, const Bytes& data);
+  StatusOr<Bytes> DebugFetchOutput(Sandbox& sandbox);
+
+  // Walks the frame table and live mappings and verifies the global protection
+  // invariants (single-mapped confined frames, keyed monitor/PTP/text mappings,
+  // kernel W^X). Used as a test oracle and a debugging aid; returns the first
+  // violation found.
+  Status AuditInvariants();
+
+  const MonitorCounters& counters() const { return counters_; }
+  FrameTable& frame_table() { return *frame_table_; }
+  MmuPolicy& policy() { return *policy_; }
+  EmcGates& gates() { return *gates_; }
+  Machine& machine() { return *machine_; }
+  TdxModule& tdx() { return *tdx_; }
+
+ private:
+  friend class EmcPrivOps;
+
+  // Runs `body` inside the EMC gates on `cpu`, charging `op_cycles` for the monitor-
+  // side work.
+  Status WithGate(Cpu& cpu, Cycles op_cycles, const std::function<Status()>& body);
+
+  // ioctl dispatch for /dev/erebor.
+  StatusOr<uint64_t> DeviceIoctl(SyscallContext& ctx, Task& task, uint64_t cmd,
+                                 Vaddr arg_va);
+
+  // Guest-memory access for monitor use (privileged; no SMAP constraints).
+  Status ReadGuest(AddressSpace& aspace, Vaddr va, uint8_t* out, uint64_t len);
+  Status WriteGuest(AddressSpace& aspace, Vaddr va, const uint8_t* data, uint64_t len);
+
+  StatusOr<uint64_t> CachedCpuid(Cpu& cpu, uint32_t leaf, bool allow_hypercall);
+  StatusOr<TdQuote> GenerateQuote(Cpu& cpu, const std::array<uint8_t, 64>& report_data);
+
+  Status HandleHello(Cpu& cpu, const Packet& packet);
+  Status HandleDataRecord(Cpu& cpu, const Packet& packet);
+  Status HandleFin(Cpu& cpu, const Packet& packet);
+
+  Machine* machine_;
+  TdxModule* tdx_;
+  HostVmm* host_;
+  Kernel* kernel_ = nullptr;
+
+  Bytes monitor_image_;
+  std::unique_ptr<FrameTable> frame_table_;
+  std::unique_ptr<MmuPolicy> policy_;
+  std::unique_ptr<EmcGates> gates_;
+  std::unique_ptr<SandboxManager> sandbox_mgr_;
+  MonitorCounters counters_;
+  Rng rng_;
+
+  const IdtTable* approved_idt_ = nullptr;
+  CodeLabelId kernel_syscall_entry_ = kInvalidCodeLabel;
+  CodeLabelId monitor_syscall_stub_ = kInvalidCodeLabel;
+  std::map<uint32_t, uint64_t> cpuid_cache_;
+  Paddr scratch_pa_ = 0;  // monitor-region scratch page for tdcall buffers
+
+  // Applies the configured exit mitigations for one sealed-sandbox exit.
+  void ApplyExitMitigations(Cpu& cpu, Sandbox& sandbox);
+  // Forced huge-page splitting (gate must be held; see EmcWritePte).
+  Status SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_value);
+
+  bool stage1_done_ = false;
+  bool kernel_loaded_ = false;
+  bool batched_mmu_ = false;
+  MitigationConfig mitigations_;
+};
+
+// PrivilegedOps backend that routes every sensitive operation through the monitor's
+// EMC gates (the instrumented kernel build).
+class EmcPrivOps : public PrivilegedOps {
+ public:
+  explicit EmcPrivOps(EreborMonitor* monitor) : monitor_(monitor) {}
+
+  Status WritePte(Cpu& cpu, Paddr entry_pa, Pte value) override {
+    return monitor_->EmcWritePte(cpu, entry_pa, value);
+  }
+  Status WritePteBatch(Cpu& cpu, const PteUpdate* updates, size_t count) override {
+    if (!monitor_->batched_mmu()) {
+      return PrivilegedOps::WritePteBatch(cpu, updates, count);  // one EMC per entry
+    }
+    return monitor_->EmcWritePteBatch(cpu, updates, count);
+  }
+  Status RegisterPtp(Cpu& cpu, FrameNum frame, Paddr root_pa) override {
+    return monitor_->EmcRegisterPtp(cpu, frame, root_pa);
+  }
+  Status WriteCr(Cpu& cpu, int reg, uint64_t value) override {
+    return monitor_->EmcWriteCr(cpu, reg, value);
+  }
+  Status WriteMsr(Cpu& cpu, uint32_t index, uint64_t value) override {
+    return monitor_->EmcWriteMsr(cpu, index, value);
+  }
+  Status LoadIdt(Cpu& cpu, const IdtTable* table) override {
+    return monitor_->EmcLoadIdt(cpu, table);
+  }
+  Status CopyToUser(Cpu& cpu, Vaddr dst, const uint8_t* src, uint64_t len) override {
+    return monitor_->EmcCopyToUser(cpu, dst, src, len);
+  }
+  Status CopyFromUser(Cpu& cpu, Vaddr src, uint8_t* dst, uint64_t len) override {
+    return monitor_->EmcCopyFromUser(cpu, src, dst, len);
+  }
+  Status Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) override {
+    return monitor_->EmcTdcall(cpu, leaf, args, nargs);
+  }
+  Status TextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes, uint64_t len) override {
+    return monitor_->EmcTextPoke(cpu, code_pa, bytes, len);
+  }
+  uint64_t emc_count() const override { return monitor_->counters().emc_total; }
+
+ private:
+  EreborMonitor* monitor_;
+};
+
+// Builds the monitor's own binary image (measured in stage 1; contains the gate code
+// with its legitimate sensitive instructions).
+Bytes BuildMonitorImage();
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_MONITOR_MONITOR_H_

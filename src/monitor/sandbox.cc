@@ -1,0 +1,360 @@
+#include "src/monitor/sandbox.h"
+
+#include <cstring>
+
+#include "src/common/log.h"
+
+namespace erebor {
+
+SandboxManager::SandboxManager(Machine* machine, FrameTable* frames, MmuPolicy* policy)
+    : machine_(machine), frames_(frames), policy_(policy) {}
+
+void SandboxManager::Attach(Kernel* kernel, FrameNum cma_first, uint64_t cma_frames) {
+  kernel_ = kernel;
+  cma_ = std::make_unique<FrameAllocator>(cma_first, cma_frames);
+}
+
+PteWriter SandboxManager::TrustedWriter(Cpu& cpu, AddressSpace& aspace) {
+  // The monitor writes PTEs directly (it *is* the privileged mode) but keeps the
+  // frame-table map counts accurate and charges the monitor-op cost.
+  PteWriter writer;
+  writer.write_pte = [this, &cpu](Paddr entry_pa, Pte value) -> Status {
+    const Pte old = machine_->memory().Read64(entry_pa);
+    machine_->memory().Write64(entry_pa, value);
+    cpu.cycles().Charge(cpu.costs().monitor_pte_op);
+    policy_->NoteTrustedLink(entry_pa, value);
+    policy_->NoteLeafWrite(old, value, entry_pa);
+    return OkStatus();
+  };
+  writer.alloc_ptp = [this, &aspace]() -> StatusOr<FrameNum> {
+    EREBOR_ASSIGN_OR_RETURN(const FrameNum frame, kernel_->pool().Alloc());
+    machine_->memory().ZeroFrame(frame);
+    machine_->memory().FramePtr(frame);
+    (void)frames_->SetType(frame, FrameType::kPtp);
+    frames_->info(frame).ptp_root = aspace.root();
+    frames_->info(frame).ptp_level = 0;  // linked when first referenced
+    return frame;
+  };
+  return writer;
+}
+
+StatusOr<Sandbox*> SandboxManager::Create(Task& leader, const SandboxSpec& spec) {
+  if (kernel_ == nullptr) {
+    return FailedPreconditionError("sandbox manager not attached to a kernel");
+  }
+  auto sandbox = std::make_unique<Sandbox>();
+  sandbox->id = next_id_++;
+  sandbox->spec = spec;
+  sandbox->leader = &leader;
+  sandbox->aspace = leader.aspace;
+  leader.is_sandbox_member = true;
+  leader.sandbox_id = sandbox->id;
+  Sandbox* raw = sandbox.get();
+  sandboxes_[sandbox->id] = std::move(sandbox);
+  return raw;
+}
+
+Sandbox* SandboxManager::Find(int id) {
+  const auto it = sandboxes_.find(id);
+  return it == sandboxes_.end() ? nullptr : it->second.get();
+}
+
+Sandbox* SandboxManager::FindByTask(const Task& task) {
+  if (!task.is_sandbox_member) {
+    return nullptr;
+  }
+  return Find(task.sandbox_id);
+}
+
+Status SandboxManager::UnmapFromDirectMap(Cpu& cpu, FrameNum first, uint64_t count) {
+  // Single-mapping enforcement: once a frame is confined, the kernel's direct-map view
+  // disappears. (The walk may legitimately fail if the direct map never covered it.)
+  AddressSpace& kas = kernel_->kernel_aspace();
+  for (uint64_t i = 0; i < count; ++i) {
+    const Vaddr dm_va = layout::DirectMap(AddrOf(first + i));
+    const auto walk = kas.Lookup(dm_va);
+    if (!walk.ok()) {
+      continue;
+    }
+    const Pte old = machine_->memory().Read64(walk->leaf_entry_pa);
+    machine_->memory().Write64(walk->leaf_entry_pa, 0);
+    cpu.cycles().Charge(cpu.costs().monitor_pte_op);
+    policy_->NoteLeafWrite(old, 0, walk->leaf_entry_pa);
+  }
+  return OkStatus();
+}
+
+Status SandboxManager::DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint64_t len) {
+  if (sandbox.state != SandboxState::kInitializing) {
+    return FailedPreconditionError("confined memory must be declared before sealing");
+  }
+  len = PageAlignUp(len);
+  if (sandbox.confined_bytes + len > sandbox.spec.confined_budget_bytes) {
+    return ResourceExhaustedError("confined memory budget exceeded");
+  }
+  const uint64_t count = len >> kPageShift;
+  EREBOR_ASSIGN_OR_RETURN(const FrameNum first, cma_->AllocContiguous(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    FrameInfo& info = frames_->info(first + i);
+    info.type = FrameType::kSandboxConfined;
+    info.owner_sandbox = sandbox.id;
+    info.pinned = true;
+    machine_->memory().ZeroFrame(first + i);
+    machine_->memory().FramePtr(first + i);
+    // Pre-populating confined memory costs a demand-fault-with-EMC per page — the
+    // paper's one-time initialization overhead (11.5%-52.7%, section 9.2).
+    cpu.cycles().Charge(cpu.costs().page_zero + cpu.costs().page_fault_service_native +
+                        cpu.costs().emc_round_trip);
+  }
+  EREBOR_RETURN_IF_ERROR(UnmapFromDirectMap(cpu, first, count));
+
+  // Pre-populate + pin the sandbox mapping (user, writable, NX).
+  EREBOR_RETURN_IF_ERROR(
+      sandbox.aspace->CreateVma(len, pte::kPresent | pte::kUser | pte::kWritable |
+                                         pte::kNoExecute,
+                                VmaKind::kConfined, va)
+          .status());
+  PteWriter writer = TrustedWriter(cpu, *sandbox.aspace);
+  for (uint64_t i = 0; i < count; ++i) {
+    EREBOR_RETURN_IF_ERROR(MapPage(machine_->memory(), sandbox.aspace->root(),
+                                   va + AddrOf(i), first + i,
+                                   pte::kPresent | pte::kUser | pte::kWritable |
+                                       pte::kNoExecute,
+                                   writer));
+  }
+  sandbox.confined_ranges.emplace_back(first, count);
+  sandbox.confined_bytes += len;
+  return OkStatus();
+}
+
+StatusOr<CommonRegion*> SandboxManager::CreateCommonRegion(const std::string& name,
+                                                           uint64_t len,
+                                                           FrameAllocator& pool) {
+  len = PageAlignUp(len);
+  const uint64_t count = len >> kPageShift;
+  EREBOR_ASSIGN_OR_RETURN(const FrameNum first, pool.AllocContiguous(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    FrameInfo& info = frames_->info(first + i);
+    info.type = FrameType::kSandboxCommon;
+    info.owner_sandbox = -1;
+  }
+  CommonRegion region;
+  region.id = static_cast<int>(common_regions_.size());
+  region.name = name;
+  region.first_frame = first;
+  region.num_frames = count;
+  common_regions_.push_back(region);
+  return &common_regions_.back();
+}
+
+CommonRegion* SandboxManager::FindCommonRegion(const std::string& name) {
+  for (auto& region : common_regions_) {
+    if (region.name == name) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+Status SandboxManager::AttachCommon(Cpu& cpu, Sandbox& sandbox, int region_id, Vaddr va,
+                                    bool writable_until_seal) {
+  if (region_id < 0 || region_id >= static_cast<int>(common_regions_.size())) {
+    return NotFoundError("no such common region");
+  }
+  CommonRegion& region = common_regions_[region_id];
+  Pte flags = pte::kPresent | pte::kUser | pte::kNoExecute;
+  if (writable_until_seal && sandbox.state == SandboxState::kInitializing) {
+    flags |= pte::kWritable;
+  }
+  EREBOR_ASSIGN_OR_RETURN(
+      const Vaddr start,
+      sandbox.aspace->CreateVma(region.num_frames << kPageShift, flags, VmaKind::kCommon,
+                                va));
+  Vma* vma = sandbox.aspace->FindVma(start);
+  vma->backing.resize(region.num_frames);
+  for (uint64_t i = 0; i < region.num_frames; ++i) {
+    vma->backing[i] = region.first_frame + i;
+  }
+  // Pages fault in on demand (this is the #PF source for large common regions, e.g.
+  // the llama model in Table 6).
+  ++region.attach_count;
+  sandbox.attached_regions.push_back(region_id);
+  return OkStatus();
+}
+
+Status SandboxManager::Seal(Cpu& cpu, Sandbox& sandbox) {
+  if (sandbox.state == SandboxState::kSealed) {
+    return OkStatus();
+  }
+  if (sandbox.state == SandboxState::kTornDown) {
+    return FailedPreconditionError("sandbox already torn down");
+  }
+  // Revoke write permission on any common pages already mapped.
+  for (const auto& [start, vma] : sandbox.aspace->vmas()) {
+    if (vma.kind != VmaKind::kCommon) {
+      continue;
+    }
+    for (Vaddr va = vma.start; va < vma.end; va += kPageSize) {
+      const auto walk = sandbox.aspace->Lookup(va);
+      if (!walk.ok()) {
+        continue;
+      }
+      const Pte updated = walk->leaf & ~pte::kWritable;
+      machine_->memory().Write64(walk->leaf_entry_pa, updated);
+      cpu.cycles().Charge(cpu.costs().monitor_pte_op);
+    }
+    // Future demand-mappings of this VMA must be read-only too.
+    Vma* mutable_vma = sandbox.aspace->FindVma(start);
+    mutable_vma->flags &= ~pte::kWritable;
+  }
+  // Disable user-interrupt sending (clear IA32_UINTR_TT.valid on every core).
+  for (int i = 0; i < machine_->num_cpus(); ++i) {
+    Cpu& c = machine_->cpu(i);
+    const auto tt = c.ReadMsr(msr::kIa32UintrTt);
+    if (tt.ok()) {
+      c.TrustedWriteMsr(msr::kIa32UintrTt, *tt & ~msr::kUintrTtValid);
+    }
+  }
+  sandbox.state = SandboxState::kSealed;
+  return OkStatus();
+}
+
+Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
+  if (sandbox.state == SandboxState::kTornDown) {
+    return OkStatus();
+  }
+  // Unmap confined regions from the sandbox's address space first: the frames return
+  // to the CMA pool below and must not stay reachable through stale PTEs.
+  if (sandbox.aspace) {
+    std::vector<Vaddr> confined_starts;
+    for (const auto& [start, vma] : sandbox.aspace->vmas()) {
+      if (vma.kind == VmaKind::kConfined) {
+        confined_starts.push_back(start);
+      }
+    }
+    for (const Vaddr start : confined_starts) {
+      const Vma* vma = sandbox.aspace->FindVma(start);
+      for (Vaddr va = vma->start; va < vma->end; va += kPageSize) {
+        const auto walk = sandbox.aspace->Lookup(va);
+        if (!walk.ok()) {
+          continue;
+        }
+        const Pte old = machine_->memory().Read64(walk->leaf_entry_pa);
+        machine_->memory().Write64(walk->leaf_entry_pa, 0);
+        cpu.cycles().Charge(cpu.costs().monitor_pte_op);
+        policy_->NoteLeafWrite(old, 0, walk->leaf_entry_pa);
+      }
+    }
+  }
+  // Zeroize all confined memory and session state (paper section 6.3 cleanup).
+  for (const auto& [first, count] : sandbox.confined_ranges) {
+    for (uint64_t i = 0; i < count; ++i) {
+      machine_->memory().ZeroFrame(first + i);
+      cpu.cycles().Charge(cpu.costs().page_zero);
+      FrameInfo& info = frames_->info(first + i);
+      info.type = FrameType::kNormal;
+      info.owner_sandbox = -1;
+      info.pinned = false;
+      info.map_count = 0;
+      (void)cma_->Free(first + i);
+    }
+  }
+  sandbox.confined_ranges.clear();
+  sandbox.input_plaintext.clear();
+  sandbox.outbound_wire.clear();
+  sandbox.session = ChannelSession{};
+  sandbox.state = SandboxState::kTornDown;
+  return OkStatus();
+}
+
+bool SandboxManager::SyscallPermitted(const Sandbox& sandbox, const Task& task, int nr,
+                                      const uint64_t* args) const {
+  if (sandbox.state != SandboxState::kSealed) {
+    return true;  // initialization phase: LibOS sets up via normal syscalls
+  }
+  switch (nr) {
+    case sys::kExit:
+      return true;  // termination is handled (and observed) by the monitor
+    case sys::kIoctl: {
+      // Only the monitor's own device is reachable.
+      auto of = task.fds->Get(static_cast<int>(args[0]));
+      return of.ok() && (*of)->is_device && (*of)->path == "/dev/erebor";
+    }
+    default:
+      return false;
+  }
+}
+
+Status SandboxManager::CopyIntoSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va,
+                                       const uint8_t* data, uint64_t len) {
+  // Every touched page must be confined memory owned by this sandbox: the shepherd
+  // never writes client data anywhere an outsider could see.
+  uint64_t done = 0;
+  while (done < len) {
+    const Vaddr page_va = va + done;
+    EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, sandbox.aspace->Lookup(page_va));
+    const FrameInfo& info = frames_->info(FrameOf(walk.pa));
+    if (info.type != FrameType::kSandboxConfined || info.owner_sandbox != sandbox.id) {
+      return PermissionDeniedError("shepherd target is not this sandbox's confined memory");
+    }
+    const uint64_t take = std::min(len - done, kPageSize - (page_va & kPageMask));
+    EREBOR_RETURN_IF_ERROR(machine_->memory().Write(walk.pa, data + done, take));
+    done += take;
+  }
+  cpu.cycles().Charge(len * cpu.costs().crypto_per_byte_x100 / 100);
+  return OkStatus();
+}
+
+Status SandboxManager::CopyFromSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint8_t* out,
+                                       uint64_t len) {
+  uint64_t done = 0;
+  while (done < len) {
+    const Vaddr page_va = va + done;
+    EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, sandbox.aspace->Lookup(page_va));
+    const FrameInfo& info = frames_->info(FrameOf(walk.pa));
+    const bool confined =
+        info.type == FrameType::kSandboxConfined && info.owner_sandbox == sandbox.id;
+    const bool common = info.type == FrameType::kSandboxCommon;
+    if (!confined && !common) {
+      return PermissionDeniedError("shepherd source is not sandbox memory");
+    }
+    const uint64_t take = std::min(len - done, kPageSize - (page_va & kPageMask));
+    EREBOR_RETURN_IF_ERROR(machine_->memory().Read(walk.pa, out + done, take));
+    done += take;
+  }
+  cpu.cycles().Charge(len * cpu.costs().crypto_per_byte_x100 / 100);
+  return OkStatus();
+}
+
+Status SandboxManager::ValidateCommonMapping(Paddr root, FrameNum frame,
+                                             bool writable) const {
+  // Find the sandbox owning this page-table root.
+  const Sandbox* owner = nullptr;
+  for (const auto& [id, sandbox] : sandboxes_) {
+    if (sandbox->aspace && sandbox->aspace->root() == root) {
+      owner = sandbox.get();
+      break;
+    }
+  }
+  if (owner == nullptr) {
+    return PermissionDeniedError("common frames may only be mapped into sandboxes");
+  }
+  // The frame must belong to a region attached to that sandbox.
+  bool attached = false;
+  for (const int region_id : owner->attached_regions) {
+    const CommonRegion& region = common_regions_[region_id];
+    if (frame >= region.first_frame && frame < region.first_frame + region.num_frames) {
+      attached = true;
+      break;
+    }
+  }
+  if (!attached) {
+    return PermissionDeniedError("common region not attached to this sandbox");
+  }
+  if (writable && owner->state == SandboxState::kSealed) {
+    return PermissionDeniedError("common memory is read-only after sealing");
+  }
+  return OkStatus();
+}
+
+}  // namespace erebor

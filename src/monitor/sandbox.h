@@ -1,0 +1,143 @@
+// Erebor-Sandbox lifecycle and data-protection enforcement (paper section 6).
+//
+// A sandbox wraps one guest process (all its tasks). Its memory is split into
+// *confined* regions (exclusively owned, pinned, single-mapped, unmapped from the
+// kernel direct map) and *common* regions (monitor-managed frames shared read-only
+// across sandboxes). Once client data is installed the sandbox is *sealed*: system
+// calls and synchronous exits become fatal, user-interrupt sending is disabled, common
+// memory becomes read-only, and external interrupts have the register file scrubbed
+// before the untrusted OS sees it.
+#ifndef EREBOR_SRC_MONITOR_SANDBOX_H_
+#define EREBOR_SRC_MONITOR_SANDBOX_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "src/kernel/kernel.h"
+#include "src/monitor/channel.h"
+#include "src/monitor/frame_table.h"
+#include "src/monitor/mmu_policy.h"
+
+namespace erebor {
+
+struct SandboxSpec {
+  std::string name;
+  uint64_t confined_budget_bytes = 32ull << 20;
+  int max_threads = 8;
+  uint64_t output_pad_bytes = 4096;
+};
+
+enum class SandboxState : uint8_t { kInitializing, kSealed, kTornDown };
+
+struct CommonRegion {
+  int id = -1;
+  std::string name;
+  FrameNum first_frame = 0;
+  uint64_t num_frames = 0;
+  int attach_count = 0;
+};
+
+struct SandboxExitStats {
+  uint64_t page_faults = 0;
+  uint64_t timer_interrupts = 0;
+  uint64_t ve_exits = 0;
+  uint64_t device_interrupts = 0;
+  uint64_t kills = 0;
+  uint64_t ioctl_io = 0;
+  uint64_t total() const {
+    return page_faults + timer_interrupts + ve_exits + device_interrupts;
+  }
+};
+
+struct Sandbox {
+  int id = -1;
+  SandboxSpec spec;
+  SandboxState state = SandboxState::kInitializing;
+  Task* leader = nullptr;
+  std::shared_ptr<AddressSpace> aspace;
+
+  std::vector<std::pair<FrameNum, uint64_t>> confined_ranges;  // (first, count)
+  uint64_t confined_bytes = 0;
+  std::vector<int> attached_regions;
+
+  ChannelSession session;
+  std::deque<Bytes> input_plaintext;  // decrypted client payloads awaiting INPUT ioctl
+  std::deque<Bytes> outbound_wire;    // serialized result packets awaiting the proxy
+
+  SandboxExitStats exits;
+  // Register save area used by exit interposition (monitor memory in the real system).
+  Gprs interposition_save;
+  bool interposition_active = false;
+  // Side-channel mitigation bookkeeping (exit-rate window).
+  Cycles exit_window_start = 0;
+  uint64_t exits_in_window = 0;
+};
+
+// Manages all sandboxes. The monitor owns exactly one of these.
+class SandboxManager {
+ public:
+  SandboxManager(Machine* machine, FrameTable* frames, MmuPolicy* policy);
+
+  // Binds the kernel (for task lookups) and takes ownership of the confined-memory
+  // CMA range.
+  void Attach(Kernel* kernel, FrameNum cma_first, uint64_t cma_frames);
+
+  // ---- Lifecycle ----
+  StatusOr<Sandbox*> Create(Task& leader, const SandboxSpec& spec);
+  Sandbox* Find(int id);
+  Sandbox* FindByTask(const Task& task);
+
+  // Declares a confined region of `len` bytes at sandbox VA `va` (pre-seal only).
+  Status DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint64_t len);
+
+  // Common regions.
+  StatusOr<CommonRegion*> CreateCommonRegion(const std::string& name, uint64_t len,
+                                             FrameAllocator& pool);
+  CommonRegion* FindCommonRegion(const std::string& name);
+  Status AttachCommon(Cpu& cpu, Sandbox& sandbox, int region_id, Vaddr va,
+                      bool writable_until_seal);
+
+  // Seals the sandbox (first client data installed): common memory goes read-only,
+  // user interrupts are disabled, exits become fatal.
+  Status Seal(Cpu& cpu, Sandbox& sandbox);
+
+  // Zeroizes and releases everything (paper: cleanup after the client session ends).
+  Status Teardown(Cpu& cpu, Sandbox& sandbox);
+
+  // ---- Exit-policy queries used by the monitor's interposition stubs ----
+  // Returns true if `nr` is permitted for a task of this sandbox in its current state.
+  bool SyscallPermitted(const Sandbox& sandbox, const Task& task, int nr,
+                        const uint64_t* args) const;
+
+  // ---- Trusted data movement (the data shepherd) ----
+  // Writes `data` into sandbox memory at `va` (must be confined) / reads from it.
+  Status CopyIntoSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va, const uint8_t* data,
+                         uint64_t len);
+  Status CopyFromSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint8_t* out, uint64_t len);
+
+  // Validates that a user mapping request (root, frame, writable) is a legitimate
+  // common-region mapping — the MmuPolicy hook.
+  Status ValidateCommonMapping(Paddr root, FrameNum frame, bool writable) const;
+
+  const std::map<int, std::unique_ptr<Sandbox>>& sandboxes() const { return sandboxes_; }
+  std::map<int, std::unique_ptr<Sandbox>>& mutable_sandboxes() { return sandboxes_; }
+  uint64_t cma_frames_used() const { return cma_ ? cma_->used() : 0; }
+
+ private:
+  Status UnmapFromDirectMap(Cpu& cpu, FrameNum first, uint64_t count);
+  PteWriter TrustedWriter(Cpu& cpu, AddressSpace& aspace);
+
+  Machine* machine_;
+  FrameTable* frames_;
+  MmuPolicy* policy_;
+  Kernel* kernel_ = nullptr;
+  std::unique_ptr<FrameAllocator> cma_;
+  std::map<int, std::unique_ptr<Sandbox>> sandboxes_;
+  std::vector<CommonRegion> common_regions_;
+  int next_id_ = 1;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_MONITOR_SANDBOX_H_

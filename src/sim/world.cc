@@ -1,0 +1,218 @@
+#include "src/sim/world.h"
+
+#include "src/common/log.h"
+
+namespace erebor {
+
+std::string SimModeName(SimMode mode) {
+  switch (mode) {
+    case SimMode::kNative:
+      return "Native";
+    case SimMode::kLibosOnly:
+      return "Erebor-LibOS-only";
+    case SimMode::kEreborMmuOnly:
+      return "Erebor-LibOS-MMU";
+    case SimMode::kEreborExitOnly:
+      return "Erebor-LibOS-Exit";
+    case SimMode::kEreborFull:
+      return "Erebor";
+  }
+  return "?";
+}
+
+namespace {
+Bytes MakeFirmwareImage() {
+  // Deterministic OVMF stand-in: what matters is that it is measured and that clients
+  // can reproduce the measurement.
+  Bytes image;
+  const std::string banner = "EREBOR-SIM-OVMF-1.0";
+  image.assign(banner.begin(), banner.end());
+  Rng rng(0xF1F2);
+  const size_t old = image.size();
+  image.resize(old + 480);
+  rng.Fill(image.data() + old, 480);
+  return image;
+}
+}  // namespace
+
+World::World(const WorldConfig& config) : config_(config) {
+  firmware_image_ = MakeFirmwareImage();
+  machine_ = std::make_unique<Machine>(config.machine);
+  tdx_ = std::make_unique<TdxModule>(machine_.get());
+  host_ = std::make_unique<HostVmm>(machine_.get(), tdx_.get());
+  tdx_->SetVmcallSink(host_.get());
+  attacker_ = std::make_unique<HostAttacker>(machine_.get(), tdx_.get());
+  for (int i = 0; i < machine_->num_cpus(); ++i) {
+    machine_->cpu(i).SetTdcallSink(tdx_.get());
+  }
+}
+
+World::~World() = default;
+
+bool World::exit_protection() const {
+  return config_.mode == SimMode::kEreborExitOnly || config_.mode == SimMode::kEreborFull;
+}
+
+LibosBackend World::libos_backend() const {
+  return erebor_active() ? LibosBackend::kSandboxed : LibosBackend::kNativeDirect;
+}
+
+Status World::Boot() {
+  const bool with_monitor = config_.mode == SimMode::kEreborMmuOnly ||
+                            config_.mode == SimMode::kEreborExitOnly ||
+                            config_.mode == SimMode::kEreborFull;
+  const bool mmu_isolation = config_.mode == SimMode::kEreborMmuOnly ||
+                             config_.mode == SimMode::kEreborFull;
+
+  native_ops_ = std::make_unique<NativePrivOps>();
+  active_ops_ = native_ops_.get();
+
+  if (with_monitor) {
+    monitor_ = std::make_unique<EreborMonitor>(machine_.get(), tdx_.get(), host_.get());
+    // The exit-protection-only ablation leaves the fence open and privileged ops
+    // native, isolating the interposition overhead (paper Figure 9 breakdown). It is
+    // deliberately not security-complete.
+    EREBOR_RETURN_IF_ERROR(
+        monitor_->BootStage1(firmware_image_, /*arm_fence=*/mmu_isolation));
+
+    // Stage 2: verified kernel load. The mode forces an instrumented image.
+    KernelBuildOptions image_options = config_.kernel_image;
+    image_options.instrumented = true;
+    const KernelImage image = BuildKernelImage(image_options);
+    EREBOR_RETURN_IF_ERROR(monitor_->LoadKernelImage(image.Serialize()).status());
+
+    if (mmu_isolation) {
+      emc_ops_ = std::make_unique<EmcPrivOps>(monitor_.get());
+      active_ops_ = emc_ops_.get();
+    }
+  } else {
+    // Normal CVM: the (native) kernel image still boots, just without verification.
+    KernelBuildOptions image_options = config_.kernel_image;
+    image_options.instrumented = false;
+    (void)BuildKernelImage(image_options);
+  }
+
+  kernel_ = std::make_unique<Kernel>(machine_.get(), active_ops_, tdx_.get(), host_.get(),
+                                     config_.kernel);
+  EREBOR_RETURN_IF_ERROR(kernel_->Boot());
+
+  if (monitor_ != nullptr) {
+    EREBOR_RETURN_IF_ERROR(monitor_->AttachKernel(kernel_.get()));
+    if (!exit_protection()) {
+      // MMU-only ablation: remove the exit-interposition stubs the attach installed.
+      kernel_->SetSyscallInterposer(nullptr);
+      kernel_->SetInterruptInterposer(nullptr);
+      kernel_->SetVeInterposer(nullptr);
+    }
+  }
+  return OkStatus();
+}
+
+ClientTrustAnchors World::MakeTrustAnchors() const {
+  ClientTrustAnchors anchors;
+  anchors.platform_attestation_key = tdx_->attestation_public_key();
+  const Bytes monitor_image =
+      monitor_ != nullptr ? monitor_->monitor_image() : BuildMonitorImage();
+  anchors.expected_mrtd = ComputeExpectedMrtd(firmware_image_, monitor_image);
+  return anchors;
+}
+
+StatusOr<Task*> World::LaunchProcess(const std::string& name, ProgramFn program) {
+  return kernel_->SpawnProcess(name, std::move(program));
+}
+
+StatusOr<Sandbox*> World::LaunchSandboxProcess(const std::string& name,
+                                               const SandboxSpec& spec, ProgramFn program,
+                                               Task** task_out) {
+  EREBOR_ASSIGN_OR_RETURN(Task * task, kernel_->SpawnProcess(name, std::move(program)));
+  if (task_out != nullptr) {
+    *task_out = task;
+  }
+  if (monitor_ == nullptr) {
+    return NotFoundError("sandboxes require an Erebor mode (got " +
+                         SimModeName(config_.mode) + ")");
+  }
+  return monitor_->CreateSandbox(*task, spec);
+}
+
+Status World::StartProxy() {
+  if (monitor_ == nullptr) {
+    return FailedPreconditionError("proxy requires Erebor");
+  }
+  proxy_stop_ = false;
+  auto program = [this](SyscallContext& ctx) -> StepOutcome {
+    if (proxy_stop_) {
+      return StepOutcome::kExited;
+    }
+    Task& task = ctx.task();
+    // Lazy setup: open the device + map a bounce buffer on the first slice. The buffer
+    // VA and fd live in callee-saved registers across slices.
+    if (task.fds->open_count() == 0) {
+      const std::string dev = "/dev/erebor";
+      const auto staging = task.aspace->CreateVma(
+          64 * kPageSize,
+          pte::kPresent | pte::kUser | pte::kWritable | pte::kNoExecute, VmaKind::kAnon);
+      if (!staging.ok()) {
+        return StepOutcome::kExited;
+      }
+      ctx.cpu().gprs().reg[15] = *staging;
+      if (!ctx.WriteUser(*staging, reinterpret_cast<const uint8_t*>(dev.data()),
+                         dev.size())
+               .ok()) {
+        return StepOutcome::kExited;
+      }
+      const auto fd = ctx.Syscall(sys::kOpen, *staging, dev.size(), 0);
+      if (!fd.ok()) {
+        return StepOutcome::kExited;
+      }
+      ctx.cpu().gprs().reg[14] = *fd;
+    }
+    const Vaddr buffer = ctx.cpu().gprs().reg[15];
+    const uint64_t fd = ctx.cpu().gprs().reg[14];
+    const Vaddr req_va = buffer;             // 16-byte ioctl request
+    const Vaddr data_va = buffer + kPageSize;  // packet staging
+    bool moved = false;
+
+    // Network -> monitor.
+    auto received = ctx.Syscall(sys::kRecvfrom, data_va, 62 * kPageSize);
+    if (received.ok() && *received > 0) {
+      uint8_t req[16];
+      StoreLe64(req, data_va);
+      StoreLe64(req + 8, *received);
+      if (ctx.WriteUser(req_va, req, sizeof(req)).ok()) {
+        (void)ctx.Syscall(sys::kIoctl, fd, emc_ioctl::kProxyDeliver, req_va);
+        moved = true;
+      }
+    }
+    // Monitor -> network.
+    uint8_t req[16];
+    StoreLe64(req, data_va);
+    StoreLe64(req + 8, 62 * kPageSize);
+    if (ctx.WriteUser(req_va, req, sizeof(req)).ok()) {
+      const auto fetched = ctx.Syscall(sys::kIoctl, fd, emc_ioctl::kProxyFetch, req_va);
+      if (fetched.ok() && *fetched > 0) {
+        (void)ctx.Syscall(sys::kSendto, data_va, *fetched);
+        moved = true;
+      }
+    }
+    if (!moved) {
+      ctx.Compute(500);  // idle poll
+    }
+    return StepOutcome::kYield;
+  };
+  return kernel_->SpawnProcess("erebor-proxy", std::move(program)).status();
+}
+
+Status World::RunUntil(const std::function<bool()>& done, uint64_t max_slices) {
+  for (uint64_t i = 0; i < max_slices; ++i) {
+    if (done()) {
+      return OkStatus();
+    }
+    if (!kernel_->RunOnce()) {
+      return done() ? OkStatus() : FailedPreconditionError("all tasks idle before done()");
+    }
+  }
+  return FailedPreconditionError("RunUntil slice budget exhausted");
+}
+
+}  // namespace erebor

@@ -1,0 +1,94 @@
+// World: assembles a complete simulated system under one of the paper's evaluation
+// configurations (section 9 "Evaluation settings"):
+//
+//   kNative        - normal CVM, application directly on the kernel
+//   kLibosOnly     - Erebor-LibOS-only: LibOS emulation, no monitor
+//   kEreborMmuOnly - Erebor-LibOS-MMU: monitor + memory-view isolation, no exit protection
+//   kEreborExitOnly- Erebor-LibOS-Exit: monitor + exit protection, native MMU ops
+//   kEreborFull    - full Erebor
+#ifndef EREBOR_SRC_SIM_WORLD_H_
+#define EREBOR_SRC_SIM_WORLD_H_
+
+#include <memory>
+
+#include "src/client/client.h"
+#include "src/host/attacks.h"
+#include "src/libos/libos.h"
+
+namespace erebor {
+
+enum class SimMode : uint8_t {
+  kNative,
+  kLibosOnly,
+  kEreborMmuOnly,
+  kEreborExitOnly,
+  kEreborFull,
+};
+
+std::string SimModeName(SimMode mode);
+
+struct WorldConfig {
+  SimMode mode = SimMode::kEreborFull;
+  MachineConfig machine;
+  KernelConfig kernel;
+  KernelBuildOptions kernel_image;  // instrumented flag is forced by mode
+};
+
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+  ~World();
+
+  Status Boot();
+
+  Machine& machine() { return *machine_; }
+  TdxModule& tdx() { return *tdx_; }
+  HostVmm& host() { return *host_; }
+  Kernel& kernel() { return *kernel_; }
+  EreborMonitor* monitor() { return monitor_.get(); }  // null in native/libos-only modes
+  HostAttacker& attacker() { return *attacker_; }
+  PrivilegedOps& privops() { return *active_ops_; }
+  SimMode mode() const { return config_.mode; }
+  bool erebor_active() const { return monitor_ != nullptr; }
+  bool exit_protection() const;
+  LibosBackend libos_backend() const;
+  bool libos_overheads() const { return config_.mode != SimMode::kNative; }
+
+  const Bytes& firmware_image() const { return firmware_image_; }
+  ClientTrustAnchors MakeTrustAnchors() const;
+
+  // Spawns a process and (in Erebor modes) wraps it in a sandbox.
+  StatusOr<Task*> LaunchProcess(const std::string& name, ProgramFn program);
+  StatusOr<Sandbox*> LaunchSandboxProcess(const std::string& name, const SandboxSpec& spec,
+                                          ProgramFn program, Task** task_out = nullptr);
+
+  // Spawns the untrusted network proxy (Erebor modes); it pumps packets between the
+  // monitor and the host network until StopProxy().
+  Status StartProxy();
+  void StopProxy() { proxy_stop_ = true; }
+
+  // "Remote" side of the network (the client's vantage point).
+  void ClientSend(const Bytes& wire) { host_->network().WorldTransmit(wire); }
+  StatusOr<Bytes> ClientReceive() { return host_->network().WorldReceive(); }
+
+  // Runs the scheduler until `done` returns true or no task is runnable.
+  Status RunUntil(const std::function<bool()>& done, uint64_t max_slices = 2'000'000);
+
+ private:
+  WorldConfig config_;
+  Bytes firmware_image_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<TdxModule> tdx_;
+  std::unique_ptr<HostVmm> host_;
+  std::unique_ptr<EreborMonitor> monitor_;
+  std::unique_ptr<NativePrivOps> native_ops_;
+  std::unique_ptr<EmcPrivOps> emc_ops_;
+  PrivilegedOps* active_ops_ = nullptr;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<HostAttacker> attacker_;
+  bool proxy_stop_ = false;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_SIM_WORLD_H_

@@ -1,0 +1,44 @@
+// Guest-Host Communication Interface (GHCI) request/response structures used for
+// synchronous CVM exits (tdcall with the vmcall leaf), per Figure 1 of the paper.
+#ifndef EREBOR_SRC_TDX_GHCI_H_
+#define EREBOR_SRC_TDX_GHCI_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace erebor {
+
+enum class GhciReason : uint32_t {
+  kCpuid,      // CPUID emulation request
+  kMmioRead,   // device MMIO read
+  kMmioWrite,  // device MMIO write
+  kNetTx,      // transmit a packet buffer (shared memory)
+  kNetRx,      // poll for a received packet
+  kHalt,       // idle / yield to host
+};
+
+struct GhciRequest {
+  GhciReason reason = GhciReason::kHalt;
+  uint64_t arg0 = 0;  // e.g. cpuid leaf, MMIO gpa, packet gpa
+  uint64_t arg1 = 0;  // e.g. cpuid subleaf, MMIO size, packet length
+};
+
+struct GhciResponse {
+  uint64_t ret0 = 0;
+  uint64_t ret1 = 0;
+  Bytes payload;  // host-filled payload (e.g. received packet)
+};
+
+// tdcall leaf numbers (subset of the real interface).
+namespace tdcall_leaf {
+inline constexpr uint64_t kVmcall = 0;       // TDG.VP.VMCALL: synchronous exit to host
+inline constexpr uint64_t kTdReport = 4;     // TDG.MR.REPORT
+inline constexpr uint64_t kRtmrExtend = 2;   // TDG.MR.RTMR.EXTEND
+inline constexpr uint64_t kMapGpa = 16;      // TDG.VP.VMCALL<MapGPA>: shared<->private
+inline constexpr uint64_t kAcceptPage = 6;   // TDG.MEM.PAGE.ACCEPT
+}  // namespace tdcall_leaf
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_TDX_GHCI_H_

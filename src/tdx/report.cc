@@ -1,0 +1,34 @@
+#include "src/tdx/report.h"
+
+namespace erebor {
+
+void MeasurementRegisters::ExtendRtmr(int index, const Digest256& digest) {
+  Sha256 hasher;
+  hasher.Update(rtmr[index].data(), rtmr[index].size());
+  hasher.Update(digest.data(), digest.size());
+  rtmr[index] = hasher.Finish();
+}
+
+void MeasurementRegisters::ExtendMrtd(const Digest256& digest) {
+  Sha256 hasher;
+  hasher.Update(mrtd.data(), mrtd.size());
+  hasher.Update(digest.data(), digest.size());
+  mrtd = hasher.Finish();
+}
+
+Bytes MeasurementRegisters::Serialize() const {
+  Bytes out;
+  out.insert(out.end(), mrtd.begin(), mrtd.end());
+  for (const auto& r : rtmr) {
+    out.insert(out.end(), r.begin(), r.end());
+  }
+  return out;
+}
+
+Bytes TdReport::SerializeForMac() const {
+  Bytes out = measurements.Serialize();
+  out.insert(out.end(), report_data.begin(), report_data.end());
+  return out;
+}
+
+}  // namespace erebor

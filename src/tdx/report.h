@@ -1,0 +1,44 @@
+// TDREPORT / quote structures (paper section 2.1 "Remote attestation").
+//
+// A TDREPORT binds the CVM's boot measurements (MRTD + runtime measurement registers)
+// to 64 bytes of guest-chosen report data, MAC'd with a key known only to the TDX
+// module/CPU. A quote wraps the report in a signature verifiable off-platform; the
+// simulation signs with a Schnorr key standing in for the Intel quoting enclave chain.
+#ifndef EREBOR_SRC_TDX_REPORT_H_
+#define EREBOR_SRC_TDX_REPORT_H_
+
+#include <array>
+
+#include "src/common/bytes.h"
+#include "src/crypto/group.h"
+#include "src/crypto/sha256.h"
+
+namespace erebor {
+
+struct MeasurementRegisters {
+  Digest256 mrtd{};                    // build-time measurement (firmware + monitor)
+  std::array<Digest256, 4> rtmr{};     // runtime measurement registers
+
+  // RTMR extension: rtmr[i] = SHA256(rtmr[i] || digest).
+  void ExtendRtmr(int index, const Digest256& digest);
+  void ExtendMrtd(const Digest256& digest);
+
+  Bytes Serialize() const;
+};
+
+struct TdReport {
+  MeasurementRegisters measurements;
+  std::array<uint8_t, 64> report_data{};
+  Digest256 mac{};  // integrity over measurements || report_data, keyed by the module
+
+  Bytes SerializeForMac() const;
+};
+
+struct TdQuote {
+  TdReport report;
+  Signature signature;  // over SerializeForMac(), by the platform attestation key
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_TDX_REPORT_H_

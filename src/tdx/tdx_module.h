@@ -1,0 +1,92 @@
+// Simulated TDX module: the trusted, Intel-signed software that mediates between the
+// CVM guest and the untrusted host (paper section 2.1).
+//
+// Responsibilities modelled:
+//  - the secure EPT: per-frame private/shared state, flipped only via tdcall(MapGPA);
+//  - tdcall leaves: VMCALL (synchronous exit via GHCI), TDREPORT, RTMR extension;
+//  - asynchronous exit context protection: guest registers are saved and scrubbed
+//    before the host regains control, and restored on re-entry;
+//  - quote signing with the platform attestation key.
+#ifndef EREBOR_SRC_TDX_TDX_MODULE_H_
+#define EREBOR_SRC_TDX_TDX_MODULE_H_
+
+#include <functional>
+#include <map>
+
+#include "src/crypto/group.h"
+#include "src/crypto/hmac.h"
+#include "src/hw/cpu.h"
+#include "src/hw/machine.h"
+#include "src/tdx/ghci.h"
+#include "src/tdx/report.h"
+
+namespace erebor {
+
+// Host-side VMCALL handler (implemented by host::HostVmm).
+class VmcallSink {
+ public:
+  virtual ~VmcallSink() = default;
+  virtual GhciResponse HandleVmcall(const GhciRequest& request) = 0;
+};
+
+class TdxModule : public TdcallSink {
+ public:
+  explicit TdxModule(Machine* machine);
+
+  void SetVmcallSink(VmcallSink* sink) { vmcall_sink_ = sink; }
+
+  // ---- Measured boot ----
+  // Called by the loader for the firmware and monitor binaries before guest launch.
+  void MeasureBootComponent(const Bytes& binary);
+  const MeasurementRegisters& measurements() const { return measurements_; }
+
+  // ---- TdcallSink ----
+  // args layout per leaf:
+  //   kVmcall:     args[0]=GhciReason, args[1..2]=request args; response written to
+  //                args[1..2] and, for payloads, to the guest buffer named by args[1].
+  //   kTdReport:   args[0]=gpa of 64-byte report_data in, args[1]=gpa of report out.
+  //   kMapGpa:     args[0]=gpa, args[1]=num pages, args[2]=1 for shared / 0 private.
+  //   kRtmrExtend: args[0]=rtmr index, args[1]=gpa of 32-byte digest.
+  Status Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) override;
+
+  // Reads back a report deposited by the kTdReport leaf (simulation-side accessor used
+  // by the monitor, which in real hardware would parse the guest buffer).
+  StatusOr<TdReport> TakeLastReport();
+
+  // ---- Quote signing (quoting-enclave stand-in) ----
+  TdQuote SignQuote(const TdReport& report);
+  const U256& attestation_public_key() const { return attestation_key_.public_key; }
+
+  // ---- Asynchronous exits (host preemption) ----
+  // The TDX module saves and scrubs guest register state so the host observes nothing.
+  void AsyncExitToHost(Cpu& cpu);
+  void ResumeFromHost(Cpu& cpu);
+  bool HasSavedContext(int cpu_index) const;
+  // What the *host* can see of the guest registers after an async exit (all zeros).
+  Gprs HostVisibleGuestState(const Cpu& cpu) const;
+
+  // Statistics.
+  uint64_t vmcall_count() const { return vmcall_count_; }
+  uint64_t map_gpa_count() const { return map_gpa_count_; }
+  uint64_t report_count() const { return report_count_; }
+
+ private:
+  GhciResponse DispatchVmcall(const GhciRequest& request);
+
+  Machine* machine_;
+  VmcallSink* vmcall_sink_ = nullptr;
+  MeasurementRegisters measurements_;
+  Bytes report_mac_key_;         // module-internal HMAC key
+  KeyPair attestation_key_;      // platform quote-signing key
+  Rng rng_;
+  std::map<int, Gprs> saved_contexts_;
+  bool has_last_report_ = false;
+  TdReport last_report_;
+  uint64_t vmcall_count_ = 0;
+  uint64_t map_gpa_count_ = 0;
+  uint64_t report_count_ = 0;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_TDX_TDX_MODULE_H_

@@ -1,0 +1,35 @@
+// System-intensive background servers (Figure 10): OpenSSH-style (per-chunk crypto)
+// and Nginx-style (plain sendfile-ish) file transfer services running as normal
+// non-sandboxed processes. Throughput relative to Native across file sizes shows the
+// interposition overhead amortizing with transfer size.
+#ifndef EREBOR_SRC_WORKLOADS_FILESERVER_H_
+#define EREBOR_SRC_WORKLOADS_FILESERVER_H_
+
+#include "src/sim/world.h"
+
+namespace erebor {
+
+enum class ServerKind : uint8_t { kOpenSsh, kNginx };
+
+struct FileServerResult {
+  ServerKind kind = ServerKind::kNginx;
+  uint64_t file_bytes = 0;
+  uint64_t requests = 0;
+  Cycles total_cycles = 0;
+  double throughput_bytes_per_sec() const {
+    return total_cycles == 0
+               ? 0
+               : static_cast<double>(file_bytes) * requests * 2.1e9 / total_cycles;
+  }
+};
+
+// Serves `requests` transfers of a `file_bytes` file in the given mode.
+StatusOr<FileServerResult> RunFileServer(ServerKind kind, SimMode mode,
+                                         uint64_t file_bytes, uint64_t requests);
+
+// The Figure 10 file-size sweep.
+std::vector<uint64_t> FileServerSizes();
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_WORKLOADS_FILESERVER_H_

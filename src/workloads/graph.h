@@ -1,0 +1,37 @@
+// Graph processing service (GraphChi-style PageRank, Table 5 row 4).
+//
+// The client sends an edge list (its private social graph); the service builds a CSR
+// in confined memory and runs PageRank iterations over it (fixed-point arithmetic),
+// returning the top-ranked vertices. No common region: everything is client data.
+#ifndef EREBOR_SRC_WORKLOADS_GRAPH_H_
+#define EREBOR_SRC_WORKLOADS_GRAPH_H_
+
+#include "src/workloads/workload.h"
+
+namespace erebor {
+
+struct GraphParams {
+  uint32_t num_nodes = 24'000;
+  uint32_t num_edges = 160'000;  // (paper: 6.8M edges, scaled)
+  uint32_t iterations = 16;
+  int threads = 4;
+};
+
+class GraphWorkload : public Workload {
+ public:
+  explicit GraphWorkload(GraphParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "graphchi"; }
+  LibosManifest Manifest() const override;
+  Bytes MakeClientInput(uint64_t seed) const override;
+  uint64_t background_vm_rate() const override { return 60'000; }
+  ProgramFn MakeProgram(std::shared_ptr<AppState> state) override;
+  bool CheckOutput(const Bytes& input, const Bytes& output) const override;
+
+ private:
+  GraphParams params_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_WORKLOADS_GRAPH_H_

@@ -1,0 +1,36 @@
+// Cloud intrusion-detection service (Unicorn-style streaming provenance analysis,
+// Table 5 row 5). The client sends a parsed event log; the service streams it through
+// sliding-window feature hashing into per-window sketch histograms (confined memory)
+// and scores each window against a baseline, returning flagged windows.
+#ifndef EREBOR_SRC_WORKLOADS_IDS_H_
+#define EREBOR_SRC_WORKLOADS_IDS_H_
+
+#include "src/workloads/workload.h"
+
+namespace erebor {
+
+struct IdsParams {
+  uint32_t num_events = 240'000;   // 16-byte events -> ~2 MB log (paper: 20 MB)
+  uint32_t window_events = 2'048;
+  uint32_t sketch_bins = 4'096;
+  int threads = 4;
+};
+
+class IdsWorkload : public Workload {
+ public:
+  explicit IdsWorkload(IdsParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "unicorn"; }
+  LibosManifest Manifest() const override;
+  Bytes MakeClientInput(uint64_t seed) const override;
+  uint64_t background_vm_rate() const override { return 52'000; }
+  ProgramFn MakeProgram(std::shared_ptr<AppState> state) override;
+  bool CheckOutput(const Bytes& input, const Bytes& output) const override;
+
+ private:
+  IdsParams params_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_WORKLOADS_IDS_H_

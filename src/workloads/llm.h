@@ -1,0 +1,46 @@
+// LLM inference service (llama.cpp stand-in, Table 5 row 1).
+//
+// A scaled-down decoder-only transformer: byte-level vocabulary, integer weights held
+// in the *common* region (the shared model, read-only across sandboxes), per-client
+// K-V cache in *confined* memory. The client sends a prompt; the service generates
+// tokens greedily and returns the text. Worker threads share the per-layer work queue
+// under a userspace spinlock (the LibOS-only overhead source the paper observes).
+#ifndef EREBOR_SRC_WORKLOADS_LLM_H_
+#define EREBOR_SRC_WORKLOADS_LLM_H_
+
+#include "src/workloads/workload.h"
+
+namespace erebor {
+
+struct LlmParams {
+  uint32_t dim = 48;
+  uint32_t layers = 3;
+  uint32_t context = 96;
+  uint32_t generate_tokens = 192;
+  uint32_t experts = 96;             // model shards touched pseudo-randomly per token
+  uint64_t model_bytes = 24ull << 20;  // common-region model size
+  int threads = 4;
+};
+
+class LlmWorkload : public Workload {
+ public:
+  explicit LlmWorkload(LlmParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "llama.cpp"; }
+  LibosManifest Manifest() const override;
+  uint64_t common_bytes() const override { return params_.model_bytes; }
+  void FillCommonPage(uint64_t page_index, uint8_t* page) const override;
+  Bytes MakeClientInput(uint64_t seed) const override;
+  uint64_t background_vm_rate() const override { return 45'000; }
+  ProgramFn MakeProgram(std::shared_ptr<AppState> state) override;
+  bool CheckOutput(const Bytes& input, const Bytes& output) const override;
+
+  const LlmParams& params() const { return params_; }
+
+ private:
+  LlmParams params_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_WORKLOADS_LLM_H_

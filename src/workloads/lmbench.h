@@ -1,0 +1,36 @@
+// LMBench-style system microbenchmarks (Figure 8). Each benchmark runs as a normal
+// (non-sandboxed) process and measures cycles/operation, so running it under Native
+// and Erebor worlds yields the paper's relative-latency bars plus the EMC/s rates.
+#ifndef EREBOR_SRC_WORKLOADS_LMBENCH_H_
+#define EREBOR_SRC_WORKLOADS_LMBENCH_H_
+
+#include "src/sim/world.h"
+
+namespace erebor {
+
+struct LmbenchResult {
+  std::string name;
+  uint64_t operations = 0;
+  Cycles total_cycles = 0;
+  uint64_t emc_count = 0;
+  double cycles_per_op() const {
+    return operations == 0 ? 0 : static_cast<double>(total_cycles) / operations;
+  }
+  double emc_per_sec() const {
+    return total_cycles == 0 ? 0 : emc_count * 2.1e9 / total_cycles;
+  }
+};
+
+// The Figure 8 benchmark set.
+std::vector<std::string> LmbenchNames();
+
+// Runs one named benchmark (`null`, `read`, `write`, `stat`, `sig`, `fork`, `mmap`,
+// `pagefault`) in the given world-mode for `iterations` operations.
+// batched_mmu enables the monitor's batched MMU updates (ablation for the paper's
+// section 9.1 remark that fork/pagefault costs drop with batching).
+StatusOr<LmbenchResult> RunLmbench(const std::string& name, SimMode mode,
+                                   uint64_t iterations = 2000, bool batched_mmu = false);
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_WORKLOADS_LMBENCH_H_

@@ -1,0 +1,40 @@
+#include "src/workloads/workload.h"
+
+#include "src/workloads/graph.h"
+#include "src/workloads/ids.h"
+#include "src/workloads/llm.h"
+#include "src/workloads/retrieval.h"
+#include "src/workloads/vision.h"
+
+namespace erebor {
+
+std::vector<std::unique_ptr<Workload>> MakePaperWorkloads() {
+  std::vector<std::unique_ptr<Workload>> workloads;
+  workloads.push_back(std::make_unique<LlmWorkload>());
+  workloads.push_back(std::make_unique<VisionWorkload>());
+  workloads.push_back(std::make_unique<RetrievalWorkload>());
+  workloads.push_back(std::make_unique<GraphWorkload>());
+  workloads.push_back(std::make_unique<IdsWorkload>());
+  return workloads;
+}
+
+std::unique_ptr<Workload> MakeWorkloadByName(const std::string& name) {
+  if (name == "llama.cpp" || name == "llama" || name == "llm") {
+    return std::make_unique<LlmWorkload>();
+  }
+  if (name == "yolo" || name == "vision") {
+    return std::make_unique<VisionWorkload>();
+  }
+  if (name == "drugbank" || name == "retrieval") {
+    return std::make_unique<RetrievalWorkload>();
+  }
+  if (name == "graphchi" || name == "graph") {
+    return std::make_unique<GraphWorkload>();
+  }
+  if (name == "unicorn" || name == "ids") {
+    return std::make_unique<IdsWorkload>();
+  }
+  return nullptr;
+}
+
+}  // namespace erebor

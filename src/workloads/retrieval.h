@@ -1,0 +1,46 @@
+// Private information retrieval service (DrugBank-style in-memory database, Table 5
+// row 3). The database is an open-addressing hash table in the common region; the
+// client sends a batch of record keys (Zipf-skewed), the service probes the table and
+// returns per-query record checksums.
+#ifndef EREBOR_SRC_WORKLOADS_RETRIEVAL_H_
+#define EREBOR_SRC_WORKLOADS_RETRIEVAL_H_
+
+#include "src/workloads/workload.h"
+
+namespace erebor {
+
+struct RetrievalParams {
+  uint64_t num_records = 48 * 1024;  // 64-byte records -> 3 MiB table (paper: 400 MB)
+  uint32_t num_queries = 150'000;     // (paper: 2.2M, scaled)
+  int threads = 4;
+};
+
+// Record layout (64 bytes): key(8) | flags(8) | payload(48).
+inline constexpr uint64_t kRetrievalRecordSize = 64;
+
+uint64_t RetrievalKeyForRecord(uint64_t index);
+
+class RetrievalWorkload : public Workload {
+ public:
+  explicit RetrievalWorkload(RetrievalParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "drugbank"; }
+  LibosManifest Manifest() const override;
+  uint64_t common_bytes() const override {
+    return params_.num_records * kRetrievalRecordSize;
+  }
+  void FillCommonPage(uint64_t page_index, uint8_t* page) const override;
+  Bytes MakeClientInput(uint64_t seed) const override;
+  uint64_t background_vm_rate() const override { return 85'000; }
+  ProgramFn MakeProgram(std::shared_ptr<AppState> state) override;
+  bool CheckOutput(const Bytes& input, const Bytes& output) const override;
+
+  const RetrievalParams& params() const { return params_; }
+
+ private:
+  RetrievalParams params_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_WORKLOADS_RETRIEVAL_H_

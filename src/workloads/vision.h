@@ -1,0 +1,40 @@
+// Image-processing service (NCNN/YOLO-style segmentation, Table 5 row 2).
+//
+// The client sends a batch of grayscale images; the service runs a small convolution
+// pyramid (real integer convolutions over the pixel data in confined memory, kernels
+// from the common model region) and returns per-image segment statistics.
+#ifndef EREBOR_SRC_WORKLOADS_VISION_H_
+#define EREBOR_SRC_WORKLOADS_VISION_H_
+
+#include "src/workloads/workload.h"
+
+namespace erebor {
+
+struct VisionParams {
+  uint32_t image_dim = 64;     // images are dim x dim bytes
+  uint32_t num_images = 96;
+  uint32_t conv_layers = 2;
+  uint64_t model_bytes = 2ull << 20;  // common model (kernels + LUTs)
+  int threads = 4;
+};
+
+class VisionWorkload : public Workload {
+ public:
+  explicit VisionWorkload(VisionParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "yolo"; }
+  LibosManifest Manifest() const override;
+  uint64_t common_bytes() const override { return params_.model_bytes; }
+  void FillCommonPage(uint64_t page_index, uint8_t* page) const override;
+  Bytes MakeClientInput(uint64_t seed) const override;
+  uint64_t background_vm_rate() const override { return 75'000; }
+  ProgramFn MakeProgram(std::shared_ptr<AppState> state) override;
+  bool CheckOutput(const Bytes& input, const Bytes& output) const override;
+
+ private:
+  VisionParams params_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_WORKLOADS_VISION_H_

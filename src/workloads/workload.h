@@ -1,0 +1,78 @@
+// Common harness for the paper's five real-world service workloads (Table 5).
+//
+// Each workload is a real (scaled-down) computation written against the LibOS API.
+// It runs unmodified in every evaluation mode; the harness (runner.h) measures the
+// initialization and data-processing phases in simulated cycles and collects the
+// Table-6 statistics.
+#ifndef EREBOR_SRC_WORKLOADS_WORKLOAD_H_
+#define EREBOR_SRC_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+
+#include "src/libos/libos.h"
+
+namespace erebor {
+
+// Shared run-state between the harness and the application program.
+struct AppState {
+  std::shared_ptr<LibosEnv> env;
+  bool init_done = false;     // set by the app when ready for client data
+  bool output_sent = false;   // set by the app after SendOutput
+  bool failed = false;
+  std::string failure;
+  Vaddr common_base = 0;      // where the common region is mapped (0 = none)
+  uint64_t common_bytes = 0;
+  int workers_running = 0;
+  // Scratch shared between leader and worker threads (workload-specific use).
+  std::vector<uint64_t> shared_u64;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual LibosManifest Manifest() const = 0;
+
+  // Size of the provider's shared instance (model/database); 0 if none.
+  virtual uint64_t common_bytes() const { return 0; }
+  // Deterministically fills one 4 KiB page of the common region (provider data).
+  virtual void FillCommonPage(uint64_t page_index, uint8_t* page) const {}
+
+  // The client's request payload.
+  virtual Bytes MakeClientInput(uint64_t seed) const = 0;
+
+  // Rate (PTE updates/second) of the service's background virtual-memory activity —
+  // page-cache churn, allocator trimming, buffer recycling. This drives the bulk of
+  // Table 6's EMC/s once the MMU interface is virtualized.
+  virtual uint64_t background_vm_rate() const { return 40'000; }
+
+  // Builds the leader program. It must: initialize the LibOS env, optionally populate
+  // the common region (pre-seal), set state->init_done, then await input via
+  // env->RecvInput, process, SendOutput, set state->output_sent, and exit.
+  virtual ProgramFn MakeProgram(std::shared_ptr<AppState> state) = 0;
+
+  // Expected sanity property of the output given the input (used by tests).
+  virtual bool CheckOutput(const Bytes& input, const Bytes& output) const { return true; }
+};
+
+// Helpers shared by workload implementations.
+
+// Touches + returns a page pointer, recording a failure into state on error.
+inline uint8_t* MustPage(SyscallContext& ctx, AppState& state, Vaddr va, bool write) {
+  auto ptr = ctx.PagePtr(va, write);
+  if (!ptr.ok()) {
+    state.failed = true;
+    state.failure = std::string(ptr.status().message());
+    return nullptr;
+  }
+  return *ptr;
+}
+
+// Registry of the five paper workloads (llm, vision, retrieval, graph, ids).
+std::vector<std::unique_ptr<Workload>> MakePaperWorkloads();
+std::unique_ptr<Workload> MakeWorkloadByName(const std::string& name);
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/client/client.h"
+#include "src/libos/libos.h"
+#include "src/sim/world.h"
+
+namespace erebor {
+namespace {
+
+// ---- Wire format ----
+
+TEST(PacketTest, ClientHelloRoundTrip) {
+  Rng rng(1);
+  Packet packet;
+  packet.type = PacketType::kClientHello;
+  packet.sandbox_id = 7;
+  packet.client_public = GenerateKeyPair(GroupParams::Default(), rng).public_key;
+  rng.Fill(packet.nonce.data(), packet.nonce.size());
+  const auto back = Packet::Deserialize(packet.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, PacketType::kClientHello);
+  EXPECT_EQ(back->sandbox_id, 7);
+  EXPECT_EQ(back->client_public, packet.client_public);
+  EXPECT_EQ(back->nonce, packet.nonce);
+}
+
+TEST(PacketTest, DataRecordRoundTrip) {
+  Packet packet;
+  packet.type = PacketType::kDataRecord;
+  packet.sandbox_id = 3;
+  packet.record.sequence = 42;
+  packet.record.ciphertext = ToBytes("ciphertext bytes");
+  packet.record.tag.fill(0xAD);
+  const auto back = Packet::Deserialize(packet.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->record.sequence, 42u);
+  EXPECT_EQ(back->record.ciphertext, packet.record.ciphertext);
+  EXPECT_EQ(back->record.tag, packet.record.tag);
+}
+
+TEST(PacketTest, RejectsGarbage) {
+  EXPECT_FALSE(Packet::Deserialize(ToBytes("x")).ok());
+  EXPECT_FALSE(Packet::Deserialize(Bytes{0x63, 0, 0, 0, 0}).ok());  // unknown type
+}
+
+class PaddingTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(PaddingTest, PadUnpadRoundTripsAndQuantizes) {
+  Bytes data(GetParam(), 0x5C);
+  const Bytes padded = PadOutput(data, 4096);
+  EXPECT_EQ(padded.size() % 4096, 0u);
+  const auto back = UnpadOutput(padded);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PaddingTest,
+                         testing::Values(0, 1, 100, 4087, 4088, 4089, 65536));
+
+TEST(PaddingTest, SameQuantumHidesSizeDifferences) {
+  // Two outputs of different sizes produce identical wire lengths.
+  EXPECT_EQ(PadOutput(Bytes(10, 1), 4096).size(), PadOutput(Bytes(3000, 2), 4096).size());
+}
+
+// ---- End-to-end attestation + data exchange over the untrusted network ----
+
+class ChannelE2eTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    WorldConfig config;
+    config.mode = SimMode::kEreborFull;
+    config.machine.num_cpus = 2;
+    world_ = std::make_unique<World>(config);
+    ASSERT_TRUE(world_->Boot().ok());
+    ASSERT_TRUE(world_->StartProxy().ok());
+
+    // An echo sandbox: receives input, sends back a transformed copy.
+    SandboxSpec spec;
+    spec.name = "echo";
+    auto sandbox = world_->LaunchSandboxProcess(
+        "echo", spec,
+        [this](SyscallContext& ctx) -> StepOutcome {
+          if (!env_) {
+            env_ = std::make_shared<LibosEnv>(
+                LibosManifest{.name = "echo", .heap_bytes = 1 << 20},
+                LibosBackend::kSandboxed);
+          }
+          if (!env_->initialized()) {
+            EXPECT_TRUE(env_->Initialize(ctx).ok());
+            return StepOutcome::kYield;
+          }
+          auto input = env_->RecvInput(ctx, 8192);
+          if (!input.ok()) {
+            return StepOutcome::kYield;
+          }
+          Bytes out = *input;
+          for (uint8_t& b : out) {
+            b ^= 0x20;  // "process" the data
+          }
+          EXPECT_TRUE(env_->SendOutput(ctx, out).ok());
+          served_ = true;
+          return StepOutcome::kYield;  // stay alive for Fin
+        },
+        &task_);
+    ASSERT_TRUE(sandbox.ok());
+    sandbox_ = *sandbox;
+  }
+
+  // Runs the guest until the client's receive queue has a packet.
+  StatusOr<Bytes> PumpUntilClientPacket() {
+    Bytes wire;
+    const Status st = world_->RunUntil([&] {
+      auto packet = world_->ClientReceive();
+      if (packet.ok()) {
+        wire = *packet;
+        return true;
+      }
+      return false;
+    });
+    if (!st.ok()) {
+      return st;
+    }
+    return wire;
+  }
+
+  std::unique_ptr<World> world_;
+  std::shared_ptr<LibosEnv> env_;
+  Sandbox* sandbox_ = nullptr;
+  Task* task_ = nullptr;
+  bool served_ = false;
+};
+
+TEST_F(ChannelE2eTest, FullAttestationAndDataRoundTrip) {
+  RemoteClient client(world_->MakeTrustAnchors(), /*seed=*/77);
+
+  // 1. Handshake.
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok()) << server_hello.status().ToString();
+  ASSERT_TRUE(client.ProcessServerHello(*server_hello).ok());
+  EXPECT_TRUE(client.established());
+
+  // 2. Send encrypted data; the host/proxy only ever see ciphertext.
+  const Bytes secret = ToBytes("attack at dawn");
+  const Bytes data_wire = client.SealData(secret);
+  EXPECT_EQ(std::search(data_wire.begin(), data_wire.end(), secret.begin(),
+                        secret.end()),
+            data_wire.end());
+  world_->ClientSend(data_wire);
+
+  // 3. Receive the (padded, encrypted) result.
+  auto result_wire = PumpUntilClientPacket();
+  ASSERT_TRUE(result_wire.ok()) << result_wire.status().ToString();
+  const auto result = client.OpenResult(*result_wire);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Bytes expected = secret;
+  for (uint8_t& b : expected) {
+    b ^= 0x20;
+  }
+  EXPECT_EQ(*result, expected);
+  EXPECT_TRUE(served_);
+  EXPECT_EQ(sandbox_->state, SandboxState::kSealed);
+
+  // 4. Fin tears the sandbox down.
+  world_->ClientSend(client.MakeFin());
+  ASSERT_TRUE(
+      world_->RunUntil([&] { return sandbox_->state == SandboxState::kTornDown; }).ok());
+}
+
+TEST_F(ChannelE2eTest, ClientRejectsWrongMeasurement) {
+  ClientTrustAnchors anchors = world_->MakeTrustAnchors();
+  anchors.expected_mrtd[0] ^= 1;  // expects a different monitor build
+  RemoteClient client(anchors, 78);
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok());
+  EXPECT_EQ(client.ProcessServerHello(*server_hello).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(ChannelE2eTest, ClientRejectsQuoteFromWrongPlatform) {
+  ClientTrustAnchors anchors = world_->MakeTrustAnchors();
+  Rng rng(5);
+  anchors.platform_attestation_key =
+      GenerateKeyPair(GroupParams::Default(), rng).public_key;
+  RemoteClient client(anchors, 79);
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok());
+  EXPECT_FALSE(client.ProcessServerHello(*server_hello).ok());
+}
+
+TEST_F(ChannelE2eTest, MitmCannotSubstituteDhShare) {
+  // A malicious host swaps the monitor's DH share in the ServerHello. The quote's
+  // report_data binds the transcript, so the client detects the substitution.
+  RemoteClient client(world_->MakeTrustAnchors(), 80);
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  auto server_hello_wire = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello_wire.ok());
+  auto packet = Packet::Deserialize(*server_hello_wire);
+  ASSERT_TRUE(packet.ok());
+  Rng rng(6);
+  packet->monitor_public = GenerateKeyPair(GroupParams::Default(), rng).public_key;
+  EXPECT_FALSE(client.ProcessServerHello(packet->Serialize()).ok());
+}
+
+TEST_F(ChannelE2eTest, ReplayedDataRecordRejected) {
+  RemoteClient client(world_->MakeTrustAnchors(), 81);
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok());
+  ASSERT_TRUE(client.ProcessServerHello(*server_hello).ok());
+
+  const Bytes wire = client.SealData(ToBytes("first"));
+  world_->ClientSend(wire);
+  auto result = PumpUntilClientPacket();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 1u);
+
+  // Replaying the same record does not advance the session (AEAD sequence check).
+  world_->ClientSend(wire);
+  world_->kernel().Run(2000);
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 1u);
+}
+
+
+TEST_F(ChannelE2eTest, ConcurrentSessionsAreIsolated) {
+  // A second sandbox + client alongside the fixture's; the two sessions interleave
+  // over the same proxy and network, and neither can touch the other's data.
+  SandboxSpec spec;
+  spec.name = "echo2";
+  auto env2 = std::make_shared<LibosEnv>(
+      LibosManifest{.name = "echo2", .heap_bytes = 1 << 20}, LibosBackend::kSandboxed);
+  auto sandbox2 = world_->LaunchSandboxProcess(
+      "echo2", spec, [env2](SyscallContext& ctx) -> StepOutcome {
+        if (!env2->initialized()) {
+          EXPECT_TRUE(env2->Initialize(ctx).ok());
+          return StepOutcome::kYield;
+        }
+        auto input = env2->RecvInput(ctx, 8192);
+        if (!input.ok()) {
+          return StepOutcome::kYield;
+        }
+        Bytes out = *input;
+        for (uint8_t& b : out) {
+          b ^= 0x20;
+        }
+        EXPECT_TRUE(env2->SendOutput(ctx, out).ok());
+        return StepOutcome::kYield;
+      });
+  ASSERT_TRUE(sandbox2.ok());
+
+  RemoteClient alice(world_->MakeTrustAnchors(), 501);
+  RemoteClient bob(world_->MakeTrustAnchors(), 502);
+  world_->ClientSend(alice.MakeHello(sandbox_->id));
+  auto hello_a = PumpUntilClientPacket();
+  ASSERT_TRUE(hello_a.ok());
+  ASSERT_TRUE(alice.ProcessServerHello(*hello_a).ok());
+  world_->ClientSend(bob.MakeHello((*sandbox2)->id));
+  auto hello_b = PumpUntilClientPacket();
+  ASSERT_TRUE(hello_b.ok());
+  ASSERT_TRUE(bob.ProcessServerHello(*hello_b).ok());
+
+  // Interleave data records.
+  world_->ClientSend(alice.SealData(ToBytes("alice-data")));
+  world_->ClientSend(bob.SealData(ToBytes("bob-data")));
+  auto result1 = PumpUntilClientPacket();
+  ASSERT_TRUE(result1.ok());
+  auto result2 = PumpUntilClientPacket();
+  ASSERT_TRUE(result2.ok());
+
+  // Results arrive tagged for each sandbox; each client opens exactly its own.
+  auto try_open = [&](RemoteClient& client, const Bytes& wire) -> StatusOr<Bytes> {
+    return client.OpenResult(wire);
+  };
+  Bytes alice_plain, bob_plain;
+  for (const Bytes* wire : {&*result1, &*result2}) {
+    const auto packet = Packet::Deserialize(*wire);
+    ASSERT_TRUE(packet.ok());
+    if (packet->sandbox_id == sandbox_->id) {
+      auto r = try_open(alice, *wire);
+      ASSERT_TRUE(r.ok());
+      alice_plain = *r;
+      // Bob must NOT be able to open Alice's result (different session keys).
+      EXPECT_FALSE(try_open(bob, *wire).ok());
+    } else {
+      auto r = try_open(bob, *wire);
+      ASSERT_TRUE(r.ok());
+      bob_plain = *r;
+    }
+  }
+  Bytes expect_a = ToBytes("alice-data");
+  Bytes expect_b = ToBytes("bob-data");
+  for (uint8_t& b : expect_a) {
+    b ^= 0x20;
+  }
+  for (uint8_t& b : expect_b) {
+    b ^= 0x20;
+  }
+  EXPECT_EQ(alice_plain, expect_a);
+  EXPECT_EQ(bob_plain, expect_b);
+}
+
+TEST_F(ChannelE2eTest, CrossSessionRecordInjectionRejected) {
+  // A malicious network re-tags Bob's record with Alice's sandbox id; the AEAD keys
+  // do not match and the monitor must reject it without sealing in bad data.
+  SandboxSpec spec;
+  spec.name = "victim2";
+  auto sandbox2 = world_->LaunchSandboxProcess(
+      "victim2", spec, [](SyscallContext&) { return StepOutcome::kYield; });
+  ASSERT_TRUE(sandbox2.ok());
+
+  RemoteClient alice(world_->MakeTrustAnchors(), 601);
+  RemoteClient bob(world_->MakeTrustAnchors(), 602);
+  world_->ClientSend(alice.MakeHello(sandbox_->id));
+  auto hello_a = PumpUntilClientPacket();
+  ASSERT_TRUE(hello_a.ok());
+  ASSERT_TRUE(alice.ProcessServerHello(*hello_a).ok());
+  world_->ClientSend(bob.MakeHello((*sandbox2)->id));
+  auto hello_b = PumpUntilClientPacket();
+  ASSERT_TRUE(hello_b.ok());
+  ASSERT_TRUE(bob.ProcessServerHello(*hello_b).ok());
+
+  // Re-tag Bob's record for Alice's sandbox.
+  auto packet = Packet::Deserialize(bob.SealData(ToBytes("poison")));
+  ASSERT_TRUE(packet.ok());
+  packet->sandbox_id = sandbox_->id;
+  world_->ClientSend(packet->Serialize());
+  world_->kernel().Run(3000);
+  // Alice's sandbox received nothing and was not sealed by the forged record.
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 0u);
+  EXPECT_TRUE(sandbox_->input_plaintext.empty());
+}
+
+}  // namespace
+}  // namespace erebor

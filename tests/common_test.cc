@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace erebor {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = PermissionDeniedError("no entry");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(s.message(), "no entry");
+  EXPECT_EQ(s.ToString(), "PERMISSION_DENIED: no entry");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(UnavailableError("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(AbortedError("x").code(), ErrorCode::kAborted);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  EREBOR_ASSIGN_OR_RETURN(*out, Half(x));
+  return OkStatus();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseHalf(7, &out).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+class RngBoundTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundTest, NextBelowStaysInBounds) {
+  Rng rng(GetParam());
+  for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST_P(RngBoundTest, ZipfStaysInBounds) {
+  Rng rng(GetParam());
+  for (uint64_t n : {2ull, 16ull, 1000ull, 1000000ull}) {
+    for (double s : {0.5, 0.8, 1.0, 1.2}) {
+      for (int i = 0; i < 100; ++i) {
+        EXPECT_LT(rng.NextZipf(n, s), n);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundTest, testing::Values(1, 42, 999, 123456789));
+
+TEST(RngTest, ZipfIsSkewed) {
+  // Low ranks must be much more frequent than high ranks.
+  Rng rng(7);
+  uint64_t low = 0, high = 0;
+  const uint64_t n = 10000;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t r = rng.NextZipf(n, 1.0);
+    if (r < n / 100) {
+      ++low;
+    }
+    if (r >= n / 2) {
+      ++high;
+    }
+  }
+  EXPECT_GT(low, high * 2);
+}
+
+TEST(RngTest, FillCoversBuffer) {
+  Rng rng(5);
+  uint8_t buf[37];
+  std::memset(buf, 0, sizeof(buf));
+  rng.Fill(buf, sizeof(buf));
+  int nonzero = 0;
+  for (uint8_t b : buf) {
+    nonzero += b != 0;
+  }
+  EXPECT_GT(nonzero, 20);
+}
+
+TEST(GraphGenTest, PowerLawGraphShape) {
+  const EdgeList g = GeneratePowerLawGraph(1000, 5000, 3);
+  EXPECT_EQ(g.num_nodes, 1000u);
+  EXPECT_EQ(g.edges.size(), 5000u);
+  std::vector<int> in_degree(1000, 0);
+  for (const auto& [src, dst] : g.edges) {
+    EXPECT_LT(src, 1000u);
+    EXPECT_LT(dst, 1000u);
+    ++in_degree[dst];
+  }
+  // Hubs exist: max in-degree far above average (5).
+  EXPECT_GT(*std::max_element(in_degree.begin(), in_degree.end()), 50);
+}
+
+TEST(BytesTest, HexEncode) {
+  const Bytes b = {0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(HexEncode(b), "0001abff");
+}
+
+TEST(BytesTest, LittleEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreLe64(buf, 0x1122334455667788ULL);
+  EXPECT_EQ(LoadLe64(buf), 0x1122334455667788ULL);
+  StoreLe32(buf, 0xDEADBEEF);
+  EXPECT_EQ(LoadLe32(buf), 0xDEADBEEFu);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+}
+
+TEST(BytesTest, SecureZero) {
+  Bytes b = {9, 9, 9, 9};
+  SecureZero(b);
+  for (uint8_t v : b) {
+    EXPECT_EQ(v, 0);
+  }
+}
+
+}  // namespace
+}  // namespace erebor

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/chacha20.h"
+#include "src/crypto/group.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/u256.h"
+
+namespace erebor {
+namespace {
+
+// ---- SHA-256 (FIPS 180-4 / NIST vectors) ----
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexEncode(Sha256::Hash("").data(), 32),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexEncode(Sha256::Hash("abc").data(), 32),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexEncode(
+                Sha256::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").data(),
+                32),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk);
+  }
+  EXPECT_EQ(HexEncode(hasher.Finish().data(), 32),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog multiple times";
+  Sha256 hasher;
+  for (char c : msg) {
+    hasher.Update(std::string_view(&c, 1));
+  }
+  EXPECT_EQ(hasher.Finish(), Sha256::Hash(msg));
+}
+
+// ---- HMAC-SHA256 (RFC 4231) ----
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  HmacSha256 mac(key);
+  mac.Update("Hi There");
+  EXPECT_EQ(HexEncode(mac.Finish().data(), 32),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const Bytes key = ToBytes("Jefe");
+  HmacSha256 mac(key);
+  mac.Update("what do ya want for nothing?");
+  EXPECT_EQ(HexEncode(mac.Finish().data(), 32),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3LongKeyData) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data).data(), 32),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, KeyLongerThanBlockIsHashed) {
+  const Bytes key(131, 0xaa);
+  HmacSha256 mac(key);
+  mac.Update("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(HexEncode(mac.Finish().data(), 32),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ---- HKDF (RFC 5869 test case 1) ----
+
+TEST(HkdfTest, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  Bytes salt(13);
+  for (int i = 0; i < 13; ++i) {
+    salt[i] = static_cast<uint8_t>(i);
+  }
+  const Digest256 prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(HexEncode(prk.data(), 32),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Bytes info(10);
+  for (int i = 0; i < 10; ++i) {
+    info[i] = static_cast<uint8_t>(0xf0 + i);
+  }
+  const Bytes okm =
+      HkdfExpand(prk, std::string_view(reinterpret_cast<char*>(info.data()), info.size()), 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// ---- U256 ----
+
+TEST(U256Test, HexRoundTrip) {
+  const std::string hex = "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f";
+  EXPECT_EQ(U256::FromHex(hex).ToHex(), hex);
+}
+
+TEST(U256Test, BytesRoundTrip) {
+  const U256 v(0x1122334455667788ULL, 0x99AABBCCDDEEFF00ULL, 1, 2);
+  const Bytes be = v.ToBytesBe();
+  EXPECT_EQ(U256::FromBytesBe(be.data(), be.size()), v);
+}
+
+TEST(U256Test, AddSubInverse) {
+  const U256 a = U256::FromHex("ffffffffffffffffffffffffffffffff");
+  const U256 b(12345);
+  EXPECT_EQ(U256::Sub(U256::Add(a, b), b), a);
+}
+
+TEST(U256Test, CompareOrdering) {
+  EXPECT_LT(U256(1), U256(2));
+  EXPECT_LT(U256(0xFFFFFFFFFFFFFFFFULL), U256(0, 1, 0, 0));
+  EXPECT_EQ(U256(7).Compare(U256(7)), 0);
+}
+
+TEST(U256Test, BitLength) {
+  EXPECT_EQ(U256().BitLength(), 0);
+  EXPECT_EQ(U256(1).BitLength(), 1);
+  EXPECT_EQ(U256(0xFF).BitLength(), 8);
+  EXPECT_EQ(U256(0, 0, 0, 1ULL << 63).BitLength(), 256);
+}
+
+class U256ModTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(U256ModTest, ModularIdentitiesAgainstSmallModel) {
+  // Property check against native __int128 arithmetic for 64-bit operands.
+  Rng rng(GetParam());
+  const uint64_t m64 = (rng.Next() | (1ULL << 62)) | 1;  // large odd modulus
+  const U256 mod(m64);
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t a64 = rng.Next() % m64;
+    const uint64_t b64 = rng.Next() % m64;
+    const U256 a(a64), b(b64);
+    EXPECT_EQ(U256::AddMod(a, b, mod).limb(0),
+              static_cast<uint64_t>((static_cast<__uint128_t>(a64) + b64) % m64));
+    EXPECT_EQ(U256::SubMod(a, b, mod).limb(0),
+              a64 >= b64 ? a64 - b64 : m64 - (b64 - a64));
+    EXPECT_EQ(U256::MulMod(a, b, mod).limb(0),
+              static_cast<uint64_t>(static_cast<__uint128_t>(a64) * b64 % m64));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256ModTest, testing::Values(11, 22, 33, 44));
+
+TEST(U256Test, PowModSmall) {
+  // 3^10 = 59049; mod 100000 stays as-is.
+  EXPECT_EQ(U256::PowMod(U256(3), U256(10), U256(100000)).limb(0), 59049u);
+  // Fermat: a^(p-1) = 1 mod p for prime p = 1000003.
+  EXPECT_EQ(U256::PowMod(U256(7), U256(1000002), U256(1000003)).limb(0), 1u);
+}
+
+TEST(U256Test, PowModLargeGroupOrder) {
+  // g^q == 1 mod p for the simulation group (g generates the order-q subgroup).
+  const GroupParams& g = GroupParams::Default();
+  EXPECT_EQ(U256::PowMod(g.g, g.q, g.p), U256(1));
+}
+
+// ---- DH + Schnorr ----
+
+TEST(GroupTest, DhCommutes) {
+  Rng rng(99);
+  const GroupParams& params = GroupParams::Default();
+  const KeyPair alice = GenerateKeyPair(params, rng);
+  const KeyPair bob = GenerateKeyPair(params, rng);
+  EXPECT_EQ(DhSharedSecret(params, alice.private_key, bob.public_key),
+            DhSharedSecret(params, bob.private_key, alice.public_key));
+}
+
+TEST(GroupTest, DhDiffersForDifferentPeers) {
+  Rng rng(100);
+  const GroupParams& params = GroupParams::Default();
+  const KeyPair alice = GenerateKeyPair(params, rng);
+  const KeyPair bob = GenerateKeyPair(params, rng);
+  const KeyPair carol = GenerateKeyPair(params, rng);
+  EXPECT_NE(DhSharedSecret(params, alice.private_key, bob.public_key),
+            DhSharedSecret(params, alice.private_key, carol.public_key));
+}
+
+TEST(GroupTest, SchnorrSignVerify) {
+  Rng rng(7);
+  const GroupParams& params = GroupParams::Default();
+  const KeyPair key = GenerateKeyPair(params, rng);
+  const Bytes msg = ToBytes("attestation quote contents");
+  const Signature sig = SchnorrSign(params, key.private_key, msg, rng);
+  EXPECT_TRUE(SchnorrVerify(params, key.public_key, msg, sig));
+}
+
+TEST(GroupTest, SchnorrRejectsTamperedMessage) {
+  Rng rng(8);
+  const GroupParams& params = GroupParams::Default();
+  const KeyPair key = GenerateKeyPair(params, rng);
+  const Signature sig = SchnorrSign(params, key.private_key, ToBytes("original"), rng);
+  EXPECT_FALSE(SchnorrVerify(params, key.public_key, ToBytes("tampered"), sig));
+}
+
+TEST(GroupTest, SchnorrRejectsWrongKey) {
+  Rng rng(9);
+  const GroupParams& params = GroupParams::Default();
+  const KeyPair key = GenerateKeyPair(params, rng);
+  const KeyPair other = GenerateKeyPair(params, rng);
+  const Bytes msg = ToBytes("message");
+  const Signature sig = SchnorrSign(params, key.private_key, msg, rng);
+  EXPECT_FALSE(SchnorrVerify(params, other.public_key, msg, sig));
+}
+
+TEST(GroupTest, SchnorrRejectsForgedSignature) {
+  Rng rng(10);
+  const GroupParams& params = GroupParams::Default();
+  const KeyPair key = GenerateKeyPair(params, rng);
+  const Bytes msg = ToBytes("message");
+  Signature sig = SchnorrSign(params, key.private_key, msg, rng);
+  sig.response = U256::AddMod(sig.response, U256(1), params.q);
+  EXPECT_FALSE(SchnorrVerify(params, key.public_key, msg, sig));
+}
+
+// ---- ChaCha20 (RFC 8439 section 2.4.2) ----
+
+TEST(ChaCha20Test, Rfc8439Vector) {
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  Bytes data = ToBytes(plaintext);
+  ChaCha20Xor(key, nonce, 1, data.data(), data.size());
+  EXPECT_EQ(HexEncode(data.data(), 16), "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(ChaCha20Test, XorIsInvolution) {
+  ChaChaKey key{};
+  key[0] = 0x42;
+  ChaChaNonce nonce{};
+  Bytes data = ToBytes("round trip payload with some length to cross a block !!");
+  const Bytes original = data;
+  ChaCha20Xor(key, nonce, 1, data.data(), data.size());
+  EXPECT_NE(data, original);
+  ChaCha20Xor(key, nonce, 1, data.data(), data.size());
+  EXPECT_EQ(data, original);
+}
+
+// ---- AEAD records ----
+
+AeadKeys TestKeys() {
+  AeadKeys keys;
+  for (int i = 0; i < 32; ++i) {
+    keys.cipher_key[i] = static_cast<uint8_t>(i * 3);
+  }
+  keys.mac_key = Bytes(32, 0x5A);
+  return keys;
+}
+
+TEST(AeadTest, SealOpenRoundTrip) {
+  const AeadKeys keys = TestKeys();
+  const Bytes plaintext = ToBytes("sensitive client data");
+  const SealedRecord record = AeadSeal(keys, 0, plaintext);
+  EXPECT_NE(record.ciphertext, plaintext);
+  const auto opened = AeadOpen(keys, record, 0);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(AeadTest, RejectsTamperedCiphertext) {
+  const AeadKeys keys = TestKeys();
+  SealedRecord record = AeadSeal(keys, 0, ToBytes("data"));
+  record.ciphertext[0] ^= 1;
+  EXPECT_EQ(AeadOpen(keys, record, 0).status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(AeadTest, RejectsReplayedSequence) {
+  const AeadKeys keys = TestKeys();
+  const SealedRecord record = AeadSeal(keys, 3, ToBytes("data"));
+  EXPECT_TRUE(AeadOpen(keys, record, 3).ok());
+  EXPECT_EQ(AeadOpen(keys, record, 4).status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(AeadTest, SessionKeysAreDirectional) {
+  const Bytes secret(32, 0x11);
+  Digest256 transcript{};
+  const SessionKeys keys = DeriveSessionKeys(secret, transcript);
+  EXPECT_NE(keys.client_to_server.mac_key, keys.server_to_client.mac_key);
+  EXPECT_FALSE(ConstantTimeEqual(keys.client_to_server.cipher_key.data(),
+                                 keys.server_to_client.cipher_key.data(), 32));
+}
+
+class AeadSizeTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(AeadSizeTest, RoundTripsAllSizes) {
+  const AeadKeys keys = TestKeys();
+  Rng rng(GetParam());
+  Bytes plaintext(GetParam());
+  rng.Fill(plaintext.data(), plaintext.size());
+  const SealedRecord record = AeadSeal(keys, 9, plaintext);
+  const auto opened = AeadOpen(keys, record, 9);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadSizeTest,
+                         testing::Values(0, 1, 63, 64, 65, 4096, 100000));
+
+}  // namespace
+}  // namespace erebor

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "src/kernel/image.h"
+#include "src/kernel/isa.h"
+
+namespace erebor {
+namespace {
+
+TEST(IsaTest, EncodingsAreRealX86) {
+  EXPECT_EQ(EncodeSensitiveOp(SensitiveOp::kWrmsr), (Bytes{0x0F, 0x30}));
+  EXPECT_EQ(EncodeSensitiveOp(SensitiveOp::kMovToCr3), (Bytes{0x0F, 0x22, 0xD8}));
+  EXPECT_EQ(EncodeSensitiveOp(SensitiveOp::kStac), (Bytes{0x0F, 0x01, 0xCB}));
+  EXPECT_EQ(EncodeSensitiveOp(SensitiveOp::kTdcall), (Bytes{0x66, 0x0F, 0x01, 0xCC}));
+  EXPECT_EQ(EncodeSensitiveOp(SensitiveOp::kVmcall), (Bytes{0x0F, 0x01, 0xC1}));
+  EXPECT_EQ(EncodeEndbr64(), (Bytes{0xF3, 0x0F, 0x1E, 0xFA}));
+}
+
+class ScannerOpTest : public testing::TestWithParam<SensitiveOp> {};
+
+TEST_P(ScannerOpTest, DetectsOpAtAnyOffset) {
+  const Bytes op = EncodeSensitiveOp(GetParam());
+  for (size_t offset : {0ul, 1ul, 7ul, 100ul}) {
+    Bytes code(offset, 0x90);  // NOP sled
+    code.insert(code.end(), op.begin(), op.end());
+    code.insert(code.end(), 13, 0x90);
+    const ScanHit hit = ScanForSensitiveBytes(code);
+    EXPECT_TRUE(hit.found) << SensitiveOpName(GetParam()) << " at " << offset;
+    EXPECT_EQ(hit.offset, offset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ScannerOpTest,
+                         testing::Values(SensitiveOp::kMovToCr0, SensitiveOp::kMovToCr3,
+                                         SensitiveOp::kMovToCr4, SensitiveOp::kWrmsr,
+                                         SensitiveOp::kStac, SensitiveOp::kClac,
+                                         SensitiveOp::kLidt, SensitiveOp::kTdcall,
+                                         SensitiveOp::kVmcall));
+
+TEST(ScannerTest, CleanCodePasses) {
+  Bytes code;
+  code.insert(code.end(), {0x55, 0x48, 0x89, 0xE5, 0x90, 0xC3});
+  // endbr64 contains 0F but is not sensitive.
+  const Bytes endbr = EncodeEndbr64();
+  code.insert(code.end(), endbr.begin(), endbr.end());
+  EXPECT_FALSE(ScanForSensitiveBytes(code).found);
+}
+
+TEST(ScannerTest, DetectsOpSplitAcrossInnocentContext) {
+  // The wrmsr bytes 0F 30 formed by the tail of one "instruction" and the head of
+  // another must still be caught (byte-level scanning, not instruction-level).
+  Bytes code = {0x48, 0x8B, 0x0F};  // mov ending in 0F
+  code.push_back(0x30);             // next "instruction" starts with 30
+  EXPECT_TRUE(ScanForSensitiveBytes(code).found);
+}
+
+TEST(ScannerTest, EmptyAndTinyBuffers) {
+  EXPECT_FALSE(ScanForSensitiveBytes(nullptr, 0).found);
+  const Bytes one = {0x0F};
+  EXPECT_FALSE(ScanForSensitiveBytes(one).found);
+}
+
+TEST(ImageTest, SerializeDeserializeRoundTrip) {
+  const KernelImage image = BuildKernelImage(KernelBuildOptions{});
+  const Bytes wire = image.Serialize();
+  const auto back = KernelImage::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->sections.size(), image.sections.size());
+  for (size_t i = 0; i < image.sections.size(); ++i) {
+    EXPECT_EQ(back->sections[i].name, image.sections[i].name);
+    EXPECT_EQ(back->sections[i].data, image.sections[i].data);
+    EXPECT_EQ(back->sections[i].executable, image.sections[i].executable);
+    EXPECT_EQ(back->sections[i].vaddr, image.sections[i].vaddr);
+  }
+  EXPECT_EQ(back->symbols.size(), image.symbols.size());
+}
+
+TEST(ImageTest, DeserializeRejectsCorruptInput) {
+  EXPECT_FALSE(KernelImage::Deserialize(ToBytes("not a kelf")).ok());
+  KernelImage image = BuildKernelImage(KernelBuildOptions{});
+  Bytes wire = image.Serialize();
+  wire.resize(wire.size() / 2);  // truncation
+  EXPECT_FALSE(KernelImage::Deserialize(wire).ok());
+}
+
+TEST(ImageTest, NativeBuildContainsSensitiveOps) {
+  KernelBuildOptions options;
+  options.instrumented = false;
+  const KernelImage image = BuildKernelImage(options);
+  const KernelSection* text = image.FindSection(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_TRUE(ScanForSensitiveBytes(text->data).found);
+}
+
+TEST(ImageTest, InstrumentedBuildIsClean) {
+  KernelBuildOptions options;
+  options.instrumented = true;
+  const KernelImage image = BuildKernelImage(options);
+  const KernelSection* text = image.FindSection(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_FALSE(ScanForSensitiveBytes(text->data).found);
+  // But it is real code: contains endbr64-marked functions and EMC call markers.
+  EXPECT_GT(text->data.size(), 500u);
+  EXPECT_FALSE(image.symbols.empty());
+}
+
+class SmuggleTest : public testing::TestWithParam<SensitiveOp> {};
+
+TEST_P(SmuggleTest, ScannerCatchesSmuggledOps) {
+  KernelBuildOptions options;
+  options.instrumented = true;
+  options.smuggle_sensitive_op = true;
+  options.smuggled_op = GetParam();
+  const KernelImage image = BuildKernelImage(options);
+  const KernelSection* text = image.FindSection(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_TRUE(ScanForSensitiveBytes(text->data).found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, SmuggleTest,
+                         testing::Values(SensitiveOp::kWrmsr, SensitiveOp::kMovToCr0,
+                                         SensitiveOp::kTdcall, SensitiveOp::kStac,
+                                         SensitiveOp::kLidt, SensitiveOp::kVmcall));
+
+TEST(ImageTest, DifferentSeedsProduceDifferentFiller) {
+  KernelBuildOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(BuildKernelImage(a).Serialize(), BuildKernelImage(b).Serialize());
+}
+
+TEST(ImageTest, SymbolsCoverKnownKernelFunctions) {
+  const KernelImage image = BuildKernelImage(KernelBuildOptions{});
+  bool found_switch_mm = false, found_copy = false;
+  for (const auto& symbol : image.symbols) {
+    found_switch_mm |= symbol.name == "switch_mm";
+    found_copy |= symbol.name == "copy_from_user";
+  }
+  EXPECT_TRUE(found_switch_mm);
+  EXPECT_TRUE(found_copy);
+}
+
+}  // namespace
+}  // namespace erebor

@@ -1,0 +1,203 @@
+// System-level properties: determinism of the simulation, multi-CPU scheduling, and
+// the host->guest network receive path.
+#include <gtest/gtest.h>
+
+#include "src/workloads/retrieval.h"
+#include "src/workloads/runner.h"
+
+namespace erebor {
+namespace {
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalCyclesAndOutput) {
+  // The whole stack is seeded: two runs of the same workload in the same mode must
+  // agree bit-for-bit (cycle counts, stats, output). This is what makes the
+  // benchmarks reproducible and the attack tests stable.
+  RetrievalParams params;
+  params.num_queries = 10'000;
+  params.num_records = 8192;
+  RetrievalWorkload w1(params), w2(params);
+  const RunReport a = RunWorkload(w1, SimMode::kEreborFull);
+  const RunReport b = RunWorkload(w2, SimMode::kEreborFull);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.run_cycles, b.run_cycles);
+  EXPECT_EQ(a.init_cycles, b.init_cycles);
+  EXPECT_EQ(a.emc_total, b.emc_total);
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(MultiCpuTest, WorkloadRunsOnFourCpus) {
+  RetrievalParams params;
+  params.num_queries = 10'000;
+  params.num_records = 8192;
+  params.threads = 4;
+  RetrievalWorkload workload(params);
+  RunnerOptions options;
+  options.num_cpus = 4;
+  const RunReport report = RunWorkload(workload, SimMode::kEreborFull, options);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_TRUE(workload.CheckOutput(workload.MakeClientInput(options.input_seed),
+                                   report.output));
+}
+
+TEST(MultiCpuTest, ThreadsSpreadAcrossCpus) {
+  // With 4 CPUs and 4 always-runnable tasks, every CPU should accumulate cycles.
+  WorldConfig config;
+  config.mode = SimMode::kNative;
+  config.machine.num_cpus = 4;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  int remaining = 4;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(world
+                    .LaunchProcess("spin" + std::to_string(i),
+                                   [&remaining](SyscallContext& ctx) -> StepOutcome {
+                                     static thread_local int count = 0;
+                                     ctx.Compute(50'000);
+                                     if (++count >= 200) {
+                                       --remaining;
+                                       return StepOutcome::kExited;
+                                     }
+                                     return StepOutcome::kYield;
+                                   })
+                    .ok());
+  }
+  (void)world.RunUntil([&] { return remaining == 0; });
+  int active_cpus = 0;
+  for (int c = 0; c < 4; ++c) {
+    active_cpus += world.machine().cpu(c).cycles().now() > 1'000'000 ? 1 : 0;
+  }
+  EXPECT_GE(active_cpus, 2) << "work should spread beyond a single CPU";
+}
+
+TEST(NetworkTest, HostToGuestReceivePath) {
+  WorldConfig config;
+  config.mode = SimMode::kNative;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  world.ClientSend(ToBytes("hello guest"));
+  Bytes received;
+  bool done = false;
+  ASSERT_TRUE(world
+                  .LaunchProcess("rx",
+                                 [&](SyscallContext& ctx) -> StepOutcome {
+                                   const auto buf = ctx.Syscall(
+                                       sys::kMmap, 0, 4 * kPageSize,
+                                       sys::kProtRead | sys::kProtWrite,
+                                       sys::kMapPopulate);
+                                   EXPECT_TRUE(buf.ok());
+                                   const auto n =
+                                       ctx.Syscall(sys::kRecvfrom, *buf, 4 * kPageSize);
+                                   if (n.ok() && *n > 0) {
+                                     received.resize(*n);
+                                     EXPECT_TRUE(ctx.ReadUser(*buf, received.data(), *n)
+                                                     .ok());
+                                   }
+                                   done = true;
+                                   return StepOutcome::kExited;
+                                 })
+                  .ok());
+  ASSERT_TRUE(world.RunUntil([&] { return done; }).ok());
+  EXPECT_EQ(received, ToBytes("hello guest"));
+}
+
+TEST(NetworkTest, OversizedPacketRejectedNotTruncated) {
+  WorldConfig config;
+  config.mode = SimMode::kNative;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  // Larger than the shared virtio window (64 frames): must error, never truncate.
+  const uint64_t mtu = world.kernel().config().shared_net_buffer_frames * kPageSize;
+  Status result;
+  bool done = false;
+  ASSERT_TRUE(world
+                  .LaunchProcess("tx",
+                                 [&](SyscallContext& ctx) -> StepOutcome {
+                                   const auto buf = ctx.Syscall(
+                                       sys::kMmap, 0, PageAlignUp(mtu + kPageSize),
+                                       sys::kProtRead | sys::kProtWrite,
+                                       sys::kMapPopulate);
+                                   EXPECT_TRUE(buf.ok());
+                                   result =
+                                       ctx.Syscall(sys::kSendto, *buf, mtu + 1).status();
+                                   done = true;
+                                   return StepOutcome::kExited;
+                                 })
+                  .ok());
+  ASSERT_TRUE(world.RunUntil([&] { return done; }).ok());
+  EXPECT_EQ(result.code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(world.host().network().world_pending(), 0u);
+}
+
+TEST(BootStatsTest, EreborBootIsCostlierButBounded) {
+  WorldConfig native_config;
+  native_config.mode = SimMode::kNative;
+  World native(native_config);
+  ASSERT_TRUE(native.Boot().ok());
+
+  WorldConfig erebor_config;
+  erebor_config.mode = SimMode::kEreborFull;
+  World erebor(erebor_config);
+  ASSERT_TRUE(erebor.Boot().ok());
+
+  const Cycles native_boot = native.kernel().stats().boot_cycles;
+  const Cycles erebor_boot = erebor.kernel().stats().boot_cycles;
+  EXPECT_GT(erebor_boot, native_boot);
+  // The direct-map build dominates: with EMC per PTE the factor tracks
+  // EreborPteTotal/native path, bounded well below 100x.
+  EXPECT_LT(erebor_boot, native_boot * 100);
+}
+
+
+TEST(InvariantAuditTest, HoldsAfterBootAndAfterWorkload) {
+  // The monitor's global protection invariants must hold at boot, across a full
+  // sandboxed workload, and after teardown.
+  WorldConfig config;
+  config.mode = SimMode::kEreborFull;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  EXPECT_TRUE(world.monitor()->AuditInvariants().ok());
+
+  RetrievalParams params;
+  params.num_queries = 8'000;
+  params.num_records = 4096;
+  RetrievalWorkload workload(params);
+  const RunReport report = RunWorkload(workload, SimMode::kEreborFull);
+  ASSERT_TRUE(report.ok) << report.error;
+  // (RunWorkload builds its own world; audit this one again after more activity.)
+  bool done = false;
+  ASSERT_TRUE(world
+                  .LaunchProcess("probe",
+                                 [&](SyscallContext& ctx) {
+                                   const auto va = ctx.Syscall(
+                                       sys::kMmap, 0, 32 * kPageSize,
+                                       sys::kProtRead | sys::kProtWrite,
+                                       sys::kMapPopulate);
+                                   EXPECT_TRUE(va.ok());
+                                   done = true;
+                                   return StepOutcome::kExited;
+                                 })
+                  .ok());
+  ASSERT_TRUE(world.RunUntil([&] { return done; }).ok());
+  EXPECT_TRUE(world.monitor()->AuditInvariants().ok());
+}
+
+TEST(InvariantAuditTest, DetectsViolations) {
+  // Sanity: the auditor is not vacuous — a hand-planted violation is caught.
+  WorldConfig config;
+  config.mode = SimMode::kEreborFull;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  // Share a kernel frame with the host behind the monitor's back.
+  Cpu& cpu = world.machine().cpu(0);
+  cpu.SetMonitorContext(true);
+  uint64_t args[3] = {AddrOf(layout::kGeneralPoolFirstFrame), 1, 1};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kMapGpa, args, 3).ok());
+  cpu.SetMonitorContext(false);
+  const Status audit = world.monitor()->AuditInvariants();
+  EXPECT_EQ(audit.code(), ErrorCode::kInternal);
+  EXPECT_NE(audit.message().find("host-shared"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace erebor

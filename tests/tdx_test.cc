@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "src/host/attacks.h"
+#include "src/host/vmm.h"
+#include "src/tdx/tdx_module.h"
+
+namespace erebor {
+namespace {
+
+class TdxTest : public testing::Test {
+ protected:
+  TdxTest()
+      : machine_(MachineConfig{.memory_frames = 2048, .num_cpus = 1}),
+        tdx_(&machine_),
+        host_(&machine_, &tdx_) {
+    tdx_.SetVmcallSink(&host_);
+    machine_.cpu(0).SetTdcallSink(&tdx_);
+  }
+
+  Machine machine_;
+  TdxModule tdx_;
+  HostVmm host_;
+};
+
+TEST_F(TdxTest, MapGpaFlipsSharedAndScrubs) {
+  Cpu& cpu = machine_.cpu(0);
+  const Paddr gpa = 0x10000;
+  // Put secret data into the frame while private.
+  const Bytes secret = ToBytes("super secret bytes");
+  ASSERT_TRUE(machine_.memory().Write(gpa, secret.data(), secret.size()).ok());
+  EXPECT_FALSE(machine_.memory().IsShared(FrameOf(gpa)));
+
+  uint64_t args[3] = {gpa, 1, 1};  // convert to shared
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kMapGpa, args, 3).ok());
+  EXPECT_TRUE(machine_.memory().IsShared(FrameOf(gpa)));
+
+  // The conversion scrubbed the contents: no stale private data leaks to the host.
+  Bytes readback(secret.size());
+  ASSERT_TRUE(machine_.memory().Read(gpa, readback.data(), readback.size()).ok());
+  for (uint8_t b : readback) {
+    EXPECT_EQ(b, 0);
+  }
+
+  // Convert back to private.
+  uint64_t back[3] = {gpa, 1, 0};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kMapGpa, back, 3).ok());
+  EXPECT_FALSE(machine_.memory().IsShared(FrameOf(gpa)));
+}
+
+TEST_F(TdxTest, DmaWorksOnlyOnSharedFrames) {
+  Cpu& cpu = machine_.cpu(0);
+  const Paddr gpa = 0x20000;
+  uint8_t buf[8] = {0};
+  EXPECT_FALSE(machine_.dma().DeviceRead(gpa, buf, sizeof(buf)).ok());
+  uint64_t args[3] = {gpa, 1, 1};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kMapGpa, args, 3).ok());
+  EXPECT_TRUE(machine_.dma().DeviceRead(gpa, buf, sizeof(buf)).ok());
+  EXPECT_TRUE(machine_.dma().DeviceWrite(gpa, buf, sizeof(buf)).ok());
+}
+
+TEST_F(TdxTest, MeasuredBootExtendsMrtd) {
+  const Digest256 before = tdx_.measurements().mrtd;
+  tdx_.MeasureBootComponent(ToBytes("firmware"));
+  const Digest256 after_fw = tdx_.measurements().mrtd;
+  EXPECT_FALSE(ConstantTimeEqual(before.data(), after_fw.data(), 32));
+  tdx_.MeasureBootComponent(ToBytes("monitor"));
+  EXPECT_FALSE(ConstantTimeEqual(after_fw.data(), tdx_.measurements().mrtd.data(), 32));
+}
+
+TEST_F(TdxTest, MeasurementOrderMatters) {
+  MeasurementRegisters a, b;
+  a.ExtendMrtd(Sha256::Hash("x"));
+  a.ExtendMrtd(Sha256::Hash("y"));
+  b.ExtendMrtd(Sha256::Hash("y"));
+  b.ExtendMrtd(Sha256::Hash("x"));
+  EXPECT_FALSE(ConstantTimeEqual(a.mrtd.data(), b.mrtd.data(), 32));
+}
+
+TEST_F(TdxTest, TdReportBindsReportData) {
+  Cpu& cpu = machine_.cpu(0);
+  const Paddr data_gpa = 0x30000;
+  std::array<uint8_t, 64> report_data{};
+  report_data[0] = 0xAB;
+  ASSERT_TRUE(
+      machine_.memory().Write(data_gpa, report_data.data(), report_data.size()).ok());
+  uint64_t args[2] = {data_gpa, data_gpa + 512};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kTdReport, args, 2).ok());
+  const auto report = tdx_.TakeLastReport();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->report_data[0], 0xAB);
+  // Second take fails (consumed).
+  EXPECT_FALSE(tdx_.TakeLastReport().ok());
+}
+
+TEST_F(TdxTest, QuoteVerifiesAndDetectsTampering) {
+  Cpu& cpu = machine_.cpu(0);
+  tdx_.MeasureBootComponent(ToBytes("fw"));
+  uint64_t args[2] = {0x40000, 0x41000};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kTdReport, args, 2).ok());
+  const auto report = tdx_.TakeLastReport();
+  ASSERT_TRUE(report.ok());
+  TdQuote quote = tdx_.SignQuote(*report);
+  EXPECT_TRUE(SchnorrVerify(GroupParams::Default(), tdx_.attestation_public_key(),
+                            quote.report.SerializeForMac(), quote.signature));
+  // Tampering with the measurement invalidates the quote.
+  quote.report.measurements.mrtd[0] ^= 1;
+  EXPECT_FALSE(SchnorrVerify(GroupParams::Default(), tdx_.attestation_public_key(),
+                             quote.report.SerializeForMac(), quote.signature));
+}
+
+TEST_F(TdxTest, RtmrExtend) {
+  Cpu& cpu = machine_.cpu(0);
+  const Digest256 before = tdx_.measurements().rtmr[0];
+  const Digest256 digest = Sha256::Hash("kernel image");
+  ASSERT_TRUE(machine_.memory().Write(0x50000, digest.data(), digest.size()).ok());
+  uint64_t args[2] = {0, 0x50000};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kRtmrExtend, args, 2).ok());
+  EXPECT_FALSE(
+      ConstantTimeEqual(before.data(), tdx_.measurements().rtmr[0].data(), 32));
+  // Out-of-range register refused.
+  uint64_t bad[2] = {9, 0x50000};
+  EXPECT_FALSE(cpu.Tdcall(tdcall_leaf::kRtmrExtend, bad, 2).ok());
+}
+
+TEST_F(TdxTest, AsyncExitScrubsGuestRegistersFromHost) {
+  Cpu& cpu = machine_.cpu(0);
+  cpu.gprs().reg[0] = 0x5EC2E7;  // a "secret" register value
+  cpu.gprs().reg[5] = 42;
+  tdx_.AsyncExitToHost(cpu);
+  HostAttacker attacker(&machine_, &tdx_);
+  const Gprs seen = attacker.SnoopGuestRegisters(0);
+  EXPECT_TRUE(seen.IsClear());
+  tdx_.ResumeFromHost(cpu);
+  EXPECT_EQ(cpu.gprs().reg[0], 0x5EC2E7u);
+  EXPECT_EQ(cpu.gprs().reg[5], 42u);
+}
+
+TEST_F(TdxTest, VmcallRoutesToHostCpuid) {
+  Cpu& cpu = machine_.cpu(0);
+  uint64_t args[3] = {static_cast<uint64_t>(GhciReason::kCpuid), 1, 0};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kVmcall, args, 3).ok());
+  EXPECT_EQ(args[1], 0x000806F8u);
+  EXPECT_EQ(host_.cpuid_requests(), 1u);
+}
+
+TEST_F(TdxTest, NetworkTxRequiresSharedMemory) {
+  Cpu& cpu = machine_.cpu(0);
+  const Paddr gpa = 0x60000;
+  // Private buffer: host device cannot DMA it; transmission fails.
+  uint64_t args[3] = {static_cast<uint64_t>(GhciReason::kNetTx), gpa, 64};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kVmcall, args, 3).ok());
+  EXPECT_EQ(args[1], 0u);  // dropped
+  // Shared buffer works.
+  uint64_t conv[3] = {gpa, 1, 1};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kMapGpa, conv, 3).ok());
+  uint64_t args2[3] = {static_cast<uint64_t>(GhciReason::kNetTx), gpa, 64};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kVmcall, args2, 3).ok());
+  EXPECT_EQ(args2[1], 1u);
+  EXPECT_EQ(host_.network().world_pending(), 1u);
+}
+
+TEST_F(TdxTest, TdcallChargesCalibratedCosts) {
+  Cpu& cpu = machine_.cpu(0);
+  const Cycles before = cpu.cycles().now();
+  uint64_t args[3] = {static_cast<uint64_t>(GhciReason::kHalt), 0, 0};
+  ASSERT_TRUE(cpu.Tdcall(tdcall_leaf::kVmcall, args, 3).ok());
+  EXPECT_EQ(cpu.cycles().now() - before, machine_.costs().tdcall_round_trip);
+}
+
+}  // namespace
+}  // namespace erebor

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/world.h"
+
+namespace erebor {
+namespace {
+
+class WorldModeTest : public testing::TestWithParam<SimMode> {};
+
+TEST_P(WorldModeTest, BootsCleanly) {
+  WorldConfig config;
+  config.mode = GetParam();
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  EXPECT_EQ(world.erebor_active(), GetParam() != SimMode::kNative &&
+                                       GetParam() != SimMode::kLibosOnly);
+  // A trivial process runs to completion in every mode.
+  bool ran = false;
+  ASSERT_TRUE(world
+                  .LaunchProcess("probe",
+                                 [&](SyscallContext& ctx) {
+                                   ran = ctx.Syscall(sys::kGetpid).ok();
+                                   return StepOutcome::kExited;
+                                 })
+                  .ok());
+  world.kernel().Run();
+  EXPECT_TRUE(ran);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, WorldModeTest,
+                         testing::Values(SimMode::kNative, SimMode::kLibosOnly,
+                                         SimMode::kEreborMmuOnly,
+                                         SimMode::kEreborExitOnly, SimMode::kEreborFull),
+                         [](const testing::TestParamInfo<SimMode>& info) {
+                           std::string name = SimModeName(info.param);
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(WorldTest, TrustAnchorsMatchMeasuredBoot) {
+  WorldConfig config;
+  config.mode = SimMode::kEreborFull;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  const ClientTrustAnchors anchors = world.MakeTrustAnchors();
+  EXPECT_TRUE(ConstantTimeEqual(anchors.expected_mrtd.data(),
+                                world.tdx().measurements().mrtd.data(), 32));
+}
+
+TEST(WorldTest, KernelRtmrRecordsLoadedKernel) {
+  WorldConfig config;
+  config.mode = SimMode::kEreborFull;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  Digest256 zero{};
+  EXPECT_FALSE(
+      ConstantTimeEqual(world.tdx().measurements().rtmr[0].data(), zero.data(), 32));
+}
+
+TEST(WorldTest, SandboxLaunchRequiresErebor) {
+  WorldConfig config;
+  config.mode = SimMode::kNative;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  SandboxSpec spec;
+  EXPECT_FALSE(world
+                   .LaunchSandboxProcess("sb", spec,
+                                         [](SyscallContext&) {
+                                           return StepOutcome::kExited;
+                                         })
+                   .ok());
+}
+
+TEST(WorldTest, MemorySharingSavesFootprint) {
+  // Section 9.2's memory claim: N sandboxes sharing one common region use ~1 copy of
+  // the model instead of N.
+  WorldConfig config;
+  config.mode = SimMode::kEreborFull;
+  config.machine.memory_frames = 48 * 1024;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  const uint64_t model_frames = 1024;  // 4 MiB "model"
+  auto region = world.monitor()->CreateCommonRegion("model", model_frames * kPageSize);
+  ASSERT_TRUE(region.ok());
+
+  const int kSandboxes = 8;
+  for (int i = 0; i < kSandboxes; ++i) {
+    SandboxSpec spec;
+    spec.name = "sb" + std::to_string(i);
+    Task* task = nullptr;
+    auto sandbox = world.LaunchSandboxProcess(
+        spec.name, spec, [](SyscallContext&) { return StepOutcome::kExited; }, &task);
+    ASSERT_TRUE(sandbox.ok());
+    ASSERT_TRUE(world.monitor()
+                    ->AttachCommon(world.machine().cpu(0), **sandbox, (*region)->id,
+                                   kLibosCommonBase, false)
+                    .ok());
+  }
+  // Shared footprint: one copy of the model regardless of attach count.
+  EXPECT_EQ(world.monitor()->frame_table().CountType(FrameType::kSandboxCommon),
+            model_frames);
+  EXPECT_EQ((*region)->attach_count, kSandboxes);
+  // Without sharing each sandbox would replicate the model: 8x the frames.
+  const uint64_t without_sharing = model_frames * kSandboxes;
+  EXPECT_LT(model_frames, without_sharing / 7);
+}
+
+TEST(WorldTest, RunUntilReportsExhaustion) {
+  WorldConfig config;
+  config.mode = SimMode::kNative;
+  World world(config);
+  ASSERT_TRUE(world.Boot().ok());
+  ASSERT_TRUE(world
+                  .LaunchProcess("spin",
+                                 [](SyscallContext& ctx) {
+                                   ctx.Compute(100);
+                                   return StepOutcome::kYield;
+                                 })
+                  .ok());
+  EXPECT_FALSE(world.RunUntil([] { return false; }, 100).ok());
+}
+
+}  // namespace
+}  // namespace erebor
