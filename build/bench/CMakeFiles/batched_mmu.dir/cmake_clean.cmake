@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_mmu.dir/batched_mmu.cc.o"
+  "CMakeFiles/batched_mmu.dir/batched_mmu.cc.o.d"
+  "batched_mmu"
+  "batched_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_background.dir/fig10_background.cc.o"
+  "CMakeFiles/fig10_background.dir/fig10_background.cc.o.d"
+  "fig10_background"
+  "fig10_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

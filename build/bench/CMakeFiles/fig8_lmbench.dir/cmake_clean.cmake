@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lmbench.dir/fig8_lmbench.cc.o"
+  "CMakeFiles/fig8_lmbench.dir/fig8_lmbench.cc.o.d"
+  "fig8_lmbench"
+  "fig8_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

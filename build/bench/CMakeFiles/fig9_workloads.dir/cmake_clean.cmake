@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_workloads.dir/fig9_workloads.cc.o"
+  "CMakeFiles/fig9_workloads.dir/fig9_workloads.cc.o.d"
+  "fig9_workloads"
+  "fig9_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

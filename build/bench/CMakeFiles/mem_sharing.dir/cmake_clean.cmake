@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_sharing.dir/mem_sharing.cc.o"
+  "CMakeFiles/mem_sharing.dir/mem_sharing.cc.o.d"
+  "mem_sharing"
+  "mem_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigations.dir/mitigations.cc.o"
+  "CMakeFiles/mitigations.dir/mitigations.cc.o.d"
+  "mitigations"
+  "mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_transitions.dir/tab3_transitions.cc.o"
+  "CMakeFiles/tab3_transitions.dir/tab3_transitions.cc.o.d"
+  "tab3_transitions"
+  "tab3_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

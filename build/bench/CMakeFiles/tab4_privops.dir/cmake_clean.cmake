@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_privops.dir/tab4_privops.cc.o"
+  "CMakeFiles/tab4_privops.dir/tab4_privops.cc.o.d"
+  "tab4_privops"
+  "tab4_privops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_privops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab4_privops.
+# This may be replaced when dependencies are built.

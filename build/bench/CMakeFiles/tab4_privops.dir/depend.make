@@ -1,0 +1,2 @@
+# Empty dependencies file for tab4_privops.
+# This may be replaced when dependencies are built.

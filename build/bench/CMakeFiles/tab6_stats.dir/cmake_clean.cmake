@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_stats.dir/tab6_stats.cc.o"
+  "CMakeFiles/tab6_stats.dir/tab6_stats.cc.o.d"
+  "tab6_stats"
+  "tab6_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_platforms.dir/tab7_platforms.cc.o"
+  "CMakeFiles/tab7_platforms.dir/tab7_platforms.cc.o.d"
+  "tab7_platforms"
+  "tab7_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

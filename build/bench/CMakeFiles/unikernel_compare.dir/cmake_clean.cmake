@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unikernel_compare.dir/unikernel_compare.cc.o"
+  "CMakeFiles/unikernel_compare.dir/unikernel_compare.cc.o.d"
+  "unikernel_compare"
+  "unikernel_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unikernel_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

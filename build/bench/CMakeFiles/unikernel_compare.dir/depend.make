@@ -1,0 +1,2 @@
+# Empty dependencies file for unikernel_compare.
+# This may be replaced when dependencies are built.

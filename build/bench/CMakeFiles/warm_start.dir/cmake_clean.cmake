@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warm_start.dir/warm_start.cc.o"
+  "CMakeFiles/warm_start.dir/warm_start.cc.o.d"
+  "warm_start"
+  "warm_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warm_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

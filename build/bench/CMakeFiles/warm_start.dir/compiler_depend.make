@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for warm_start.
+# This may be replaced when dependencies are built.

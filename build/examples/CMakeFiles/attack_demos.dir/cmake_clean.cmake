@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_demos.dir/attack_demos.cpp.o"
+  "CMakeFiles/attack_demos.dir/attack_demos.cpp.o.d"
+  "attack_demos"
+  "attack_demos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_demos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

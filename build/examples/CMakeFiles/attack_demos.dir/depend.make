@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_demos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_inference.dir/llm_inference.cpp.o"
+  "CMakeFiles/llm_inference.dir/llm_inference.cpp.o.d"
+  "llm_inference"
+  "llm_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

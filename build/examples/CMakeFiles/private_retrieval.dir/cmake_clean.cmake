@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_retrieval.dir/private_retrieval.cpp.o"
+  "CMakeFiles/private_retrieval.dir/private_retrieval.cpp.o.d"
+  "private_retrieval"
+  "private_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_client.dir/client.cc.o"
+  "CMakeFiles/erebor_client.dir/client.cc.o.d"
+  "liberebor_client.a"
+  "liberebor_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

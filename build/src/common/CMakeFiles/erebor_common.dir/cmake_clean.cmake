@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_common.dir/bytes.cc.o"
+  "CMakeFiles/erebor_common.dir/bytes.cc.o.d"
+  "CMakeFiles/erebor_common.dir/log.cc.o"
+  "CMakeFiles/erebor_common.dir/log.cc.o.d"
+  "CMakeFiles/erebor_common.dir/rng.cc.o"
+  "CMakeFiles/erebor_common.dir/rng.cc.o.d"
+  "CMakeFiles/erebor_common.dir/status.cc.o"
+  "CMakeFiles/erebor_common.dir/status.cc.o.d"
+  "liberebor_common.a"
+  "liberebor_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

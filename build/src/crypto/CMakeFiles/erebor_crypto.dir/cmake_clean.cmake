@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_crypto.dir/aead.cc.o"
+  "CMakeFiles/erebor_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/erebor_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/erebor_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/erebor_crypto.dir/group.cc.o"
+  "CMakeFiles/erebor_crypto.dir/group.cc.o.d"
+  "CMakeFiles/erebor_crypto.dir/hmac.cc.o"
+  "CMakeFiles/erebor_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/erebor_crypto.dir/sha256.cc.o"
+  "CMakeFiles/erebor_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/erebor_crypto.dir/u256.cc.o"
+  "CMakeFiles/erebor_crypto.dir/u256.cc.o.d"
+  "liberebor_crypto.a"
+  "liberebor_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

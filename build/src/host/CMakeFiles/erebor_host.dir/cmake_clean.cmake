@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_host.dir/vmm.cc.o"
+  "CMakeFiles/erebor_host.dir/vmm.cc.o.d"
+  "liberebor_host.a"
+  "liberebor_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberebor_host.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cet.cc" "src/hw/CMakeFiles/erebor_hw.dir/cet.cc.o" "gcc" "src/hw/CMakeFiles/erebor_hw.dir/cet.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/erebor_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/erebor_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/dma.cc" "src/hw/CMakeFiles/erebor_hw.dir/dma.cc.o" "gcc" "src/hw/CMakeFiles/erebor_hw.dir/dma.cc.o.d"
+  "/root/repo/src/hw/interrupts.cc" "src/hw/CMakeFiles/erebor_hw.dir/interrupts.cc.o" "gcc" "src/hw/CMakeFiles/erebor_hw.dir/interrupts.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/erebor_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/erebor_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/paging.cc" "src/hw/CMakeFiles/erebor_hw.dir/paging.cc.o" "gcc" "src/hw/CMakeFiles/erebor_hw.dir/paging.cc.o.d"
+  "/root/repo/src/hw/phys_mem.cc" "src/hw/CMakeFiles/erebor_hw.dir/phys_mem.cc.o" "gcc" "src/hw/CMakeFiles/erebor_hw.dir/phys_mem.cc.o.d"
+  "/root/repo/src/hw/types.cc" "src/hw/CMakeFiles/erebor_hw.dir/types.cc.o" "gcc" "src/hw/CMakeFiles/erebor_hw.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erebor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_hw.dir/cet.cc.o"
+  "CMakeFiles/erebor_hw.dir/cet.cc.o.d"
+  "CMakeFiles/erebor_hw.dir/cpu.cc.o"
+  "CMakeFiles/erebor_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/erebor_hw.dir/dma.cc.o"
+  "CMakeFiles/erebor_hw.dir/dma.cc.o.d"
+  "CMakeFiles/erebor_hw.dir/interrupts.cc.o"
+  "CMakeFiles/erebor_hw.dir/interrupts.cc.o.d"
+  "CMakeFiles/erebor_hw.dir/machine.cc.o"
+  "CMakeFiles/erebor_hw.dir/machine.cc.o.d"
+  "CMakeFiles/erebor_hw.dir/paging.cc.o"
+  "CMakeFiles/erebor_hw.dir/paging.cc.o.d"
+  "CMakeFiles/erebor_hw.dir/phys_mem.cc.o"
+  "CMakeFiles/erebor_hw.dir/phys_mem.cc.o.d"
+  "CMakeFiles/erebor_hw.dir/types.cc.o"
+  "CMakeFiles/erebor_hw.dir/types.cc.o.d"
+  "liberebor_hw.a"
+  "liberebor_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

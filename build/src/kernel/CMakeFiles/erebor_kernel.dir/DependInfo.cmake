@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/addrspace.cc" "src/kernel/CMakeFiles/erebor_kernel.dir/addrspace.cc.o" "gcc" "src/kernel/CMakeFiles/erebor_kernel.dir/addrspace.cc.o.d"
+  "/root/repo/src/kernel/frame_alloc.cc" "src/kernel/CMakeFiles/erebor_kernel.dir/frame_alloc.cc.o" "gcc" "src/kernel/CMakeFiles/erebor_kernel.dir/frame_alloc.cc.o.d"
+  "/root/repo/src/kernel/fs.cc" "src/kernel/CMakeFiles/erebor_kernel.dir/fs.cc.o" "gcc" "src/kernel/CMakeFiles/erebor_kernel.dir/fs.cc.o.d"
+  "/root/repo/src/kernel/image.cc" "src/kernel/CMakeFiles/erebor_kernel.dir/image.cc.o" "gcc" "src/kernel/CMakeFiles/erebor_kernel.dir/image.cc.o.d"
+  "/root/repo/src/kernel/isa.cc" "src/kernel/CMakeFiles/erebor_kernel.dir/isa.cc.o" "gcc" "src/kernel/CMakeFiles/erebor_kernel.dir/isa.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/erebor_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/erebor_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/privops.cc" "src/kernel/CMakeFiles/erebor_kernel.dir/privops.cc.o" "gcc" "src/kernel/CMakeFiles/erebor_kernel.dir/privops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/erebor_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdx/CMakeFiles/erebor_tdx.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/erebor_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/erebor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erebor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

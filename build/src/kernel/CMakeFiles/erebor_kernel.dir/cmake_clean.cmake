@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_kernel.dir/addrspace.cc.o"
+  "CMakeFiles/erebor_kernel.dir/addrspace.cc.o.d"
+  "CMakeFiles/erebor_kernel.dir/frame_alloc.cc.o"
+  "CMakeFiles/erebor_kernel.dir/frame_alloc.cc.o.d"
+  "CMakeFiles/erebor_kernel.dir/fs.cc.o"
+  "CMakeFiles/erebor_kernel.dir/fs.cc.o.d"
+  "CMakeFiles/erebor_kernel.dir/image.cc.o"
+  "CMakeFiles/erebor_kernel.dir/image.cc.o.d"
+  "CMakeFiles/erebor_kernel.dir/isa.cc.o"
+  "CMakeFiles/erebor_kernel.dir/isa.cc.o.d"
+  "CMakeFiles/erebor_kernel.dir/kernel.cc.o"
+  "CMakeFiles/erebor_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/erebor_kernel.dir/privops.cc.o"
+  "CMakeFiles/erebor_kernel.dir/privops.cc.o.d"
+  "liberebor_kernel.a"
+  "liberebor_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

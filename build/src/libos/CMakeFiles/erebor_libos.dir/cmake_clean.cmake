@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_libos.dir/libos.cc.o"
+  "CMakeFiles/erebor_libos.dir/libos.cc.o.d"
+  "CMakeFiles/erebor_libos.dir/manifest.cc.o"
+  "CMakeFiles/erebor_libos.dir/manifest.cc.o.d"
+  "liberebor_libos.a"
+  "liberebor_libos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_libos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

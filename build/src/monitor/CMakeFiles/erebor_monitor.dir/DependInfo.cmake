@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/channel.cc" "src/monitor/CMakeFiles/erebor_monitor.dir/channel.cc.o" "gcc" "src/monitor/CMakeFiles/erebor_monitor.dir/channel.cc.o.d"
+  "/root/repo/src/monitor/frame_table.cc" "src/monitor/CMakeFiles/erebor_monitor.dir/frame_table.cc.o" "gcc" "src/monitor/CMakeFiles/erebor_monitor.dir/frame_table.cc.o.d"
+  "/root/repo/src/monitor/gates.cc" "src/monitor/CMakeFiles/erebor_monitor.dir/gates.cc.o" "gcc" "src/monitor/CMakeFiles/erebor_monitor.dir/gates.cc.o.d"
+  "/root/repo/src/monitor/mmu_policy.cc" "src/monitor/CMakeFiles/erebor_monitor.dir/mmu_policy.cc.o" "gcc" "src/monitor/CMakeFiles/erebor_monitor.dir/mmu_policy.cc.o.d"
+  "/root/repo/src/monitor/monitor.cc" "src/monitor/CMakeFiles/erebor_monitor.dir/monitor.cc.o" "gcc" "src/monitor/CMakeFiles/erebor_monitor.dir/monitor.cc.o.d"
+  "/root/repo/src/monitor/sandbox.cc" "src/monitor/CMakeFiles/erebor_monitor.dir/sandbox.cc.o" "gcc" "src/monitor/CMakeFiles/erebor_monitor.dir/sandbox.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/erebor_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/erebor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/erebor_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdx/CMakeFiles/erebor_tdx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/erebor_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erebor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

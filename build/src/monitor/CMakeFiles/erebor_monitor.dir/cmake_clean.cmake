@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_monitor.dir/channel.cc.o"
+  "CMakeFiles/erebor_monitor.dir/channel.cc.o.d"
+  "CMakeFiles/erebor_monitor.dir/frame_table.cc.o"
+  "CMakeFiles/erebor_monitor.dir/frame_table.cc.o.d"
+  "CMakeFiles/erebor_monitor.dir/gates.cc.o"
+  "CMakeFiles/erebor_monitor.dir/gates.cc.o.d"
+  "CMakeFiles/erebor_monitor.dir/mmu_policy.cc.o"
+  "CMakeFiles/erebor_monitor.dir/mmu_policy.cc.o.d"
+  "CMakeFiles/erebor_monitor.dir/monitor.cc.o"
+  "CMakeFiles/erebor_monitor.dir/monitor.cc.o.d"
+  "CMakeFiles/erebor_monitor.dir/sandbox.cc.o"
+  "CMakeFiles/erebor_monitor.dir/sandbox.cc.o.d"
+  "liberebor_monitor.a"
+  "liberebor_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

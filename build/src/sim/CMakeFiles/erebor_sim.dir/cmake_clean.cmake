@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_sim.dir/world.cc.o"
+  "CMakeFiles/erebor_sim.dir/world.cc.o.d"
+  "liberebor_sim.a"
+  "liberebor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tdx/report.cc" "src/tdx/CMakeFiles/erebor_tdx.dir/report.cc.o" "gcc" "src/tdx/CMakeFiles/erebor_tdx.dir/report.cc.o.d"
+  "/root/repo/src/tdx/tdx_module.cc" "src/tdx/CMakeFiles/erebor_tdx.dir/tdx_module.cc.o" "gcc" "src/tdx/CMakeFiles/erebor_tdx.dir/tdx_module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/erebor_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/erebor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erebor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

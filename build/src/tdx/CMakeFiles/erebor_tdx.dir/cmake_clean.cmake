@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_tdx.dir/report.cc.o"
+  "CMakeFiles/erebor_tdx.dir/report.cc.o.d"
+  "CMakeFiles/erebor_tdx.dir/tdx_module.cc.o"
+  "CMakeFiles/erebor_tdx.dir/tdx_module.cc.o.d"
+  "liberebor_tdx.a"
+  "liberebor_tdx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_tdx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for erebor_tdx.
+# This may be replaced when dependencies are built.

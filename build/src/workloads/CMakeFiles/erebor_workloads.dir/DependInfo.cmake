@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fileserver.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/fileserver.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/fileserver.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/ids.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/ids.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/ids.cc.o.d"
+  "/root/repo/src/workloads/llm.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/llm.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/llm.cc.o.d"
+  "/root/repo/src/workloads/lmbench.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/lmbench.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/lmbench.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/retrieval.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/retrieval.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/retrieval.cc.o.d"
+  "/root/repo/src/workloads/runner.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/runner.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/runner.cc.o.d"
+  "/root/repo/src/workloads/vision.cc" "src/workloads/CMakeFiles/erebor_workloads.dir/vision.cc.o" "gcc" "src/workloads/CMakeFiles/erebor_workloads.dir/vision.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/erebor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/libos/CMakeFiles/erebor_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/erebor_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/erebor_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/erebor_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/erebor_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdx/CMakeFiles/erebor_tdx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/erebor_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/erebor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erebor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

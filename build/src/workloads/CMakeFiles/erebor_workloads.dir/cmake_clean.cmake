@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erebor_workloads.dir/fileserver.cc.o"
+  "CMakeFiles/erebor_workloads.dir/fileserver.cc.o.d"
+  "CMakeFiles/erebor_workloads.dir/graph.cc.o"
+  "CMakeFiles/erebor_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/erebor_workloads.dir/ids.cc.o"
+  "CMakeFiles/erebor_workloads.dir/ids.cc.o.d"
+  "CMakeFiles/erebor_workloads.dir/llm.cc.o"
+  "CMakeFiles/erebor_workloads.dir/llm.cc.o.d"
+  "CMakeFiles/erebor_workloads.dir/lmbench.cc.o"
+  "CMakeFiles/erebor_workloads.dir/lmbench.cc.o.d"
+  "CMakeFiles/erebor_workloads.dir/registry.cc.o"
+  "CMakeFiles/erebor_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/erebor_workloads.dir/retrieval.cc.o"
+  "CMakeFiles/erebor_workloads.dir/retrieval.cc.o.d"
+  "CMakeFiles/erebor_workloads.dir/runner.cc.o"
+  "CMakeFiles/erebor_workloads.dir/runner.cc.o.d"
+  "CMakeFiles/erebor_workloads.dir/vision.cc.o"
+  "CMakeFiles/erebor_workloads.dir/vision.cc.o.d"
+  "liberebor_workloads.a"
+  "liberebor_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erebor_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

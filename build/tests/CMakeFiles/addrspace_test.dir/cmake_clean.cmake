@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addrspace_test.dir/addrspace_test.cc.o"
+  "CMakeFiles/addrspace_test.dir/addrspace_test.cc.o.d"
+  "addrspace_test"
+  "addrspace_test.pdb"
+  "addrspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addrspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_test.dir/host_test.cc.o"
+  "CMakeFiles/host_test.dir/host_test.cc.o.d"
+  "host_test"
+  "host_test.pdb"
+  "host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw_cpu_test.cc" "tests/CMakeFiles/hw_cpu_test.dir/hw_cpu_test.cc.o" "gcc" "tests/CMakeFiles/hw_cpu_test.dir/hw_cpu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/erebor_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erebor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/libos/CMakeFiles/erebor_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/erebor_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/erebor_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/erebor_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/erebor_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdx/CMakeFiles/erebor_tdx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/erebor_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/erebor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erebor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_cpu_test.dir/hw_cpu_test.cc.o"
+  "CMakeFiles/hw_cpu_test.dir/hw_cpu_test.cc.o.d"
+  "hw_cpu_test"
+  "hw_cpu_test.pdb"
+  "hw_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

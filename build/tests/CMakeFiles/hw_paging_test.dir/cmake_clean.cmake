@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_paging_test.dir/hw_paging_test.cc.o"
+  "CMakeFiles/hw_paging_test.dir/hw_paging_test.cc.o.d"
+  "hw_paging_test"
+  "hw_paging_test.pdb"
+  "hw_paging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

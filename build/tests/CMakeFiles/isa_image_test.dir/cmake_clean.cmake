@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_image_test.dir/isa_image_test.cc.o"
+  "CMakeFiles/isa_image_test.dir/isa_image_test.cc.o.d"
+  "isa_image_test"
+  "isa_image_test.pdb"
+  "isa_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libos_test.dir/libos_test.cc.o"
+  "CMakeFiles/libos_test.dir/libos_test.cc.o.d"
+  "libos_test"
+  "libos_test.pdb"
+  "libos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_test.dir/sandbox_test.cc.o"
+  "CMakeFiles/sandbox_test.dir/sandbox_test.cc.o.d"
+  "sandbox_test"
+  "sandbox_test.pdb"
+  "sandbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdx_test.dir/tdx_test.cc.o"
+  "CMakeFiles/tdx_test.dir/tdx_test.cc.o.d"
+  "tdx_test"
+  "tdx_test.pdb"
+  "tdx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
