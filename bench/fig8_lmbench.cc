@@ -1,18 +1,37 @@
 // Figure 8: Erebor's overhead on LMBench-style system microbenchmarks, reported as
 // latency relative to Native (1.0x) plus the EMC/second rate of each benchmark.
+//
+// The event tracer runs throughout (observational only — it never charges simulated
+// cycles, so the cyc/op columns are identical with tracing on or off). After the
+// table it prints the per-phase event summary, verifies that the trace-measured EMC
+// gate count equals the monitor's emc_total counter for every Erebor run, and writes
+// the Chrome trace_event JSON (EREBOR_TRACE_JSON, default fig8_trace.json).
 #include <cstdio>
+#include <string>
 
+#include "src/common/trace.h"
 #include "src/workloads/lmbench.h"
 
 using namespace erebor;
 
 int main() {
+  Tracer& tracer = Tracer::Global();
+  tracer.EnableFromEnv();  // honor EREBOR_TRACE_JSON
+  tracer.Enable();
+  if (tracer.json_path().empty()) {
+    tracer.set_json_path("fig8_trace.json");
+  }
+
   std::printf("=== Figure 8: LMBench relative latency (Erebor / Native) ===\n");
   std::printf("%-10s %14s %14s %9s %12s\n", "bench", "native cyc/op", "erebor cyc/op",
               "relative", "EMC/s");
   double worst = 0;
   std::string worst_name;
+  bool all_match = true;
+  uint64_t trace_emc = 0;
+  uint64_t monitor_emc = 0;
   for (const std::string& name : LmbenchNames()) {
+    tracer.MarkPhase(name);
     const uint64_t iterations = (name == "fork" || name == "mmap") ? 600 : 2000;
     const auto native = RunLmbench(name, SimMode::kNative, iterations);
     const auto erebor = RunLmbench(name, SimMode::kEreborFull, iterations);
@@ -21,6 +40,10 @@ int main() {
                   (!native.ok() ? native.status() : erebor.status()).ToString().c_str());
       continue;
     }
+    all_match = all_match && erebor->trace_emc_enter == erebor->emc_count &&
+                native->trace_emc_enter == native->emc_count;
+    trace_emc += erebor->trace_emc_enter;
+    monitor_emc += erebor->emc_count;
     const double relative = erebor->cycles_per_op() / native->cycles_per_op();
     if (relative > worst) {
       worst = relative;
@@ -33,5 +56,20 @@ int main() {
   std::printf("\nworst case: %s at %.2fx (paper: pagefault at ~3.8x; "
               "fork/mmap also elevated; EMC/s 0.9M-3.6M)\n",
               worst_name.c_str(), worst);
-  return 0;
+
+  std::printf("\n--- per-phase event summary (one phase per benchmark) ---\n%s",
+              tracer.SummaryTable().c_str());
+  std::printf("trace cross-check: tracer saw %llu EMC gate entries, monitor counted "
+              "%llu -> %s\n",
+              static_cast<unsigned long long>(trace_emc),
+              static_cast<unsigned long long>(monitor_emc),
+              all_match ? "MATCH" : "MISMATCH (instrumentation bug)");
+  const Status st = tracer.WriteChromeTrace(tracer.json_path());
+  if (st.ok()) {
+    std::printf("Chrome trace written to %s (load via chrome://tracing / Perfetto)\n",
+                tracer.json_path().c_str());
+  } else {
+    std::printf("Chrome trace export failed: %s\n", st.ToString().c_str());
+  }
+  return !all_match;
 }

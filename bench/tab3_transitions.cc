@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/libos/libos.h"
 #include "src/sim/world.h"
 
@@ -134,13 +136,42 @@ void PrintTable3() {
               "VMCALL 4031 (3.29x)\n");
 }
 
+// Cross-check: the same transitions as measured by the event tracer (log2-bucket
+// histograms filled by the instrumented gate/syscall/tdcall paths themselves), next
+// to the modeled constants above. VMCALL has no trace source — it only exists as a
+// comparison constant, never as a simulated path.
+void PrintTraceHistograms() {
+  std::printf("\n--- trace-measured transition costs (log2 cycle histograms) ---\n");
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const char* names[] = {"trace.emc_round_trip_cycles", "trace.syscall_cycles",
+                         "trace.tdcall_cycles"};
+  for (const char* name : names) {
+    Histogram* h = metrics.GetHistogram(name);
+    if (h->count() == 0) {
+      std::printf("%s: no samples (tracer disabled?)\n", name);
+      continue;
+    }
+    std::printf("%s: %s", name, h->ToString().c_str());
+  }
+}
+
 }  // namespace
 }  // namespace erebor
 
 int main(int argc, char** argv) {
+  // Tracing is observational (never charges simulated cycles), so it can stay on for
+  // the whole run without perturbing the sim_cycles counters. EnableFromEnv first so
+  // EREBOR_TRACE_JSON is honored, then force-enable for the histogram section.
+  erebor::Tracer::Global().EnableFromEnv();
+  erebor::Tracer::Global().Enable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   erebor::PrintTable3();
+  erebor::PrintTraceHistograms();
+  if (!erebor::Tracer::Global().json_path().empty()) {
+    (void)erebor::Tracer::Global().WriteChromeTrace(
+        erebor::Tracer::Global().json_path());
+  }
   return 0;
 }

@@ -1,19 +1,36 @@
 // Table 6: program execution statistics under full Erebor — sandbox exit rates
 // (#PF / #Timer / #VE per second), EMC/s, processing time, confined/common memory,
 // and one-time initialization overhead vs Native.
+//
+// With the event tracer on (always, here — tracing never charges simulated cycles)
+// each Erebor row also carries a cross-check: the trace-measured count of EMC gate
+// entries over the processing phase must equal the monitor's emc_total counter
+// exactly, or the instrumentation missed (or double-counted) a crossing.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "src/common/trace.h"
 #include "src/workloads/runner.h"
 
 using namespace erebor;
 
 int main() {
+  Tracer& tracer = Tracer::Global();
+  tracer.EnableFromEnv();  // honor EREBOR_TRACE_JSON
+  tracer.Enable();         // the cross-check column needs the tracer regardless
+
   std::printf("=== Table 6: program execution statistics (full Erebor) ===\n");
-  std::printf("%-12s %8s %8s %8s %8s %9s %9s %9s %9s %9s\n", "program", "#PF/s",
+  std::printf("%-12s %8s %8s %8s %8s %9s %9s %9s %9s %9s %10s\n", "program", "#PF/s",
               "#Timer/s", "#VE/s", "Total/s", "EMC/s", "Time(s)", "Conf(MB)", "Com(MB)",
-              "InitOvh");
+              "InitOvh", "traceEMC");
+  bool all_match = true;
+  std::string last_summary;
   for (auto& workload : MakePaperWorkloads()) {
     RunReport native = RunWorkload(*workload, SimMode::kNative);
+    // Re-enable (== reset) so this workload's trace summary stands alone and the
+    // native run's events don't bleed into the Erebor phase columns.
+    tracer.Enable();
     RunReport erebor = RunWorkload(*workload, SimMode::kEreborFull);
     if (!erebor.ok || !native.ok) {
       std::printf("%-12s FAILED: %s\n", workload->name().c_str(),
@@ -24,17 +41,35 @@ int main() {
         native.init_cycles > 0
             ? 100.0 * (static_cast<double>(erebor.init_cycles) / native.init_cycles - 1)
             : 0;
-    std::printf("%-12s %7.1fk %7.1fk %7.1fk %7.1fk %8.1fk %9.3f %9.1f %9.1f %8.1f%%\n",
+    const bool match = erebor.trace_emc_enter == erebor.emc_total;
+    all_match = all_match && match;
+    char trace_col[24];
+    std::snprintf(trace_col, sizeof(trace_col), "%llu%s",
+                  static_cast<unsigned long long>(erebor.trace_emc_enter),
+                  match ? "=ok" : "=MISMATCH");
+    std::printf("%-12s %7.1fk %7.1fk %7.1fk %7.1fk %8.1fk %9.3f %9.1f %9.1f %8.1f%% %10s\n",
                 workload->name().c_str(), erebor.pf_per_sec / 1000,
                 erebor.timer_per_sec / 1000, erebor.ve_per_sec / 1000,
                 erebor.total_exits_per_sec / 1000, erebor.emc_per_sec / 1000,
                 erebor.run_seconds, erebor.confined_bytes / 1048576.0,
-                erebor.common_bytes / 1048576.0, init_overhead);
+                erebor.common_bytes / 1048576.0, init_overhead, trace_col);
+    last_summary = erebor.trace_summary;
+  }
+  std::printf("\ntrace cross-check: EMC gate entries seen by the tracer vs the "
+              "monitor's emc_total counter over the processing phase: %s\n",
+              all_match ? "ALL MATCH" : "MISMATCH (instrumentation bug)");
+  if (!last_summary.empty()) {
+    std::printf("\n--- per-phase event summary (last workload) ---\n%s",
+                last_summary.c_str());
+  }
+  if (!tracer.json_path().empty()) {
+    (void)tracer.WriteChromeTrace(tracer.json_path());
+    std::printf("Chrome trace written to %s\n", tracer.json_path().c_str());
   }
   std::printf("\npaper (workloads at ~100x our scaled data sizes): #PF 0.5-1.8k/s, "
               "#Timer 0.5-2.7k/s, #VE 0.7-1.7k/s, EMC 39.5-87.6k/s, init overhead "
               "11.5-52.7%%, confined 501-1340MB, common up to 4GB\n");
   std::printf("note: PF/s runs above paper for llama/drugbank because the scaled-down "
               "runs amortize one-time cold faults over a ~100x shorter execution.\n");
-  return 0;
+  return !all_match;
 }

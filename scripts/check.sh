@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, run the full test suite, then a tracing smoke
+# test (the trace-vs-counter EMC cross-check must hold with the tracer enabled).
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+# Trace smoke test: the end-to-end trace tests re-run with the env toggles set, and
+# the Chrome trace export must be produced and non-trivial.
+TRACE_JSON="$(mktemp -t erebor_trace.XXXXXX.json)"
+trap 'rm -f "$TRACE_JSON"' EXIT
+EREBOR_TRACE=1 EREBOR_TRACE_JSON="$TRACE_JSON" \
+  "$BUILD_DIR/tests/trace_test" --gtest_filter='TraceEndToEndTest.*'
+# fig8 exits non-zero if any run's trace EMC count differs from the monitor counter.
+EREBOR_TRACE=1 EREBOR_TRACE_JSON="$TRACE_JSON" "$BUILD_DIR/bench/fig8_lmbench" \
+  | grep -q -- '-> MATCH' || {
+    echo "check.sh: fig8 trace/counter cross-check failed" >&2
+    exit 1
+  }
+grep -q '"traceEvents"' "$TRACE_JSON" || {
+  echo "check.sh: Chrome trace JSON missing or empty" >&2
+  exit 1
+}
+
+echo "check.sh: all checks passed"

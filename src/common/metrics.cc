@@ -1,0 +1,142 @@
+#include "src/common/metrics.h"
+
+#include <sstream>
+
+namespace erebor {
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  int index = 0;
+  while (value >>= 1) {
+    ++index;
+  }
+  return index;
+}
+
+uint64_t Histogram::BucketFloor(int index) {
+  if (index <= 0) {
+    return 0;
+  }
+  return 1ULL << index;
+}
+
+void Histogram::Observe(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+void Histogram::Reset() {
+  for (uint64_t& b : buckets_) {
+    b = 0;
+  }
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  out << "count=" << count_ << " mean=" << static_cast<uint64_t>(mean())
+      << " min=" << min() << " max=" << max() << "\n";
+  uint64_t largest = 0;
+  for (uint64_t b : buckets_) {
+    if (b > largest) {
+      largest = b;
+    }
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    out << "    [" << BucketFloor(i) << ", "
+        << (i + 1 < kBuckets ? std::to_string(BucketFloor(i + 1)) : "inf") << ")  "
+        << buckets_[i] << "  ";
+    const int bar = largest == 0 ? 0 : static_cast<int>(buckets_[i] * 40 / largest);
+    for (int j = 0; j < bar; ++j) {
+      out << '#';
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+uint64_t* MetricsRegistry::Counter(const std::string& name) {
+  return &owned_[name];
+}
+
+void MetricsRegistry::RegisterExternalCounter(const std::string& name,
+                                              const uint64_t* cell) {
+  external_[name] = cell;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return &histograms_[name];
+}
+
+uint64_t MetricsRegistry::Value(const std::string& name) const {
+  auto owned = owned_.find(name);
+  if (owned != owned_.end()) {
+    return owned->second;
+  }
+  auto ext = external_.find(name);
+  if (ext != external_.end() && ext->second != nullptr) {
+    return *ext->second;
+  }
+  return 0;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, value] : owned_) {
+    value = 0;
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
+  external_.clear();
+}
+
+std::string MetricsRegistry::Summary() const {
+  std::ostringstream out;
+  out << "=== metrics ===\n";
+  // Merge owned and external under one sorted view.
+  std::map<std::string, uint64_t> merged;
+  for (const auto& [name, value] : owned_) {
+    merged[name] = value;
+  }
+  for (const auto& [name, cell] : external_) {
+    if (cell != nullptr) {
+      merged[name] = *cell;
+    }
+  }
+  for (const auto& [name, value] : merged) {
+    out << "  " << name;
+    for (size_t i = name.size(); i < 32; ++i) {
+      out << ' ';
+    }
+    out << value << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    if (histogram.count() == 0) {
+      continue;
+    }
+    out << "  " << name << ": " << histogram.ToString();
+  }
+  return out.str();
+}
+
+}  // namespace erebor

@@ -1,0 +1,98 @@
+// Metrics registry: named monotonic counters plus log2-bucket cycle histograms.
+//
+// Counters come in two flavours:
+//  - owned counters: the registry allocates the cell (Counter(name) hands back a
+//    stable uint64_t* that callers may cache and bump directly on hot paths);
+//  - external counters: an existing struct field (e.g. MonitorCounters::emc_total)
+//    is registered by address, so legacy accessor APIs keep working while the
+//    registry's Summary() sees the live value.
+//
+// Histograms bucket observations by floor(log2(value)) — 64 buckets cover the full
+// uint64 range — which is the right resolution for cycle costs spanning decades
+// (a cached CPUID at ~10^2 cycles vs. a tdcall at ~5*10^3).
+#ifndef EREBOR_SRC_COMMON_METRICS_H_
+#define EREBOR_SRC_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace erebor {
+
+// Fixed-size log2 histogram. Observe() is allocation-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  static int BucketIndex(uint64_t value);
+  // Lower bound of bucket i (inclusive): 0 for bucket 0, else 2^i.
+  static uint64_t BucketFloor(int index);
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  uint64_t bucket(int index) const {
+    return (index < 0 || index >= kBuckets) ? 0 : buckets_[index];
+  }
+
+  void Reset();
+
+  // Multi-line rendering: "  [2^10, 2^11)  count  ####" rows for non-empty buckets.
+  std::string ToString() const;
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Process-wide registry for call sites with no natural owner (channel parsing,
+  // kernel paths, tdx module). Per-instance registries (e.g. one per monitor) keep
+  // multi-world tests isolated.
+  static MetricsRegistry& Global();
+
+  // Returns a stable pointer to the named owned counter, creating it at zero. The
+  // pointer stays valid for the registry's lifetime (node-based map storage).
+  uint64_t* Counter(const std::string& name);
+  void Increment(const std::string& name, uint64_t delta = 1) { *Counter(name) += delta; }
+
+  // Registers an externally-owned cell under `name`. The registry reads it for
+  // Summary() but never writes it; the caller guarantees the address outlives the
+  // registration (or re-registers, which overwrites the previous address).
+  void RegisterExternalCounter(const std::string& name, const uint64_t* cell);
+
+  // Named histogram, created on first use; pointer is stable.
+  Histogram* GetHistogram(const std::string& name);
+
+  // Current value of a counter (owned or external); 0 if unknown.
+  uint64_t Value(const std::string& name) const;
+  bool HasHistogram(const std::string& name) const {
+    return histograms_.count(name) != 0;
+  }
+
+  // Zeroes owned counters and histograms in place (cached pointers stay valid) and
+  // drops external registrations (their owners manage their own lifetime/reset).
+  void Reset();
+
+  // Text dump: counters sorted by name, then non-empty histograms.
+  std::string Summary() const;
+
+ private:
+  std::map<std::string, uint64_t> owned_;           // node-based: stable addresses
+  std::map<std::string, const uint64_t*> external_;
+  std::map<std::string, Histogram> histograms_;     // node-based: stable addresses
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_COMMON_METRICS_H_

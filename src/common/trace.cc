@@ -1,0 +1,273 @@
+#include "src/common/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace erebor {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kNone: return "none";
+    case TraceEvent::kEmcEnter: return "emc_enter";
+    case TraceEvent::kEmcExit: return "emc_exit";
+    case TraceEvent::kIntGateSave: return "int_gate_save";
+    case TraceEvent::kIntGateRestore: return "int_gate_restore";
+    case TraceEvent::kEmcPte: return "emc_pte";
+    case TraceEvent::kEmcPteBatch: return "emc_pte_batch";
+    case TraceEvent::kEmcPtpRegister: return "emc_ptp_register";
+    case TraceEvent::kEmcCr: return "emc_cr";
+    case TraceEvent::kEmcMsr: return "emc_msr";
+    case TraceEvent::kEmcIdt: return "emc_idt";
+    case TraceEvent::kEmcUserCopy: return "emc_usercopy";
+    case TraceEvent::kEmcTdcall: return "emc_tdcall";
+    case TraceEvent::kEmcTextPoke: return "emc_text_poke";
+    case TraceEvent::kEmcSandboxOp: return "emc_sandbox_op";
+    case TraceEvent::kEmcChannelOp: return "emc_channel_op";
+    case TraceEvent::kPolicyDenial: return "policy_denial";
+    case TraceEvent::kTdxVmcall: return "tdx_vmcall";
+    case TraceEvent::kTdxReport: return "tdx_report";
+    case TraceEvent::kTdxRtmrExtend: return "tdx_rtmr_extend";
+    case TraceEvent::kTdxMapGpa: return "tdx_map_gpa";
+    case TraceEvent::kSyscallEnter: return "syscall_enter";
+    case TraceEvent::kSyscallExit: return "syscall_exit";
+    case TraceEvent::kInterrupt: return "interrupt";
+    case TraceEvent::kPageFault: return "page_fault";
+    case TraceEvent::kVeExit: return "ve_exit";
+    case TraceEvent::kContextSwitch: return "context_switch";
+    case TraceEvent::kChannelEncrypt: return "channel_encrypt";
+    case TraceEvent::kChannelDecrypt: return "channel_decrypt";
+    case TraceEvent::kPhaseMark: return "phase_mark";
+    case TraceEvent::kCount: break;
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::Append(const TraceRecord& record) {
+  slots_[head_] = record;
+  head_ = (head_ + 1) % slots_.size();
+  ++total_;
+}
+
+size_t TraceRing::size() const {
+  return total_ < slots_.size() ? static_cast<size_t>(total_) : slots_.size();
+}
+
+uint64_t TraceRing::dropped() const { return total_ - size(); }
+
+void TraceRing::ForEach(const std::function<void(const TraceRecord&)>& fn) const {
+  const size_t n = size();
+  // Oldest record sits at head_ once the ring has wrapped, at 0 before.
+  const size_t start = total_ > slots_.size() ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    fn(slots_[(start + i) % slots_.size()]);
+  }
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(size_t capacity_per_cpu) {
+  enabled_ = true;
+  capacity_per_cpu_ = capacity_per_cpu == 0 ? 1 : capacity_per_cpu;
+  Reset();
+}
+
+bool Tracer::EnableFromEnv() {
+  const char* flag = std::getenv("EREBOR_TRACE");
+  if (flag != nullptr && flag[0] != '\0' && flag[0] != '0') {
+    Enable();
+  }
+  const char* path = std::getenv("EREBOR_TRACE_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    json_path_ = path;
+    if (!enabled_) {
+      Enable();  // a JSON destination implies tracing
+    }
+  }
+  return enabled_;
+}
+
+void Tracer::Disable() { enabled_ = false; }
+
+void Tracer::Reset() {
+  rings_.clear();
+  std::fill(counts_.begin(), counts_.end(), 0);
+  phases_.clear();
+}
+
+void Tracer::RecordSlow(TraceEvent kind, int cpu, Cycles timestamp, int32_t sandbox_id,
+                        uint64_t payload) {
+  if (cpu < 0) {
+    cpu = 0;
+  }
+  while (static_cast<size_t>(cpu) >= rings_.size()) {
+    rings_.push_back(std::make_unique<TraceRing>(capacity_per_cpu_));
+  }
+  TraceRecord record;
+  record.timestamp = timestamp;
+  record.payload = payload;
+  record.kind = kind;
+  record.cpu = static_cast<uint16_t>(cpu);
+  record.sandbox_id = sandbox_id;
+  rings_[cpu]->Append(record);
+  ++counts_[static_cast<size_t>(kind)];
+}
+
+void Tracer::MarkPhase(const std::string& name, Cycles timestamp) {
+  if (!enabled_) {
+    return;
+  }
+  RecordSlow(TraceEvent::kPhaseMark, 0, timestamp, -1, phases_.size());
+  PhaseMark mark;
+  mark.name = name;
+  mark.counts_at_mark = counts_;
+  phases_.push_back(std::move(mark));
+}
+
+uint64_t Tracer::CountKind(TraceEvent kind) const {
+  return counts_[static_cast<size_t>(kind)];
+}
+
+uint64_t Tracer::TotalEvents() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts_) {
+    total += c;
+  }
+  return total;
+}
+
+const TraceRing* Tracer::ring(int cpu) const {
+  if (cpu < 0 || static_cast<size_t>(cpu) >= rings_.size()) {
+    return nullptr;
+  }
+  return rings_[cpu].get();
+}
+
+namespace {
+
+// Chrome trace_event phase for a record: paired begin/end for the spans the UI
+// should nest (EMC gate sections, syscalls), instant for everything else.
+char ChromePhase(TraceEvent kind) {
+  switch (kind) {
+    case TraceEvent::kEmcEnter:
+    case TraceEvent::kSyscallEnter:
+      return 'B';
+    case TraceEvent::kEmcExit:
+    case TraceEvent::kSyscallExit:
+      return 'E';
+    default:
+      return 'i';
+  }
+}
+
+const char* ChromeName(TraceEvent kind) {
+  switch (kind) {
+    case TraceEvent::kEmcEnter:
+    case TraceEvent::kEmcExit:
+      return "emc_gate";
+    case TraceEvent::kSyscallEnter:
+    case TraceEvent::kSyscallExit:
+      return "syscall";
+    default:
+      return TraceEventName(kind);
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ChromeTraceJson() const {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ring : rings_) {
+    if (ring == nullptr) {
+      continue;
+    }
+    ring->ForEach([&](const TraceRecord& r) {
+      if (!first) {
+        out << ",";
+      }
+      first = false;
+      const char phase = ChromePhase(r.kind);
+      out << "{\"name\":\"" << ChromeName(r.kind) << "\",\"ph\":\"" << phase
+          << "\",\"ts\":" << r.timestamp << ",\"pid\":" << r.sandbox_id
+          << ",\"tid\":" << r.cpu;
+      if (phase == 'i') {
+        out << ",\"s\":\"t\"";
+      }
+      out << ",\"args\":{\"payload\":" << r.payload << "}}";
+    });
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return InternalError("cannot open trace output: " + path);
+  }
+  file << ChromeTraceJson();
+  if (!file) {
+    return InternalError("short write to trace output: " + path);
+  }
+  return OkStatus();
+}
+
+std::string Tracer::SummaryTable() const {
+  std::ostringstream out;
+  out << "=== trace summary ===\n";
+  uint64_t retained = 0;
+  uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    retained += ring->size();
+    dropped += ring->dropped();
+  }
+  out << "cpus traced: " << rings_.size() << "   events: " << TotalEvents()
+      << "   retained: " << retained << "   dropped: " << dropped << "\n";
+
+  // Header: one delta column per phase plus the total.
+  out << "  event";
+  const std::string pad(18 - 7, ' ');
+  out << pad;
+  for (const auto& phase : phases_) {
+    out << "  " << phase.name;
+    for (size_t i = phase.name.size(); i < 10; ++i) {
+      out << ' ';
+    }
+  }
+  out << "  total\n";
+
+  for (size_t k = 1; k < static_cast<size_t>(TraceEvent::kCount); ++k) {
+    const TraceEvent kind = static_cast<TraceEvent>(k);
+    if (counts_[k] == 0) {
+      continue;
+    }
+    std::string name = TraceEventName(kind);
+    out << "  " << name;
+    for (size_t i = name.size(); i < 16; ++i) {
+      out << ' ';
+    }
+    // A phase mark snapshots counts *at its start*; the column for phase i is the
+    // delta between mark i+1 (or now) and mark i.
+    for (size_t p = 0; p < phases_.size(); ++p) {
+      const uint64_t at_start = phases_[p].counts_at_mark[k];
+      const uint64_t at_end =
+          p + 1 < phases_.size() ? phases_[p + 1].counts_at_mark[k] : counts_[k];
+      std::string cell = std::to_string(at_end - at_start);
+      out << "  " << cell;
+      for (size_t i = cell.size(); i < 10; ++i) {
+        out << ' ';
+      }
+    }
+    out << "  " << counts_[k] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace erebor

@@ -1,0 +1,169 @@
+// Cycle-accurate event tracing (observability subsystem).
+//
+// The paper's performance argument is rate x unit-cost arithmetic over discrete
+// events — EMC gate crossings, tdcalls, interrupts, page faults. The tracer records
+// those events as POD records in per-CPU fixed-capacity ring buffers so that bench
+// tables can be cross-checked against *measured* event streams instead of modeled
+// constants. Recording is observational only: it never charges simulated cycles, so
+// enabling the tracer does not perturb any benchmark number. With tracing disabled
+// the hot-path cost is a single branch.
+//
+// Enable programmatically (Tracer::Global().Enable()) or via the environment:
+//   EREBOR_TRACE=1            enable tracing
+//   EREBOR_TRACE_JSON=path    where exporters write the Chrome trace_event JSON
+#ifndef EREBOR_SRC_COMMON_TRACE_H_
+#define EREBOR_SRC_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace erebor {
+
+using Cycles = uint64_t;  // mirrors src/hw/cycles.h (common/ cannot depend on hw/)
+
+enum class TraceEvent : uint16_t {
+  kNone = 0,
+  // EMC gate crossings (src/monitor/gates.cc).
+  kEmcEnter,
+  kEmcExit,
+  kIntGateSave,
+  kIntGateRestore,
+  // EMC dispatch (src/monitor/monitor.cc); payload = gated cycles for the op.
+  kEmcPte,
+  kEmcPteBatch,
+  kEmcPtpRegister,
+  kEmcCr,
+  kEmcMsr,
+  kEmcIdt,
+  kEmcUserCopy,
+  kEmcTdcall,
+  kEmcTextPoke,
+  kEmcSandboxOp,
+  kEmcChannelOp,
+  kPolicyDenial,
+  // TDX module (src/tdx/tdx_module.cc).
+  kTdxVmcall,
+  kTdxReport,
+  kTdxRtmrExtend,
+  kTdxMapGpa,
+  // Kernel paths (src/kernel/kernel.cc).
+  kSyscallEnter,
+  kSyscallExit,
+  kInterrupt,
+  kPageFault,
+  kVeExit,
+  kContextSwitch,
+  // Secure channel (src/monitor/channel.cc + monitor record paths).
+  kChannelEncrypt,
+  kChannelDecrypt,
+  kPhaseMark,
+  kCount,  // sentinel
+};
+
+const char* TraceEventName(TraceEvent event);
+
+// One trace record: POD, fixed size, no ownership.
+struct TraceRecord {
+  Cycles timestamp = 0;   // the recording vCPU's cycle counter
+  uint64_t payload = 0;   // event-specific word (op cycles, syscall nr, fault VA, ...)
+  TraceEvent kind = TraceEvent::kNone;
+  uint16_t cpu = 0;
+  int32_t sandbox_id = -1;  // -1: not sandbox-attributed
+};
+
+// Fixed-capacity ring: appends overwrite the oldest record once full. Storage is
+// allocated once at construction; Append never allocates.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void Append(const TraceRecord& record);
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const;       // records currently retained
+  uint64_t total() const { return total_; }  // records ever appended
+  uint64_t dropped() const;  // records overwritten by wraparound
+
+  // Visits retained records oldest-to-newest.
+  void ForEach(const std::function<void(const TraceRecord&)>& fn) const;
+
+ private:
+  std::vector<TraceRecord> slots_;
+  size_t head_ = 0;  // next write position
+  uint64_t total_ = 0;
+};
+
+// Process-global tracer with one ring per CPU. The simulation is deterministic and
+// single-threaded, so no synchronization is needed.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacityPerCpu = 1 << 16;
+
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_; }
+  void Enable(size_t capacity_per_cpu = kDefaultCapacityPerCpu);
+  // Honors EREBOR_TRACE / EREBOR_TRACE_JSON; returns whether tracing is now enabled.
+  bool EnableFromEnv();
+  void Disable();
+  // Drops all records, per-kind counts, and phase marks; keeps enablement.
+  void Reset();
+
+  const std::string& json_path() const { return json_path_; }
+  void set_json_path(const std::string& path) { json_path_ = path; }
+
+  // The hot-path entry: one branch when disabled, no cycle charging ever.
+  void Record(TraceEvent kind, int cpu, Cycles timestamp, int32_t sandbox_id = -1,
+              uint64_t payload = 0) {
+    if (!enabled_) {
+      return;
+    }
+    RecordSlow(kind, cpu, timestamp, sandbox_id, payload);
+  }
+
+  // Starts a named phase; the summary table breaks event counts down per phase.
+  void MarkPhase(const std::string& name, Cycles timestamp = 0);
+
+  // Running per-kind counts across all CPUs (monotonic while enabled; survive ring
+  // wraparound, so they are exact even when old records were overwritten).
+  uint64_t CountKind(TraceEvent kind) const;
+  uint64_t TotalEvents() const;
+
+  int num_rings() const { return static_cast<int>(rings_.size()); }
+  const TraceRing* ring(int cpu) const;
+
+  // ---- Exporters ----
+  // Chrome trace_event JSON ("ts" is in simulated cycles, not microseconds; load via
+  // chrome://tracing or Perfetto). EMC gates and syscalls export as B/E duration
+  // pairs; everything else as instant events.
+  std::string ChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+  // Plain-text per-phase count table.
+  std::string SummaryTable() const;
+
+ private:
+  Tracer() = default;
+  void RecordSlow(TraceEvent kind, int cpu, Cycles timestamp, int32_t sandbox_id,
+                  uint64_t payload);
+
+  struct PhaseMark {
+    std::string name;
+    std::vector<uint64_t> counts_at_mark;  // snapshot of counts_
+  };
+
+  bool enabled_ = false;
+  size_t capacity_per_cpu_ = kDefaultCapacityPerCpu;
+  std::string json_path_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::vector<uint64_t> counts_ = std::vector<uint64_t>(
+      static_cast<size_t>(TraceEvent::kCount), 0);
+  std::vector<PhaseMark> phases_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_COMMON_TRACE_H_

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/common/log.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace erebor {
 
@@ -274,6 +276,8 @@ void Kernel::ContextSwitch(Cpu& cpu, Task* task) {
     ++stats_.context_switches;
     cpu.cycles().Charge(cpu.costs().context_switch);
     (void)ops_->WriteCr(cpu, 3, task->aspace->root());
+    Tracer::Global().Record(TraceEvent::kContextSwitch, cpu.index(), cpu.cycles().now(),
+                            task->is_sandbox_member ? task->sandbox_id : -1, task->tid);
   }
   cpu.gprs() = task->saved_gprs;
 }
@@ -350,6 +354,8 @@ void Kernel::Run(uint64_t max_slices) {
 
 void Kernel::PageFaultEntry(Cpu& cpu, const Fault& fault) {
   ++stats_.page_faults;
+  Tracer::Global().Record(TraceEvent::kPageFault, cpu.index(), cpu.cycles().now(), -1,
+                          fault.address);
   const auto kernel_handler = [&] {
     cpu.cycles().Charge(cpu.costs().page_fault_service_native);
     Task* task = current_[cpu.index()];
@@ -372,6 +378,8 @@ void Kernel::PageFaultEntry(Cpu& cpu, const Fault& fault) {
 }
 
 void Kernel::TimerEntry(Cpu& cpu, const Fault& fault) {
+  Tracer::Global().Record(TraceEvent::kInterrupt, cpu.index(), cpu.cycles().now(), -1,
+                          static_cast<uint64_t>(fault.vector));
   const auto kernel_handler = [&] { ++stats_.timer_interrupts; };
   if (interrupt_interposer_) {
     interrupt_interposer_(cpu, fault, kernel_handler);
@@ -382,6 +390,7 @@ void Kernel::TimerEntry(Cpu& cpu, const Fault& fault) {
 
 void Kernel::VeEntry(Cpu& cpu, const Fault& fault) {
   ++stats_.ve_exits;
+  Tracer::Global().Record(TraceEvent::kVeExit, cpu.index(), cpu.cycles().now());
 }
 
 StatusOr<uint64_t> Kernel::SyscallEntry(SyscallContext& ctx, Task& task, int nr,
@@ -718,6 +727,11 @@ StatusOr<uint64_t> SyscallContext::Syscall(int nr, uint64_t a0, uint64_t a1, uin
   ++kernel_->stats_.syscalls;
   ++task_->syscall_count;
   ++syscalls_made;
+  Tracer& tracer = Tracer::Global();
+  const int32_t trace_sandbox = task_->is_sandbox_member ? task_->sandbox_id : -1;
+  const Cycles trace_start = tracer.enabled() ? cpu.cycles().now() : 0;
+  tracer.Record(TraceEvent::kSyscallEnter, cpu.index(), trace_start, trace_sandbox,
+                static_cast<uint64_t>(nr));
 
   const uint64_t args[6] = {a0, a1, a2, a3, a4, a5};
   const CpuMode saved_mode = cpu.mode();
@@ -734,6 +748,14 @@ StatusOr<uint64_t> SyscallContext::Syscall(int nr, uint64_t a0, uint64_t a1, uin
     result = kernel_->SyscallEntry(*this, *task_, nr, args);
   }
   cpu.SetMode(saved_mode);
+  if (tracer.enabled()) {
+    const Cycles now = cpu.cycles().now();
+    // Dispatch time plus the modeled round-trip entry cost, comparable to Table 3.
+    const Cycles total = (now - trace_start) + cpu.costs().syscall_round_trip;
+    tracer.Record(TraceEvent::kSyscallExit, cpu.index(), now, trace_sandbox,
+                  static_cast<uint64_t>(nr));
+    MetricsRegistry::Global().GetHistogram("trace.syscall_cycles")->Observe(total);
+  }
 
   // Signal + interrupt delivery on the return-to-user path.
   if (task_->state != TaskState::kExited) {
@@ -746,6 +768,8 @@ StatusOr<uint64_t> SyscallContext::Cpuid(uint32_t leaf) {
   Cpu& cpu = *cpu_;
   ++kernel_->stats_.ve_exits;
   cpu.cycles().Charge(cpu.costs().ve_delivery);
+  Tracer::Global().Record(TraceEvent::kVeExit, cpu.index(), cpu.cycles().now(),
+                          task_->is_sandbox_member ? task_->sandbox_id : -1, leaf);
   const CpuMode saved_mode = cpu.mode();
   cpu.SetMode(CpuMode::kSupervisor);
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/metrics.h"
+
 namespace erebor {
 
 namespace {
@@ -58,7 +60,10 @@ class Reader {
   }
   Bytes GetBytes() {
     const uint32_t len = Get32();
-    if (!Need(len)) {
+    // The length prefix is attacker-controlled: it must be covered by bytes actually
+    // present on the wire before any buffer is sized from it.
+    if (len > wire_.size() || !Need(len)) {
+      ok_ = false;
       return {};
     }
     Bytes b(wire_.begin() + pos_, wire_.begin() + pos_ + len);
@@ -84,7 +89,9 @@ class Reader {
 
  private:
   bool Need(size_t n) {
-    if (pos_ + n > wire_.size()) {
+    // Written as a subtraction so a near-SIZE_MAX `n` cannot wrap the comparison
+    // (pos_ <= wire_.size() always holds).
+    if (n > wire_.size() - pos_) {
       ok_ = false;
       return false;
     }
@@ -130,7 +137,12 @@ Bytes Packet::Serialize() const {
   return out;
 }
 
-StatusOr<Packet> Packet::Deserialize(const Bytes& wire) {
+namespace {
+
+StatusOr<Packet> DeserializeImpl(const Bytes& wire) {
+  if (wire.size() > wire::kMaxWireBytes) {
+    return InvalidArgumentError("packet exceeds the wire limit");
+  }
   Reader reader(wire);
   Packet packet;
   packet.type = static_cast<PacketType>(reader.Get8());
@@ -175,6 +187,15 @@ StatusOr<Packet> Packet::Deserialize(const Bytes& wire) {
   return packet;
 }
 
+}  // namespace
+
+StatusOr<Packet> Packet::Deserialize(const Bytes& wire) {
+  StatusOr<Packet> packet = DeserializeImpl(wire);
+  MetricsRegistry::Global().Increment(packet.ok() ? "channel.packets_parsed"
+                                                  : "channel.parse_rejects");
+  return packet;
+}
+
 Digest256 HandshakeTranscript(const U256& client_public, const U256& monitor_public,
                               const std::array<uint8_t, 32>& nonce) {
   Sha256 hasher;
@@ -186,7 +207,14 @@ Digest256 HandshakeTranscript(const U256& client_public, const U256& monitor_pub
   return hasher.Finish();
 }
 
-Bytes PadOutput(const Bytes& plaintext, uint64_t pad_quantum) {
+StatusOr<Bytes> PadOutput(const Bytes& plaintext, uint64_t pad_quantum) {
+  if (pad_quantum <= 8) {
+    // 0 would divide by zero below; 1..8 cannot even hold the length prefix.
+    return InvalidArgumentError("pad quantum must be > 8");
+  }
+  if (pad_quantum > wire::kMaxWireBytes) {
+    return InvalidArgumentError("pad quantum exceeds the wire limit");
+  }
   Bytes out(8);
   StoreLe64(out.data(), plaintext.size());
   out.insert(out.end(), plaintext.begin(), plaintext.end());
@@ -200,7 +228,9 @@ StatusOr<Bytes> UnpadOutput(const Bytes& padded) {
     return InvalidArgumentError("short padded buffer");
   }
   const uint64_t len = LoadLe64(padded.data());
-  if (len + 8 > padded.size()) {
+  // Subtraction form: `len + 8` could wrap for an attacker-chosen length near 2^64
+  // and slip past the check.
+  if (len > padded.size() - 8) {
     return InvalidArgumentError("bad pad length");
   }
   return Bytes(padded.begin() + 8, padded.begin() + 8 + len);

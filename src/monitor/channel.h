@@ -16,6 +16,13 @@
 
 namespace erebor {
 
+namespace wire {
+// Upper bound on any single wire packet / channel payload. Lengths on the wire (and
+// in proxy/sandbox ioctl arguments) are attacker-controlled; every consumer must
+// bound them against this before sizing a buffer.
+inline constexpr uint64_t kMaxWireBytes = 16ull << 20;  // 16 MiB
+}  // namespace wire
+
 enum class PacketType : uint8_t {
   kClientHello = 1,
   kServerHello = 2,
@@ -57,8 +64,9 @@ struct ChannelSession {
 };
 
 // Pads `plaintext` to the next multiple of pad_quantum (length prefix included so the
-// receiver can strip it). pad_quantum must be > 8.
-Bytes PadOutput(const Bytes& plaintext, uint64_t pad_quantum);
+// receiver can strip it). pad_quantum must be > 8 and at most wire::kMaxWireBytes;
+// anything else is an InvalidArgumentError (a zero quantum would divide by zero).
+StatusOr<Bytes> PadOutput(const Bytes& plaintext, uint64_t pad_quantum);
 StatusOr<Bytes> UnpadOutput(const Bytes& padded);
 
 }  // namespace erebor

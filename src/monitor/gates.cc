@@ -1,9 +1,13 @@
 #include "src/monitor/gates.h"
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
 namespace erebor {
 
 EmcGates::EmcGates(Machine* machine) : machine_(machine) {
-  saved_pkrs_.resize(machine->num_cpus(), 0);
+  saved_pkrs_.resize(machine->num_cpus());
+  entry_ts_.resize(machine->num_cpus(), 0);
 }
 
 void EmcGates::Install() {
@@ -40,6 +44,8 @@ Status EmcGates::Enter(Cpu& cpu) {
   cpu.TrustedWriteMsr(msr::kIa32Pkrs, MonitorModePkrs());
   cpu.SetMonitorContext(true);
   ++entries_;
+  entry_ts_[cpu.index()] = cpu.cycles().now();
+  Tracer::Global().Record(TraceEvent::kEmcEnter, cpu.index(), cpu.cycles().now());
   return OkStatus();
 }
 
@@ -49,18 +55,44 @@ void EmcGates::Exit(Cpu& cpu) {
   cpu.SetMonitorContext(false);
   // Balanced shadow-stack return; a mismatch would raise #CP.
   (void)cpu.ShadowReturn(exit_return_label_);
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    const Cycles now = cpu.cycles().now();
+    // Gated time plus both gate halves: comparable to the paper's EMC round trip.
+    const Cycles in_monitor = now - entry_ts_[cpu.index()];
+    tracer.Record(TraceEvent::kEmcExit, cpu.index(), now, -1, in_monitor);
+    MetricsRegistry::Global()
+        .GetHistogram("trace.emc_round_trip_cycles")
+        ->Observe(in_monitor + cpu.costs().emc_round_trip);
+  }
 }
 
 void EmcGates::InterruptSave(Cpu& cpu) {
   cpu.cycles().Charge(cpu.costs().int_gate_overhead);
-  saved_pkrs_[cpu.index()] = cpu.pkrs();
+  saved_pkrs_[cpu.index()].push_back(cpu.pkrs());
   cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
   cpu.SetMonitorContext(false);
+  Tracer::Global().Record(TraceEvent::kIntGateSave, cpu.index(), cpu.cycles().now(), -1,
+                          saved_pkrs_[cpu.index()].size());
 }
 
 void EmcGates::InterruptRestore(Cpu& cpu) {
-  cpu.TrustedWriteMsr(msr::kIa32Pkrs, saved_pkrs_[cpu.index()]);
-  cpu.SetMonitorContext(true);
+  std::vector<uint64_t>& stack = saved_pkrs_[cpu.index()];
+  if (stack.empty()) {
+    // Unbalanced restore: nothing was saved on this CPU, so there is no monitor
+    // context to return to. Granting the saved-slot view here would let the untrusted
+    // OS manufacture a monitor PKRS grant; stay in the kernel view instead.
+    *MetricsRegistry::Global().Counter("gates.unbalanced_int_restore") += 1;
+    return;
+  }
+  const uint64_t restored = stack.back();
+  stack.pop_back();
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, restored);
+  // A nested restore returns to the *outer interrupt handler's* kernel view, not to
+  // the monitor; only the outermost restore re-grants monitor context.
+  cpu.SetMonitorContext(restored == MonitorModePkrs());
+  Tracer::Global().Record(TraceEvent::kIntGateRestore, cpu.index(), cpu.cycles().now(),
+                          -1, stack.size());
 }
 
 }  // namespace erebor

@@ -43,11 +43,15 @@ class EmcGates {
   void Exit(Cpu& cpu);
 
   // #INT gate wrapping for an interrupt that arrives during EMC execution: saves and
-  // revokes PKRS around the untrusted handler.
+  // revokes PKRS around the untrusted handler. Interrupts nest (an NMI can land inside
+  // a timer handler that itself preempted the monitor), so the save slot is a per-CPU
+  // stack. InterruptRestore refuses an unbalanced call — a restore with no prior save
+  // would otherwise hand the untrusted OS the monitor's PKRS view.
   void InterruptSave(Cpu& cpu);
   void InterruptRestore(Cpu& cpu);
 
   uint64_t entries() const { return entries_; }
+  size_t interrupt_depth(int cpu) const { return saved_pkrs_[cpu].size(); }
 
  private:
   Machine* machine_;
@@ -55,7 +59,8 @@ class EmcGates {
   CodeLabelId exit_return_label_ = kInvalidCodeLabel;
   CodeLabelId internal_label_ = kInvalidCodeLabel;  // non-endbr body (attack target)
   std::vector<std::unique_ptr<ShadowStack>> shadow_stacks_;
-  std::vector<uint64_t> saved_pkrs_;  // per-CPU PKRS saved by the #INT gate
+  std::vector<std::vector<uint64_t>> saved_pkrs_;  // per-CPU #INT-gate PKRS save stacks
+  std::vector<Cycles> entry_ts_;  // per-CPU gate-entry timestamp (round-trip histogram)
   uint64_t entries_ = 0;
 };
 

@@ -33,6 +33,29 @@ EreborMonitor::EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host)
   gates_ = std::make_unique<EmcGates>(machine);
   sandbox_mgr_ = std::make_unique<SandboxManager>(machine, frame_table_.get(),
                                                   policy_.get());
+  // Registry-backed counters: every MonitorCounters field is visible through the
+  // metrics registry while ++counters_.<field> stays a plain increment.
+  metrics_.RegisterExternalCounter("monitor.emc_total", &counters_.emc_total);
+  metrics_.RegisterExternalCounter("monitor.emc_pte", &counters_.emc_pte);
+  metrics_.RegisterExternalCounter("monitor.emc_ptp_register", &counters_.emc_ptp_register);
+  metrics_.RegisterExternalCounter("monitor.emc_cr", &counters_.emc_cr);
+  metrics_.RegisterExternalCounter("monitor.emc_msr", &counters_.emc_msr);
+  metrics_.RegisterExternalCounter("monitor.emc_idt", &counters_.emc_idt);
+  metrics_.RegisterExternalCounter("monitor.emc_usercopy", &counters_.emc_usercopy);
+  metrics_.RegisterExternalCounter("monitor.emc_tdcall", &counters_.emc_tdcall);
+  metrics_.RegisterExternalCounter("monitor.emc_text_poke", &counters_.emc_text_poke);
+  metrics_.RegisterExternalCounter("monitor.emc_sandbox", &counters_.emc_sandbox);
+  metrics_.RegisterExternalCounter("monitor.policy_denials", &counters_.policy_denials);
+  metrics_.RegisterExternalCounter("monitor.sandbox_kills", &counters_.sandbox_kills);
+  metrics_.RegisterExternalCounter("monitor.scrubbed_interrupts",
+                                   &counters_.scrubbed_interrupts);
+  metrics_.RegisterExternalCounter("monitor.cached_cpuid_hits",
+                                   &counters_.cached_cpuid_hits);
+  metrics_.RegisterExternalCounter("monitor.exit_stalls", &counters_.exit_stalls);
+  metrics_.RegisterExternalCounter("monitor.cache_flushes", &counters_.cache_flushes);
+  metrics_.RegisterExternalCounter("monitor.quantized_outputs",
+                                   &counters_.quantized_outputs);
+  metrics_.RegisterExternalCounter("monitor.huge_splits", &counters_.huge_splits);
 }
 
 Status EreborMonitor::BootStage1(const Bytes& firmware_image, bool arm_fence) {
@@ -300,26 +323,33 @@ Status EreborMonitor::AuditInvariants() {
 // ---- Gated execution ----
 
 Status EreborMonitor::WithGate(Cpu& cpu, Cycles op_cycles,
-                               const std::function<Status()>& body) {
+                               const std::function<Status()>& body, TraceEvent kind) {
   EREBOR_RETURN_IF_ERROR(gates_->Enter(cpu));
   cpu.cycles().Charge(op_cycles);
   ++counters_.emc_total;
+  Tracer::Global().Record(kind, cpu.index(), cpu.cycles().now(), -1, op_cycles);
   const Status status = body();
   gates_->Exit(cpu);
   return status;
+}
+
+void EreborMonitor::NoteDenial(Cpu& cpu) {
+  ++counters_.policy_denials;
+  Tracer::Global().Record(TraceEvent::kPolicyDenial, cpu.index(), cpu.cycles().now());
 }
 
 // ---- EMC surface ----
 
 Status EreborMonitor::EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value) {
   ++counters_.emc_pte;
-  return WithGate(cpu, cpu.costs().monitor_pte_op, [&]() -> Status {
+  return WithGate(cpu, cpu.costs().monitor_pte_op, TraceEvent::kEmcPte,
+                  [&]() -> Status {
     const PolicyDecision decision = policy_->CheckPteWrite(entry_pa, value);
     if (decision.needs_split) {
       return SplitHugePageLocked(cpu, entry_pa, value);
     }
     if (!decision.allowed) {
-      ++counters_.policy_denials;
+      NoteDenial(cpu);
       return PermissionDeniedError("EMC WritePte refused: " + decision.denial_reason);
     }
     const Pte old = machine_->memory().Read64(entry_pa);
@@ -354,7 +384,7 @@ Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_val
     const Paddr slot = AddrOf(ptp) + i * sizeof(Pte);
     const PolicyDecision decision = policy_->CheckPteWrite(slot, small);
     if (!decision.allowed) {
-      ++counters_.policy_denials;
+      NoteDenial(cpu);
       (void)kernel_->pool().Free(ptp);
       ptp_info = FrameInfo{};
       return PermissionDeniedError("huge-page split refused at subpage " +
@@ -384,37 +414,46 @@ Status EreborMonitor::EmcWritePteBatch(Cpu& cpu, const PrivilegedOps::PteUpdate*
   }
   ++counters_.emc_pte;
   // One gate round trip for the whole batch; each entry is still policy-validated and
-  // charged the monitor-side op cost.
-  return WithGate(cpu, cpu.costs().monitor_pte_op * count, [&]() -> Status {
-    for (size_t i = 0; i < count; ++i) {
-      const PolicyDecision decision =
-          policy_->CheckPteWrite(updates[i].entry_pa, updates[i].value);
-      if (decision.needs_split) {
-        ++counters_.policy_denials;
-        return PermissionDeniedError("huge-page splits are not supported in batches");
-      }
-      if (!decision.allowed) {
-        ++counters_.policy_denials;
-        return PermissionDeniedError("EMC WritePteBatch refused at entry " +
-                                     std::to_string(i) + ": " + decision.denial_reason);
-      }
-      const Pte old = machine_->memory().Read64(updates[i].entry_pa);
-      machine_->memory().Write64(updates[i].entry_pa, decision.adjusted_value);
-      policy_->NoteLeafWrite(old, decision.adjusted_value, updates[i].entry_pa);
-    }
-    return OkStatus();
-  });
+  // charged the monitor-side op cost. The batch is all-or-nothing: every entry is
+  // validated before any PTE memory is written, so a denial mid-batch leaves the page
+  // tables untouched instead of half-applied.
+  return WithGate(
+      cpu, cpu.costs().monitor_pte_op * count,
+      [&]() -> Status {
+        std::vector<PolicyDecision> decisions(count);
+        for (size_t i = 0; i < count; ++i) {
+          decisions[i] = policy_->CheckPteWrite(updates[i].entry_pa, updates[i].value);
+          if (decisions[i].needs_split) {
+            NoteDenial(cpu);
+            return PermissionDeniedError("huge-page splits are not supported in batches");
+          }
+          if (!decisions[i].allowed) {
+            NoteDenial(cpu);
+            return PermissionDeniedError("EMC WritePteBatch refused at entry " +
+                                         std::to_string(i) + ": " +
+                                         decisions[i].denial_reason);
+          }
+        }
+        for (size_t i = 0; i < count; ++i) {
+          const Pte old = machine_->memory().Read64(updates[i].entry_pa);
+          machine_->memory().Write64(updates[i].entry_pa, decisions[i].adjusted_value);
+          policy_->NoteLeafWrite(old, decisions[i].adjusted_value, updates[i].entry_pa);
+        }
+        return OkStatus();
+      },
+      TraceEvent::kEmcPteBatch);
 }
 
 Status EreborMonitor::EmcRegisterPtp(Cpu& cpu, FrameNum frame, Paddr root_pa) {
   ++counters_.emc_ptp_register;
-  return WithGate(cpu, cpu.costs().monitor_pte_op, [&]() -> Status {
+  return WithGate(cpu, cpu.costs().monitor_pte_op, TraceEvent::kEmcPtpRegister,
+                  [&]() -> Status {
     if (frame >= frame_table_->size()) {
       return OutOfRangeError("PTP frame beyond physical memory");
     }
     FrameInfo& info = frame_table_->info(frame);
     if (info.type != FrameType::kNormal) {
-      ++counters_.policy_denials;
+      NoteDenial(cpu);
       return PermissionDeniedError("cannot re-type " + FrameTypeName(info.type) +
                                    " frame as PTP");
     }
@@ -435,7 +474,8 @@ Status EreborMonitor::EmcRegisterPtp(Cpu& cpu, FrameNum frame, Paddr root_pa) {
 
 Status EreborMonitor::EmcWriteCr(Cpu& cpu, int reg, uint64_t value) {
   ++counters_.emc_cr;
-  return WithGate(cpu, cpu.costs().monitor_cr_op, [&]() -> Status {
+  return WithGate(cpu, cpu.costs().monitor_cr_op, TraceEvent::kEmcCr,
+                  [&]() -> Status {
     const uint64_t current = reg == 0 ? cpu.cr0() : reg == 3 ? cpu.cr3() : cpu.cr4();
     EREBOR_RETURN_IF_ERROR(policy_->CheckCrWrite(reg, value, current));
     if (reg == 4) {
@@ -449,7 +489,8 @@ Status EreborMonitor::EmcWriteCr(Cpu& cpu, int reg, uint64_t value) {
 
 Status EreborMonitor::EmcWriteMsr(Cpu& cpu, uint32_t index, uint64_t value) {
   ++counters_.emc_msr;
-  return WithGate(cpu, cpu.costs().monitor_msr_op, [&]() -> Status {
+  return WithGate(cpu, cpu.costs().monitor_msr_op, TraceEvent::kEmcMsr,
+                  [&]() -> Status {
     EREBOR_RETURN_IF_ERROR(policy_->CheckMsrWrite(index));
     if (index == msr::kIa32Lstar) {
       // Record the kernel's syscall entry but keep the monitor stub in front: the
@@ -465,11 +506,12 @@ Status EreborMonitor::EmcWriteMsr(Cpu& cpu, uint32_t index, uint64_t value) {
 
 Status EreborMonitor::EmcLoadIdt(Cpu& cpu, const IdtTable* table) {
   ++counters_.emc_idt;
-  return WithGate(cpu, cpu.costs().monitor_idt_op, [&]() -> Status {
+  return WithGate(cpu, cpu.costs().monitor_idt_op, TraceEvent::kEmcIdt,
+                  [&]() -> Status {
     if (approved_idt_ == nullptr) {
       approved_idt_ = table;  // first load: the kernel's boot-time table is recorded
     } else if (approved_idt_ != table) {
-      ++counters_.policy_denials;
+      NoteDenial(cpu);
       return PermissionDeniedError("IDT replacement refused: interposition table pinned");
     }
     cpu.TrustedLidt(table);  // the op cost is part of monitor_idt_op
@@ -479,7 +521,8 @@ Status EreborMonitor::EmcLoadIdt(Cpu& cpu, const IdtTable* table) {
 
 Status EreborMonitor::EmcCopyToUser(Cpu& cpu, Vaddr dst, const uint8_t* src, uint64_t len) {
   ++counters_.emc_usercopy;
-  return WithGate(cpu, cpu.costs().monitor_stac_op, [&]() -> Status {
+  return WithGate(cpu, cpu.costs().monitor_stac_op, TraceEvent::kEmcUserCopy,
+                  [&]() -> Status {
     // The monitor emulates the user copy on behalf of the kernel. It refuses targets
     // inside sealed-sandbox confined memory (the kernel must never move sandbox data).
     for (Vaddr va = PageAlignDown(dst); va < dst + len; va += kPageSize) {
@@ -489,7 +532,7 @@ Status EreborMonitor::EmcCopyToUser(Cpu& cpu, Vaddr dst, const uint8_t* src, uin
         if (info.type == FrameType::kSandboxConfined) {
           Sandbox* sandbox = sandbox_mgr_->Find(info.owner_sandbox);
           if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
-            ++counters_.policy_denials;
+            NoteDenial(cpu);
             return PermissionDeniedError("usercopy into sealed confined memory refused");
           }
         }
@@ -505,7 +548,8 @@ Status EreborMonitor::EmcCopyToUser(Cpu& cpu, Vaddr dst, const uint8_t* src, uin
 
 Status EreborMonitor::EmcCopyFromUser(Cpu& cpu, Vaddr src, uint8_t* dst, uint64_t len) {
   ++counters_.emc_usercopy;
-  return WithGate(cpu, cpu.costs().monitor_stac_op, [&]() -> Status {
+  return WithGate(cpu, cpu.costs().monitor_stac_op, TraceEvent::kEmcUserCopy,
+                  [&]() -> Status {
     for (Vaddr va = PageAlignDown(src); va < src + len; va += kPageSize) {
       const auto walk = WalkPageTables(machine_->memory(), cpu.cr3(), va);
       if (walk.ok()) {
@@ -513,7 +557,7 @@ Status EreborMonitor::EmcCopyFromUser(Cpu& cpu, Vaddr src, uint8_t* dst, uint64_
         if (info.type == FrameType::kSandboxConfined) {
           Sandbox* sandbox = sandbox_mgr_->Find(info.owner_sandbox);
           if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
-            ++counters_.policy_denials;
+            NoteDenial(cpu);
             return PermissionDeniedError("usercopy from sealed confined memory refused");
           }
         }
@@ -531,13 +575,13 @@ Status EreborMonitor::EmcTdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t 
   ++counters_.emc_tdcall;
   const Cycles op_cost =
       leaf == tdcall_leaf::kTdReport ? cpu.costs().monitor_tdreport_op : 64;
-  return WithGate(cpu, op_cost, [&]() -> Status {
+  return WithGate(cpu, op_cost, TraceEvent::kEmcTdcall, [&]() -> Status {
     switch (leaf) {
       case tdcall_leaf::kTdReport:
       case tdcall_leaf::kRtmrExtend:
         // Attestation interfaces are exclusively the monitor's (claim C5): the kernel
         // cannot obtain digests to impersonate the monitor.
-        ++counters_.policy_denials;
+        NoteDenial(cpu);
         return PermissionDeniedError("attestation tdcall reserved for the monitor");
       case tdcall_leaf::kMapGpa: {
         if (nargs < 3) {
@@ -556,7 +600,8 @@ Status EreborMonitor::EmcTdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t 
 Status EreborMonitor::EmcTextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes,
                                   uint64_t len) {
   ++counters_.emc_text_poke;
-  return WithGate(cpu, cpu.costs().monitor_pte_op + cpu.costs().page_copy, [&]() -> Status {
+  return WithGate(cpu, cpu.costs().monitor_pte_op + cpu.costs().page_copy,
+                  TraceEvent::kEmcTextPoke, [&]() -> Status {
     const FrameNum frame = FrameOf(code_pa);
     if (frame_table_->info(frame).type != FrameType::kKernelText) {
       return PermissionDeniedError("text_poke target is not kernel text");
@@ -571,7 +616,7 @@ Status EreborMonitor::EmcTextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes,
     std::memcpy(window.data() + (code_pa - scan_start), bytes, len);
     const ScanHit hit = ScanForSensitiveBytes(window);
     if (hit.found) {
-      ++counters_.policy_denials;
+      NoteDenial(cpu);
       return PermissionDeniedError("text_poke rejected: would introduce " +
                                    SensitiveOpName(hit.op));
     }
@@ -586,13 +631,14 @@ StatusOr<Paddr> EreborMonitor::EmcLoadKernelModule(Cpu& cpu, const Bytes& code) 
   }
   Paddr load_pa = 0;
   const Status st = WithGate(
-      cpu, cpu.costs().page_copy * (1 + code.size() / kPageSize), [&]() -> Status {
+      cpu, cpu.costs().page_copy * (1 + code.size() / kPageSize),
+      TraceEvent::kEmcTextPoke, [&]() -> Status {
         if (code.empty()) {
           return InvalidArgumentError("empty module");
         }
         const ScanHit hit = ScanForSensitiveBytes(code);
         if (hit.found) {
-          ++counters_.policy_denials;
+          NoteDenial(cpu);
           return PermissionDeniedError("module rejected: contains " +
                                        SensitiveOpName(hit.op) + " at offset " +
                                        std::to_string(hit.offset));
@@ -765,6 +811,8 @@ Status EreborMonitor::HandleDataRecord(Cpu& cpu, const Packet& packet) {
                sandbox->session.next_recv_seq));
   ++sandbox->session.next_recv_seq;
   cpu.cycles().Charge(plaintext.size() * cpu.costs().crypto_per_byte_x100 / 100);
+  Tracer::Global().Record(TraceEvent::kChannelDecrypt, cpu.index(), cpu.cycles().now(),
+                          sandbox->id, plaintext.size());
   sandbox->input_plaintext.push_back(std::move(plaintext));
   // First client data seals the sandbox (paper section 6.2).
   return sandbox_mgr_->Seal(cpu, *sandbox);
@@ -779,7 +827,7 @@ Status EreborMonitor::HandleFin(Cpu& cpu, const Packet& packet) {
 }
 
 Status EreborMonitor::ProxyDeliver(Cpu& cpu, const Bytes& wire) {
-  return WithGate(cpu, 64, [&]() -> Status {
+  return WithGate(cpu, 64, TraceEvent::kEmcChannelOp, [&]() -> Status {
     EREBOR_ASSIGN_OR_RETURN(const Packet packet, Packet::Deserialize(wire));
     switch (packet.type) {
       case PacketType::kClientHello:
@@ -796,7 +844,7 @@ Status EreborMonitor::ProxyDeliver(Cpu& cpu, const Bytes& wire) {
 
 StatusOr<Bytes> EreborMonitor::ProxyFetch(Cpu& cpu, int* source_sandbox_out) {
   Bytes out;
-  const Status st = WithGate(cpu, 64, [&]() -> Status {
+  const Status st = WithGate(cpu, 64, TraceEvent::kEmcChannelOp, [&]() -> Status {
     for (auto& [id, sandbox] : sandbox_mgr_->mutable_sandboxes()) {
       if (!sandbox->outbound_wire.empty()) {
         out = std::move(sandbox->outbound_wire.front());
@@ -816,7 +864,7 @@ StatusOr<Bytes> EreborMonitor::ProxyFetch(Cpu& cpu, int* source_sandbox_out) {
 }
 
 Status EreborMonitor::DebugInstallClientData(Cpu& cpu, Sandbox& sandbox, const Bytes& data) {
-  return WithGate(cpu, 64, [&]() -> Status {
+  return WithGate(cpu, 64, TraceEvent::kEmcChannelOp, [&]() -> Status {
     // Same decrypt/copy cost as the real channel path.
     cpu.cycles().Charge(data.size() * cpu.costs().crypto_per_byte_x100 / 100);
     sandbox.input_plaintext.push_back(data);
@@ -869,7 +917,8 @@ StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
         return OutOfRangeError("input larger than provided buffer");
       }
       Status st = OkStatus();
-      EREBOR_RETURN_IF_ERROR(WithGate(cpu, 64, [&]() -> Status {
+      EREBOR_RETURN_IF_ERROR(WithGate(cpu, 64, TraceEvent::kEmcChannelOp,
+                                      [&]() -> Status {
         st = sandbox_mgr_->CopyIntoSandbox(cpu, *sandbox, dst, data.data(), data.size());
         return st;
       }));
@@ -888,14 +937,22 @@ StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
       EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
       const Vaddr src = LoadLe64(buf);
       const uint64_t len = LoadLe64(buf + 8);
+      if (len > wire::kMaxWireBytes) {
+        // The length is sandbox-controlled: bound it before sizing any buffer.
+        return InvalidArgumentError("output length exceeds the wire limit");
+      }
       Bytes payload(len);
-      EREBOR_RETURN_IF_ERROR(WithGate(cpu, 64, [&]() -> Status {
+      EREBOR_RETURN_IF_ERROR(WithGate(cpu, 64, TraceEvent::kEmcChannelOp,
+                                      [&]() -> Status {
         EREBOR_RETURN_IF_ERROR(
             sandbox_mgr_->CopyFromSandbox(cpu, *sandbox, src, payload.data(), len));
         // Pad to the fixed output quantum, then seal (or emit plaintext-padded when no
         // session exists, the DebugFS-style channel).
-        const Bytes padded = PadOutput(payload, sandbox->spec.output_pad_bytes);
+        EREBOR_ASSIGN_OR_RETURN(const Bytes padded,
+                                PadOutput(payload, sandbox->spec.output_pad_bytes));
         cpu.cycles().Charge(padded.size() * cpu.costs().crypto_per_byte_x100 / 100);
+        Tracer::Global().Record(TraceEvent::kChannelEncrypt, cpu.index(),
+                                cpu.cycles().now(), sandbox->id, padded.size());
         if (mitigations_.quantize_output) {
           // Release only at fixed interval boundaries: a result's timing no longer
           // reflects the (secret-dependent) processing time.
@@ -927,6 +984,11 @@ StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
       EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
       const Vaddr src = LoadLe64(buf);
       const uint64_t len = LoadLe64(buf + 8);
+      if (len > wire::kMaxWireBytes) {
+        // Proxy-supplied length: refuse before allocating (a hostile proxy could
+        // otherwise demand a near-2^64-byte buffer).
+        return InvalidArgumentError("proxy packet exceeds the wire limit");
+      }
       Bytes wire(len);
       EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, src, wire.data(), len));
       EREBOR_RETURN_IF_ERROR(ProxyDeliver(cpu, wire));

@@ -14,6 +14,8 @@
 
 #include <memory>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/host/vmm.h"
 #include "src/kernel/image.h"
 #include "src/kernel/kernel.h"
@@ -144,6 +146,10 @@ class EreborMonitor {
   Status AuditInvariants();
 
   const MonitorCounters& counters() const { return counters_; }
+  // Registry view of the same counters (every MonitorCounters field is registered as
+  // an external cell under "monitor.<field>") plus monitor-owned histograms. The
+  // struct accessor above stays the hot-path API; the registry is the export surface.
+  MetricsRegistry& metrics() { return metrics_; }
   FrameTable& frame_table() { return *frame_table_; }
   MmuPolicy& policy() { return *policy_; }
   EmcGates& gates() { return *gates_; }
@@ -154,8 +160,16 @@ class EreborMonitor {
   friend class EmcPrivOps;
 
   // Runs `body` inside the EMC gates on `cpu`, charging `op_cycles` for the monitor-
-  // side work.
-  Status WithGate(Cpu& cpu, Cycles op_cycles, const std::function<Status()>& body);
+  // side work. `kind` tags the dispatch in the event trace (payload = op_cycles).
+  Status WithGate(Cpu& cpu, Cycles op_cycles, const std::function<Status()>& body,
+                  TraceEvent kind = TraceEvent::kEmcSandboxOp);
+  Status WithGate(Cpu& cpu, Cycles op_cycles, TraceEvent kind,
+                  const std::function<Status()>& body) {
+    return WithGate(cpu, op_cycles, body, kind);
+  }
+
+  // Counts a policy denial and emits its trace event.
+  void NoteDenial(Cpu& cpu);
 
   // ioctl dispatch for /dev/erebor.
   StatusOr<uint64_t> DeviceIoctl(SyscallContext& ctx, Task& task, uint64_t cmd,
@@ -183,6 +197,7 @@ class EreborMonitor {
   std::unique_ptr<EmcGates> gates_;
   std::unique_ptr<SandboxManager> sandbox_mgr_;
   MonitorCounters counters_;
+  MetricsRegistry metrics_;
   Rng rng_;
 
   const IdtTable* approved_idt_ = nullptr;

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/common/log.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace erebor {
 
@@ -34,6 +36,14 @@ Status TdxModule::Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) 
       // Synchronous exit: the TDX module saves/restores the guest context around the
       // host handoff, so only the explicit GHCI registers are visible to the host.
       cpu.cycles().Charge(cpu.costs().tdcall_round_trip);
+      Tracer& tracer = Tracer::Global();
+      if (tracer.enabled()) {
+        tracer.Record(TraceEvent::kTdxVmcall, cpu.index(), cpu.cycles().now(), -1,
+                      args[0]);
+        MetricsRegistry::Global()
+            .GetHistogram("trace.tdcall_cycles")
+            ->Observe(cpu.costs().tdcall_round_trip);
+      }
       GhciRequest request;
       request.reason = static_cast<GhciReason>(args[0]);
       request.arg0 = args[1];
@@ -55,6 +65,7 @@ Status TdxModule::Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) 
         return InvalidArgumentError("tdreport needs 2 args");
       }
       cpu.cycles().Charge(cpu.costs().native_tdreport);
+      Tracer::Global().Record(TraceEvent::kTdxReport, cpu.index(), cpu.cycles().now());
       TdReport report;
       report.measurements = measurements_;
       EREBOR_RETURN_IF_ERROR(machine_->memory().Read(args[0], report.report_data.data(),
@@ -78,6 +89,8 @@ Status TdxModule::Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) 
       Digest256 digest;
       EREBOR_RETURN_IF_ERROR(machine_->memory().Read(args[1], digest.data(), digest.size()));
       measurements_.ExtendRtmr(static_cast<int>(args[0]), digest);
+      Tracer::Global().Record(TraceEvent::kTdxRtmrExtend, cpu.index(),
+                              cpu.cycles().now(), -1, args[0]);
       return OkStatus();
     }
     case tdcall_leaf::kMapGpa: {
@@ -101,6 +114,8 @@ Status TdxModule::Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) 
         machine_->memory().SetShared(frame, to_shared);
       }
       ++map_gpa_count_;
+      Tracer::Global().Record(TraceEvent::kTdxMapGpa, cpu.index(), cpu.cycles().now(),
+                              -1, pages);
       return OkStatus();
     }
     case tdcall_leaf::kAcceptPage:

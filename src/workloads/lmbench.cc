@@ -1,5 +1,6 @@
 #include "src/workloads/lmbench.h"
 
+#include "src/common/trace.h"
 #include "src/kernel/syscalls.h"
 
 namespace erebor {
@@ -224,6 +225,7 @@ StatusOr<LmbenchResult> RunLmbench(const std::string& name, SimMode mode,
   EREBOR_RETURN_IF_ERROR(task.status());
 
   const uint64_t emc_before = world.privops().emc_count();
+  const uint64_t trace_emc_before = Tracer::Global().CountKind(TraceEvent::kEmcEnter);
   EREBOR_RETURN_IF_ERROR(world.RunUntil([&] { return state->done; }, 10'000'000));
   if (state->failed) {
     return InternalError("lmbench " + name + ": " + state->error);
@@ -234,6 +236,8 @@ StatusOr<LmbenchResult> RunLmbench(const std::string& name, SimMode mode,
   result.operations = state->completed;
   result.total_cycles = state->cycles_used;
   result.emc_count = world.privops().emc_count() - emc_before;
+  result.trace_emc_enter =
+      Tracer::Global().CountKind(TraceEvent::kEmcEnter) - trace_emc_before;
   return result;
 }
 

@@ -13,6 +13,9 @@ struct LmbenchResult {
   uint64_t operations = 0;
   Cycles total_cycles = 0;
   uint64_t emc_count = 0;
+  // Trace-measured EMC gate entries over the same window (0 when the global tracer is
+  // disabled; must equal emc_count when it is enabled).
+  uint64_t trace_emc_enter = 0;
   double cycles_per_op() const {
     return operations == 0 ? 0 : static_cast<double>(total_cycles) / operations;
   }

@@ -1,6 +1,7 @@
 #include "src/workloads/runner.h"
 
 #include "src/common/log.h"
+#include "src/common/trace.h"
 
 namespace erebor {
 
@@ -54,6 +55,11 @@ RunReport RunWorkload(Workload& workload, SimMode mode, const RunnerOptions& opt
   RunReport report;
   report.workload = workload.name();
   report.mode = mode;
+
+  // Honor EREBOR_TRACE / EREBOR_TRACE_JSON; a bench may also have enabled the tracer
+  // programmatically, in which case this is a no-op.
+  Tracer& tracer = Tracer::Global();
+  tracer.EnableFromEnv();
 
   WorldConfig config;
   config.mode = mode;
@@ -159,6 +165,7 @@ RunReport RunWorkload(Workload& workload, SimMode mode, const RunnerOptions& opt
   }
 
   // ---- Phase 1: initialization ----
+  tracer.MarkPhase("init", world.machine().TotalCycles());
   const Cycles before_init = world.machine().TotalCycles();
   st = world.RunUntil([&] { return state->init_done || state->failed; },
                       options.max_slices);
@@ -178,9 +185,11 @@ RunReport RunWorkload(Workload& workload, SimMode mode, const RunnerOptions& opt
   }
 
   // ---- Phase 3: processing ----
+  tracer.MarkPhase("run", world.machine().TotalCycles());
   const KernelStats stats_before = world.kernel().stats();
   const uint64_t emc_before =
       world.erebor_active() ? world.monitor()->counters().emc_total : 0;
+  const uint64_t trace_emc_before = tracer.CountKind(TraceEvent::kEmcEnter);
   const uint64_t sandbox_pf_before = sandbox != nullptr ? sandbox->exits.page_faults : 0;
   const uint64_t sandbox_timer_before =
       sandbox != nullptr ? sandbox->exits.timer_interrupts : 0;
@@ -197,6 +206,7 @@ RunReport RunWorkload(Workload& workload, SimMode mode, const RunnerOptions& opt
   report.run_seconds = report.GhzSeconds(report.run_cycles);
 
   // ---- Phase 4: fetch output ----
+  tracer.MarkPhase("output", world.machine().TotalCycles());
   if (world.erebor_active()) {
     auto padded = world.monitor()->DebugFetchOutput(*sandbox);
     if (!padded.ok()) {
@@ -244,6 +254,18 @@ RunReport RunWorkload(Workload& workload, SimMode mode, const RunnerOptions& opt
     report.mitigation_quantized = counters.quantized_outputs;
   }
   report.common_bytes = state->common_bytes;
+  if (tracer.enabled()) {
+    // Same window as the emc_total delta: nothing between the two reads crosses a
+    // gate, so a mismatch means an uninstrumented (or double-counted) crossing.
+    report.trace_emc_enter = tracer.CountKind(TraceEvent::kEmcEnter) - trace_emc_before;
+    report.trace_summary = tracer.SummaryTable();
+    if (!tracer.json_path().empty()) {
+      const Status export_st = tracer.WriteChromeTrace(tracer.json_path());
+      if (!export_st.ok()) {
+        LOG_WARN() << "trace export failed: " << export_st;
+      }
+    }
+  }
 
   // Session cleanup (zeroization) for the sandbox.
   if (sandbox != nullptr) {

@@ -34,6 +34,12 @@ struct RunReport {
   uint64_t mitigation_flushes = 0;
   uint64_t mitigation_quantized = 0;
 
+  // Observability (filled when the global tracer is enabled): trace-measured EMC gate
+  // entries over the processing phase — must equal emc_total exactly — plus the
+  // per-phase event summary.
+  uint64_t trace_emc_enter = 0;
+  std::string trace_summary;
+
   double GhzSeconds(Cycles c) const { return static_cast<double>(c) / 2.1e9; }
 };
 

@@ -49,9 +49,10 @@ class PaddingTest : public testing::TestWithParam<size_t> {};
 
 TEST_P(PaddingTest, PadUnpadRoundTripsAndQuantizes) {
   Bytes data(GetParam(), 0x5C);
-  const Bytes padded = PadOutput(data, 4096);
-  EXPECT_EQ(padded.size() % 4096, 0u);
-  const auto back = UnpadOutput(padded);
+  const auto padded = PadOutput(data, 4096);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->size() % 4096, 0u);
+  const auto back = UnpadOutput(*padded);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, data);
 }
@@ -61,7 +62,62 @@ INSTANTIATE_TEST_SUITE_P(Sizes, PaddingTest,
 
 TEST(PaddingTest, SameQuantumHidesSizeDifferences) {
   // Two outputs of different sizes produce identical wire lengths.
-  EXPECT_EQ(PadOutput(Bytes(10, 1), 4096).size(), PadOutput(Bytes(3000, 2), 4096).size());
+  const auto a = PadOutput(Bytes(10, 1), 4096);
+  const auto b = PadOutput(Bytes(3000, 2), 4096);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->size(), b->size());
+}
+
+// ---- Hostile input (the monitor parses these from the untrusted network) ----
+
+TEST(PaddingTest, ZeroQuantumRejected) {
+  // Pre-fix this divided by zero (SIGFPE); the quantum comes from a sandbox spec.
+  EXPECT_EQ(PadOutput(ToBytes("data"), 0).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(PaddingTest, TinyAndHugeQuantumsRejected) {
+  EXPECT_FALSE(PadOutput(ToBytes("data"), 8).ok());  // cannot hold the length prefix
+  EXPECT_FALSE(PadOutput(ToBytes("data"), ~0ULL).ok());
+}
+
+TEST(PaddingTest, UnpadRejectsOverflowingLength) {
+  // Length prefix chosen so `len + 8` wraps to a small value: pre-fix this slipped
+  // past the bound check and read far out of range.
+  Bytes hostile(16, 0);
+  StoreLe64(hostile.data(), ~0ULL - 6);  // 2^64 - 7
+  EXPECT_FALSE(UnpadOutput(hostile).ok());
+  StoreLe64(hostile.data(), ~0ULL);
+  EXPECT_FALSE(UnpadOutput(hostile).ok());
+}
+
+TEST(PaddingTest, UnpadRejectsLengthBeyondBuffer) {
+  Bytes hostile(16, 0);
+  StoreLe64(hostile.data(), 9);  // buffer only holds 8 payload bytes
+  EXPECT_FALSE(UnpadOutput(hostile).ok());
+}
+
+TEST(PacketTest, HugeLengthPrefixRejected) {
+  // A DataRecord whose ciphertext length prefix claims ~4 GiB but whose wire is a few
+  // bytes: parsing must fail without sizing a buffer from the prefix.
+  Packet packet;
+  packet.type = PacketType::kDataRecord;
+  packet.sandbox_id = 1;
+  packet.record.sequence = 0;
+  packet.record.ciphertext = ToBytes("tiny");
+  packet.record.tag.fill(0);
+  Bytes wire = packet.Serialize();
+  // The ciphertext length prefix sits after type(1) + sandbox(4) + sequence(8).
+  StoreLe32(wire.data() + 13, 0xFFFFFFF0u);
+  const auto parsed = Packet::Deserialize(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(PacketTest, OversizedWireRejected) {
+  Bytes wire(wire::kMaxWireBytes + 1, 0);
+  wire[0] = static_cast<uint8_t>(PacketType::kFin);
+  EXPECT_FALSE(Packet::Deserialize(wire).ok());
 }
 
 // ---- End-to-end attestation + data exchange over the untrusted network ----

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/common/metrics.h"
 #include "src/monitor/monitor.h"
 #include "src/sim/world.h"
 
@@ -389,6 +390,83 @@ TEST_F(EreborWorldTest, TextPokeCatchesBoundaryStraddle) {
   const uint8_t tail = 0x30;
   EXPECT_EQ(world_->privops().TextPoke(cpu, text_pa, &tail, 1).code(),
             ErrorCode::kPermissionDenied);
+}
+
+// ---- #INT gate nesting (satellite: per-CPU PKRS save stack) ----
+
+TEST_F(EreborWorldTest, NestedInterruptGatesRestoreInOrder) {
+  Cpu& cpu = world_->machine().cpu(0);
+  EmcGates& gates = world_->monitor()->gates();
+  ASSERT_TRUE(gates.Enter(cpu).ok());
+  EXPECT_EQ(gates.interrupt_depth(0), 0u);
+
+  gates.InterruptSave(cpu);  // first interrupt arrives mid-EMC
+  EXPECT_EQ(gates.interrupt_depth(0), 1u);
+  EXPECT_EQ(cpu.pkrs(), KernelModePkrs());
+  EXPECT_FALSE(cpu.in_monitor());
+
+  gates.InterruptSave(cpu);  // nested interrupt preempts the first handler
+  EXPECT_EQ(gates.interrupt_depth(0), 2u);
+  EXPECT_EQ(cpu.pkrs(), KernelModePkrs());
+
+  // Inner iret returns to the *outer handler*, which runs in the kernel view. With
+  // the pre-fix single save slot the nested save clobbered the outer one and this
+  // restore flipped the CPU into monitor context one level too early.
+  gates.InterruptRestore(cpu);
+  EXPECT_EQ(gates.interrupt_depth(0), 1u);
+  EXPECT_EQ(cpu.pkrs(), KernelModePkrs());
+  EXPECT_FALSE(cpu.in_monitor());
+
+  // Outermost iret re-grants the monitor view that was interrupted.
+  gates.InterruptRestore(cpu);
+  EXPECT_EQ(gates.interrupt_depth(0), 0u);
+  EXPECT_EQ(cpu.pkrs(), MonitorModePkrs());
+  EXPECT_TRUE(cpu.in_monitor());
+  gates.Exit(cpu);
+}
+
+TEST_F(EreborWorldTest, UnbalancedInterruptRestoreRefused) {
+  Cpu& cpu = world_->machine().cpu(0);
+  EmcGates& gates = world_->monitor()->gates();
+  const uint64_t before =
+      MetricsRegistry::Global().Value("gates.unbalanced_int_restore");
+  // A hostile kernel jumps to the #INT restore gate without a prior save. Pre-fix
+  // this restored a stale slot (zero == monitor PKRS) and set monitor context —
+  // a PKS grant the OS never legitimately held.
+  gates.InterruptRestore(cpu);
+  EXPECT_EQ(cpu.pkrs(), KernelModePkrs());
+  EXPECT_FALSE(cpu.in_monitor());
+  EXPECT_EQ(MetricsRegistry::Global().Value("gates.unbalanced_int_restore"),
+            before + 1);
+}
+
+// ---- PTE batch atomicity (satellite: validate whole batch, then apply) ----
+
+TEST_F(EreborWorldTest, DeniedMidBatchLeavesNoPteApplied) {
+  Cpu& cpu = world_->machine().cpu(0);
+  FrameTable& frames = world_->monitor()->frame_table();
+  const auto ptp = world_->kernel().pool().Alloc();
+  ASSERT_TRUE(ptp.ok());
+  frames.info(*ptp).type = FrameType::kPtp;
+  frames.info(*ptp).ptp_level = 1;
+  const auto target = world_->kernel().pool().Alloc();
+  ASSERT_TRUE(target.ok());
+
+  PrivilegedOps::PteUpdate updates[2];
+  // Entry 0 on its own is perfectly valid...
+  updates[0] = {AddrOf(*ptp),
+                pte::Make(*target, pte::kPresent | pte::kWritable | pte::kNoExecute)};
+  // ...entry 1 maps monitor memory user-accessible, which is always refused.
+  updates[1] = {AddrOf(*ptp) + 8,
+                pte::Make(layout::kMonitorFirstFrame,
+                          pte::kPresent | pte::kUser | pte::kWritable)};
+
+  const Status st = world_->monitor()->EmcWritePteBatch(cpu, updates, 2);
+  EXPECT_EQ(st.code(), ErrorCode::kPermissionDenied);
+  // All-or-nothing: the valid first entry must not have been applied. Pre-fix the
+  // batch applied as it validated, leaving entry 0 installed after the denial.
+  EXPECT_EQ(world_->machine().memory().Read64(AddrOf(*ptp)), 0u);
+  EXPECT_EQ(world_->machine().memory().Read64(AddrOf(*ptp) + 8), 0u);
 }
 
 TEST_F(EreborWorldTest, FenceBlocksDirectSensitiveInstructions) {
