@@ -1,0 +1,180 @@
+#include "bench/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace erebor {
+
+namespace {
+
+std::string EscapeString(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string RenderNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+void AppendIndent(std::string& out, int depth) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+Json Json::Object() { return Json(Kind::kObject); }
+Json Json::Array() { return Json(Kind::kArray); }
+
+Json& Json::Set(const std::string& key, Json value) {
+  if (kind_ == Kind::kObject) {
+    members_.emplace_back(key, std::move(value));
+  }
+  return *this;
+}
+
+Json& Json::Set(const std::string& key, double value) {
+  Json scalar(Kind::kScalar);
+  scalar.scalar_ = RenderNumber(value);
+  return Set(key, std::move(scalar));
+}
+
+Json& Json::Set(const std::string& key, uint64_t value) {
+  Json scalar(Kind::kScalar);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  scalar.scalar_ = buf;
+  return Set(key, std::move(scalar));
+}
+
+Json& Json::Set(const std::string& key, int value) {
+  Json scalar(Kind::kScalar);
+  scalar.scalar_ = std::to_string(value);
+  return Set(key, std::move(scalar));
+}
+
+Json& Json::Set(const std::string& key, bool value) {
+  Json scalar(Kind::kScalar);
+  scalar.scalar_ = value ? "true" : "false";
+  return Set(key, std::move(scalar));
+}
+
+Json& Json::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+Json& Json::Set(const std::string& key, const std::string& value) {
+  Json scalar(Kind::kScalar);
+  scalar.scalar_ = EscapeString(value);
+  return Set(key, std::move(scalar));
+}
+
+Json& Json::Push(Json value) {
+  if (kind_ == Kind::kArray) {
+    elements_.push_back(std::move(value));
+  }
+  return *this;
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kScalar:
+      out = scalar_;
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out = "{}";
+        break;
+      }
+      out = "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        out += EscapeString(members_[i].first);
+        out += ": ";
+        out += members_[i].second.Dump(indent + 1);
+        if (i + 1 < members_.size()) {
+          out += ",";
+        }
+        out += "\n";
+      }
+      AppendIndent(out, indent);
+      out += "}";
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out = "[]";
+        break;
+      }
+      out = "[\n";
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        out += elements_[i].Dump(indent + 1);
+        if (i + 1 < elements_.size()) {
+          out += ",";
+        }
+        out += "\n";
+      }
+      AppendIndent(out, indent);
+      out += "]";
+      break;
+    }
+  }
+  return out;
+}
+
+bool WriteBenchJson(const std::string& name, const Json& root, std::string* path_out) {
+  const char* env = std::getenv("EREBOR_BENCH_JSON");
+  if (env == nullptr || (env[0] == '0' && env[1] == '\0')) {
+    return false;
+  }
+  std::string path;
+  if (env[0] == '\0' || (env[0] == '1' && env[1] == '\0')) {
+    path = "BENCH_" + name + ".json";
+  } else {
+    path = env;
+    if (path.back() != '/') {
+      path += '/';
+    }
+    path += "BENCH_" + name + ".json";
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string text = root.Dump() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (ok && path_out != nullptr) {
+    *path_out = path;
+  }
+  return ok;
+}
+
+}  // namespace erebor

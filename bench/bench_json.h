@@ -1,0 +1,62 @@
+// Machine-readable bench output: a tiny JSON builder plus a shared convention for
+// where the files go.
+//
+// Every figure/table bench can emit `BENCH_<name>.json` next to its human-readable
+// table so CI and plotting scripts never scrape stdout. Emission is opt-in via the
+// EREBOR_BENCH_JSON environment variable:
+//   unset or "0"  -> no file written
+//   "1" (or "")   -> write BENCH_<name>.json into the current directory
+//   anything else -> treated as a directory prefix, e.g. EREBOR_BENCH_JSON=out/
+// scripts/bench.sh sets it and collects the files.
+#ifndef EREBOR_BENCH_BENCH_JSON_H_
+#define EREBOR_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace erebor {
+
+// A write-only JSON document. Values are rendered on Dump(); objects preserve
+// insertion order so the files diff cleanly run-to-run.
+class Json {
+ public:
+  static Json Object();
+  static Json Array();
+
+  // Object field setters (no-ops on arrays/scalars). Overloads cover everything the
+  // benches report; doubles render with %.12g and non-finite values render as null.
+  Json& Set(const std::string& key, Json value);
+  Json& Set(const std::string& key, double value);
+  Json& Set(const std::string& key, uint64_t value);
+  Json& Set(const std::string& key, int value);
+  Json& Set(const std::string& key, bool value);
+  Json& Set(const std::string& key, const char* value);
+  Json& Set(const std::string& key, const std::string& value);
+
+  // Array element append (no-op on objects/scalars).
+  Json& Push(Json value);
+
+  std::string Dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kObject, kArray, kScalar };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string scalar_;  // pre-rendered JSON token (number, string, bool, null)
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+// Writes `BENCH_<name>.json` per the EREBOR_BENCH_JSON convention above. Returns
+// true when a file was written (path reported via *path_out when non-null); false
+// when emission is disabled or the file could not be opened.
+bool WriteBenchJson(const std::string& name, const Json& root,
+                    std::string* path_out = nullptr);
+
+}  // namespace erebor
+
+#endif  // EREBOR_BENCH_BENCH_JSON_H_

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
 #include "src/libos/libos.h"
@@ -134,6 +135,20 @@ void PrintTable3() {
               g_vmcall_cycles / g_emc_cycles);
   std::printf("Paper: EMC 1224 (1x), SYSCALL 684 (0.56x), TDCALL 5276 (4.31x), "
               "VMCALL 4031 (3.29x)\n");
+
+  Json root = Json::Object();
+  root.Set("bench", "tab3")
+      .Set("emc_cycles", g_emc_cycles)
+      .Set("syscall_cycles", g_syscall_cycles)
+      .Set("tdcall_cycles", g_tdcall_cycles)
+      .Set("vmcall_cycles", g_vmcall_cycles)
+      .Set("syscall_vs_emc", g_emc_cycles == 0 ? 0 : g_syscall_cycles / g_emc_cycles)
+      .Set("tdcall_vs_emc", g_emc_cycles == 0 ? 0 : g_tdcall_cycles / g_emc_cycles)
+      .Set("vmcall_vs_emc", g_emc_cycles == 0 ? 0 : g_vmcall_cycles / g_emc_cycles);
+  std::string json_path;
+  if (WriteBenchJson("tab3", root, &json_path)) {
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+  }
 }
 
 // Cross-check: the same transitions as measured by the event tracer (log2-bucket

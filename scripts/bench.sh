@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Machine-readable bench pipeline: builds the repo, runs the figure/table benches
+# with JSON emission enabled, and collects BENCH_<name>.json files in one directory.
+#
+# Usage: scripts/bench.sh [build-dir] [out-dir]
+#   build-dir defaults to `build`, out-dir to `bench_out`.
+#
+# fig8 exits non-zero if the TLB breaks cycle-neutrality, the walker-read reduction
+# misses its 5x target, or the trace/counter EMC cross-check fails; fig9 exits
+# non-zero on a cycle-neutrality violation; tab6 on a trace mismatch. Any of those
+# fails this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_out}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+mkdir -p "$OUT_DIR"
+export EREBOR_BENCH_JSON="$OUT_DIR"
+
+echo "== fig8 (LMBench microbenchmarks, TLB off/on cross-check) =="
+EREBOR_TRACE=1 EREBOR_TRACE_JSON="$OUT_DIR/fig8_trace.json" \
+  "$BUILD_DIR/bench/fig8_lmbench"
+
+echo
+echo "== fig9 (workload ablation, TLB off/on cross-check) =="
+"$BUILD_DIR/bench/fig9_workloads"
+
+echo
+echo "== tab3 (privilege-transition costs) =="
+"$BUILD_DIR/bench/tab3_transitions" --benchmark_out_format=console 2>/dev/null
+
+echo
+echo "== tab6 (execution statistics) =="
+EREBOR_TRACE=1 "$BUILD_DIR/bench/tab6_stats"
+
+echo
+for name in fig8 fig9 tab3 tab6; do
+  f="$OUT_DIR/BENCH_$name.json"
+  if [[ ! -s "$f" ]]; then
+    echo "bench.sh: missing or empty $f" >&2
+    exit 1
+  fi
+  # Structural sanity without assuming a JSON tool is installed.
+  grep -q '"bench"' "$f" || { echo "bench.sh: malformed $f" >&2; exit 1; }
+done
+echo "bench.sh: JSON results in $OUT_DIR/:"
+ls -l "$OUT_DIR"/BENCH_*.json

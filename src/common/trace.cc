@@ -37,6 +37,9 @@ const char* TraceEventName(TraceEvent event) {
     case TraceEvent::kContextSwitch: return "context_switch";
     case TraceEvent::kChannelEncrypt: return "channel_encrypt";
     case TraceEvent::kChannelDecrypt: return "channel_decrypt";
+    case TraceEvent::kTlbFlush: return "tlb_flush";
+    case TraceEvent::kTlbInvlpg: return "tlb_invlpg";
+    case TraceEvent::kTlbShootdown: return "tlb_shootdown";
     case TraceEvent::kPhaseMark: return "phase_mark";
     case TraceEvent::kCount: break;
   }

@@ -61,6 +61,12 @@ enum class TraceEvent : uint16_t {
   // Secure channel (src/monitor/channel.cc + monitor record paths).
   kChannelEncrypt,
   kChannelDecrypt,
+  // Software-TLB maintenance (src/hw/tlb). Recorded at the invalidation *sites*
+  // unconditionally — even with the TLB disabled — so per-phase trace summaries are
+  // deterministic across EREBOR_TLB settings.
+  kTlbFlush,
+  kTlbInvlpg,
+  kTlbShootdown,
   kPhaseMark,
   kCount,  // sentinel
 };

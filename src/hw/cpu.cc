@@ -1,6 +1,10 @@
 #include "src/hw/cpu.h"
 
+#include <cstdio>
+#include <string_view>
+
 #include "src/common/log.h"
+#include "src/common/trace.h"
 
 namespace erebor {
 
@@ -10,6 +14,42 @@ Cpu::Cpu(int index, PhysMemory* memory, CodeRegistry* registry, const CycleModel
 uint64_t Cpu::Msr(uint32_t index) const {
   const auto it = msrs_.find(index);
   return it == msrs_.end() ? 0 : it->second;
+}
+
+void Cpu::SyncMsrCache(uint32_t index, uint64_t value) {
+  if (index == msr::kIa32Pkrs) {
+    pkrs_cache_ = value;
+  } else if (index == msr::kIa32SCet) {
+    scet_cache_ = value;
+  }
+}
+
+void Cpu::FlushTlb() {
+  // Trace unconditionally (even TLB-off / hook-off) so per-phase summaries are
+  // bit-identical across EREBOR_TLB settings; the flush itself charges no cycles.
+  Tracer::Global().Record(TraceEvent::kTlbFlush, index_, cycles_.now());
+  if (Tlb::Enabled() && Tlb::hooks().cr3_flush) {
+    tlb_.FlushAll();
+  }
+}
+
+StatusOr<WalkResult> Cpu::WalkCached(Paddr root, Vaddr va, CpuMode mode) {
+  return tlb_.WalkCached(*memory_, root, va, mode);
+}
+
+void Cpu::InvlpgBroadcast(Paddr root, Vaddr va) {
+  Tracer::Global().Record(TraceEvent::kTlbInvlpg, index_, cycles_.now(), -1, va);
+  ++Tlb::GlobalStats().invlpg;
+  if (!Tlb::Enabled() || !Tlb::hooks().invlpg) {
+    return;
+  }
+  if (tlb_peers_.empty()) {
+    tlb_.InvalidatePage(root, va);
+    return;
+  }
+  for (Cpu* peer : tlb_peers_) {
+    peer->tlb().InvalidatePage(root, va);
+  }
 }
 
 Status Cpu::CheckSensitive(const char* what) {
@@ -40,6 +80,7 @@ Status Cpu::WriteCr3(uint64_t value) {
   EREBOR_RETURN_IF_ERROR(CheckSensitive("mov %cr3"));
   cycles_.Charge(costs_->native_cr_write);
   cr3_ = value;
+  FlushTlb();
   return OkStatus();
 }
 
@@ -61,10 +102,23 @@ Status Cpu::WriteMsr(uint32_t index, uint64_t value) {
   EREBOR_RETURN_IF_ERROR(CheckSensitive("wrmsr"));
   cycles_.Charge(costs_->native_wrmsr);
   msrs_[index] = value;
+  SyncMsrCache(index, value);
+  if (index == msr::kIa32Pkrs || index == msr::kIa32SCet) {
+    // An untrusted PKRS/CET rewrite flushes the writing CPU's TLB (serializing
+    // permission change). The *trusted* gate writes on the EMC hot path deliberately
+    // do not: the TLB caches walks, and PKS/CET checks re-run on every access.
+    Tracer::Global().Record(TraceEvent::kTlbFlush, index_, cycles_.now());
+    if (Tlb::Enabled()) {
+      tlb_.FlushAll();
+    }
+  }
   return OkStatus();
 }
 
-void Cpu::TrustedWriteMsr(uint32_t index, uint64_t value) { msrs_[index] = value; }
+void Cpu::TrustedWriteMsr(uint32_t index, uint64_t value) {
+  msrs_[index] = value;
+  SyncMsrCache(index, value);
+}
 
 void Cpu::TrustedWriteCr(int reg, uint64_t value) {
   switch (reg) {
@@ -73,6 +127,7 @@ void Cpu::TrustedWriteCr(int reg, uint64_t value) {
       break;
     case 3:
       cr3_ = value;
+      FlushTlb();
       break;
     case 4:
       cr4_ = value;
@@ -117,7 +172,9 @@ StatusOr<WalkResult> Cpu::Translate(Vaddr va, AccessType access, Fault* fault_ou
 
 StatusOr<WalkResult> Cpu::TranslateAs(CpuMode as_mode, Vaddr va, AccessType access,
                                       Fault* fault_out) {
-  auto fail = [&](uint64_t err_bits, const std::string& reason) -> Status {
+  // Denial reasons are string_views over static storage (or a stack buffer for the
+  // keyed PKS messages): nothing is heap-allocated until an actual fault happens.
+  auto fail = [&](uint64_t err_bits, std::string_view reason) -> Status {
     if (fault_out != nullptr) {
       fault_out->vector = Vector::kPageFault;
       fault_out->error_code =
@@ -126,12 +183,14 @@ StatusOr<WalkResult> Cpu::TranslateAs(CpuMode as_mode, Vaddr va, AccessType acce
           (access == AccessType::kExecute ? pf_err::kInstruction : 0) |
           (as_mode == CpuMode::kUser ? pf_err::kUser : 0);
       fault_out->address = va;
-      fault_out->reason = reason;
+      fault_out->reason.assign(reason);
     }
-    return PermissionDeniedError("#PF: " + reason);
+    std::string message("#PF: ");
+    message.append(reason);
+    return PermissionDeniedError(std::move(message));
   };
 
-  auto walk = WalkPageTables(*memory_, cr3_, va);
+  auto walk = tlb_.WalkCached(*memory_, cr3_, va, as_mode);
   if (!walk.ok()) {
     if (fault_out != nullptr) {
       fault_out->vector = Vector::kPageFault;
@@ -170,15 +229,17 @@ StatusOr<WalkResult> Cpu::TranslateAs(CpuMode as_mode, Vaddr va, AccessType acce
       return fail(pf_err::kPresent, "SMAP: supervisor access to user page");
     }
   } else if ((cr4_ & cr::kCr4Pks) != 0 && access != AccessType::kExecute) {
-    // Supervisor protection keys (PKS): data accesses only.
-    const uint64_t pkrs_value = Msr(msr::kIa32Pkrs);
-    if ((pkrs_value & pkrs::Ad(r.pkey)) != 0) {
-      return fail(pf_err::kPresent | pf_err::kProtectionKey,
-                  "PKS: access-disabled key " + std::to_string(r.pkey));
+    // Supervisor protection keys (PKS): data accesses only. pkrs_cache_ mirrors the
+    // MSR so the hottest check in the simulator costs no map lookup.
+    if ((pkrs_cache_ & pkrs::Ad(r.pkey)) != 0) {
+      char reason[40];
+      std::snprintf(reason, sizeof(reason), "PKS: access-disabled key %u", r.pkey);
+      return fail(pf_err::kPresent | pf_err::kProtectionKey, reason);
     }
-    if (access == AccessType::kWrite && (pkrs_value & pkrs::Wd(r.pkey)) != 0) {
-      return fail(pf_err::kPresent | pf_err::kProtectionKey,
-                  "PKS: write-disabled key " + std::to_string(r.pkey));
+    if (access == AccessType::kWrite && (pkrs_cache_ & pkrs::Wd(r.pkey)) != 0) {
+      char reason[40];
+      std::snprintf(reason, sizeof(reason), "PKS: write-disabled key %u", r.pkey);
+      return fail(pf_err::kPresent | pf_err::kProtectionKey, reason);
     }
   }
   if (access == AccessType::kWrite && r.shadow_stack) {
@@ -193,12 +254,21 @@ StatusOr<WalkResult> Cpu::TranslateAs(CpuMode as_mode, Vaddr va, AccessType acce
   return r;
 }
 
+namespace {
+// Bytes left until the end of the leaf's mapped span: a 2 MiB (or 1 GiB) leaf is
+// physically contiguous, so one translation covers the whole span instead of
+// re-walking every 4 KiB.
+uint64_t SpanRemaining(const WalkResult& r, Vaddr va) {
+  const uint64_t span = 1ULL << (kPageShift + 9 * static_cast<uint64_t>(r.level));
+  return span - (va & (span - 1));
+}
+}  // namespace
+
 Status Cpu::ReadVirt(Vaddr va, uint8_t* out, uint64_t len, Fault* fault_out) {
   while (len > 0) {
     EREBOR_ASSIGN_OR_RETURN(const WalkResult r,
                             Translate(va, AccessType::kRead, fault_out));
-    const uint64_t page_remaining = kPageSize - (va & kPageMask);
-    const uint64_t take = std::min(len, page_remaining);
+    const uint64_t take = std::min(len, SpanRemaining(r, va));
     EREBOR_RETURN_IF_ERROR(memory_->Read(r.pa, out, take));
     va += take;
     out += take;
@@ -211,8 +281,7 @@ Status Cpu::WriteVirt(Vaddr va, const uint8_t* data, uint64_t len, Fault* fault_
   while (len > 0) {
     EREBOR_ASSIGN_OR_RETURN(const WalkResult r,
                             Translate(va, AccessType::kWrite, fault_out));
-    const uint64_t page_remaining = kPageSize - (va & kPageMask);
-    const uint64_t take = std::min(len, page_remaining);
+    const uint64_t take = std::min(len, SpanRemaining(r, va));
     EREBOR_RETURN_IF_ERROR(memory_->Write(r.pa, data, take));
     va += take;
     data += take;
@@ -227,7 +296,7 @@ Status Cpu::IndirectBranch(CodeLabelId target) {
     return InvalidArgumentError("indirect branch to unknown label");
   }
   const bool ibt_enabled = (cr4_ & cr::kCr4Cet) != 0 &&
-                           (Msr(msr::kIa32SCet) & msr::kCetIbtEn) != 0;
+                           (scet_cache_ & msr::kCetIbtEn) != 0;
   if (ibt_enabled && !label->endbr) {
     return PermissionDeniedError("#CP: indirect branch to non-endbr64 target '" +
                                  label->name + "'");
@@ -237,7 +306,7 @@ Status Cpu::IndirectBranch(CodeLabelId target) {
 
 Status Cpu::ShadowCall(CodeLabelId return_site) {
   const bool sst_enabled = (cr4_ & cr::kCr4Cet) != 0 &&
-                           (Msr(msr::kIa32SCet) & msr::kCetShstkEn) != 0;
+                           (scet_cache_ & msr::kCetShstkEn) != 0;
   if (!sst_enabled || shadow_stack_ == nullptr) {
     return OkStatus();
   }
@@ -247,7 +316,7 @@ Status Cpu::ShadowCall(CodeLabelId return_site) {
 
 Status Cpu::ShadowReturn(CodeLabelId return_site) {
   const bool sst_enabled = (cr4_ & cr::kCr4Cet) != 0 &&
-                           (Msr(msr::kIa32SCet) & msr::kCetShstkEn) != 0;
+                           (scet_cache_ & msr::kCetShstkEn) != 0;
   if (!sst_enabled || shadow_stack_ == nullptr) {
     return OkStatus();
   }

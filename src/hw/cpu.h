@@ -14,12 +14,14 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/hw/cet.h"
 #include "src/hw/cycles.h"
 #include "src/hw/paging.h"
 #include "src/hw/phys_mem.h"
+#include "src/hw/tlb.h"
 #include "src/hw/types.h"
 
 namespace erebor {
@@ -116,7 +118,10 @@ class Cpu {
   // ---- MSRs ----
   StatusOr<uint64_t> ReadMsr(uint32_t index) const;
   Status WriteMsr(uint32_t index, uint64_t value);
-  uint64_t pkrs() const { return Msr(msr::kIa32Pkrs); }
+  // IA32_PKRS and the IA32_S_CET enable bits are read on every translation /
+  // indirect branch, so they are mirrored in plain members instead of the MSR map.
+  uint64_t pkrs() const { return pkrs_cache_; }
+  uint64_t s_cet() const { return scet_cache_; }
 
   // ---- SMAP window ----
   Status Stac();
@@ -155,6 +160,20 @@ class Cpu {
   Status ReadVirt(Vaddr va, uint8_t* out, uint64_t len, Fault* fault_out = nullptr);
   Status WriteVirt(Vaddr va, const uint8_t* data, uint64_t len, Fault* fault_out = nullptr);
 
+  // ---- Software TLB ----
+  Tlb& tlb() { return tlb_; }
+  // Walk with this CPU's TLB (no permission checks; what TranslateAs and the
+  // kernel/monitor lookup helpers use instead of a raw WalkPageTables).
+  StatusOr<WalkResult> WalkCached(Paddr root, Vaddr va, CpuMode mode);
+  // Machine wires every CPU (including this one) so invlpg-style invalidations can
+  // broadcast without a Machine back-pointer. Empty peers = invalidate locally only.
+  void SetTlbPeers(std::vector<Cpu*> peers) { tlb_peers_ = std::move(peers); }
+  // Kernel-initiated single-page invalidation (PrivilegedOps::InvlPg): invlpg is
+  // ring-0 but not in the paper's sensitive set, so the deprivileged kernel runs it
+  // directly in both worlds. Records a trace event; charges no cycles (the cost is
+  // already folded into the page-op cycle constants).
+  void InvlpgBroadcast(Paddr root, Vaddr va);
+
   // ---- Control flow (CET) ----
   // Indirect call/jmp to `target`: #CP unless the label is an endbr64 target (when IBT
   // is enabled for supervisor mode via IA32_S_CET).
@@ -177,6 +196,8 @@ class Cpu {
  private:
   uint64_t Msr(uint32_t index) const;
   Status CheckSensitive(const char* what);
+  void SyncMsrCache(uint32_t index, uint64_t value);
+  void FlushTlb();
 
   int index_;
   PhysMemory* memory_;
@@ -194,6 +215,10 @@ class Cpu {
   bool in_monitor_ = false;
 
   std::map<uint32_t, uint64_t> msrs_;
+  uint64_t pkrs_cache_ = 0;  // mirror of msrs_[IA32_PKRS]
+  uint64_t scet_cache_ = 0;  // mirror of msrs_[IA32_S_CET]
+  Tlb tlb_;
+  std::vector<Cpu*> tlb_peers_;
   const IdtTable* idt_ = nullptr;
   TdcallSink* tdcall_sink_ = nullptr;
   ShadowStack* shadow_stack_ = nullptr;

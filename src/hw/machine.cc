@@ -1,5 +1,7 @@
 #include "src/hw/machine.h"
 
+#include "src/common/trace.h"
+
 namespace erebor {
 
 Machine::Machine(const MachineConfig& config)
@@ -9,6 +11,48 @@ Machine::Machine(const MachineConfig& config)
       dma_(&memory_) {
   for (int i = 0; i < config.num_cpus; ++i) {
     cpus_.push_back(std::make_unique<Cpu>(i, &memory_, &registry_, &config_.cycles));
+  }
+  // Every CPU sees every TLB (its own included) so kernel invlpg broadcasts reach
+  // all cores without a Machine back-pointer in Cpu.
+  std::vector<Cpu*> peers;
+  for (auto& cpu : cpus_) {
+    peers.push_back(cpu.get());
+  }
+  for (auto& cpu : cpus_) {
+    cpu->SetTlbPeers(peers);
+  }
+}
+
+void Machine::FlushAllTlbs() {
+  if (!Tlb::Enabled()) {
+    return;  // the caches are empty; skip the per-CPU scans
+  }
+  for (auto& cpu : cpus_) {
+    cpu->tlb().FlushAll();
+  }
+}
+
+void Machine::FlushTlbRoot(Paddr root) {
+  if (!Tlb::Enabled()) {
+    return;
+  }
+  for (auto& cpu : cpus_) {
+    cpu->tlb().FlushRoot(root);
+  }
+}
+
+void Machine::ShootdownTlbLeaf(Paddr entry_pa, int initiating_cpu) {
+  // Trace + count unconditionally so event streams are identical across EREBOR_TLB
+  // settings; only the (pointless, scan-heavy) cache maintenance is skipped when the
+  // TLB is globally off.
+  Tracer::Global().Record(TraceEvent::kTlbShootdown, initiating_cpu,
+                          cpus_[initiating_cpu]->cycles().now(), -1, entry_pa);
+  ++Tlb::GlobalStats().shootdowns;
+  if (!Tlb::Enabled()) {
+    return;
+  }
+  for (auto& cpu : cpus_) {
+    cpu->tlb().ShootdownEntry(entry_pa);
   }
 }
 

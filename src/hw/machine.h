@@ -36,6 +36,16 @@ class Machine {
   // Aggregate cycle count across CPUs (the simulation's notion of elapsed work).
   Cycles TotalCycles() const;
 
+  // ---- Software-TLB broadcast helpers (no cycle charge; see src/hw/tlb.h) ----
+  // Flush every CPU's TLB.
+  void FlushAllTlbs();
+  // Drop all entries keyed by `root` on every CPU (address-space teardown, where the
+  // root frame may be recycled). Always on — not a test-toggleable hook.
+  void FlushTlbRoot(Paddr root);
+  // Monitor/kernel shootdown by leaf-PTE physical address across every CPU.
+  // `initiating_cpu` only attributes the trace event.
+  void ShootdownTlbLeaf(Paddr entry_pa, int initiating_cpu = 0);
+
  private:
   MachineConfig config_;
   PhysMemory memory_;

@@ -2,7 +2,35 @@
 
 namespace erebor {
 
+uint64_t& PageTableWalkReads() {
+  static uint64_t reads = 0;
+  return reads;
+}
+
+namespace {
+// Static failure messages: demand paging takes the non-present path constantly, so the
+// reason must not be assembled with std::to_string/concatenation per fault. Text is
+// identical to the historical "non-present PTE at level N" output.
+const char* NonPresentMessage(int level) {
+  switch (level) {
+    case 0:
+      return "non-present PTE at level 0";
+    case 1:
+      return "non-present PTE at level 1";
+    case 2:
+      return "non-present PTE at level 2";
+    default:
+      return "non-present PTE at level 3";
+  }
+}
+}  // namespace
+
 StatusOr<WalkResult> WalkPageTables(const PhysMemory& memory, Paddr root, Vaddr va) {
+  return WalkPageTables(memory, root, va, nullptr);
+}
+
+StatusOr<WalkResult> WalkPageTables(const PhysMemory& memory, Paddr root, Vaddr va,
+                                    WalkPath* path) {
   WalkResult result;
   result.user_accessible = true;
   result.writable = true;
@@ -14,14 +42,27 @@ StatusOr<WalkResult> WalkPageTables(const PhysMemory& memory, Paddr root, Vaddr 
       return OutOfRangeError("page-table page outside physical memory");
     }
     const Pte entry = memory.Read64(entry_pa);
+    ++PageTableWalkReads();
+    if (path != nullptr) {
+      path->entry_pa[level] = entry_pa;
+      path->deepest = level;
+      if (level == 0) {
+        path->leaf_table = table;
+      }
+    }
     if (!pte::Present(entry)) {
-      return NotFoundError("non-present PTE at level " + std::to_string(level));
+      return NotFoundError(NonPresentMessage(level));
     }
     result.user_accessible = result.user_accessible && pte::User(entry);
     result.writable = result.writable && pte::Writable(entry);
     result.no_execute = result.no_execute || pte::NoExecute(entry);
 
     const bool is_leaf = level == 0 || (level <= 2 && (entry & pte::kPageSize) != 0);
+    if (path != nullptr && !is_leaf) {
+      path->inter_user = path->inter_user && pte::User(entry);
+      path->inter_writable = path->inter_writable && pte::Writable(entry);
+      path->inter_nx = path->inter_nx || pte::NoExecute(entry);
+    }
     if (is_leaf) {
       result.leaf = entry;
       result.level = level;

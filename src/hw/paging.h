@@ -73,9 +73,31 @@ struct WalkResult {
   Paddr leaf_entry_pa = 0;        // physical address of the leaf PTE itself
 };
 
+// Optional walk-path record, filled (even on a failed walk) when the caller passes
+// one to WalkPageTables. The software TLB uses it to build paging-structure-cache
+// entries and to know which intermediate entries a cached translation depends on.
+struct WalkPath {
+  // Physical address of the entry read at each level actually visited (index = level).
+  Paddr entry_pa[kPagingLevels] = {0, 0, 0, 0};
+  int deepest = kPagingLevels;  // lowest level whose entry was read; 4 = none
+  Paddr leaf_table = 0;         // base of the level-0 table, set only if reached
+  // Permission aggregates over the intermediate levels traversed (3..1), i.e. the
+  // walk state just before the leaf entry is applied.
+  bool inter_user = true;
+  bool inter_writable = true;
+  bool inter_nx = false;
+};
+
 // Walks the tables rooted at `root` (physical address of the PML4 frame). Returns
 // kNotFound if a level is non-present, with the failing level in the message.
 StatusOr<WalkResult> WalkPageTables(const PhysMemory& memory, Paddr root, Vaddr va);
+StatusOr<WalkResult> WalkPageTables(const PhysMemory& memory, Paddr root, Vaddr va,
+                                    WalkPath* path);
+
+// Process-wide count of page-table PTE reads performed by walks (full walks and the
+// TLB's structure-cache-assisted leaf reads). Plain counter: the benches sample it
+// around hot loops to measure how many physical reads the TLB avoids.
+uint64_t& PageTableWalkReads();
 
 // Builds page-table entries on behalf of software. `AllocFrameFn` supplies zeroed
 // frames for intermediate PTPs. All PTE stores go through `write_pte` so the caller can

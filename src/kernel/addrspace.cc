@@ -10,7 +10,16 @@ PteWriter AddressSpace::MakeWriter(Cpu& cpu, int* pte_writes) {
     if (pte_writes != nullptr) {
       ++*pte_writes;
     }
-    return ops_->WritePte(cpu, entry_pa, value);
+    const Pte old = machine_->memory().Read64(entry_pa);
+    EREBOR_RETURN_IF_ERROR(ops_->WritePte(cpu, entry_pa, value));
+    // Kernel-side TLB maintenance: rewriting a previously present entry (remap,
+    // U/S widening of an intermediate, unmap, protect) invalidates any cached
+    // translation that depends on it. Batched leaf writes skip this wrapper but
+    // only ever target non-present slots.
+    if (Tlb::hooks().invlpg && pte::Present(old) && old != value) {
+      machine_->ShootdownTlbLeaf(entry_pa, cpu.index());
+    }
+    return OkStatus();
   };
   writer.alloc_ptp = [this, &cpu]() -> StatusOr<FrameNum> {
     EREBOR_ASSIGN_OR_RETURN(const FrameNum frame, pool_->Alloc());
@@ -102,7 +111,7 @@ Status AddressSpace::PopulateVmaBatched(Cpu& cpu, Vaddr start) {
   }
   std::vector<PageMapping> mappings;
   for (Vaddr va = vma->start; va < vma->end; va += kPageSize) {
-    if (Lookup(va).ok()) {
+    if (LookupCached(cpu, va).ok()) {
       continue;
     }
     FrameNum frame = 0;
@@ -126,16 +135,24 @@ Status AddressSpace::PopulateVmaBatched(Cpu& cpu, Vaddr start) {
 
 Status AddressSpace::UnmapPage(Cpu& cpu, Vaddr va) {
   PteWriter writer = MakeWriter(cpu);
-  return erebor::UnmapPage(machine_->memory(), root_, va, writer);
+  EREBOR_RETURN_IF_ERROR(erebor::UnmapPage(machine_->memory(), root_, va, writer));
+  ops_->InvlPg(cpu, root_, va);
+  return OkStatus();
 }
 
 Status AddressSpace::ProtectPage(Cpu& cpu, Vaddr va, Pte flags) {
   PteWriter writer = MakeWriter(cpu);
-  return erebor::ProtectPage(machine_->memory(), root_, va, flags, writer);
+  EREBOR_RETURN_IF_ERROR(erebor::ProtectPage(machine_->memory(), root_, va, flags, writer));
+  ops_->InvlPg(cpu, root_, va);
+  return OkStatus();
 }
 
 StatusOr<WalkResult> AddressSpace::Lookup(Vaddr va) const {
   return WalkPageTables(machine_->memory(), root_, va);
+}
+
+StatusOr<WalkResult> AddressSpace::LookupCached(Cpu& cpu, Vaddr va) const {
+  return cpu.WalkCached(root_, va, CpuMode::kSupervisor);
 }
 
 StatusOr<Vaddr> AddressSpace::CreateVma(uint64_t len, Pte flags, VmaKind kind, Vaddr fixed) {
@@ -169,7 +186,7 @@ Status AddressSpace::DestroyVma(Cpu& cpu, Vaddr start) {
     return NotFoundError("no VMA at given start");
   }
   for (Vaddr va = it->second.start; va < it->second.end; va += kPageSize) {
-    const auto walk = Lookup(va);
+    const auto walk = LookupCached(cpu, va);
     if (walk.ok()) {
       (void)UnmapPage(cpu, va);
     }
@@ -230,7 +247,7 @@ Status AddressSpace::CloneUserMappings(Cpu& cpu, const AddressSpace& src) {
   for (const auto& [start, vma] : src.vmas_) {
     vmas_[start] = vma;
     for (Vaddr va = vma.start; va < vma.end; va += kPageSize) {
-      const auto walk = src.Lookup(va);
+      const auto walk = src.LookupCached(cpu, va);
       if (!walk.ok()) {
         continue;  // never faulted in
       }
@@ -251,6 +268,11 @@ Status AddressSpace::CloneUserMappings(Cpu& cpu, const AddressSpace& src) {
 }
 
 void AddressSpace::ReleaseUserFrames(Cpu& cpu) {
+  // The root and PTP frames return to the pool and may be recycled as page tables of
+  // a future process, so every cached translation keyed by this root must die now.
+  // Always on (not a test-toggleable hook): this is allocator hygiene, not one of the
+  // paper's invalidation obligations.
+  machine_->FlushTlbRoot(root_);
   for (const FrameNum frame : owned_frames_) {
     machine_->memory().ZeroFrame(frame);
     (void)pool_->Free(frame);

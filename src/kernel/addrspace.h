@@ -62,6 +62,8 @@ class AddressSpace {
   Status UnmapPage(Cpu& cpu, Vaddr va);
   Status ProtectPage(Cpu& cpu, Vaddr va, Pte flags);
   StatusOr<WalkResult> Lookup(Vaddr va) const;
+  // Lookup through `cpu`'s software TLB (hot paths: demand-fault probes, fork scans).
+  StatusOr<WalkResult> LookupCached(Cpu& cpu, Vaddr va) const;
 
   // ---- VMA layer ----
   StatusOr<Vaddr> CreateVma(uint64_t len, Pte flags, VmaKind kind, Vaddr fixed = 0);

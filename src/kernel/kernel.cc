@@ -409,7 +409,7 @@ Status Kernel::FaultInUserRange(SyscallContext& ctx, Task& task, Vaddr va, uint6
     return OkStatus();
   }
   for (Vaddr page = PageAlignDown(va); page < va + len; page += kPageSize) {
-    if (task.aspace->Lookup(page).ok()) {
+    if (task.aspace->LookupCached(ctx.cpu(), page).ok()) {
       continue;
     }
     ++stats_.page_faults;

@@ -261,6 +261,11 @@ Status MmuPolicy::RetrofitKey(PhysMemory& memory, FrameNum frame, uint8_t key,
     updated &= ~pte::kWritable;
   }
   memory.Write64(info.supervisor_leaf_pa, updated);
+  // The direct-map leaf just changed key/W under live translations: without this
+  // shootdown the kernel could keep writing the re-typed frame through a cached walk.
+  if (updated != current && tlb_shootdown_) {
+    tlb_shootdown_(info.supervisor_leaf_pa);
+  }
   return OkStatus();
 }
 

@@ -34,6 +34,12 @@ class MmuPolicy {
     common_validator_ = std::move(validator);
   }
 
+  // Installed by the monitor: machine-wide software-TLB shootdown for a rewritten
+  // leaf entry (RetrofitKey changes a live supervisor mapping's key/W in place, so
+  // cached walks of the direct map must be dropped).
+  using TlbShootdownFn = std::function<void(Paddr)>;
+  void SetTlbShootdown(TlbShootdownFn shootdown) { tlb_shootdown_ = std::move(shootdown); }
+
   // Validates a kernel-requested PTE store at `entry_pa` with `value`. Non-const:
   // allowed intermediate writes link the child PTP's paging level.
   PolicyDecision CheckPteWrite(Paddr entry_pa, Pte value);
@@ -66,6 +72,7 @@ class MmuPolicy {
  private:
   FrameTable* frames_;
   CommonMappingValidator common_validator_;
+  TlbShootdownFn tlb_shootdown_;
 };
 
 }  // namespace erebor

@@ -56,6 +56,7 @@ EreborMonitor::EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host)
   metrics_.RegisterExternalCounter("monitor.quantized_outputs",
                                    &counters_.quantized_outputs);
   metrics_.RegisterExternalCounter("monitor.huge_splits", &counters_.huge_splits);
+  metrics_.RegisterExternalCounter("monitor.tlb_shootdowns", &counters_.tlb_shootdowns);
 }
 
 Status EreborMonitor::BootStage1(const Bytes& firmware_image, bool arm_fence) {
@@ -95,6 +96,14 @@ Status EreborMonitor::BootStage1(const Bytes& firmware_image, bool arm_fence) {
   }
   policy_->SetCommonValidator([this](Paddr root, FrameNum frame, bool writable) {
     return sandbox_mgr_->ValidateCommonMapping(root, frame, writable);
+  });
+  // RetrofitKey rewrites live supervisor leaves behind the kernel's back, so the
+  // policy calls back here for the machine-wide shootdown.
+  policy_->SetTlbShootdown([this](Paddr entry_pa) {
+    ++counters_.tlb_shootdowns;
+    if (Tlb::hooks().retrofit_shootdown) {
+      machine_->ShootdownTlbLeaf(entry_pa);
+    }
   });
   stage1_done_ = true;
   return OkStatus();
@@ -242,8 +251,14 @@ Status EreborMonitor::AttachKernel(Kernel* kernel) {
 void EreborMonitor::ApplyExitMitigations(Cpu& cpu, Sandbox& sandbox) {
   if (mitigations_.flush_on_exit) {
     // Evict caches/TLB so the untrusted kernel cannot probe the sandbox's footprint.
+    // The simulated TLB really flushes now (previously this was only a cycle charge);
+    // the charge is unchanged so the mitigation stays cycle-neutral w.r.t. EREBOR_TLB.
     cpu.cycles().Charge(mitigations_.flush_cycles);
     ++counters_.cache_flushes;
+    Tracer::Global().Record(TraceEvent::kTlbFlush, cpu.index(), cpu.cycles().now());
+    if (Tlb::Enabled() && Tlb::hooks().flush_on_exit) {
+      cpu.tlb().FlushAll();
+    }
   }
   if (mitigations_.rate_limit_exits) {
     constexpr Cycles kWindow = 2'100'000'000;  // one second at 2.1 GHz
@@ -338,6 +353,20 @@ void EreborMonitor::NoteDenial(Cpu& cpu) {
   Tracer::Global().Record(TraceEvent::kPolicyDenial, cpu.index(), cpu.cycles().now());
 }
 
+void EreborMonitor::ShootdownAfterPteWrite(Cpu& cpu, Paddr entry_pa, Pte old_value,
+                                           Pte new_value) {
+  // Conservative predicate: any change to a previously present entry. The security-
+  // critical subset is PteRevokesPermissions(), but grant-only rewrites are also
+  // invalidated so cached WalkResults never diverge from the tables.
+  if (!pte::Present(old_value) || old_value == new_value) {
+    return;
+  }
+  ++counters_.tlb_shootdowns;
+  if (Tlb::hooks().pte_shootdown) {
+    machine_->ShootdownTlbLeaf(entry_pa, cpu.index());
+  }
+}
+
 // ---- EMC surface ----
 
 Status EreborMonitor::EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value) {
@@ -355,6 +384,7 @@ Status EreborMonitor::EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value) {
     const Pte old = machine_->memory().Read64(entry_pa);
     machine_->memory().Write64(entry_pa, decision.adjusted_value);
     policy_->NoteLeafWrite(old, decision.adjusted_value, entry_pa);
+    ShootdownAfterPteWrite(cpu, entry_pa, old, decision.adjusted_value);
     return OkStatus();
   });
 }
@@ -403,6 +433,9 @@ Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_val
   const Pte old = machine_->memory().Read64(entry_pa);
   machine_->memory().Write64(entry_pa, inter);
   policy_->NoteLeafWrite(old, inter);
+  // The former huge leaf may be cached; the relinked intermediate changes every
+  // translation under it.
+  ShootdownAfterPteWrite(cpu, entry_pa, old, inter);
   ++counters_.huge_splits;
   return OkStatus();
 }
@@ -438,6 +471,8 @@ Status EreborMonitor::EmcWritePteBatch(Cpu& cpu, const PrivilegedOps::PteUpdate*
           const Pte old = machine_->memory().Read64(updates[i].entry_pa);
           machine_->memory().Write64(updates[i].entry_pa, decisions[i].adjusted_value);
           policy_->NoteLeafWrite(old, decisions[i].adjusted_value, updates[i].entry_pa);
+          ShootdownAfterPteWrite(cpu, updates[i].entry_pa, old,
+                                 decisions[i].adjusted_value);
         }
         return OkStatus();
       },
@@ -526,7 +561,7 @@ Status EreborMonitor::EmcCopyToUser(Cpu& cpu, Vaddr dst, const uint8_t* src, uin
     // The monitor emulates the user copy on behalf of the kernel. It refuses targets
     // inside sealed-sandbox confined memory (the kernel must never move sandbox data).
     for (Vaddr va = PageAlignDown(dst); va < dst + len; va += kPageSize) {
-      const auto walk = WalkPageTables(machine_->memory(), cpu.cr3(), va);
+      const auto walk = cpu.WalkCached(cpu.cr3(), va, CpuMode::kSupervisor);
       if (walk.ok()) {
         const FrameInfo& info = frame_table_->info(FrameOf(walk->pa));
         if (info.type == FrameType::kSandboxConfined) {
@@ -551,7 +586,7 @@ Status EreborMonitor::EmcCopyFromUser(Cpu& cpu, Vaddr src, uint8_t* dst, uint64_
   return WithGate(cpu, cpu.costs().monitor_stac_op, TraceEvent::kEmcUserCopy,
                   [&]() -> Status {
     for (Vaddr va = PageAlignDown(src); va < src + len; va += kPageSize) {
-      const auto walk = WalkPageTables(machine_->memory(), cpu.cr3(), va);
+      const auto walk = cpu.WalkCached(cpu.cr3(), va, CpuMode::kSupervisor);
       if (walk.ok()) {
         const FrameInfo& info = frame_table_->info(FrameOf(walk->pa));
         if (info.type == FrameType::kSandboxConfined) {

@@ -76,6 +76,7 @@ struct MonitorCounters {
   uint64_t cache_flushes = 0;
   uint64_t quantized_outputs = 0;
   uint64_t huge_splits = 0;  // forced huge-page splits (section 7 future work)
+  uint64_t tlb_shootdowns = 0;  // monitor-initiated software-TLB shootdowns
 };
 
 class EreborMonitor {
@@ -170,6 +171,11 @@ class EreborMonitor {
 
   // Counts a policy denial and emits its trace event.
   void NoteDenial(Cpu& cpu);
+
+  // Software-TLB shootdown after a monitor PTE store: any rewrite of a previously
+  // present entry invalidates cached translations on every CPU. This is the monitor's
+  // own TLB obligation — it must hold even for a malicious kernel that skips invlpg.
+  void ShootdownAfterPteWrite(Cpu& cpu, Paddr entry_pa, Pte old_value, Pte new_value);
 
   // ioctl dispatch for /dev/erebor.
   StatusOr<uint64_t> DeviceIoctl(SyscallContext& ctx, Task& task, uint64_t cmd,

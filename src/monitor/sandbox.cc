@@ -24,6 +24,11 @@ PteWriter SandboxManager::TrustedWriter(Cpu& cpu, AddressSpace& aspace) {
     cpu.cycles().Charge(cpu.costs().monitor_pte_op);
     policy_->NoteTrustedLink(entry_pa, value);
     policy_->NoteLeafWrite(old, value, entry_pa);
+    // Trusted mapping into a live address space can rewrite present entries (e.g.
+    // U/S-widening an intermediate); cached walks through them must die.
+    if (Tlb::hooks().pte_shootdown && pte::Present(old) && old != value) {
+      machine_->ShootdownTlbLeaf(entry_pa, cpu.index());
+    }
     return OkStatus();
   };
   writer.alloc_ptp = [this, &aspace]() -> StatusOr<FrameNum> {
@@ -80,6 +85,10 @@ Status SandboxManager::UnmapFromDirectMap(Cpu& cpu, FrameNum first, uint64_t cou
     machine_->memory().Write64(walk->leaf_entry_pa, 0);
     cpu.cycles().Charge(cpu.costs().monitor_pte_op);
     policy_->NoteLeafWrite(old, 0, walk->leaf_entry_pa);
+    // Single-mapping is only real if no CPU can still hit the direct-map translation.
+    if (Tlb::hooks().pte_shootdown && pte::Present(old)) {
+      machine_->ShootdownTlbLeaf(walk->leaf_entry_pa, cpu.index());
+    }
   }
   return OkStatus();
 }
@@ -202,6 +211,10 @@ Status SandboxManager::Seal(Cpu& cpu, Sandbox& sandbox) {
       const Pte updated = walk->leaf & ~pte::kWritable;
       machine_->memory().Write64(walk->leaf_entry_pa, updated);
       cpu.cycles().Charge(cpu.costs().monitor_pte_op);
+      // Seal-time W revocation on common pages must reach cached translations too.
+      if (Tlb::hooks().pte_shootdown && updated != walk->leaf) {
+        machine_->ShootdownTlbLeaf(walk->leaf_entry_pa, cpu.index());
+      }
     }
     // Future demand-mappings of this VMA must be read-only too.
     Vma* mutable_vma = sandbox.aspace->FindVma(start);
@@ -243,6 +256,9 @@ Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
         machine_->memory().Write64(walk->leaf_entry_pa, 0);
         cpu.cycles().Charge(cpu.costs().monitor_pte_op);
         policy_->NoteLeafWrite(old, 0, walk->leaf_entry_pa);
+        if (Tlb::hooks().pte_shootdown && pte::Present(old)) {
+          machine_->ShootdownTlbLeaf(walk->leaf_entry_pa, cpu.index());
+        }
       }
     }
   }
