@@ -44,8 +44,18 @@ for name in fig8 fig9 tab3 tab6; do
     echo "bench.sh: missing or empty $f" >&2
     exit 1
   fi
-  # Structural sanity without assuming a JSON tool is installed.
-  grep -q '"bench"' "$f" || { echo "bench.sh: malformed $f" >&2; exit 1; }
+  # Structural sanity: the file must be well-formed JSON naming its bench. Fall back
+  # to a grep when no python3 is installed.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys
+doc = json.load(open(sys.argv[1]))
+assert "bench" in doc, "missing bench key"' "$f" || {
+      echo "bench.sh: malformed $f" >&2
+      exit 1
+    }
+  else
+    grep -q '"bench"' "$f" || { echo "bench.sh: malformed $f" >&2; exit 1; }
+  fi
 done
 echo "bench.sh: JSON results in $OUT_DIR/:"
 ls -l "$OUT_DIR"/BENCH_*.json

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 check: configure, build, run the full test suite, then a tracing smoke
-# test (the trace-vs-counter EMC cross-check must hold with the tracer enabled).
+# Tier-1 check: configure, build, run the full test suite (including the chaos
+# soak), re-run it under ASan+UBSan, then a tracing smoke test (the trace-vs-counter
+# EMC cross-check must hold with the tracer enabled).
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
+#   EREBOR_SKIP_SANITIZE=1 skips the sanitizer pass (e.g. on memory-tight CI).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,6 +13,16 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+# Sanitizer pass: the whole suite again with AddressSanitizer + UBSan. The chaos
+# tests drive every injected-fault recovery path, which is exactly where lifetime
+# and UB bugs like to hide.
+if [[ "${EREBOR_SKIP_SANITIZE:-0}" != "1" ]]; then
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . -DEREBOR_SANITIZE=ON
+  cmake --build "$ASAN_DIR" -j
+  (cd "$ASAN_DIR" && ctest --output-on-failure -j)
+fi
 
 # Trace smoke test: the end-to-end trace tests re-run with the env toggles set, and
 # the Chrome trace export must be produced and non-trivial.

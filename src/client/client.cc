@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/metrics.h"
+
 namespace erebor {
 
 Digest256 ComputeExpectedMrtd(const Bytes& firmware_image, const Bytes& monitor_image) {
@@ -23,7 +25,20 @@ Bytes RemoteClient::MakeHello(int sandbox_id) {
   packet.sandbox_id = sandbox_id;
   packet.client_public = ephemeral_.public_key;
   packet.nonce = nonce_;
-  return packet.Serialize();
+  last_hello_wire_ = packet.Serialize();
+  return last_hello_wire_;
+}
+
+Bytes RemoteClient::ResendHello() {
+  ++retries_;
+  MetricsRegistry::Global().Increment("channel.retries");
+  return last_hello_wire_;
+}
+
+Bytes RemoteClient::ResendData() {
+  ++retries_;
+  MetricsRegistry::Global().Increment("channel.retries");
+  return last_data_wire_;
 }
 
 Status RemoteClient::ProcessServerHello(const Bytes& wire) {
@@ -60,7 +75,8 @@ Bytes RemoteClient::SealData(const Bytes& plaintext) {
   packet.type = PacketType::kDataRecord;
   packet.sandbox_id = sandbox_id_;
   packet.record = AeadSeal(keys_.client_to_server, send_seq_++, plaintext);
-  return packet.Serialize();
+  last_data_wire_ = packet.Serialize();
+  return last_data_wire_;
 }
 
 StatusOr<Bytes> RemoteClient::OpenResult(const Bytes& wire) {
@@ -68,8 +84,33 @@ StatusOr<Bytes> RemoteClient::OpenResult(const Bytes& wire) {
   if (packet.type != PacketType::kResultRecord) {
     return InvalidArgumentError("expected ResultRecord");
   }
+  const uint64_t seq = packet.record.sequence;
+  if (seq < recv_seq_) {
+    return AlreadyExistsError("duplicate result record (seq " + std::to_string(seq) +
+                              " already consumed)");
+  }
+  if (seq > recv_seq_) {
+    if (seq - recv_seq_ > ChannelSession::kReorderWindow) {
+      return OutOfRangeError("result record beyond the reorder window");
+    }
+    stashed_[seq] = packet.record;
+    return UnavailableError("result out of order; stashed awaiting seq " +
+                            std::to_string(recv_seq_));
+  }
   EREBOR_ASSIGN_OR_RETURN(const Bytes padded,
                           AeadOpen(keys_.server_to_client, packet.record, recv_seq_));
+  ++recv_seq_;
+  return UnpadOutput(padded);
+}
+
+StatusOr<Bytes> RemoteClient::PopStashedResult() {
+  const auto it = stashed_.find(recv_seq_);
+  if (it == stashed_.end()) {
+    return NotFoundError("no stashed result at seq " + std::to_string(recv_seq_));
+  }
+  EREBOR_ASSIGN_OR_RETURN(const Bytes padded,
+                          AeadOpen(keys_.server_to_client, it->second, recv_seq_));
+  stashed_.erase(it);
   ++recv_seq_;
   return UnpadOutput(padded);
 }

@@ -4,6 +4,8 @@
 #ifndef EREBOR_SRC_CLIENT_CLIENT_H_
 #define EREBOR_SRC_CLIENT_CLIENT_H_
 
+#include <map>
+
 #include "src/monitor/channel.h"
 
 namespace erebor {
@@ -32,8 +34,26 @@ class RemoteClient {
 
   // Data exchange.
   Bytes SealData(const Bytes& plaintext);          // -> kDataRecord wire
+  // Opens the next result. The transport (the untrusted host) may duplicate or
+  // reorder records, so the client keeps its own window:
+  //  - a record below recv_seq is a duplicate -> AlreadyExistsError (safe to ignore);
+  //  - a record ahead of recv_seq within kReorderWindow is stashed ->
+  //    UnavailableError (drain it with PopStashedResult once the gap fills);
+  //  - anything further ahead -> OutOfRangeError.
   StatusOr<Bytes> OpenResult(const Bytes& wire);   // <- kResultRecord wire (unpads)
+  // Opens the stashed record at recv_seq, if any (NotFoundError otherwise). Call
+  // repeatedly after an in-order OpenResult to drain a healed reorder gap.
+  StatusOr<Bytes> PopStashedResult();
+  bool HasStashedResult() const { return stashed_.count(recv_seq_) != 0; }
   Bytes MakeFin();
+
+  // Loss recovery: byte-identical retransmissions of the last hello / data record.
+  // The monitor's handshake replay cache answers a resent hello with the identical
+  // cached ServerHello; a resent data record is absorbed as a duplicate and triggers
+  // a retransmit of any lost result. Both bump the "channel.retries" metric.
+  Bytes ResendHello();
+  Bytes ResendData();
+  uint64_t retries() const { return retries_; }
 
   int sandbox_id() const { return sandbox_id_; }
 
@@ -47,6 +67,11 @@ class RemoteClient {
   uint64_t send_seq_ = 0;
   uint64_t recv_seq_ = 0;
   bool established_ = false;
+
+  Bytes last_hello_wire_;
+  Bytes last_data_wire_;
+  uint64_t retries_ = 0;
+  std::map<uint64_t, SealedRecord> stashed_;  // out-of-order results awaiting the gap
 };
 
 }  // namespace erebor

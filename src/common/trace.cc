@@ -40,6 +40,9 @@ const char* TraceEventName(TraceEvent event) {
     case TraceEvent::kTlbFlush: return "tlb_flush";
     case TraceEvent::kTlbInvlpg: return "tlb_invlpg";
     case TraceEvent::kTlbShootdown: return "tlb_shootdown";
+    case TraceEvent::kFaultInject: return "fault_inject";
+    case TraceEvent::kChannelRetry: return "channel_retry";
+    case TraceEvent::kSandboxQuarantine: return "sandbox_quarantine";
     case TraceEvent::kPhaseMark: return "phase_mark";
     case TraceEvent::kCount: break;
   }

@@ -67,6 +67,11 @@ enum class TraceEvent : uint16_t {
   kTlbFlush,
   kTlbInvlpg,
   kTlbShootdown,
+  // Fault injection + graceful degradation (src/common/faultpoint.cc and the
+  // monitor's quarantine/retry paths).
+  kFaultInject,
+  kChannelRetry,
+  kSandboxQuarantine,
   kPhaseMark,
   kCount,  // sentinel
 };

@@ -1,6 +1,57 @@
 #include "src/host/vmm.h"
 
+#include "src/common/faultpoint.h"
+
 namespace erebor {
+
+namespace {
+
+// Applies an injected network fault to a packet bound for `queue`. Returns true if
+// the packet was consumed (dropped); otherwise the caller enqueues normally (the
+// corrupt/truncate actions mutate it in place, duplicate/reorder touch the queue).
+bool ApplyNetFault(const char* site, Bytes& packet, std::deque<Bytes>& queue) {
+  const FaultDecision decision = FaultInjector::Global().At(site);
+  switch (decision.action) {
+    case FaultAction::kDrop:
+      return true;
+    case FaultAction::kDuplicate:
+      queue.push_back(packet);
+      return false;
+    case FaultAction::kReorder:
+      // Jump the queue: this packet overtakes everything already in flight.
+      queue.push_front(std::move(packet));
+      return true;
+    case FaultAction::kCorrupt:
+      if (!packet.empty()) {
+        packet[decision.entropy % packet.size()] ^=
+            static_cast<uint8_t>(1 + (decision.entropy >> 8) % 255);
+      }
+      return false;
+    case FaultAction::kTruncate:
+      if (!packet.empty()) {
+        packet.resize(decision.entropy % packet.size());
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void HostNetwork::GuestTransmit(Bytes packet) {
+  if (FaultInjector::Armed() && ApplyNetFault("net.to_world", packet, to_world_)) {
+    return;
+  }
+  to_world_.push_back(std::move(packet));
+}
+
+void HostNetwork::WorldTransmit(Bytes packet) {
+  if (FaultInjector::Armed() && ApplyNetFault("net.to_guest", packet, to_guest_)) {
+    return;
+  }
+  to_guest_.push_back(std::move(packet));
+}
 
 StatusOr<Bytes> HostNetwork::WorldReceive() {
   if (to_world_.empty()) {

@@ -19,12 +19,14 @@ namespace erebor {
 // virtio-net device and remote clients.
 class HostNetwork {
  public:
-  // Guest -> world.
-  void GuestTransmit(Bytes packet) { to_world_.push_back(std::move(packet)); }
+  // Guest -> world. Fault point "net.to_world": the host may drop, duplicate,
+  // reorder, corrupt, or truncate any packet it carries — confidentiality and
+  // session progress must survive all of it.
+  void GuestTransmit(Bytes packet);
   StatusOr<Bytes> WorldReceive();
 
-  // World -> guest.
-  void WorldTransmit(Bytes packet) { to_guest_.push_back(std::move(packet)); }
+  // World -> guest. Fault point "net.to_guest" (same adversarial actions).
+  void WorldTransmit(Bytes packet);
   StatusOr<Bytes> GuestReceive();
 
   bool HasForGuest() const { return !to_guest_.empty(); }

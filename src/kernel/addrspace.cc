@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/faultpoint.h"
+
 namespace erebor {
 
 PteWriter AddressSpace::MakeWriter(Cpu& cpu, int* pte_writes) {
@@ -226,7 +228,17 @@ StatusOr<int> AddressSpace::HandleDemandFault(Cpu& cpu, Vaddr va, PhysMemory* fi
     case VmaKind::kAnon:
     case VmaKind::kConfined:
     case VmaKind::kFile: {
-      EREBOR_ASSIGN_OR_RETURN(frame, pool_->Alloc());
+      auto alloc = pool_->Alloc();
+      if (!alloc.ok() && alloc.status().code() == ErrorCode::kResourceExhausted) {
+        // Transient exhaustion gets one bounded retry at the allocation itself, so
+        // every demand-fault caller — page-fault entry and syscall paths alike —
+        // shares the same degradation contract; a genuinely full pool fails again.
+        alloc = pool_->Alloc();
+        if (alloc.ok() && FaultInjector::Armed()) {
+          NoteFaultRecovered();
+        }
+      }
+      EREBOR_ASSIGN_OR_RETURN(frame, alloc);
       machine_->memory().ZeroFrame(frame);
       machine_->memory().FramePtr(frame);
       owned_frames_.push_back(frame);

@@ -1,11 +1,17 @@
 #include "src/kernel/frame_alloc.h"
 
+#include "src/common/faultpoint.h"
+
 namespace erebor {
 
 FrameAllocator::FrameAllocator(FrameNum first, FrameNum count)
     : first_(first), count_(count), bitmap_(count, false) {}
 
 StatusOr<FrameNum> FrameAllocator::Alloc() {
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("frame_alloc.alloc", FaultAction::kExhaust)) {
+    return ResourceExhaustedError("frame pool exhausted (injected)");
+  }
   for (FrameNum i = 0; i < count_; ++i) {
     const FrameNum slot = (next_hint_ + i) % count_;
     if (!bitmap_[slot]) {
@@ -21,6 +27,10 @@ StatusOr<FrameNum> FrameAllocator::Alloc() {
 StatusOr<FrameNum> FrameAllocator::AllocContiguous(uint64_t count) {
   if (count == 0 || count > count_) {
     return InvalidArgumentError("bad contiguous request");
+  }
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("frame_alloc.alloc", FaultAction::kExhaust)) {
+    return ResourceExhaustedError("no contiguous run (injected exhaustion)");
   }
   uint64_t run = 0;
   for (FrameNum slot = 0; slot < count_; ++slot) {

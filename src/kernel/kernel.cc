@@ -1,7 +1,9 @@
 #include "src/kernel/kernel.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "src/common/faultpoint.h"
 #include "src/common/log.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
@@ -218,6 +220,9 @@ void Kernel::KillTask(Task& task, const std::string& reason) {
   task.killed_by_monitor = true;
   task.kill_reason = reason;
   LOG_DEBUG() << "task " << task.name << " killed: " << reason;
+  if (kill_observer_) {
+    kill_observer_(task, reason);
+  }
 }
 
 int Kernel::live_tasks() const {
@@ -361,7 +366,15 @@ void Kernel::PageFaultEntry(Cpu& cpu, const Fault& fault) {
     Task* task = current_[cpu.index()];
     AddressSpace* aspace =
         task != nullptr ? task->aspace.get() : kernel_aspace_.get();
-    const auto result = aspace->HandleDemandFault(cpu, fault.address);
+    auto result = aspace->HandleDemandFault(cpu, fault.address);
+    if (!result.ok() && result.status().code() == ErrorCode::kResourceExhausted) {
+      // Transient allocator exhaustion (e.g. an injected fault) gets one bounded
+      // retry before the task is declared dead; a genuinely full pool fails again.
+      result = aspace->HandleDemandFault(cpu, fault.address);
+      if (result.ok() && FaultInjector::Armed()) {
+        NoteFaultRecovered();
+      }
+    }
     if (!result.ok() && task != nullptr) {
       KillTask(*task, "segfault at " + std::to_string(fault.address) + ": " +
                           std::string(result.status().message()));
@@ -403,6 +416,21 @@ StatusOr<uint64_t> Kernel::SyscallEntry(SyscallContext& ctx, Task& task, int nr,
 namespace {
 Status WouldBlock() { return UnavailableError("EAGAIN"); }
 }  // namespace
+
+bool IsWouldBlock(const Status& status) {
+  return !status.ok() && status.code() == ErrorCode::kUnavailable;
+}
+
+bool EagainBackoff::ShouldRetry(SyscallContext& ctx) {
+  if (attempts >= max_attempts) {
+    return false;
+  }
+  ++attempts;
+  const uint64_t wait = next_wait_cycles == 0 ? base_wait_cycles : next_wait_cycles;
+  ctx.Compute(wait);
+  next_wait_cycles = std::min(wait * 2, max_wait_cycles);
+  return true;
+}
 
 Status Kernel::FaultInUserRange(SyscallContext& ctx, Task& task, Vaddr va, uint64_t len) {
   if (len == 0) {

@@ -165,6 +165,10 @@ class Kernel {
   using VeInterposer = std::function<StatusOr<uint64_t>(SyscallContext&, Task&, uint32_t,
                                                         const std::function<StatusOr<uint64_t>()>&)>;
   void SetVeInterposer(VeInterposer interposer);
+  // Called after a task is marked killed (monitor policy, segfault, ...). The monitor
+  // uses this to quarantine the victim's sandbox instead of leaving it half-alive.
+  using KillObserver = std::function<void(Task&, const std::string& reason)>;
+  void SetKillObserver(KillObserver observer) { kill_observer_ = std::move(observer); }
 
   // ---- Devices ----
   int RegisterDevice(const std::string& path, DeviceIoctlFn handler);
@@ -232,6 +236,7 @@ class Kernel {
   SyscallInterposer syscall_interposer_;
   InterruptInterposer interrupt_interposer_;
   VeInterposer ve_interposer_;
+  KillObserver kill_observer_;
 
   bool booted_ = false;
 };

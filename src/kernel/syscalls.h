@@ -44,6 +44,42 @@ inline constexpr uint64_t kFutexWake = 1;
 // yielding (see kernel.h).
 
 }  // namespace sys
+
+class Status;
+class SyscallContext;
+
+// True for the would-block convention above (any kUnavailable status). Callers must
+// treat every other error as hard failure — retrying a PermissionDenied forever is
+// how sessions wedge.
+bool IsWouldBlock(const Status& status);
+
+// The one sanctioned retry policy for would-block results. Cooperative programs are
+// cross-slice state machines, so the backoff is a value held in the program's state:
+// each ShouldRetry() call accounts one attempt, charges an exponentially growing
+// compute wait (capped at max_wait_cycles) and tells the caller whether budget
+// remains. Exhaustion returns false — the caller must fail the operation instead of
+// spinning forever on a peer that will never answer.
+//
+//   if (!input.ok()) {
+//     if (!IsWouldBlock(input.status())) return Fail(input.status());
+//     if (!state->backoff.ShouldRetry(ctx)) return Fail("retry budget exhausted");
+//     return StepOutcome::kYield;
+//   }
+//   state->backoff.Reset();  // progress: re-arm the budget
+struct EagainBackoff {
+  uint64_t attempts = 0;
+  uint64_t max_attempts = 10'000;
+  uint64_t base_wait_cycles = 1'000;
+  uint64_t max_wait_cycles = 64'000;
+  uint64_t next_wait_cycles = 0;  // 0 = start from base_wait_cycles
+
+  bool ShouldRetry(SyscallContext& ctx);  // defined in kernel.cc
+  void Reset() {
+    attempts = 0;
+    next_wait_cycles = 0;
+  }
+};
+
 }  // namespace erebor
 
 #endif  // EREBOR_SRC_KERNEL_SYSCALLS_H_

@@ -9,6 +9,7 @@
 #define EREBOR_SRC_MONITOR_CHANNEL_H_
 
 #include <deque>
+#include <map>
 
 #include "src/crypto/aead.h"
 #include "src/crypto/group.h"
@@ -56,11 +57,43 @@ Digest256 HandshakeTranscript(const U256& client_public, const U256& monitor_pub
                               const std::array<uint8_t, 32>& nonce);
 
 // Channel session state (one per connected client/sandbox).
+//
+// Robustness against a lossy/adversarial transport (the untrusted host carries every
+// packet) is built into the session, not bolted onto callers:
+//  - The replay window: a record whose wire sequence is below next_recv_seq is a
+//    duplicate — it is counted and absorbed (optionally triggering a retransmit of
+//    the cached last result so a dropped response heals) but NEVER re-decrypted or
+//    re-delivered, so replay cannot double-install client data.
+//  - The reorder window: a record up to kReorderWindow ahead of next_recv_seq is
+//    stashed and drained once the gap fills; anything further out is rejected.
+//  - The handshake replay cache: an identical retransmitted ClientHello gets the
+//    identical cached ServerHello back instead of re-keying a live session.
 struct ChannelSession {
+  static constexpr uint64_t kReorderWindow = 8;
+
   bool established = false;
   SessionKeys keys;
   uint64_t next_recv_seq = 0;
   uint64_t next_send_seq = 0;
+
+  // Reorder buffer: wire sequence -> sealed record awaiting the gap fill (bounded by
+  // kReorderWindow entries).
+  std::map<uint64_t, SealedRecord> reorder;
+
+  // Handshake replay cache.
+  U256 hello_client_public;
+  std::array<uint8_t, 32> hello_nonce{};
+  Bytes cached_server_hello;
+
+  // Last result wire packet, retransmitted when the client signals loss by
+  // re-sending an already-accepted data record.
+  Bytes last_result_wire;
+
+  // Degradation accounting (also mirrored into the global metrics registry).
+  uint64_t duplicates = 0;
+  uint64_t reorders = 0;
+  uint64_t retransmits = 0;
+  uint64_t rejects = 0;
 };
 
 // Pads `plaintext` to the next multiple of pad_quantum (length prefix included so the

@@ -1,5 +1,6 @@
 #include "src/monitor/gates.h"
 
+#include "src/common/faultpoint.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
 
@@ -34,6 +35,13 @@ void EmcGates::Install() {
 }
 
 Status EmcGates::Enter(Cpu& cpu) {
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("gates.enter", FaultAction::kFail)) {
+    // Injected transient entry refusal (e.g. the host preempted the vCPU on the
+    // very instruction of the indirect branch). No gate state was touched, so the
+    // caller can simply retry the crossing.
+    return UnavailableError("EAGAIN: injected gate-entry fault");
+  }
   // The kernel's instrumented call site branches indirectly to the entry gate; IBT
   // verifies the endbr64 marker.
   EREBOR_RETURN_IF_ERROR(cpu.IndirectBranch(entry_label_));
@@ -46,11 +54,36 @@ Status EmcGates::Enter(Cpu& cpu) {
   ++entries_;
   entry_ts_[cpu.index()] = cpu.cycles().now();
   Tracer::Global().Record(TraceEvent::kEmcEnter, cpu.index(), cpu.cycles().now());
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("gates.enter", FaultAction::kPreempt)) {
+    // Adversarial interrupt timing: a host-injected interrupt lands the instant EMC
+    // execution begins. The #INT gate must save and revoke the monitor PKRS around
+    // the untrusted handler and restore it afterwards — the classic PKU-gate
+    // interleaving that invariant checks then verify survived.
+    InterruptSave(cpu);
+    cpu.cycles().Charge(cpu.costs().int_gate_overhead);  // the handler's work
+    InterruptRestore(cpu);
+    NoteFaultRecovered();
+  }
   return OkStatus();
 }
 
 void EmcGates::Exit(Cpu& cpu) {
   cpu.cycles().Charge(cpu.costs().emc_round_trip - cpu.costs().emc_round_trip / 2);
+  if (FaultInjector::Armed()) {
+    const FaultDecision decision = FaultInjector::Global().At("gates.exit");
+    if (decision.action == FaultAction::kCorrupt) {
+      // Simulated PKRS/S_CET scramble racing the exit sequence. The exit gate's
+      // unconditional wrmsr pair (PKRS below, S_CET here — a no-op write in the
+      // unfaulted baseline, so it is only modeled on the fault path) must leave the
+      // CPU in the exact kernel-mode view regardless; the invariant checker verifies
+      // both registers after every injected fault.
+      cpu.TrustedWriteMsr(msr::kIa32Pkrs, decision.entropy | 1);
+      cpu.TrustedWriteMsr(msr::kIa32SCet, decision.entropy >> 32);
+      cpu.TrustedWriteMsr(msr::kIa32SCet, msr::kCetIbtEn | msr::kCetShstkEn);
+      NoteFaultRecovered();
+    }
+  }
   cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
   cpu.SetMonitorContext(false);
   // Balanced shadow-stack return; a mismatch would raise #CP.

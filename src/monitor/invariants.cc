@@ -1,0 +1,92 @@
+#include "src/monitor/invariants.h"
+
+#include <algorithm>
+
+#include "src/common/metrics.h"
+#include "src/monitor/gates.h"
+#include "src/monitor/monitor.h"
+
+namespace erebor {
+
+void InvariantChecker::AddSecret(const Bytes& pattern) {
+  if (!pattern.empty()) {
+    secrets_.push_back(pattern);
+  }
+}
+
+Status InvariantChecker::CheckAll() {
+  ++checks_run_;
+  MetricsRegistry::Global().Increment("invariants.checks");
+  for (Status st : {CheckFrames(), CheckGates(), CheckSecrets()}) {
+    if (!st.ok()) {
+      ++violations_;
+      MetricsRegistry::Global().Increment("invariants.violations");
+      return st;
+    }
+  }
+  return OkStatus();
+}
+
+Status InvariantChecker::CheckFrames() { return monitor_->AuditInvariants(); }
+
+Status InvariantChecker::CheckGates() {
+  if (!monitor_->stage1_done()) {
+    return OkStatus();  // gates not installed yet: nothing to hold
+  }
+  Machine& machine = monitor_->machine();
+  const EmcGates& gates = monitor_->gates();
+  for (int i = 0; i < machine.num_cpus(); ++i) {
+    const Cpu& cpu = machine.cpu(i);
+    // At a safe point no CPU is mid-gate, so every #INT-gate save must be balanced by
+    // its restore; a leftover entry means an exit path skipped PKRS restoration.
+    if (gates.interrupt_depth(i) != 0) {
+      return InternalError("cpu " + std::to_string(i) + " has " +
+                           std::to_string(gates.interrupt_depth(i)) +
+                           " unbalanced #INT-gate PKRS saves");
+    }
+    const auto pkrs = cpu.ReadMsr(msr::kIa32Pkrs);
+    if (pkrs.ok() && *pkrs != KernelModePkrs()) {
+      return InternalError("cpu " + std::to_string(i) +
+                           " PKRS not restored to the kernel view (have 0x" +
+                           std::to_string(*pkrs) + ")");
+    }
+    const auto scet = cpu.ReadMsr(msr::kIa32SCet);
+    const uint64_t cet_required = msr::kCetIbtEn | msr::kCetShstkEn;
+    if (scet.ok() && (*scet & cet_required) != cet_required) {
+      return InternalError("cpu " + std::to_string(i) +
+                           " S_CET lost IBT/shadow-stack enables");
+    }
+  }
+  return OkStatus();
+}
+
+Status InvariantChecker::CheckSecrets() {
+  if (secrets_.empty()) {
+    return OkStatus();
+  }
+  PhysMemory& memory = monitor_->machine().memory();
+  FrameTable& frames = monitor_->frame_table();
+  for (FrameNum frame = 0; frame < frames.size(); ++frame) {
+    if (frames.info(frame).type == FrameType::kSandboxConfined) {
+      continue;  // the one place plaintext is allowed to live
+    }
+    const uint8_t* data = memory.FramePtrIfPresent(frame);
+    if (data == nullptr) {
+      continue;  // never materialized: trivially clean
+    }
+    for (const Bytes& secret : secrets_) {
+      if (secret.size() > kPageSize) {
+        continue;
+      }
+      const uint8_t* end = data + kPageSize;
+      if (std::search(data, end, secret.begin(), secret.end()) != end) {
+        return InternalError("plaintext client secret found in " +
+                             FrameTypeName(frames.info(frame).type) + " frame " +
+                             std::to_string(frame));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace erebor

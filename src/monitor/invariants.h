@@ -1,0 +1,56 @@
+// Monitor invariant checker: the oracle run after injected faults (and on a cadence
+// during chaos soaks) to prove that no fault — wherever it landed — degraded the
+// security posture. Three families of invariants, each checkable at any *safe point*
+// (between scheduler slices, with no CPU mid-gate):
+//
+//  1. Frames: monitor/PTP/text frames carry their PKS keys, confined frames are
+//     single-mapped and unreachable through the kernel direct map, no protected frame
+//     is host-shared (delegates to EreborMonitor::AuditInvariants).
+//  2. Gates: every CPU is back in kernel mode — PKRS == KernelModePkrs(), S_CET still
+//     has IBT+shadow-stack enabled, and the #INT-gate save stack is empty (an entry
+//     left on it means some exit path skipped its restore).
+//  3. Secrets: no registered plaintext client secret appears in any materialized
+//     frame outside confined memory — a corrupted shepherd path that leaked plaintext
+//     into kernel or shared memory is caught here.
+#ifndef EREBOR_SRC_MONITOR_INVARIANTS_H_
+#define EREBOR_SRC_MONITOR_INVARIANTS_H_
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/hw/types.h"
+
+namespace erebor {
+
+class EreborMonitor;
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(EreborMonitor* monitor) : monitor_(monitor) {}
+
+  // Registers a plaintext pattern that must never appear outside confined frames.
+  // Use >= 16 high-entropy bytes; short patterns risk false positives against
+  // unrelated memory.
+  void AddSecret(const Bytes& pattern);
+
+  // Runs every family; returns the first violation (InternalError) or OkStatus.
+  Status CheckAll();
+
+  Status CheckFrames();   // family 1 (AuditInvariants)
+  Status CheckGates();    // family 2
+  Status CheckSecrets();  // family 3
+
+  uint64_t checks_run() const { return checks_run_; }
+  uint64_t violations() const { return violations_; }
+
+ private:
+  EreborMonitor* monitor_;
+  std::vector<Bytes> secrets_;
+  uint64_t checks_run_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_MONITOR_INVARIANTS_H_

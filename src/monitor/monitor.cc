@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/common/faultpoint.h"
 #include "src/common/log.h"
 
 namespace erebor {
@@ -181,11 +182,27 @@ Status EreborMonitor::AttachKernel(Kernel* kernel) {
           ++counters_.sandbox_kills;
           ++sandbox->exits.kills;
           kernel_->KillTask(task, "sealed sandbox attempted syscall " + std::to_string(nr));
+          // The kill observer below has already quarantined (scrubbed) the sandbox;
+          // only this sandbox dies — every other session keeps running.
           (void)sandbox_mgr_->Teardown(cpu, *sandbox);
           return AbortedError("sandbox killed: illegal exit via syscall");
         }
         return kernel_entry(ctx, task, nr, args);
       });
+
+  // Any kill of a sandbox member — by the monitor's own policy above or by the kernel
+  // (segfault, injected allocator exhaustion that exhausted its retry) — fences the
+  // whole sandbox off: scrub confined memory, drop the session, park in kQuarantined.
+  // A dead-but-sealed sandbox must never linger half-alive holding client plaintext.
+  kernel->SetKillObserver([this](Task& task, const std::string& reason) {
+    Sandbox* sandbox = sandbox_mgr_->FindByTask(task);
+    if (sandbox == nullptr || sandbox->state == SandboxState::kTornDown ||
+        sandbox->state == SandboxState::kQuarantined) {
+      return;
+    }
+    (void)sandbox_mgr_->Quarantine(machine_->cpu(0), *sandbox,
+                                   "member task killed: " + reason);
+  });
 
   kernel->SetInterruptInterposer(
       [this](Cpu& cpu, const Fault& fault, const std::function<void()>& kernel_handler) {
@@ -339,7 +356,20 @@ Status EreborMonitor::AuditInvariants() {
 
 Status EreborMonitor::WithGate(Cpu& cpu, Cycles op_cycles,
                                const std::function<Status()>& body, TraceEvent kind) {
-  EREBOR_RETURN_IF_ERROR(gates_->Enter(cpu));
+  Status enter = gates_->Enter(cpu);
+  // A transient (kUnavailable) entry refusal — e.g. an injected host preemption on
+  // the crossing instruction — is absorbed here with a bounded re-entry: the gate is
+  // stateless until entry completes, so re-executing the crossing is always safe.
+  // Real security failures (IBT/#CP) propagate unchanged.
+  for (int attempt = 0;
+       !enter.ok() && enter.code() == ErrorCode::kUnavailable && attempt < 3;
+       ++attempt) {
+    enter = gates_->Enter(cpu);
+    if (enter.ok()) {
+      NoteFaultRecovered();
+    }
+  }
+  EREBOR_RETURN_IF_ERROR(enter);
   cpu.cycles().Charge(op_cycles);
   ++counters_.emc_total;
   Tracer::Global().Record(kind, cpu.index(), cpu.cycles().now(), -1, op_cycles);
@@ -406,6 +436,10 @@ Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_val
   ptp_info.type = FrameType::kPtp;
   ptp_info.ptp_level = 1;
   ptp_info.ptp_root = frame_table_->info(FrameOf(entry_pa)).ptp_root;
+  // The pool frame usually still has a default-key direct-map leaf: re-key it now or
+  // the kernel could forge entries in the new table through that old mapping.
+  EREBOR_RETURN_IF_ERROR(
+      policy_->RetrofitKey(machine_->memory(), ptp, layout::kPtpKey, false));
 
   // Validate + install every 4 KiB entry through the normal policy (this is the whole
   // point: per-page rules apply inside the former huge page).
@@ -415,8 +449,22 @@ Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_val
     const PolicyDecision decision = policy_->CheckPteWrite(slot, small);
     if (!decision.allowed) {
       NoteDenial(cpu);
+      // Roll back the subpage entries already installed: their NoteLeafWrite map
+      // counts must be undone before the PTP frame is freed, or the frame table
+      // permanently over-counts mappings of frames in this range.
+      for (uint64_t j = 0; j < i; ++j) {
+        const Paddr done_slot = AddrOf(ptp) + j * sizeof(Pte);
+        const Pte installed = machine_->memory().Read64(done_slot);
+        machine_->memory().Write64(done_slot, 0);
+        policy_->NoteLeafWrite(installed, 0, done_slot);
+      }
       (void)kernel_->pool().Free(ptp);
-      ptp_info = FrameInfo{};
+      // Restore normal typing and the default-key direct-map leaf, but keep the
+      // reverse-map fields: the direct map still references this frame.
+      ptp_info.type = FrameType::kNormal;
+      ptp_info.ptp_level = 0;
+      ptp_info.ptp_root = 0;
+      (void)policy_->RetrofitKey(machine_->memory(), ptp, layout::kDefaultKey, false);
       return PermissionDeniedError("huge-page split refused at subpage " +
                                    std::to_string(i) + ": " + decision.denial_reason);
     }
@@ -511,6 +559,11 @@ Status EreborMonitor::EmcWriteCr(Cpu& cpu, int reg, uint64_t value) {
   ++counters_.emc_cr;
   return WithGate(cpu, cpu.costs().monitor_cr_op, TraceEvent::kEmcCr,
                   [&]() -> Status {
+    if (reg != 0 && reg != 3 && reg != 4) {
+      NoteDenial(cpu);
+      return InvalidArgumentError("EMC WriteCr: no such control register cr" +
+                                  std::to_string(reg));
+    }
     const uint64_t current = reg == 0 ? cpu.cr0() : reg == 3 ? cpu.cr3() : cpu.cr4();
     EREBOR_RETURN_IF_ERROR(policy_->CheckCrWrite(reg, value, current));
     if (reg == 4) {
@@ -811,6 +864,20 @@ Status EreborMonitor::HandleHello(Cpu& cpu, const Packet& packet) {
   if (sandbox == nullptr) {
     return NotFoundError("hello for unknown sandbox");
   }
+  ChannelSession& session = sandbox->session;
+  if (session.established && packet.client_public == session.hello_client_public &&
+      packet.nonce == session.hello_nonce) {
+    // Retransmitted ClientHello: the ServerHello was likely lost in flight, so answer
+    // with the identical cached response. Re-running the handshake here would let a
+    // replayed hello re-key (and thus reset the sequence space of) a live session.
+    ++session.retransmits;
+    MetricsRegistry::Global().Increment("channel.retries");
+    Tracer::Global().Record(TraceEvent::kChannelRetry, cpu.index(), cpu.cycles().now(),
+                            sandbox->id);
+    sandbox->outbound_wire.push_back(session.cached_server_hello);
+    NoteFaultRecovered();
+    return OkStatus();
+  }
   const GroupParams& group = GroupParams::Default();
   const KeyPair ephemeral = GenerateKeyPair(group, rng_);
   const Digest256 transcript =
@@ -821,17 +888,21 @@ Status EreborMonitor::HandleHello(Cpu& cpu, const Packet& packet) {
   EREBOR_ASSIGN_OR_RETURN(const TdQuote quote, GenerateQuote(cpu, report_data));
 
   const Bytes shared = DhSharedSecret(group, ephemeral.private_key, packet.client_public);
+  // A fresh hello (new nonce/share) is a renegotiation: the whole session state —
+  // reorder buffer, cached results, counters — dies with the old keys.
+  sandbox->session = ChannelSession{};
   sandbox->session.keys = DeriveSessionKeys(shared, transcript);
   sandbox->session.established = true;
-  sandbox->session.next_recv_seq = 0;
-  sandbox->session.next_send_seq = 0;
+  sandbox->session.hello_client_public = packet.client_public;
+  sandbox->session.hello_nonce = packet.nonce;
 
   Packet response;
   response.type = PacketType::kServerHello;
   response.sandbox_id = sandbox->id;
   response.monitor_public = ephemeral.public_key;
   response.quote = quote;
-  sandbox->outbound_wire.push_back(response.Serialize());
+  sandbox->session.cached_server_hello = response.Serialize();
+  sandbox->outbound_wire.push_back(sandbox->session.cached_server_hello);
   return OkStatus();
 }
 
@@ -840,17 +911,78 @@ Status EreborMonitor::HandleDataRecord(Cpu& cpu, const Packet& packet) {
   if (sandbox == nullptr || !sandbox->session.established) {
     return FailedPreconditionError("data record without established session");
   }
-  EREBOR_ASSIGN_OR_RETURN(
-      Bytes plaintext,
-      AeadOpen(sandbox->session.keys.client_to_server, packet.record,
-               sandbox->session.next_recv_seq));
-  ++sandbox->session.next_recv_seq;
-  cpu.cycles().Charge(plaintext.size() * cpu.costs().crypto_per_byte_x100 / 100);
-  Tracer::Global().Record(TraceEvent::kChannelDecrypt, cpu.index(), cpu.cycles().now(),
-                          sandbox->id, plaintext.size());
-  sandbox->input_plaintext.push_back(std::move(plaintext));
-  // First client data seals the sandbox (paper section 6.2).
-  return sandbox_mgr_->Seal(cpu, *sandbox);
+  ChannelSession& session = sandbox->session;
+  const uint64_t seq = packet.record.sequence;
+
+  if (seq < session.next_recv_seq) {
+    // Replay window: a duplicate of an already-accepted record. It is absorbed, never
+    // re-decrypted or re-delivered (replay cannot double-install client data). An
+    // honest client only re-sends when our result never arrived, so retransmit the
+    // cached last result to heal that loss.
+    ++session.duplicates;
+    MetricsRegistry::Global().Increment("channel.duplicates");
+    Tracer::Global().Record(TraceEvent::kChannelRetry, cpu.index(), cpu.cycles().now(),
+                            sandbox->id, seq);
+    if (!session.last_result_wire.empty()) {
+      sandbox->outbound_wire.push_back(session.last_result_wire);
+      ++session.retransmits;
+      MetricsRegistry::Global().Increment("channel.retries");
+      NoteFaultRecovered();
+    }
+    return OkStatus();
+  }
+  if (seq > session.next_recv_seq) {
+    if (seq - session.next_recv_seq > ChannelSession::kReorderWindow) {
+      ++session.rejects;
+      MetricsRegistry::Global().Increment("channel.rejects");
+      return InvalidArgumentError("data record beyond the reorder window");
+    }
+    // Reordered ahead of a gap: stash the sealed record until the gap fills. Nothing
+    // is decrypted out of order — AEAD still runs at exactly the expected sequence.
+    ++session.reorders;
+    MetricsRegistry::Global().Increment("channel.reorders");
+    session.reorder[seq] = packet.record;
+    return OkStatus();
+  }
+
+  auto accept = [&](const SealedRecord& record) -> Status {
+    EREBOR_ASSIGN_OR_RETURN(
+        Bytes plaintext,
+        AeadOpen(session.keys.client_to_server, record, session.next_recv_seq));
+    ++session.next_recv_seq;
+    cpu.cycles().Charge(plaintext.size() * cpu.costs().crypto_per_byte_x100 / 100);
+    Tracer::Global().Record(TraceEvent::kChannelDecrypt, cpu.index(), cpu.cycles().now(),
+                            sandbox->id, plaintext.size());
+    sandbox->input_plaintext.push_back(std::move(plaintext));
+    // First client data seals the sandbox (paper section 6.2).
+    return sandbox_mgr_->Seal(cpu, *sandbox);
+  };
+
+  const Status st = accept(packet.record);
+  if (!st.ok()) {
+    // Tampered/corrupted in transit: reject without advancing the sequence, so the
+    // client's retransmission of the same record is accepted cleanly.
+    ++session.rejects;
+    MetricsRegistry::Global().Increment("channel.corrupt_rejects");
+    return st;
+  }
+  // Drain any stashed reordered records that are now in sequence. A stashed record
+  // that fails to open was corrupt on the wire: drop it (the client retransmits).
+  while (true) {
+    const auto it = session.reorder.find(session.next_recv_seq);
+    if (it == session.reorder.end()) {
+      break;
+    }
+    const SealedRecord stashed = it->second;
+    session.reorder.erase(it);
+    if (!accept(stashed).ok()) {
+      ++session.rejects;
+      MetricsRegistry::Global().Increment("channel.corrupt_rejects");
+      break;
+    }
+    NoteFaultRecovered();
+  }
+  return OkStatus();
 }
 
 Status EreborMonitor::HandleFin(Cpu& cpu, const Packet& packet) {
@@ -862,6 +994,12 @@ Status EreborMonitor::HandleFin(Cpu& cpu, const Packet& packet) {
 }
 
 Status EreborMonitor::ProxyDeliver(Cpu& cpu, const Bytes& wire) {
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("channel.deliver", FaultAction::kDrop)) {
+    // The untrusted proxy "lost" the packet at the monitor's doorstep. From the
+    // client's perspective this is ordinary network loss: its bounded retry covers it.
+    return OkStatus();
+  }
   return WithGate(cpu, 64, TraceEvent::kEmcChannelOp, [&]() -> Status {
     EREBOR_ASSIGN_OR_RETURN(const Packet packet, Packet::Deserialize(wire));
     switch (packet.type) {
@@ -951,12 +1089,27 @@ StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
       if (data.size() > cap) {
         return OutOfRangeError("input larger than provided buffer");
       }
-      Status st = OkStatus();
-      EREBOR_RETURN_IF_ERROR(WithGate(cpu, 64, TraceEvent::kEmcChannelOp,
+      const Status copy_st = WithGate(cpu, 64, TraceEvent::kEmcChannelOp,
                                       [&]() -> Status {
-        st = sandbox_mgr_->CopyIntoSandbox(cpu, *sandbox, dst, data.data(), data.size());
-        return st;
-      }));
+        return sandbox_mgr_->CopyIntoSandbox(cpu, *sandbox, dst, data.data(),
+                                             data.size());
+      });
+      if (!copy_st.ok()) {
+        // The input stays queued so a transient shepherd fault is retryable, but a
+        // sandbox that keeps faulting gets quarantined — torn down and scrubbed —
+        // rather than wedging the session forever.
+        ++sandbox->fault_strikes;
+        if (sandbox->fault_strikes >= sandbox->spec.max_fault_strikes) {
+          EREBOR_RETURN_IF_ERROR(sandbox_mgr_->Quarantine(
+              cpu, *sandbox, "repeated shepherd copy faults: " + copy_st.ToString()));
+        }
+        return copy_st;
+      }
+      if (sandbox->fault_strikes > 0) {
+        // A queued input finally copied in after transient shepherd faults.
+        sandbox->fault_strikes = 0;
+        NoteFaultRecovered();
+      }
       const uint64_t n = data.size();
       StoreLe64(buf + 8, n);
       EREBOR_RETURN_IF_ERROR(WriteGuest(*task.aspace, arg_va, buf, sizeof(buf)));
@@ -1003,7 +1156,10 @@ StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
           packet.sandbox_id = sandbox->id;
           packet.record = AeadSeal(sandbox->session.keys.server_to_client,
                                    sandbox->session.next_send_seq++, padded);
-          sandbox->outbound_wire.push_back(packet.Serialize());
+          // Cache the serialized result for retransmission: if it is lost on the
+          // wire, the client's duplicate data record triggers a re-send.
+          sandbox->session.last_result_wire = packet.Serialize();
+          sandbox->outbound_wire.push_back(sandbox->session.last_result_wire);
         } else {
           sandbox->outbound_wire.push_back(padded);
         }

@@ -156,6 +156,7 @@ class EreborMonitor {
   EmcGates& gates() { return *gates_; }
   Machine& machine() { return *machine_; }
   TdxModule& tdx() { return *tdx_; }
+  Kernel* attached_kernel() { return kernel_; }
 
  private:
   friend class EmcPrivOps;

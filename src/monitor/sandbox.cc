@@ -2,7 +2,10 @@
 
 #include <cstring>
 
+#include "src/common/faultpoint.h"
 #include "src/common/log.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace erebor {
 
@@ -38,6 +41,10 @@ PteWriter SandboxManager::TrustedWriter(Cpu& cpu, AddressSpace& aspace) {
     (void)frames_->SetType(frame, FrameType::kPtp);
     frames_->info(frame).ptp_root = aspace.root();
     frames_->info(frame).ptp_level = 0;  // linked when first referenced
+    // Pool frames keep their default-key direct-map leaf: re-key it so the kernel
+    // cannot forge entries in the sandbox's page tables through the direct map.
+    EREBOR_RETURN_IF_ERROR(
+        policy_->RetrofitKey(machine_->memory(), frame, layout::kPtpKey, false));
     return frame;
   };
   return writer;
@@ -195,7 +202,8 @@ Status SandboxManager::Seal(Cpu& cpu, Sandbox& sandbox) {
   if (sandbox.state == SandboxState::kSealed) {
     return OkStatus();
   }
-  if (sandbox.state == SandboxState::kTornDown) {
+  if (sandbox.state == SandboxState::kTornDown ||
+      sandbox.state == SandboxState::kQuarantined) {
     return FailedPreconditionError("sandbox already torn down");
   }
   // Revoke write permission on any common pages already mapped.
@@ -233,8 +241,9 @@ Status SandboxManager::Seal(Cpu& cpu, Sandbox& sandbox) {
 }
 
 Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
-  if (sandbox.state == SandboxState::kTornDown) {
-    return OkStatus();
+  if (sandbox.state == SandboxState::kTornDown ||
+      sandbox.state == SandboxState::kQuarantined) {
+    return OkStatus();  // already scrubbed and released
   }
   // Unmap confined regions from the sandbox's address space first: the frames return
   // to the CMA pool below and must not stay reachable through stale PTEs.
@@ -283,8 +292,29 @@ Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
   return OkStatus();
 }
 
+Status SandboxManager::Quarantine(Cpu& cpu, Sandbox& sandbox, const std::string& reason) {
+  if (sandbox.state == SandboxState::kQuarantined) {
+    return OkStatus();
+  }
+  // Scrub and release exactly like a normal teardown (confined frames zeroized and
+  // returned to the CMA pool, session keys destroyed), then park in kQuarantined so
+  // no future channel/ioctl traffic can revive the sandbox.
+  EREBOR_RETURN_IF_ERROR(Teardown(cpu, sandbox));
+  sandbox.state = SandboxState::kQuarantined;
+  sandbox.quarantine_reason = reason;
+  MetricsRegistry::Global().Increment("sandbox.quarantined");
+  Tracer::Global().Record(TraceEvent::kSandboxQuarantine, cpu.index(), cpu.cycles().now(),
+                          sandbox.id);
+  LOG_WARN() << "sandbox " << sandbox.id << " quarantined: " << reason;
+  return OkStatus();
+}
+
 bool SandboxManager::SyscallPermitted(const Sandbox& sandbox, const Task& task, int nr,
                                       const uint64_t* args) const {
+  if (sandbox.state == SandboxState::kTornDown ||
+      sandbox.state == SandboxState::kQuarantined) {
+    return nr == sys::kExit;  // a fenced-off sandbox may only die
+  }
   if (sandbox.state != SandboxState::kSealed) {
     return true;  // initialization phase: LibOS sets up via normal syscalls
   }
@@ -303,6 +333,12 @@ bool SandboxManager::SyscallPermitted(const Sandbox& sandbox, const Task& task, 
 
 Status SandboxManager::CopyIntoSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va,
                                        const uint8_t* data, uint64_t len) {
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("sandbox.copy_in", FaultAction::kFail)) {
+    // Transient shepherd fault: the caller leaves the input queued and retries, so
+    // the error code must read as EAGAIN to the LibOS retry contract.
+    return UnavailableError("injected shepherd fault (sandbox.copy_in)");
+  }
   // Every touched page must be confined memory owned by this sandbox: the shepherd
   // never writes client data anywhere an outsider could see.
   uint64_t done = 0;

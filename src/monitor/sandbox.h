@@ -26,9 +26,14 @@ struct SandboxSpec {
   uint64_t confined_budget_bytes = 32ull << 20;
   int max_threads = 8;
   uint64_t output_pad_bytes = 4096;
+  // Consecutive shepherd/channel faults tolerated before the sandbox is quarantined.
+  uint64_t max_fault_strikes = 8;
 };
 
-enum class SandboxState : uint8_t { kInitializing, kSealed, kTornDown };
+// kQuarantined is a terminal state like kTornDown (memory already scrubbed and
+// released) but records that the monitor gave up on the sandbox because of repeated
+// faults or an invariant violation, rather than a normal end-of-session teardown.
+enum class SandboxState : uint8_t { kInitializing, kSealed, kTornDown, kQuarantined };
 
 struct CommonRegion {
   int id = -1;
@@ -72,6 +77,12 @@ struct Sandbox {
   // Side-channel mitigation bookkeeping (exit-rate window).
   Cycles exit_window_start = 0;
   uint64_t exits_in_window = 0;
+
+  // Graceful-degradation accounting: consecutive faults observed on this sandbox's
+  // trusted paths (reset to zero on any success). Reaching spec.max_fault_strikes
+  // quarantines the sandbox.
+  uint64_t fault_strikes = 0;
+  std::string quarantine_reason;
 };
 
 // Manages all sandboxes. The monitor owns exactly one of these.
@@ -105,6 +116,11 @@ class SandboxManager {
   // Zeroizes and releases everything (paper: cleanup after the client session ends).
   Status Teardown(Cpu& cpu, Sandbox& sandbox);
 
+  // Quarantines a misbehaving sandbox: scrubs and releases its memory exactly like
+  // Teardown, then parks it in kQuarantined so the rest of the system keeps running
+  // while this one is permanently fenced off. Idempotent.
+  Status Quarantine(Cpu& cpu, Sandbox& sandbox, const std::string& reason);
+
   // ---- Exit-policy queries used by the monitor's interposition stubs ----
   // Returns true if `nr` is permitted for a task of this sandbox in its current state.
   bool SyscallPermitted(const Sandbox& sandbox, const Task& task, int nr,
@@ -134,7 +150,9 @@ class SandboxManager {
   Kernel* kernel_ = nullptr;
   std::unique_ptr<FrameAllocator> cma_;
   std::map<int, std::unique_ptr<Sandbox>> sandboxes_;
-  std::vector<CommonRegion> common_regions_;
+  // Deque, not vector: CreateCommonRegion hands out pointers into this container and
+  // a vector would invalidate them on reallocation.
+  std::deque<CommonRegion> common_regions_;
   int next_id_ = 1;
 };
 

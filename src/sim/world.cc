@@ -47,7 +47,11 @@ World::World(const WorldConfig& config) : config_(config) {
   }
 }
 
-World::~World() = default;
+World::~World() {
+  if (chaos_) {
+    DisableChaos();
+  }
+}
 
 bool World::exit_protection() const {
   return config_.mode == SimMode::kEreborExitOnly || config_.mode == SimMode::kEreborFull;
@@ -208,11 +212,84 @@ Status World::RunUntil(const std::function<bool()>& done, uint64_t max_slices) {
     if (done()) {
       return OkStatus();
     }
-    if (!kernel_->RunOnce()) {
+    const bool ran = kernel_->RunOnce();
+    if (chaos_) {
+      ChaosTick();
+    }
+    if (!ran) {
       return done() ? OkStatus() : FailedPreconditionError("all tasks idle before done()");
     }
   }
   return FailedPreconditionError("RunUntil slice budget exhausted");
+}
+
+Status World::EnableChaos(const ChaosOptions& options) {
+  if (monitor_ == nullptr) {
+    return FailedPreconditionError("chaos requires an Erebor mode (the monitor owns "
+                                   "the invariants under test)");
+  }
+  chaos_options_ = options;
+  invariants_ = std::make_unique<InvariantChecker>(monitor_.get());
+  const FaultSchedule schedule = options.schedule.rules.empty()
+                                     ? FaultSchedule::Randomized(options.seed)
+                                     : options.schedule;
+  FaultInjector::Global().Arm(options.seed, schedule);
+  // A fault can fire mid-gate or mid-delivery, where PKRS is legitimately in flux;
+  // checking there would false-positive. Defer to the next slice boundary instead.
+  FaultInjector::Global().SetObserver(
+      [this](const FiredFault&) { pending_invariant_check_ = true; });
+  chaos_ = true;
+  chaos_slice_ = 0;
+  invariant_violations_ = 0;
+  first_violation_ = OkStatus();
+  return OkStatus();
+}
+
+void World::DisableChaos() {
+  chaos_ = false;
+  FaultInjector::Global().SetObserver(nullptr);
+  FaultInjector::Global().Disarm();
+}
+
+void World::ChaosTick() {
+  ++chaos_slice_;
+  FaultInjector& injector = FaultInjector::Global();
+  if (chaos_options_.host_preempt && injector.Armed() &&
+      injector.Fire("host.preempt", FaultAction::kPreempt)) {
+    attacker_->PreemptGuest(static_cast<int>(chaos_slice_) % machine_->num_cpus());
+  }
+  if (chaos_options_.host_dma_probe && injector.Armed() && monitor_ != nullptr) {
+    const FaultDecision decision = injector.At("host.dma");
+    if (decision.action == FaultAction::kFail) {
+      // DMA probe of a fault-chosen frame: the IOMMU must refuse anything private.
+      // A successful read of a non-shared frame is itself an invariant violation.
+      const uint64_t frames = monitor_->frame_table().size();
+      const FrameNum frame = frames == 0 ? 0 : decision.entropy % frames;
+      uint8_t probe[16] = {};
+      const Status dma = attacker_->DmaReadGuestMemory(AddrOf(frame), probe, sizeof(probe));
+      if (dma.ok() && !machine_->memory().IsShared(frame)) {
+        ++invariant_violations_;
+        if (first_violation_.ok()) {
+          first_violation_ = InternalError("host DMA read private frame " +
+                                           std::to_string(frame));
+        }
+      } else {
+        NoteFaultRecovered();
+      }
+    }
+  }
+  const bool cadence_due = chaos_options_.check_every_slices != 0 &&
+                           chaos_slice_ % chaos_options_.check_every_slices == 0;
+  if ((pending_invariant_check_ || cadence_due) && invariants_ != nullptr) {
+    pending_invariant_check_ = false;
+    const Status st = invariants_->CheckAll();
+    if (!st.ok()) {
+      ++invariant_violations_;
+      if (first_violation_.ok()) {
+        first_violation_ = st;
+      }
+    }
+  }
 }
 
 }  // namespace erebor

@@ -12,8 +12,10 @@
 #include <memory>
 
 #include "src/client/client.h"
+#include "src/common/faultpoint.h"
 #include "src/host/attacks.h"
 #include "src/libos/libos.h"
+#include "src/monitor/invariants.h"
 
 namespace erebor {
 
@@ -32,6 +34,25 @@ struct WorldConfig {
   MachineConfig machine;
   KernelConfig kernel;
   KernelBuildOptions kernel_image;  // instrumented flag is forced by mode
+};
+
+// Chaos-soak configuration: arms the global fault injector and drives host-side
+// probes + invariant checks from the world's scheduler loop. Enable only *after*
+// Boot() — injecting faults into the boot path tests nothing the paper claims.
+struct ChaosOptions {
+  uint64_t seed = 1;
+  // Explicit schedule; leave empty to use FaultSchedule::Randomized(seed).
+  FaultSchedule schedule;
+  // Host-driven asynchronous probes, fired between scheduler slices through the
+  // attack harness: "host.preempt" (device-interrupt preemption at an arbitrary
+  // point) and "host.dma" (DMA read of a fault-chosen frame, which must fail for
+  // anything but shared-IO memory).
+  bool host_preempt = true;
+  bool host_dma_probe = true;
+  // Invariant-check cadence in scheduler slices; checks also run (deferred to the
+  // next slice boundary — a safe point) after every injected fault. 0 disables the
+  // cadence, leaving only fault-triggered checks.
+  uint64_t check_every_slices = 64;
 };
 
 class World {
@@ -74,7 +95,22 @@ class World {
   // Runs the scheduler until `done` returns true or no task is runnable.
   Status RunUntil(const std::function<bool()>& done, uint64_t max_slices = 2'000'000);
 
+  // ---- Chaos soak ----
+  // Arms the global FaultInjector with options.schedule (or a seed-randomized one)
+  // and hooks host probes + invariant checks into RunUntil. Requires a booted
+  // Erebor mode (the monitor owns the invariants being checked).
+  Status EnableChaos(const ChaosOptions& options);
+  // Disarms the injector and detaches the hooks (also called from the destructor so
+  // a chaotic World never leaks an armed injector into the next test).
+  void DisableChaos();
+  bool chaos_enabled() const { return chaos_; }
+  InvariantChecker* invariants() { return invariants_.get(); }
+  uint64_t invariant_violations() const { return invariant_violations_; }
+  const Status& first_violation() const { return first_violation_; }
+
  private:
+  // One post-slice chaos step: host probes, then any due invariant check.
+  void ChaosTick();
   WorldConfig config_;
   Bytes firmware_image_;
   std::unique_ptr<Machine> machine_;
@@ -87,6 +123,15 @@ class World {
   std::unique_ptr<Kernel> kernel_;
   std::unique_ptr<HostAttacker> attacker_;
   bool proxy_stop_ = false;
+
+  // Chaos-soak state.
+  bool chaos_ = false;
+  ChaosOptions chaos_options_;
+  std::unique_ptr<InvariantChecker> invariants_;
+  uint64_t chaos_slice_ = 0;
+  bool pending_invariant_check_ = false;
+  uint64_t invariant_violations_ = 0;
+  Status first_violation_;
 };
 
 }  // namespace erebor

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/common/faultpoint.h"
 #include "src/common/log.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
@@ -28,6 +29,12 @@ GhciResponse TdxModule::DispatchVmcall(const GhciRequest& request) {
 }
 
 Status TdxModule::Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) {
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("tdx.tdcall.entry", FaultAction::kFail)) {
+    // Models a transient SEAMCALL/TDCALL refusal (host scheduling the SEAM module
+    // out): the guest sees a retryable error, never partial module state.
+    return UnavailableError("EAGAIN: injected tdcall fault");
+  }
   switch (leaf) {
     case tdcall_leaf::kVmcall: {
       if (nargs < 3) {
@@ -49,6 +56,13 @@ Status TdxModule::Tdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) 
       request.arg0 = args[1];
       request.arg1 = args[2];
       GhciResponse response = DispatchVmcall(request);
+      if (FaultInjector::Armed() &&
+          FaultInjector::Global().Fire("tdx.tdcall.exit", FaultAction::kCorrupt)) {
+        // The host's GHCI response registers are untrusted. The injected corruption
+        // scrubs them to the "host returned nothing" shape; consumers must treat it
+        // as a failed/empty exchange and retry, never as trusted data.
+        response = GhciResponse{};
+      }
       args[1] = response.ret0;
       args[2] = response.ret1;
       if (!response.payload.empty() && request.reason == GhciReason::kNetRx) {

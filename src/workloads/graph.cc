@@ -24,6 +24,7 @@ struct GraphRun {
   uint32_t chunks_done = 0;
   uint32_t total_chunks = 0;
   bool done = false;
+  EagainBackoff input_backoff;  // bounded wait for the client graph
 };
 
 constexpr uint64_t kFixedOne = 1ull << 32;
@@ -169,14 +170,19 @@ ProgramFn GraphWorkload::MakeProgram(std::shared_ptr<AppState> state) {
     if (!run->have_input) {
       auto input = env.RecvInput(ctx, 4ull << 20);
       if (!input.ok()) {
-        if (input.status().code() != ErrorCode::kUnavailable) {
+        if (!IsWouldBlock(input.status())) {
           state->failed = true;
           state->failure = input.status().ToString();
           return StepOutcome::kExited;
         }
-        ctx.Compute(1500);
+        if (!run->input_backoff.ShouldRetry(ctx)) {
+          state->failed = true;
+          state->failure = "client input retry budget exhausted";
+          return StepOutcome::kExited;
+        }
         return StepOutcome::kYield;
       }
+      run->input_backoff.Reset();
       if (input->size() < 8) {
         state->failed = true;
         state->failure = "short graph input";

@@ -21,6 +21,7 @@ struct IdsRun {
   uint32_t total_windows = 0;
   Bytes flagged;              // window index + score records
   bool done = false;
+  EagainBackoff input_backoff;  // bounded wait for the event log
 };
 
 constexpr Cycles kCyclesPerEvent = 540;
@@ -195,14 +196,19 @@ ProgramFn IdsWorkload::MakeProgram(std::shared_ptr<AppState> state) {
     if (!run->have_input) {
       auto input = env.RecvInput(ctx, 4ull << 20);
       if (!input.ok()) {
-        if (input.status().code() != ErrorCode::kUnavailable) {
+        if (!IsWouldBlock(input.status())) {
           state->failed = true;
           state->failure = input.status().ToString();
           return StepOutcome::kExited;
         }
-        ctx.Compute(1500);
+        if (!run->input_backoff.ShouldRetry(ctx)) {
+          state->failed = true;
+          state->failure = "client input retry budget exhausted";
+          return StepOutcome::kExited;
+        }
         return StepOutcome::kYield;
       }
+      run->input_backoff.Reset();
       const Status st = ctx.WriteUser(run->log_buf, input->data(), input->size());
       if (!st.ok()) {
         state->failed = true;

@@ -20,6 +20,7 @@ struct LlmRun {
   bool done = false;
   Vaddr kv_cache = 0;            // confined K-V cache
   uint64_t state_hash = 0x9E3779B97F4A7C15ULL;
+  EagainBackoff input_backoff;   // bounded wait for the client prompt
 };
 
 constexpr Cycles kCyclesPerLayerChunk = 110'000;  // calibrated: full matmul cost
@@ -169,14 +170,19 @@ ProgramFn LlmWorkload::MakeProgram(std::shared_ptr<AppState> state) {
     if (!run->have_input) {
       auto input = env.RecvInput(ctx, 64 * 1024);
       if (!input.ok()) {
-        if (input.status().code() != ErrorCode::kUnavailable) {
+        if (!IsWouldBlock(input.status())) {
           state->failed = true;
           state->failure = input.status().ToString();
           return StepOutcome::kExited;
         }
-        ctx.Compute(1500);
+        if (!run->input_backoff.ShouldRetry(ctx)) {
+          state->failed = true;
+          state->failure = "client input retry budget exhausted";
+          return StepOutcome::kExited;
+        }
         return StepOutcome::kYield;
       }
+      run->input_backoff.Reset();
       run->prompt = std::move(*input);
       for (const uint8_t byte : run->prompt) {
         run->state_hash = run->state_hash * 0x100000001B3ULL + byte;

@@ -13,6 +13,7 @@ struct RetrievalRun {
   uint64_t hits = 0;
   uint64_t checksum = 0;
   bool done = false;
+  EagainBackoff input_backoff;  // bounded wait for the query batch
 };
 
 constexpr Cycles kCyclesPerQuery = 2'300;      // hash + probe + copy cost
@@ -146,14 +147,19 @@ ProgramFn RetrievalWorkload::MakeProgram(std::shared_ptr<AppState> state) {
     if (!run->have_input) {
       auto input = env.RecvInput(ctx, 5ull << 19);
       if (!input.ok()) {
-        if (input.status().code() != ErrorCode::kUnavailable) {
+        if (!IsWouldBlock(input.status())) {
           state->failed = true;
           state->failure = input.status().ToString();
           return StepOutcome::kExited;
         }
-        ctx.Compute(1500);
+        if (!run->input_backoff.ShouldRetry(ctx)) {
+          state->failed = true;
+          state->failure = "client input retry budget exhausted";
+          return StepOutcome::kExited;
+        }
         return StepOutcome::kYield;
       }
+      run->input_backoff.Reset();
       run->queries.resize(input->size() / 8);
       for (size_t i = 0; i < run->queries.size(); ++i) {
         run->queries[i] = LoadLe64(input->data() + 8 * i);

@@ -15,6 +15,7 @@ struct VisionRun {
   uint32_t images_done = 0;
   Bytes results;
   bool done = false;
+  EagainBackoff input_backoff;  // bounded wait for the image batch
 };
 
 constexpr Cycles kCyclesPerImage = 1'600'000;  // full conv pyramid cost
@@ -179,14 +180,19 @@ ProgramFn VisionWorkload::MakeProgram(std::shared_ptr<AppState> state) {
     if (!run->have_input) {
       auto input = env.RecvInput(ctx, 1ull << 20);
       if (!input.ok()) {
-        if (input.status().code() != ErrorCode::kUnavailable) {
+        if (!IsWouldBlock(input.status())) {
           state->failed = true;
           state->failure = input.status().ToString();
           return StepOutcome::kExited;
         }
-        ctx.Compute(1500);
+        if (!run->input_backoff.ShouldRetry(ctx)) {
+          state->failed = true;
+          state->failure = "client input retry budget exhausted";
+          return StepOutcome::kExited;
+        }
         return StepOutcome::kYield;
       }
+      run->input_backoff.Reset();
       // Stage the batch into confined memory (the client data install point).
       const Status st = ctx.WriteUser(run->image_buf, input->data(), input->size());
       if (!st.ok()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/client/client.h"
+#include "src/common/faultpoint.h"
+#include "src/common/metrics.h"
 #include "src/libos/libos.h"
 #include "src/sim/world.h"
 
@@ -281,6 +283,185 @@ TEST_F(ChannelE2eTest, ReplayedDataRecordRejected) {
   EXPECT_EQ(sandbox_->session.next_recv_seq, 1u);
 }
 
+
+// ---- Injected transport faults (deterministic schedules over "net.to_guest") ----
+//
+// Hit-index arithmetic: with the injector armed before any client traffic, hit 0 of
+// "net.to_guest" is the ClientHello, hit 1 the first DataRecord, hit 2 the second.
+// Rules pin first_hit/max_fires so exactly the intended packet is faulted.
+
+// Disarms the global injector even on assertion failure mid-test.
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(ChannelE2eTest, InjectedHelloDropHealsViaResend) {
+  FaultGuard guard;
+  FaultSchedule schedule;
+  schedule.rules.push_back(FaultRule{
+      .site = "net.to_guest", .action = FaultAction::kDrop, .max_fires = 1});
+  FaultInjector::Global().Arm(/*seed=*/21, schedule);
+  const uint64_t retries_before = MetricsRegistry::Global().Value("channel.retries");
+
+  RemoteClient client(world_->MakeTrustAnchors(), 90);
+  world_->ClientSend(client.MakeHello(sandbox_->id));  // hit 0: dropped in flight
+  world_->kernel().Run(600);
+  EXPECT_FALSE(world_->ClientReceive().ok()) << "dropped hello still got a response";
+
+  // The client's loss recovery: byte-identical hello retransmission converges.
+  world_->ClientSend(client.ResendHello());
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok()) << server_hello.status().ToString();
+  ASSERT_TRUE(client.ProcessServerHello(*server_hello).ok());
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_GT(MetricsRegistry::Global().Value("channel.retries"), retries_before);
+  EXPECT_GE(FaultInjector::Global().fired(), 1u);
+
+  // The healed session carries data normally.
+  world_->ClientSend(client.SealData(ToBytes("after the storm")));
+  auto result_wire = PumpUntilClientPacket();
+  ASSERT_TRUE(result_wire.ok());
+  ASSERT_TRUE(client.OpenResult(*result_wire).ok());
+}
+
+TEST_F(ChannelE2eTest, InjectedDataDuplicationAbsorbedByReplayWindow) {
+  FaultGuard guard;
+  FaultSchedule schedule;
+  schedule.rules.push_back(FaultRule{.site = "net.to_guest",
+                                     .action = FaultAction::kDuplicate,
+                                     .first_hit = 1,
+                                     .max_fires = 1});
+  FaultInjector::Global().Arm(22, schedule);
+
+  RemoteClient client(world_->MakeTrustAnchors(), 91);
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok());
+  ASSERT_TRUE(client.ProcessServerHello(*server_hello).ok());
+
+  // Hit 1: the record is enqueued twice by the network. The monitor accepts one copy
+  // and absorbs the other in its replay window — data is never double-installed.
+  world_->ClientSend(client.SealData(ToBytes("only once")));
+  auto result_wire = PumpUntilClientPacket();
+  ASSERT_TRUE(result_wire.ok());
+  ASSERT_TRUE(client.OpenResult(*result_wire).ok());
+  EXPECT_GE(sandbox_->session.duplicates, 1u);
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 1u);
+
+  // Client-side deliberate retransmission: the monitor absorbs it as a duplicate and
+  // retransmits the cached result, which the client's own window then rejects.
+  world_->ClientSend(client.ResendData());
+  auto retransmit = PumpUntilClientPacket();
+  ASSERT_TRUE(retransmit.ok());
+  EXPECT_EQ(client.OpenResult(*retransmit).status().code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 1u);
+  EXPECT_GE(sandbox_->session.retransmits, 1u);
+}
+
+TEST_F(ChannelE2eTest, InjectedReorderHealsWithinWindow) {
+  FaultGuard guard;
+  FaultSchedule schedule;
+  schedule.rules.push_back(FaultRule{.site = "net.to_guest",
+                                     .action = FaultAction::kReorder,
+                                     .first_hit = 2,
+                                     .max_fires = 1});
+  FaultInjector::Global().Arm(23, schedule);
+
+  RemoteClient client(world_->MakeTrustAnchors(), 92);
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok());
+  ASSERT_TRUE(client.ProcessServerHello(*server_hello).ok());
+
+  // Both records enter the network back-to-back; hit 2 (the second record) jumps the
+  // queue, so the monitor sees seq 1 before seq 0 and must stash-then-drain.
+  world_->ClientSend(client.SealData(ToBytes("first record")));
+  world_->ClientSend(client.SealData(ToBytes("second record")));
+
+  auto result0 = PumpUntilClientPacket();
+  ASSERT_TRUE(result0.ok());
+  auto plain0 = client.OpenResult(*result0);
+  ASSERT_TRUE(plain0.ok()) << plain0.status().ToString();
+  auto result1 = PumpUntilClientPacket();
+  ASSERT_TRUE(result1.ok());
+  auto plain1 = client.OpenResult(*result1);
+  ASSERT_TRUE(plain1.ok()) << plain1.status().ToString();
+
+  Bytes expect0 = ToBytes("first record");
+  Bytes expect1 = ToBytes("second record");
+  for (uint8_t& b : expect0) {
+    b ^= 0x20;
+  }
+  for (uint8_t& b : expect1) {
+    b ^= 0x20;
+  }
+  EXPECT_EQ(*plain0, expect0);
+  EXPECT_EQ(*plain1, expect1);
+  EXPECT_GE(sandbox_->session.reorders, 1u);
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 2u);
+  EXPECT_TRUE(sandbox_->session.reorder.empty());  // stash fully drained
+}
+
+TEST_F(ChannelE2eTest, MidHandshakeTruncationRetried) {
+  FaultGuard guard;
+  FaultSchedule schedule;
+  schedule.rules.push_back(FaultRule{
+      .site = "net.to_guest", .action = FaultAction::kTruncate, .max_fires = 1});
+  FaultInjector::Global().Arm(24, schedule);
+
+  RemoteClient client(world_->MakeTrustAnchors(), 93);
+  // Hit 0: the hello is cut short in flight; the monitor rejects the unparseable
+  // packet without wedging, and the retransmitted hello completes the handshake.
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  world_->kernel().Run(600);
+  EXPECT_FALSE(world_->ClientReceive().ok());
+  EXPECT_FALSE(client.established());
+
+  world_->ClientSend(client.ResendHello());
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok()) << server_hello.status().ToString();
+  ASSERT_TRUE(client.ProcessServerHello(*server_hello).ok());
+  EXPECT_TRUE(client.established());
+  EXPECT_GE(client.retries(), 1u);
+}
+
+TEST_F(ChannelE2eTest, CorruptedRecordRejectedThenRetransmitHeals) {
+  FaultGuard guard;
+  FaultSchedule schedule;
+  schedule.rules.push_back(FaultRule{.site = "net.to_guest",
+                                     .action = FaultAction::kCorrupt,
+                                     .first_hit = 1,
+                                     .max_fires = 1});
+  FaultInjector::Global().Arm(25, schedule);
+
+  RemoteClient client(world_->MakeTrustAnchors(), 94);
+  world_->ClientSend(client.MakeHello(sandbox_->id));
+  auto server_hello = PumpUntilClientPacket();
+  ASSERT_TRUE(server_hello.ok());
+  ASSERT_TRUE(client.ProcessServerHello(*server_hello).ok());
+
+  // Hit 1: one byte of the record flips in flight. Whatever the flipped byte hits
+  // (header or ciphertext), the monitor must reject the record without advancing the
+  // sequence — so the byte-identical retransmission is accepted cleanly.
+  world_->ClientSend(client.SealData(ToBytes("tamper target")));
+  world_->kernel().Run(2000);
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 0u);
+  EXPECT_TRUE(sandbox_->input_plaintext.empty());
+  EXPECT_FALSE(world_->ClientReceive().ok());
+
+  world_->ClientSend(client.ResendData());
+  auto result_wire = PumpUntilClientPacket();
+  ASSERT_TRUE(result_wire.ok()) << result_wire.status().ToString();
+  auto result = client.OpenResult(*result_wire);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Bytes expected = ToBytes("tamper target");
+  for (uint8_t& b : expected) {
+    b ^= 0x20;
+  }
+  EXPECT_EQ(*result, expected);
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 1u);
+  EXPECT_GE(client.retries(), 1u);
+}
 
 TEST_F(ChannelE2eTest, ConcurrentSessionsAreIsolated) {
   // A second sandbox + client alongside the fixture's; the two sessions interleave

@@ -1,0 +1,431 @@
+// Chaos soak for the deterministic fault-injection engine (trust-boundary faults,
+// invariant checking, graceful degradation):
+//
+//   1. Soak: >= 64 seeded randomized fault schedules, each driving a full client
+//      session (hello -> attest -> install -> compute -> result -> fin) against a live
+//      world. Every session must end *completed-with-retries* or *explicitly
+//      quarantined* — never wedged — with zero invariant violations.
+//   2. Determinism: the same (seed, schedule) pair replays bit-identically — the
+//      fired-fault journals (site, hit, action) and their hashes match exactly.
+//   3. Zero-cost-when-inactive: with the engine armed on a schedule that can never
+//      fire, Figure 8 operation/cycle counts and a full channel session's cycle
+//      totals are bit-identical to the disarmed baseline.
+//   4. Containment: a sandbox quarantined by repeated shepherd faults does not take
+//      the world down — a second sandbox completes a clean session alongside it.
+#include <gtest/gtest.h>
+
+#include "src/client/client.h"
+#include "src/common/faultpoint.h"
+#include "src/common/metrics.h"
+#include "src/libos/libos.h"
+#include "src/sim/world.h"
+#include "src/workloads/lmbench.h"
+
+namespace erebor {
+namespace {
+
+// Restores the global injector even when a test fails mid-way (one suite binary runs
+// many tests in one process, and an armed injector would leak faults into them).
+struct FaultGuard {
+  ~FaultGuard() {
+    FaultInjector::Global().SetObserver(nullptr);
+    FaultInjector::Global().Disarm();
+  }
+};
+
+std::unique_ptr<World> MakeChaosWorld() {
+  WorldConfig config;
+  config.mode = SimMode::kEreborFull;
+  config.machine.num_cpus = 2;
+  auto world = std::make_unique<World>(config);
+  EXPECT_TRUE(world->Boot().ok());
+  EXPECT_TRUE(world->StartProxy().ok());
+  return world;
+}
+
+// Spawns the standard echo sandbox (receives input, XORs 0x20, sends it back, stays
+// alive for Fin). Each sandbox owns its LibOS environment via the captured pointer.
+StatusOr<Sandbox*> AddEchoSandbox(World& world, const std::string& name) {
+  SandboxSpec spec;
+  spec.name = name;
+  auto env = std::make_shared<LibosEnv>(
+      LibosManifest{.name = name, .heap_bytes = 1 << 20}, LibosBackend::kSandboxed);
+  return world.LaunchSandboxProcess(
+      name, spec, [env](SyscallContext& ctx) -> StepOutcome {
+        if (!env->initialized()) {
+          if (!env->Initialize(ctx).ok()) {
+            return StepOutcome::kExited;
+          }
+          return StepOutcome::kYield;
+        }
+        auto input = env->RecvInput(ctx, 8192);
+        if (!input.ok()) {
+          return StepOutcome::kYield;  // EAGAIN or transient fault: poll again
+        }
+        Bytes out = *input;
+        for (uint8_t& b : out) {
+          b ^= 0x20;
+        }
+        (void)env->SendOutput(ctx, out);
+        return StepOutcome::kYield;
+      });
+}
+
+enum class Outcome { kCompleted, kQuarantined, kWedged };
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kCompleted:
+      return "completed";
+    case Outcome::kQuarantined:
+      return "quarantined";
+    case Outcome::kWedged:
+      return "wedged";
+  }
+  return "?";
+}
+
+// Drives one full client session with the bounded-retry state machine a real client
+// would run over a lossy transport: pump for a while, then retransmit; give up (and
+// report kWedged) only after kMaxAttempts rounds. Stray packets — duplicates,
+// corrupted records, stale ServerHellos — are consumed and ignored.
+Outcome RunChaosSession(World& world, Sandbox* sandbox, uint64_t client_seed,
+                        int num_records = 2) {
+  constexpr int kMaxAttempts = 30;
+  constexpr uint64_t kPumpSlices = 500;
+  RemoteClient client(world.MakeTrustAnchors(), client_seed);
+
+  const auto quarantined = [&] { return sandbox->state == SandboxState::kQuarantined; };
+  const auto pump = [&](const std::function<bool()>& done) {
+    (void)world.RunUntil(done, kPumpSlices);  // bounded: timeout is not an error here
+  };
+
+  // ---- Handshake (attestation) with bounded hello retransmission ----
+  world.ClientSend(client.MakeHello(sandbox->id));
+  for (int attempt = 0; !client.established(); ++attempt) {
+    if (quarantined()) {
+      return Outcome::kQuarantined;
+    }
+    if (attempt >= kMaxAttempts) {
+      return Outcome::kWedged;
+    }
+    pump([&] {
+      auto wire = world.ClientReceive();
+      if (!wire.ok()) {
+        return quarantined();
+      }
+      const auto packet = Packet::Deserialize(*wire);
+      return packet.ok() && packet->type == PacketType::kServerHello &&
+             packet->sandbox_id == sandbox->id &&
+             client.ProcessServerHello(*wire).ok();
+    });
+    if (!client.established()) {
+      world.ClientSend(client.ResendHello());
+    }
+  }
+
+  // ---- Data records, one at a time so ResendData always covers the in-flight one ----
+  for (int r = 0; r < num_records; ++r) {
+    const Bytes payload =
+        ToBytes("chaos-" + std::to_string(client_seed) + "-" + std::to_string(r));
+    Bytes expected = payload;
+    for (uint8_t& b : expected) {
+      b ^= 0x20;
+    }
+    world.ClientSend(client.SealData(payload));
+    bool opened = false;
+    for (int attempt = 0; !opened; ++attempt) {
+      if (quarantined()) {
+        return Outcome::kQuarantined;
+      }
+      if (attempt >= kMaxAttempts) {
+        return Outcome::kWedged;
+      }
+      pump([&] {
+        auto wire = world.ClientReceive();
+        if (!wire.ok()) {
+          return quarantined();
+        }
+        auto result = client.OpenResult(*wire);
+        if (result.ok()) {
+          EXPECT_EQ(*result, expected) << "seed " << client_seed << " record " << r;
+          opened = true;
+          return true;
+        }
+        // AlreadyExists (duplicate), Unavailable (stashed ahead), parse/auth failures
+        // (corrupted in flight): ignore and keep pumping.
+        return false;
+      });
+      while (!opened && client.HasStashedResult()) {
+        opened = client.PopStashedResult().ok();
+      }
+      if (!opened && !quarantined()) {
+        world.ClientSend(client.ResendData());
+      }
+    }
+  }
+
+  // ---- Fin: bounded retransmission until the sandbox is torn down ----
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (sandbox->state == SandboxState::kTornDown) {
+      return Outcome::kCompleted;
+    }
+    if (quarantined()) {
+      return Outcome::kQuarantined;
+    }
+    world.ClientSend(client.MakeFin());
+    pump([&] {
+      return sandbox->state == SandboxState::kTornDown || quarantined();
+    });
+  }
+  if (sandbox->state == SandboxState::kTornDown) {
+    return Outcome::kCompleted;
+  }
+  return quarantined() ? Outcome::kQuarantined : Outcome::kWedged;
+}
+
+// Boots a world, warms it up (proxy lazy setup + LibOS init are boot plumbing, not
+// trust-boundary traffic), arms chaos for `seed`, runs one session, and reports the
+// outcome plus the replay-identity journal captured before disarming.
+struct SeedResult {
+  Outcome outcome = Outcome::kWedged;
+  uint64_t violations = 0;
+  std::string first_violation;
+  uint64_t fired = 0;
+  uint64_t journal_hash = 0;
+  std::vector<FiredFault> journal;
+};
+
+SeedResult RunSeed(uint64_t seed) {
+  SeedResult result;
+  auto world = MakeChaosWorld();
+  auto sandbox = AddEchoSandbox(*world, "echo-" + std::to_string(seed));
+  if (!sandbox.ok()) {
+    return result;
+  }
+  world->kernel().Run(60);  // warm-up: proxy /dev/erebor setup, LibOS init
+  ChaosOptions options;
+  options.seed = seed;
+  if (!world->EnableChaos(options).ok()) {
+    return result;
+  }
+  result.outcome = RunChaosSession(*world, *sandbox, /*client_seed=*/1000 + seed);
+  result.violations = world->invariant_violations();
+  result.first_violation = world->first_violation().ToString();
+  result.fired = FaultInjector::Global().fired();
+  result.journal_hash = FaultInjector::Global().JournalHash();
+  result.journal = FaultInjector::Global().journal();
+  world->DisableChaos();
+  return result;
+}
+
+// ---- 1. The soak ----
+
+TEST(ChaosSoakTest, SixtyFourSeedsCompleteOrQuarantineWithInvariantsIntact) {
+  FaultGuard guard;
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const uint64_t injected_before = metrics.Value("faults.injected");
+  const uint64_t recovered_before = metrics.Value("faults.recovered");
+  const uint64_t retries_before = metrics.Value("channel.retries");
+  const uint64_t checks_before = metrics.Value("invariants.checks");
+
+  int completed = 0;
+  int quarantined_count = 0;
+  uint64_t total_fired = 0;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    const SeedResult result = RunSeed(seed);
+    EXPECT_NE(result.outcome, Outcome::kWedged)
+        << "seed " << seed << " wedged after " << result.fired << " injected faults";
+    EXPECT_EQ(result.violations, 0u)
+        << "seed " << seed << ": " << result.first_violation;
+    total_fired += result.fired;
+    if (result.outcome == Outcome::kCompleted) {
+      ++completed;
+    } else if (result.outcome == Outcome::kQuarantined) {
+      ++quarantined_count;
+    }
+  }
+  // The soak must actually exercise the machinery: faults fired, retries healed
+  // losses, invariant checks ran, and most sessions still completed.
+  EXPECT_GT(total_fired, 0u);
+  EXPECT_GT(metrics.Value("faults.injected"), injected_before);
+  EXPECT_GT(metrics.Value("faults.recovered"), recovered_before);
+  EXPECT_GT(metrics.Value("channel.retries"), retries_before);
+  EXPECT_GT(metrics.Value("invariants.checks"), checks_before);
+  EXPECT_GT(completed, 0) << "no chaotic session ever completed";
+  EXPECT_EQ(completed + quarantined_count, 64);
+}
+
+// ---- 2. Determinism / replay ----
+
+TEST(ChaosDeterminismTest, SameSeedReplaysBitIdentically) {
+  FaultGuard guard;
+  for (const uint64_t seed : {3ull, 17ull, 42ull}) {
+    const SeedResult first = RunSeed(seed);
+    const SeedResult replay = RunSeed(seed);
+    EXPECT_EQ(first.outcome, replay.outcome) << "seed " << seed;
+    EXPECT_EQ(first.fired, replay.fired) << "seed " << seed;
+    ASSERT_EQ(first.journal.size(), replay.journal.size()) << "seed " << seed;
+    for (size_t i = 0; i < first.journal.size(); ++i) {
+      EXPECT_EQ(first.journal[i].site, replay.journal[i].site) << "seed " << seed;
+      EXPECT_EQ(first.journal[i].hit, replay.journal[i].hit) << "seed " << seed;
+      EXPECT_EQ(first.journal[i].action, replay.journal[i].action) << "seed " << seed;
+    }
+    EXPECT_EQ(first.journal_hash, replay.journal_hash)
+        << "seed " << seed << ": " << OutcomeName(first.outcome) << " run did not "
+        << "replay bit-identically";
+  }
+}
+
+TEST(ChaosDeterminismTest, RandomizedSchedulesVaryBySeed) {
+  const FaultSchedule a = FaultSchedule::Randomized(1);
+  const FaultSchedule b = FaultSchedule::Randomized(2);
+  ASSERT_FALSE(a.rules.empty());
+  ASSERT_FALSE(b.rules.empty());
+  bool differs = a.rules.size() != b.rules.size();
+  for (size_t i = 0; !differs && i < a.rules.size(); ++i) {
+    differs = a.rules[i].site != b.rules[i].site ||
+              a.rules[i].action != b.rules[i].action ||
+              a.rules[i].period != b.rules[i].period ||
+              a.rules[i].first_hit != b.rules[i].first_hit;
+  }
+  EXPECT_TRUE(differs);
+  // And the same seed always derives the same schedule (replay needs only the seed).
+  const FaultSchedule again = FaultSchedule::Randomized(1);
+  ASSERT_EQ(a.rules.size(), again.rules.size());
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].site, again.rules[i].site);
+    EXPECT_EQ(a.rules[i].action, again.rules[i].action);
+    EXPECT_EQ(a.rules[i].period, again.rules[i].period);
+    EXPECT_EQ(a.rules[i].max_fires, again.rules[i].max_fires);
+  }
+}
+
+// ---- 3. Zero-cost when inactive ----
+
+// A schedule whose only rule names a site that no probe ever visits: the engine is
+// armed (every probe takes its Armed() branch) but can never fire.
+FaultSchedule InertSchedule() {
+  FaultSchedule schedule;
+  schedule.rules.push_back(FaultRule{.site = "no.such.site"});
+  return schedule;
+}
+
+TEST(ChaosNeutralityTest, Fig8CountsBitIdenticalDisarmedAndArmedInert) {
+  FaultGuard guard;
+  for (const char* name : {"stat", "pagefault"}) {
+    FaultInjector::Global().Disarm();
+    const auto off_native = RunLmbench(name, SimMode::kNative, 200);
+    const auto off_erebor = RunLmbench(name, SimMode::kEreborFull, 200);
+    FaultInjector::Global().Arm(1, InertSchedule());
+    const auto on_native = RunLmbench(name, SimMode::kNative, 200);
+    const auto on_erebor = RunLmbench(name, SimMode::kEreborFull, 200);
+    FaultInjector::Global().Disarm();
+    ASSERT_TRUE(off_native.ok() && off_erebor.ok() && on_native.ok() &&
+                on_erebor.ok());
+    EXPECT_EQ(off_native->operations, on_native->operations) << name;
+    EXPECT_EQ(off_native->total_cycles, on_native->total_cycles) << name;
+    EXPECT_EQ(off_erebor->operations, on_erebor->operations) << name;
+    EXPECT_EQ(off_erebor->total_cycles, on_erebor->total_cycles) << name;
+    EXPECT_EQ(off_erebor->emc_count, on_erebor->emc_count) << name;
+    EXPECT_EQ(FaultInjector::Global().fired(), 0u);
+  }
+}
+
+// One scripted channel session; returns the final cycle counters of both CPUs plus
+// kernel stats, the bit-exact "fig9-shaped" fingerprint of the run.
+std::vector<uint64_t> RunScriptedSessionFingerprint(bool armed_inert) {
+  FaultGuard guard;
+  if (armed_inert) {
+    FaultInjector::Global().Arm(1, InertSchedule());
+  } else {
+    FaultInjector::Global().Disarm();
+  }
+  auto world = MakeChaosWorld();
+  auto sandbox = AddEchoSandbox(*world, "neutral");
+  EXPECT_TRUE(sandbox.ok());
+  world->kernel().Run(60);
+  const Outcome outcome = RunChaosSession(*world, *sandbox, /*client_seed=*/7);
+  EXPECT_EQ(outcome, Outcome::kCompleted);
+  std::vector<uint64_t> fingerprint;
+  for (int i = 0; i < world->machine().num_cpus(); ++i) {
+    fingerprint.push_back(world->machine().cpu(i).cycles().now());
+  }
+  const KernelStats& stats = world->kernel().stats();
+  fingerprint.push_back(stats.syscalls);
+  fingerprint.push_back(stats.page_faults);
+  fingerprint.push_back(stats.timer_interrupts);
+  fingerprint.push_back(stats.context_switches);
+  fingerprint.push_back(FaultInjector::Global().fired());
+  return fingerprint;
+}
+
+TEST(ChaosNeutralityTest, SessionCyclesBitIdenticalDisarmedAndArmedInert) {
+  const std::vector<uint64_t> disarmed = RunScriptedSessionFingerprint(false);
+  const std::vector<uint64_t> armed = RunScriptedSessionFingerprint(true);
+  EXPECT_EQ(disarmed, armed);
+}
+
+// ---- 4. Graceful degradation: quarantine containment + allocator exhaustion ----
+
+TEST(ChaosQuarantineTest, RepeatedShepherdFaultsQuarantineOnlyTheVictim) {
+  FaultGuard guard;
+  const uint64_t quarantined_before =
+      MetricsRegistry::Global().Value("sandbox.quarantined");
+  auto world = MakeChaosWorld();
+  auto victim = AddEchoSandbox(*world, "victim");
+  ASSERT_TRUE(victim.ok());
+  world->kernel().Run(60);
+
+  // Every shepherd copy into the victim fails until its strike budget (8) is gone.
+  ChaosOptions options;
+  options.seed = 5;
+  options.schedule.rules.push_back(FaultRule{
+      .site = "sandbox.copy_in", .action = FaultAction::kFail, .max_fires = 16});
+  ASSERT_TRUE(world->EnableChaos(options).ok());
+
+  const Outcome outcome = RunChaosSession(*world, *victim, /*client_seed=*/11);
+  EXPECT_EQ(outcome, Outcome::kQuarantined)
+      << "expected the strike budget to quarantine the victim, got "
+      << OutcomeName(outcome);
+  EXPECT_EQ((*victim)->state, SandboxState::kQuarantined);
+  EXPECT_FALSE((*victim)->quarantine_reason.empty());
+  EXPECT_GT(MetricsRegistry::Global().Value("sandbox.quarantined"), quarantined_before);
+  EXPECT_EQ(world->invariant_violations(), 0u) << world->first_violation().ToString();
+  world->DisableChaos();
+
+  // The rest of the system keeps serving: a fresh sandbox in the same world runs a
+  // clean full session to completion.
+  auto survivor = AddEchoSandbox(*world, "survivor");
+  ASSERT_TRUE(survivor.ok());
+  world->kernel().Run(60);
+  EXPECT_EQ(RunChaosSession(*world, *survivor, /*client_seed=*/12), Outcome::kCompleted);
+  EXPECT_EQ((*victim)->state, SandboxState::kQuarantined);  // still fenced off
+}
+
+TEST(ChaosFrameExhaustionTest, TransientAllocatorExhaustionRecovers) {
+  FaultGuard guard;
+  const uint64_t injected_before = MetricsRegistry::Global().Value("faults.injected");
+  const uint64_t recovered_before = MetricsRegistry::Global().Value("faults.recovered");
+  auto world = MakeChaosWorld();
+  auto sandbox = AddEchoSandbox(*world, "exhaust");
+  ASSERT_TRUE(sandbox.ok());
+  world->kernel().Run(60);
+
+  ChaosOptions options;
+  options.seed = 9;
+  options.schedule.rules.push_back(FaultRule{
+      .site = "frame_alloc.alloc", .action = FaultAction::kExhaust, .max_fires = 1});
+  options.host_preempt = false;
+  options.host_dma_probe = false;
+  ASSERT_TRUE(world->EnableChaos(options).ok());
+
+  EXPECT_EQ(RunChaosSession(*world, *sandbox, /*client_seed=*/13), Outcome::kCompleted);
+  EXPECT_EQ(world->invariant_violations(), 0u) << world->first_violation().ToString();
+  EXPECT_GT(MetricsRegistry::Global().Value("faults.injected"), injected_before);
+  EXPECT_GT(MetricsRegistry::Global().Value("faults.recovered"), recovered_before);
+  world->DisableChaos();
+}
+
+}  // namespace
+}  // namespace erebor

@@ -145,8 +145,8 @@ TEST_F(SandboxTest, SealedSandboxSyscallIsFatal) {
   EXPECT_EQ(task_->state, TaskState::kExited);
   EXPECT_TRUE(task_->killed_by_monitor);
   EXPECT_GT(world_->monitor()->counters().sandbox_kills, 0u);
-  // The kill also tears down + zeroizes the sandbox.
-  EXPECT_EQ(sandbox->state, SandboxState::kTornDown);
+  // The kill quarantines the sandbox (scrubbed + fenced off like a teardown).
+  EXPECT_EQ(sandbox->state, SandboxState::kQuarantined);
 }
 
 TEST_F(SandboxTest, SealedSandboxIoctlToMonitorIsPermitted) {

@@ -276,7 +276,7 @@ TEST_F(SecurityTest, C8_SealedSyscallExfiltrationKilled) {
                              ? 0
                              : sandbox->confined_ranges.at(0).first;
   (void)frame;
-  EXPECT_EQ(sandbox->state, SandboxState::kTornDown);
+  EXPECT_EQ(sandbox->state, SandboxState::kQuarantined);
 }
 
 TEST_F(SecurityTest, C8_SealedHypercallBlocked) {
