@@ -7,7 +7,8 @@
 #
 # fig8 exits non-zero if the TLB breaks cycle-neutrality, the walker-read reduction
 # misses its 5x target, or the trace/counter EMC cross-check fails; fig9 exits
-# non-zero on a cycle-neutrality violation; tab6 on a trace mismatch. Any of those
+# non-zero on a cycle-neutrality violation; tab6 on a trace mismatch; emc_scaling
+# if sharded EMC locking is below 2x the global baseline at 4 vCPUs. Any of those
 # fails this script.
 set -euo pipefail
 
@@ -38,7 +39,11 @@ echo "== tab6 (execution statistics) =="
 EREBOR_TRACE=1 "$BUILD_DIR/bench/tab6_stats"
 
 echo
-for name in fig8 fig9 tab3 tab6; do
+echo "== emc_scaling (multi-vCPU EMC throughput, global vs sharded locking) =="
+"$BUILD_DIR/bench/emc_scaling"
+
+echo
+for name in fig8 fig9 tab3 tab6 emc_scaling; do
   f="$OUT_DIR/BENCH_$name.json"
   if [[ ! -s "$f" ]]; then
     echo "bench.sh: missing or empty $f" >&2

@@ -12,7 +12,9 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+# Fast signal first: the tier-1 suite, then the long-running chaos soaks.
+(cd "$BUILD_DIR" && ctest --output-on-failure -j -L tier1)
+(cd "$BUILD_DIR" && ctest --output-on-failure -j -L chaos)
 
 # Sanitizer pass: the whole suite again with AddressSanitizer + UBSan. The chaos
 # tests drive every injected-fault recovery path, which is exactly where lifetime

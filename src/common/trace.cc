@@ -43,6 +43,7 @@ const char* TraceEventName(TraceEvent event) {
     case TraceEvent::kFaultInject: return "fault_inject";
     case TraceEvent::kChannelRetry: return "channel_retry";
     case TraceEvent::kSandboxQuarantine: return "sandbox_quarantine";
+    case TraceEvent::kLockContend: return "lock_contend";
     case TraceEvent::kPhaseMark: return "phase_mark";
     case TraceEvent::kCount: break;
   }

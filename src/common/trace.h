@@ -72,6 +72,10 @@ enum class TraceEvent : uint16_t {
   kFaultInject,
   kChannelRetry,
   kSandboxQuarantine,
+  // Simulated EMC locking (src/monitor/sim_lock.cc): recorded only when a lock
+  // acquire actually waits (payload = cycles waited), so uncontended runs emit
+  // nothing and stay bit-identical.
+  kLockContend,
   kPhaseMark,
   kCount,  // sentinel
 };

@@ -38,6 +38,7 @@ struct CycleModel {
   Cycles monitor_idt_op = 145;      // interposition-table validation
   Cycles monitor_msr_op = 389;      // MSR allow-list check + write
   Cycles monitor_tdreport_op = 126857;  // report generation + exclusive-interface check
+  Cycles monitor_channel_op = 64;   // gated channel/proxy bookkeeping (non-crypto part)
 
   // ---- Event delivery ----
   Cycles exception_delivery = 520;      // IDT dispatch + stack push/pop (#PF, #GP, ...)

@@ -196,6 +196,57 @@ StatusOr<Packet> Packet::Deserialize(const Bytes& wire) {
   return packet;
 }
 
+ChannelSession::RecordAdmit ChannelSession::AdmitRecord(uint64_t seq,
+                                                        const SealedRecord& record) {
+  if (seq < next_recv_seq) {
+    // Replay window: a duplicate of an already-accepted record. It is absorbed,
+    // never re-decrypted or re-delivered (replay cannot double-install client data).
+    ++duplicates;
+    MetricsRegistry::Global().Increment("channel.duplicates");
+    return RecordAdmit::kDuplicate;
+  }
+  if (seq > next_recv_seq) {
+    if (seq - next_recv_seq > kReorderWindow) {
+      ++rejects;
+      MetricsRegistry::Global().Increment("channel.rejects");
+      return RecordAdmit::kRejected;
+    }
+    // Reordered ahead of a gap: stash the sealed record until the gap fills.
+    // Nothing is decrypted out of order — AEAD still runs at exactly the
+    // expected sequence.
+    ++reorders;
+    MetricsRegistry::Global().Increment("channel.reorders");
+    reorder[seq] = record;
+    return RecordAdmit::kStashed;
+  }
+  return RecordAdmit::kInSequence;
+}
+
+bool ChannelSession::TakeDrainable(SealedRecord* out) {
+  const auto it = reorder.find(next_recv_seq);
+  if (it == reorder.end()) {
+    return false;
+  }
+  *out = it->second;
+  reorder.erase(it);
+  return true;
+}
+
+bool ChannelSession::IsHelloReplay(const U256& client_public,
+                                   const std::array<uint8_t, 32>& nonce) const {
+  return established && client_public == hello_client_public && nonce == hello_nonce;
+}
+
+void ChannelSession::NoteCorruptReject() {
+  ++rejects;
+  MetricsRegistry::Global().Increment("channel.corrupt_rejects");
+}
+
+void ChannelSession::CountRetransmit() {
+  ++retransmits;
+  MetricsRegistry::Global().Increment("channel.retries");
+}
+
 Digest256 HandshakeTranscript(const U256& client_public, const U256& monitor_public,
                               const std::array<uint8_t, 32>& nonce) {
   Sha256 hasher;

@@ -71,6 +71,33 @@ Digest256 HandshakeTranscript(const U256& client_public, const U256& monitor_pub
 struct ChannelSession {
   static constexpr uint64_t kReorderWindow = 8;
 
+  // Where an inbound data record lands relative to the receive window.
+  enum class RecordAdmit : uint8_t {
+    kInSequence,  // exactly next_recv_seq: decrypt now
+    kDuplicate,   // below the window: absorbed, never re-decrypted
+    kStashed,     // ahead within kReorderWindow: parked until the gap fills
+    kRejected,    // beyond the reorder window
+  };
+
+  // Classifies (and accounts for) one inbound record: duplicate/reorder/reject
+  // counters and their global metrics are bumped here, and a kStashed record is
+  // parked in the reorder buffer. The caller only decrypts on kInSequence.
+  RecordAdmit AdmitRecord(uint64_t seq, const SealedRecord& record);
+
+  // Pops the stashed record at next_recv_seq, if any (the drain loop after an
+  // in-sequence accept).
+  bool TakeDrainable(SealedRecord* out);
+
+  // True when a ClientHello is a byte-identical retransmit of the hello that
+  // established this session (answered from the cached ServerHello).
+  bool IsHelloReplay(const U256& client_public,
+                     const std::array<uint8_t, 32>& nonce) const;
+
+  // A record that failed AEAD open: counted as a reject ("channel.corrupt_rejects").
+  void NoteCorruptReject();
+  // A cached response re-sent to heal client-observed loss ("channel.retries").
+  void CountRetransmit();
+
   bool established = false;
   SessionKeys keys;
   uint64_t next_recv_seq = 0;

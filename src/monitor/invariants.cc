@@ -17,7 +17,7 @@ void InvariantChecker::AddSecret(const Bytes& pattern) {
 Status InvariantChecker::CheckAll() {
   ++checks_run_;
   MetricsRegistry::Global().Increment("invariants.checks");
-  for (Status st : {CheckFrames(), CheckGates(), CheckSecrets()}) {
+  for (Status st : {CheckFrames(), CheckGates(), CheckSecrets(), CheckLocks()}) {
     if (!st.ok()) {
       ++violations_;
       MetricsRegistry::Global().Increment("invariants.violations");
@@ -55,6 +55,26 @@ Status InvariantChecker::CheckGates() {
     if (scet.ok() && (*scet & cet_required) != cet_required) {
       return InternalError("cpu " + std::to_string(i) +
                            " S_CET lost IBT/shadow-stack enables");
+    }
+  }
+  return OkStatus();
+}
+
+Status InvariantChecker::CheckLocks() {
+  const LockAudit& audit = LockAudit::Global();
+  if (audit.ordering_violations() != 0) {
+    return InternalError(std::to_string(audit.ordering_violations()) +
+                         " lock-ordering violations recorded");
+  }
+  if (audit.unheld_violations() != 0) {
+    return InternalError(std::to_string(audit.unheld_violations()) +
+                         " sandbox/frame mutations without the covering lock");
+  }
+  Machine& machine = monitor_->machine();
+  for (int i = 0; i < machine.num_cpus(); ++i) {
+    if (!audit.NothingHeld(i)) {
+      return InternalError("cpu " + std::to_string(i) +
+                           " still holds an EMC lock at a safe point");
     }
   }
   return OkStatus();

@@ -12,6 +12,9 @@
 //  3. Secrets: no registered plaintext client secret appears in any materialized
 //     frame outside confined memory — a corrupted shepherd path that leaked plaintext
 //     into kernel or shared memory is caught here.
+//  4. Locks: the EMC locking discipline held — no lock-ordering or unheld-mutation
+//     violation was recorded by LockAudit, and at a safe point no vCPU still holds
+//     a lock (a held lock here means a dispatch path leaked a guard).
 #ifndef EREBOR_SRC_MONITOR_INVARIANTS_H_
 #define EREBOR_SRC_MONITOR_INVARIANTS_H_
 
@@ -40,6 +43,7 @@ class InvariantChecker {
   Status CheckFrames();   // family 1 (AuditInvariants)
   Status CheckGates();    // family 2
   Status CheckSecrets();  // family 3
+  Status CheckLocks();    // family 4 (LockAudit discipline)
 
   uint64_t checks_run() const { return checks_run_; }
   uint64_t violations() const { return violations_; }

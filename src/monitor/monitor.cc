@@ -1,3 +1,7 @@
+// Monitor lifecycle: image construction, measured stage-1/stage-2 boot, and the
+// global invariant audit. The gated EMC surface is in emc_dispatch.cc, the
+// attestation/channel handlers in attestation.cc, and exit interposition plus
+// the /dev/erebor driver in interposition.cc.
 #include "src/monitor/monitor.h"
 
 #include <cstring>
@@ -164,133 +168,6 @@ StatusOr<KernelImage> EreborMonitor::LoadKernelImage(const Bytes& kelf_bytes) {
   return image;
 }
 
-Status EreborMonitor::AttachKernel(Kernel* kernel) {
-  kernel_ = kernel;
-  const FrameNum cma_first = kernel->cma().first();
-  const uint64_t cma_frames = kernel->cma().count();
-  sandbox_mgr_->Attach(kernel, cma_first, cma_frames);
-
-  // Interposition stubs: syscalls, interrupts/exceptions, #VE.
-  kernel->SetSyscallInterposer(
-      [this](SyscallContext& ctx, Task& task, int nr, const uint64_t* args,
-             const SyscallEntryFn& kernel_entry) -> StatusOr<uint64_t> {
-        Cpu& cpu = ctx.cpu();
-        cpu.cycles().Charge(cpu.costs().syscall_stub_overhead);
-        Sandbox* sandbox = sandbox_mgr_->FindByTask(task);
-        if (sandbox != nullptr &&
-            !sandbox_mgr_->SyscallPermitted(*sandbox, task, nr, args)) {
-          ++counters_.sandbox_kills;
-          ++sandbox->exits.kills;
-          kernel_->KillTask(task, "sealed sandbox attempted syscall " + std::to_string(nr));
-          // The kill observer below has already quarantined (scrubbed) the sandbox;
-          // only this sandbox dies — every other session keeps running.
-          (void)sandbox_mgr_->Teardown(cpu, *sandbox);
-          return AbortedError("sandbox killed: illegal exit via syscall");
-        }
-        return kernel_entry(ctx, task, nr, args);
-      });
-
-  // Any kill of a sandbox member — by the monitor's own policy above or by the kernel
-  // (segfault, injected allocator exhaustion that exhausted its retry) — fences the
-  // whole sandbox off: scrub confined memory, drop the session, park in kQuarantined.
-  // A dead-but-sealed sandbox must never linger half-alive holding client plaintext.
-  kernel->SetKillObserver([this](Task& task, const std::string& reason) {
-    Sandbox* sandbox = sandbox_mgr_->FindByTask(task);
-    if (sandbox == nullptr || sandbox->state == SandboxState::kTornDown ||
-        sandbox->state == SandboxState::kQuarantined) {
-      return;
-    }
-    (void)sandbox_mgr_->Quarantine(machine_->cpu(0), *sandbox,
-                                   "member task killed: " + reason);
-  });
-
-  kernel->SetInterruptInterposer(
-      [this](Cpu& cpu, const Fault& fault, const std::function<void()>& kernel_handler) {
-        // #INT gate: an interrupt that lands during EMC execution must not leave the
-        // OS running with monitor permissions.
-        const bool was_in_monitor = cpu.in_monitor();
-        if (was_in_monitor) {
-          gates_->InterruptSave(cpu);
-        }
-        Task* task = kernel_ != nullptr ? kernel_->current(cpu.index()) : nullptr;
-        Sandbox* sandbox = task != nullptr ? sandbox_mgr_->FindByTask(*task) : nullptr;
-        if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
-          // Exit interposition: save and scrub the register file before the untrusted
-          // OS handler can observe it.
-          cpu.cycles().Charge(cpu.costs().interposition_save_restore);
-          sandbox->interposition_save = cpu.gprs();
-          sandbox->interposition_active = true;
-          cpu.gprs().Clear();
-          ++counters_.scrubbed_interrupts;
-          switch (fault.vector) {
-            case Vector::kPageFault:
-              ++sandbox->exits.page_faults;
-              break;
-            case Vector::kTimer:
-              ++sandbox->exits.timer_interrupts;
-              break;
-            case Vector::kDevice:
-              ++sandbox->exits.device_interrupts;
-              break;
-            default:
-              break;
-          }
-          kernel_handler();
-          cpu.gprs() = sandbox->interposition_save;
-          sandbox->interposition_active = false;
-          ApplyExitMitigations(cpu, *sandbox);
-        } else {
-          kernel_handler();
-        }
-        if (was_in_monitor) {
-          gates_->InterruptRestore(cpu);
-        }
-      });
-
-  kernel->SetVeInterposer(
-      [this](SyscallContext& ctx, Task& task, uint32_t leaf,
-             const std::function<StatusOr<uint64_t>()>& hypercall) -> StatusOr<uint64_t> {
-        Sandbox* sandbox = sandbox_mgr_->FindByTask(task);
-        if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
-          ++sandbox->exits.ve_exits;
-          return CachedCpuid(ctx.cpu(), leaf, /*allow_hypercall=*/false);
-        }
-        return CachedCpuid(ctx.cpu(), leaf, /*allow_hypercall=*/true);
-      });
-
-  // The /dev/erebor driver (LibOS + proxy interface).
-  kernel->RegisterDevice("/dev/erebor",
-                         [this](SyscallContext& ctx, Task& task, uint64_t cmd,
-                                Vaddr arg) { return DeviceIoctl(ctx, task, cmd, arg); });
-  return OkStatus();
-}
-
-void EreborMonitor::ApplyExitMitigations(Cpu& cpu, Sandbox& sandbox) {
-  if (mitigations_.flush_on_exit) {
-    // Evict caches/TLB so the untrusted kernel cannot probe the sandbox's footprint.
-    // The simulated TLB really flushes now (previously this was only a cycle charge);
-    // the charge is unchanged so the mitigation stays cycle-neutral w.r.t. EREBOR_TLB.
-    cpu.cycles().Charge(mitigations_.flush_cycles);
-    ++counters_.cache_flushes;
-    Tracer::Global().Record(TraceEvent::kTlbFlush, cpu.index(), cpu.cycles().now());
-    if (Tlb::Enabled() && Tlb::hooks().flush_on_exit) {
-      cpu.tlb().FlushAll();
-    }
-  }
-  if (mitigations_.rate_limit_exits) {
-    constexpr Cycles kWindow = 2'100'000'000;  // one second at 2.1 GHz
-    const Cycles now = cpu.cycles().now();
-    if (now - sandbox.exit_window_start >= kWindow) {
-      sandbox.exit_window_start = now;
-      sandbox.exits_in_window = 0;
-    }
-    if (++sandbox.exits_in_window > mitigations_.max_exits_per_window) {
-      cpu.cycles().Charge(mitigations_.exit_stall_cycles);
-      ++counters_.exit_stalls;
-    }
-  }
-}
-
 Status EreborMonitor::AuditInvariants() {
   PhysMemory& memory = machine_->memory();
   for (FrameNum frame = 0; frame < frame_table_->size(); ++frame) {
@@ -340,6 +217,7 @@ Status EreborMonitor::AuditInvariants() {
       case FrameType::kShadowStack:
       case FrameType::kFirmware:
       case FrameType::kSharedIo:
+      case FrameType::kSandboxCommon:
       case FrameType::kNormal:
         break;
     }
@@ -350,874 +228,6 @@ Status EreborMonitor::AuditInvariants() {
     }
   }
   return OkStatus();
-}
-
-// ---- Gated execution ----
-
-Status EreborMonitor::WithGate(Cpu& cpu, Cycles op_cycles,
-                               const std::function<Status()>& body, TraceEvent kind) {
-  Status enter = gates_->Enter(cpu);
-  // A transient (kUnavailable) entry refusal — e.g. an injected host preemption on
-  // the crossing instruction — is absorbed here with a bounded re-entry: the gate is
-  // stateless until entry completes, so re-executing the crossing is always safe.
-  // Real security failures (IBT/#CP) propagate unchanged.
-  for (int attempt = 0;
-       !enter.ok() && enter.code() == ErrorCode::kUnavailable && attempt < 3;
-       ++attempt) {
-    enter = gates_->Enter(cpu);
-    if (enter.ok()) {
-      NoteFaultRecovered();
-    }
-  }
-  EREBOR_RETURN_IF_ERROR(enter);
-  cpu.cycles().Charge(op_cycles);
-  ++counters_.emc_total;
-  Tracer::Global().Record(kind, cpu.index(), cpu.cycles().now(), -1, op_cycles);
-  const Status status = body();
-  gates_->Exit(cpu);
-  return status;
-}
-
-void EreborMonitor::NoteDenial(Cpu& cpu) {
-  ++counters_.policy_denials;
-  Tracer::Global().Record(TraceEvent::kPolicyDenial, cpu.index(), cpu.cycles().now());
-}
-
-void EreborMonitor::ShootdownAfterPteWrite(Cpu& cpu, Paddr entry_pa, Pte old_value,
-                                           Pte new_value) {
-  // Conservative predicate: any change to a previously present entry. The security-
-  // critical subset is PteRevokesPermissions(), but grant-only rewrites are also
-  // invalidated so cached WalkResults never diverge from the tables.
-  if (!pte::Present(old_value) || old_value == new_value) {
-    return;
-  }
-  ++counters_.tlb_shootdowns;
-  if (Tlb::hooks().pte_shootdown) {
-    machine_->ShootdownTlbLeaf(entry_pa, cpu.index());
-  }
-}
-
-// ---- EMC surface ----
-
-Status EreborMonitor::EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value) {
-  ++counters_.emc_pte;
-  return WithGate(cpu, cpu.costs().monitor_pte_op, TraceEvent::kEmcPte,
-                  [&]() -> Status {
-    const PolicyDecision decision = policy_->CheckPteWrite(entry_pa, value);
-    if (decision.needs_split) {
-      return SplitHugePageLocked(cpu, entry_pa, value);
-    }
-    if (!decision.allowed) {
-      NoteDenial(cpu);
-      return PermissionDeniedError("EMC WritePte refused: " + decision.denial_reason);
-    }
-    const Pte old = machine_->memory().Read64(entry_pa);
-    machine_->memory().Write64(entry_pa, decision.adjusted_value);
-    policy_->NoteLeafWrite(old, decision.adjusted_value, entry_pa);
-    ShootdownAfterPteWrite(cpu, entry_pa, old, decision.adjusted_value);
-    return OkStatus();
-  });
-}
-
-Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_value) {
-  // Forced huge-page splitting (paper section 7 future work): materialize a level-1
-  // table of 512 4 KiB mappings in place of the requested 2 MiB leaf, so per-page
-  // protection keys (monitor/PTP/text) remain enforceable inside the range.
-  if (kernel_ == nullptr) {
-    return FailedPreconditionError("split requires an attached kernel (frame pool)");
-  }
-  const FrameNum base = pte::Frame(huge_value) & ~0x1FFULL;  // 2 MiB aligned
-  const Pte small_flags = (huge_value & ~(pte::kPageSize | pte::kFrameMask));
-
-  EREBOR_ASSIGN_OR_RETURN(const FrameNum ptp, kernel_->pool().Alloc());
-  machine_->memory().ZeroFrame(ptp);
-  machine_->memory().FramePtr(ptp);
-  FrameInfo& ptp_info = frame_table_->info(ptp);
-  ptp_info.type = FrameType::kPtp;
-  ptp_info.ptp_level = 1;
-  ptp_info.ptp_root = frame_table_->info(FrameOf(entry_pa)).ptp_root;
-  // The pool frame usually still has a default-key direct-map leaf: re-key it now or
-  // the kernel could forge entries in the new table through that old mapping.
-  EREBOR_RETURN_IF_ERROR(
-      policy_->RetrofitKey(machine_->memory(), ptp, layout::kPtpKey, false));
-
-  // Validate + install every 4 KiB entry through the normal policy (this is the whole
-  // point: per-page rules apply inside the former huge page).
-  for (uint64_t i = 0; i < kPteEntries; ++i) {
-    const Pte small = pte::Make(base + i, small_flags);
-    const Paddr slot = AddrOf(ptp) + i * sizeof(Pte);
-    const PolicyDecision decision = policy_->CheckPteWrite(slot, small);
-    if (!decision.allowed) {
-      NoteDenial(cpu);
-      // Roll back the subpage entries already installed: their NoteLeafWrite map
-      // counts must be undone before the PTP frame is freed, or the frame table
-      // permanently over-counts mappings of frames in this range.
-      for (uint64_t j = 0; j < i; ++j) {
-        const Paddr done_slot = AddrOf(ptp) + j * sizeof(Pte);
-        const Pte installed = machine_->memory().Read64(done_slot);
-        machine_->memory().Write64(done_slot, 0);
-        policy_->NoteLeafWrite(installed, 0, done_slot);
-      }
-      (void)kernel_->pool().Free(ptp);
-      // Restore normal typing and the default-key direct-map leaf, but keep the
-      // reverse-map fields: the direct map still references this frame.
-      ptp_info.type = FrameType::kNormal;
-      ptp_info.ptp_level = 0;
-      ptp_info.ptp_root = 0;
-      (void)policy_->RetrofitKey(machine_->memory(), ptp, layout::kDefaultKey, false);
-      return PermissionDeniedError("huge-page split refused at subpage " +
-                                   std::to_string(i) + ": " + decision.denial_reason);
-    }
-    machine_->memory().Write64(slot, decision.adjusted_value);
-    policy_->NoteLeafWrite(0, decision.adjusted_value, slot);
-  }
-  cpu.cycles().Charge(kPteEntries * cpu.costs().monitor_pte_op);
-
-  // Link the new table where the huge leaf would have gone.
-  Pte inter = pte::Make(ptp, pte::kPresent | pte::kWritable);
-  if (pte::User(huge_value)) {
-    inter |= pte::kUser;
-  }
-  const Pte old = machine_->memory().Read64(entry_pa);
-  machine_->memory().Write64(entry_pa, inter);
-  policy_->NoteLeafWrite(old, inter);
-  // The former huge leaf may be cached; the relinked intermediate changes every
-  // translation under it.
-  ShootdownAfterPteWrite(cpu, entry_pa, old, inter);
-  ++counters_.huge_splits;
-  return OkStatus();
-}
-
-Status EreborMonitor::EmcWritePteBatch(Cpu& cpu, const PrivilegedOps::PteUpdate* updates,
-                                       size_t count) {
-  if (count == 0) {
-    return OkStatus();
-  }
-  ++counters_.emc_pte;
-  // One gate round trip for the whole batch; each entry is still policy-validated and
-  // charged the monitor-side op cost. The batch is all-or-nothing: every entry is
-  // validated before any PTE memory is written, so a denial mid-batch leaves the page
-  // tables untouched instead of half-applied.
-  return WithGate(
-      cpu, cpu.costs().monitor_pte_op * count,
-      [&]() -> Status {
-        std::vector<PolicyDecision> decisions(count);
-        for (size_t i = 0; i < count; ++i) {
-          decisions[i] = policy_->CheckPteWrite(updates[i].entry_pa, updates[i].value);
-          if (decisions[i].needs_split) {
-            NoteDenial(cpu);
-            return PermissionDeniedError("huge-page splits are not supported in batches");
-          }
-          if (!decisions[i].allowed) {
-            NoteDenial(cpu);
-            return PermissionDeniedError("EMC WritePteBatch refused at entry " +
-                                         std::to_string(i) + ": " +
-                                         decisions[i].denial_reason);
-          }
-        }
-        for (size_t i = 0; i < count; ++i) {
-          const Pte old = machine_->memory().Read64(updates[i].entry_pa);
-          machine_->memory().Write64(updates[i].entry_pa, decisions[i].adjusted_value);
-          policy_->NoteLeafWrite(old, decisions[i].adjusted_value, updates[i].entry_pa);
-          ShootdownAfterPteWrite(cpu, updates[i].entry_pa, old,
-                                 decisions[i].adjusted_value);
-        }
-        return OkStatus();
-      },
-      TraceEvent::kEmcPteBatch);
-}
-
-Status EreborMonitor::EmcRegisterPtp(Cpu& cpu, FrameNum frame, Paddr root_pa) {
-  ++counters_.emc_ptp_register;
-  return WithGate(cpu, cpu.costs().monitor_pte_op, TraceEvent::kEmcPtpRegister,
-                  [&]() -> Status {
-    if (frame >= frame_table_->size()) {
-      return OutOfRangeError("PTP frame beyond physical memory");
-    }
-    FrameInfo& info = frame_table_->info(frame);
-    if (info.type != FrameType::kNormal) {
-      NoteDenial(cpu);
-      return PermissionDeniedError("cannot re-type " + FrameTypeName(info.type) +
-                                   " frame as PTP");
-    }
-    // A PTP must start zeroed so no stale attacker-chosen entries become live.
-    machine_->memory().ZeroFrame(frame);
-    info.type = FrameType::kPtp;
-    info.ptp_root = root_pa;
-    // A frame registered as its own root is a PML4; others are linked (and get their
-    // level) when an intermediate entry first points at them.
-    info.ptp_level = AddrOf(frame) == root_pa ? 4 : 0;
-    // The frame may already be mapped (direct map, default key): retrofit the PTP key
-    // so the kernel cannot write the new page table through the old mapping.
-    EREBOR_RETURN_IF_ERROR(policy_->RetrofitKey(machine_->memory(), frame,
-                                                layout::kPtpKey, /*strip_write=*/false));
-    return OkStatus();
-  });
-}
-
-Status EreborMonitor::EmcWriteCr(Cpu& cpu, int reg, uint64_t value) {
-  ++counters_.emc_cr;
-  return WithGate(cpu, cpu.costs().monitor_cr_op, TraceEvent::kEmcCr,
-                  [&]() -> Status {
-    if (reg != 0 && reg != 3 && reg != 4) {
-      NoteDenial(cpu);
-      return InvalidArgumentError("EMC WriteCr: no such control register cr" +
-                                  std::to_string(reg));
-    }
-    const uint64_t current = reg == 0 ? cpu.cr0() : reg == 3 ? cpu.cr3() : cpu.cr4();
-    EREBOR_RETURN_IF_ERROR(policy_->CheckCrWrite(reg, value, current));
-    if (reg == 4) {
-      // The protection bits are sticky: merge them into whatever the kernel asked for.
-      value |= cr::kCr4Smep | cr::kCr4Smap | cr::kCr4Pks | cr::kCr4Cet;
-    }
-    cpu.TrustedWriteCr(reg, value);
-    return OkStatus();
-  });
-}
-
-Status EreborMonitor::EmcWriteMsr(Cpu& cpu, uint32_t index, uint64_t value) {
-  ++counters_.emc_msr;
-  return WithGate(cpu, cpu.costs().monitor_msr_op, TraceEvent::kEmcMsr,
-                  [&]() -> Status {
-    EREBOR_RETURN_IF_ERROR(policy_->CheckMsrWrite(index));
-    if (index == msr::kIa32Lstar) {
-      // Record the kernel's syscall entry but keep the monitor stub in front: the
-      // effective LSTAR is the monitor's interposition label.
-      kernel_syscall_entry_ = static_cast<CodeLabelId>(value);
-      cpu.TrustedWriteMsr(index, monitor_syscall_stub_);
-      return OkStatus();
-    }
-    cpu.TrustedWriteMsr(index, value);
-    return OkStatus();
-  });
-}
-
-Status EreborMonitor::EmcLoadIdt(Cpu& cpu, const IdtTable* table) {
-  ++counters_.emc_idt;
-  return WithGate(cpu, cpu.costs().monitor_idt_op, TraceEvent::kEmcIdt,
-                  [&]() -> Status {
-    if (approved_idt_ == nullptr) {
-      approved_idt_ = table;  // first load: the kernel's boot-time table is recorded
-    } else if (approved_idt_ != table) {
-      NoteDenial(cpu);
-      return PermissionDeniedError("IDT replacement refused: interposition table pinned");
-    }
-    cpu.TrustedLidt(table);  // the op cost is part of monitor_idt_op
-    return OkStatus();
-  });
-}
-
-Status EreborMonitor::EmcCopyToUser(Cpu& cpu, Vaddr dst, const uint8_t* src, uint64_t len) {
-  ++counters_.emc_usercopy;
-  return WithGate(cpu, cpu.costs().monitor_stac_op, TraceEvent::kEmcUserCopy,
-                  [&]() -> Status {
-    // The monitor emulates the user copy on behalf of the kernel. It refuses targets
-    // inside sealed-sandbox confined memory (the kernel must never move sandbox data).
-    for (Vaddr va = PageAlignDown(dst); va < dst + len; va += kPageSize) {
-      const auto walk = cpu.WalkCached(cpu.cr3(), va, CpuMode::kSupervisor);
-      if (walk.ok()) {
-        const FrameInfo& info = frame_table_->info(FrameOf(walk->pa));
-        if (info.type == FrameType::kSandboxConfined) {
-          Sandbox* sandbox = sandbox_mgr_->Find(info.owner_sandbox);
-          if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
-            NoteDenial(cpu);
-            return PermissionDeniedError("usercopy into sealed confined memory refused");
-          }
-        }
-      }
-    }
-    cpu.cycles().Charge(len * cpu.costs().usercopy_per_byte_x100 / 100);
-    cpu.TrustedSetAc(true);  // stac cost is part of monitor_stac_op
-    const Status st = cpu.WriteVirt(dst, src, len);
-    cpu.TrustedSetAc(false);
-    return st;
-  });
-}
-
-Status EreborMonitor::EmcCopyFromUser(Cpu& cpu, Vaddr src, uint8_t* dst, uint64_t len) {
-  ++counters_.emc_usercopy;
-  return WithGate(cpu, cpu.costs().monitor_stac_op, TraceEvent::kEmcUserCopy,
-                  [&]() -> Status {
-    for (Vaddr va = PageAlignDown(src); va < src + len; va += kPageSize) {
-      const auto walk = cpu.WalkCached(cpu.cr3(), va, CpuMode::kSupervisor);
-      if (walk.ok()) {
-        const FrameInfo& info = frame_table_->info(FrameOf(walk->pa));
-        if (info.type == FrameType::kSandboxConfined) {
-          Sandbox* sandbox = sandbox_mgr_->Find(info.owner_sandbox);
-          if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
-            NoteDenial(cpu);
-            return PermissionDeniedError("usercopy from sealed confined memory refused");
-          }
-        }
-      }
-    }
-    cpu.cycles().Charge(len * cpu.costs().usercopy_per_byte_x100 / 100);
-    cpu.TrustedSetAc(true);
-    const Status st = cpu.ReadVirt(src, dst, len);
-    cpu.TrustedSetAc(false);
-    return st;
-  });
-}
-
-Status EreborMonitor::EmcTdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs) {
-  ++counters_.emc_tdcall;
-  const Cycles op_cost =
-      leaf == tdcall_leaf::kTdReport ? cpu.costs().monitor_tdreport_op : 64;
-  return WithGate(cpu, op_cost, TraceEvent::kEmcTdcall, [&]() -> Status {
-    switch (leaf) {
-      case tdcall_leaf::kTdReport:
-      case tdcall_leaf::kRtmrExtend:
-        // Attestation interfaces are exclusively the monitor's (claim C5): the kernel
-        // cannot obtain digests to impersonate the monitor.
-        NoteDenial(cpu);
-        return PermissionDeniedError("attestation tdcall reserved for the monitor");
-      case tdcall_leaf::kMapGpa: {
-        if (nargs < 3) {
-          return InvalidArgumentError("map-gpa needs 3 args");
-        }
-        EREBOR_RETURN_IF_ERROR(policy_->CheckSharedConversion(
-            FrameOf(args[0]), args[1], args[2] != 0));
-        return cpu.Tdcall(leaf, args, nargs);
-      }
-      default:
-        return cpu.Tdcall(leaf, args, nargs);
-    }
-  });
-}
-
-Status EreborMonitor::EmcTextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes,
-                                  uint64_t len) {
-  ++counters_.emc_text_poke;
-  return WithGate(cpu, cpu.costs().monitor_pte_op + cpu.costs().page_copy,
-                  TraceEvent::kEmcTextPoke, [&]() -> Status {
-    const FrameNum frame = FrameOf(code_pa);
-    if (frame_table_->info(frame).type != FrameType::kKernelText) {
-      return PermissionDeniedError("text_poke target is not kernel text");
-    }
-    // The patch itself must be clean of sensitive encodings — including sequences that
-    // straddle the patch boundary, so scan with surrounding context.
-    const uint64_t kContext = 8;
-    const Paddr scan_start = code_pa >= kContext ? code_pa - kContext : 0;
-    const uint64_t scan_len = len + 2 * kContext;
-    Bytes window(scan_len);
-    EREBOR_RETURN_IF_ERROR(machine_->memory().Read(scan_start, window.data(), scan_len));
-    std::memcpy(window.data() + (code_pa - scan_start), bytes, len);
-    const ScanHit hit = ScanForSensitiveBytes(window);
-    if (hit.found) {
-      NoteDenial(cpu);
-      return PermissionDeniedError("text_poke rejected: would introduce " +
-                                   SensitiveOpName(hit.op));
-    }
-    return machine_->memory().Write(code_pa, bytes, len);
-  });
-}
-
-StatusOr<Paddr> EreborMonitor::EmcLoadKernelModule(Cpu& cpu, const Bytes& code) {
-  ++counters_.emc_text_poke;
-  if (kernel_ == nullptr) {
-    return FailedPreconditionError("module load requires an attached kernel");
-  }
-  Paddr load_pa = 0;
-  const Status st = WithGate(
-      cpu, cpu.costs().page_copy * (1 + code.size() / kPageSize),
-      TraceEvent::kEmcTextPoke, [&]() -> Status {
-        if (code.empty()) {
-          return InvalidArgumentError("empty module");
-        }
-        const ScanHit hit = ScanForSensitiveBytes(code);
-        if (hit.found) {
-          NoteDenial(cpu);
-          return PermissionDeniedError("module rejected: contains " +
-                                       SensitiveOpName(hit.op) + " at offset " +
-                                       std::to_string(hit.offset));
-        }
-        const uint64_t frames = PageAlignUp(code.size()) >> kPageShift;
-        EREBOR_ASSIGN_OR_RETURN(const FrameNum first,
-                                kernel_->pool().AllocContiguous(frames));
-        for (uint64_t i = 0; i < frames; ++i) {
-          machine_->memory().ZeroFrame(first + i);
-          machine_->memory().FramePtr(first + i);
-          (void)frame_table_->SetType(first + i, FrameType::kKernelText);
-          // W^X through *all* mappings: the direct-map view loses W and gets the
-          // kernel-text key.
-          EREBOR_RETURN_IF_ERROR(policy_->RetrofitKey(machine_->memory(), first + i,
-                                                      layout::kKernelTextKey,
-                                                      /*strip_write=*/true));
-        }
-        EREBOR_RETURN_IF_ERROR(
-            machine_->memory().Write(AddrOf(first), code.data(), code.size()));
-        load_pa = AddrOf(first);
-        return OkStatus();
-      });
-  if (!st.ok()) {
-    return st;
-  }
-  return load_pa;
-}
-
-// ---- Sandbox surface ----
-
-StatusOr<Sandbox*> EreborMonitor::CreateSandbox(Task& leader, const SandboxSpec& spec) {
-  ++counters_.emc_sandbox;
-  return sandbox_mgr_->Create(leader, spec);
-}
-
-Status EreborMonitor::DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint64_t len) {
-  ++counters_.emc_sandbox;
-  return WithGate(cpu, cpu.costs().monitor_pte_op,
-                  [&] { return sandbox_mgr_->DeclareConfined(cpu, sandbox, va, len); });
-}
-
-StatusOr<CommonRegion*> EreborMonitor::CreateCommonRegion(const std::string& name,
-                                                          uint64_t len) {
-  if (kernel_ == nullptr) {
-    return FailedPreconditionError("no kernel attached");
-  }
-  return sandbox_mgr_->CreateCommonRegion(name, len, kernel_->pool());
-}
-
-Status EreborMonitor::AttachCommon(Cpu& cpu, Sandbox& sandbox, int region_id, Vaddr va,
-                                   bool writable_until_seal) {
-  ++counters_.emc_sandbox;
-  return WithGate(cpu, cpu.costs().monitor_pte_op, [&] {
-    return sandbox_mgr_->AttachCommon(cpu, sandbox, region_id, va, writable_until_seal);
-  });
-}
-
-Status EreborMonitor::TeardownSandbox(Cpu& cpu, Sandbox& sandbox) {
-  ++counters_.emc_sandbox;
-  return WithGate(cpu, cpu.costs().monitor_pte_op,
-                  [&] { return sandbox_mgr_->Teardown(cpu, sandbox); });
-}
-
-// ---- Guest memory helpers ----
-
-Status EreborMonitor::ReadGuest(AddressSpace& aspace, Vaddr va, uint8_t* out,
-                                uint64_t len) {
-  uint64_t done = 0;
-  while (done < len) {
-    EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, aspace.Lookup(va + done));
-    const uint64_t take = std::min(len - done, kPageSize - ((va + done) & kPageMask));
-    EREBOR_RETURN_IF_ERROR(machine_->memory().Read(walk.pa, out + done, take));
-    done += take;
-  }
-  return OkStatus();
-}
-
-Status EreborMonitor::WriteGuest(AddressSpace& aspace, Vaddr va, const uint8_t* data,
-                                 uint64_t len) {
-  uint64_t done = 0;
-  while (done < len) {
-    EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, aspace.Lookup(va + done));
-    const uint64_t take = std::min(len - done, kPageSize - ((va + done) & kPageMask));
-    EREBOR_RETURN_IF_ERROR(machine_->memory().Write(walk.pa, data + done, take));
-    done += take;
-  }
-  return OkStatus();
-}
-
-// ---- cpuid cache ----
-
-StatusOr<uint64_t> EreborMonitor::CachedCpuid(Cpu& cpu, uint32_t leaf,
-                                              bool allow_hypercall) {
-  const auto it = cpuid_cache_.find(leaf);
-  if (it != cpuid_cache_.end()) {
-    ++counters_.cached_cpuid_hits;
-    cpu.cycles().Charge(cpu.costs().cached_cpuid_service);
-    return it->second;
-  }
-  if (!allow_hypercall) {
-    // Sealed sandbox asking for an uncached leaf: serve zero rather than exit.
-    ++counters_.cached_cpuid_hits;
-    cpu.cycles().Charge(cpu.costs().cached_cpuid_service);
-    return 0;
-  }
-  // One hypercall, then cache (executed in monitor context: trusted tdcall).
-  const bool was_in_monitor = cpu.in_monitor();
-  cpu.SetMonitorContext(true);
-  uint64_t args[3] = {static_cast<uint64_t>(GhciReason::kCpuid), leaf, 0};
-  const Status st = cpu.Tdcall(tdcall_leaf::kVmcall, args, 3);
-  cpu.SetMonitorContext(was_in_monitor);
-  EREBOR_RETURN_IF_ERROR(st);
-  cpuid_cache_[leaf] = args[1];
-  return args[1];
-}
-
-// ---- Attestation + channel ----
-
-StatusOr<TdQuote> EreborMonitor::GenerateQuote(Cpu& cpu,
-                                               const std::array<uint8_t, 64>& report_data) {
-  EREBOR_RETURN_IF_ERROR(
-      machine_->memory().Write(scratch_pa_, report_data.data(), report_data.size()));
-  const bool was_in_monitor = cpu.in_monitor();
-  cpu.SetMonitorContext(true);
-  uint64_t args[2] = {scratch_pa_, scratch_pa_ + 512};
-  const Status st = cpu.Tdcall(tdcall_leaf::kTdReport, args, 2);
-  cpu.SetMonitorContext(was_in_monitor);
-  EREBOR_RETURN_IF_ERROR(st);
-  EREBOR_ASSIGN_OR_RETURN(const TdReport report, tdx_->TakeLastReport());
-  return tdx_->SignQuote(report);
-}
-
-Status EreborMonitor::HandleHello(Cpu& cpu, const Packet& packet) {
-  Sandbox* sandbox = sandbox_mgr_->Find(packet.sandbox_id);
-  if (sandbox == nullptr) {
-    return NotFoundError("hello for unknown sandbox");
-  }
-  ChannelSession& session = sandbox->session;
-  if (session.established && packet.client_public == session.hello_client_public &&
-      packet.nonce == session.hello_nonce) {
-    // Retransmitted ClientHello: the ServerHello was likely lost in flight, so answer
-    // with the identical cached response. Re-running the handshake here would let a
-    // replayed hello re-key (and thus reset the sequence space of) a live session.
-    ++session.retransmits;
-    MetricsRegistry::Global().Increment("channel.retries");
-    Tracer::Global().Record(TraceEvent::kChannelRetry, cpu.index(), cpu.cycles().now(),
-                            sandbox->id);
-    sandbox->outbound_wire.push_back(session.cached_server_hello);
-    NoteFaultRecovered();
-    return OkStatus();
-  }
-  const GroupParams& group = GroupParams::Default();
-  const KeyPair ephemeral = GenerateKeyPair(group, rng_);
-  const Digest256 transcript =
-      HandshakeTranscript(packet.client_public, ephemeral.public_key, packet.nonce);
-
-  std::array<uint8_t, 64> report_data{};
-  std::memcpy(report_data.data(), transcript.data(), transcript.size());
-  EREBOR_ASSIGN_OR_RETURN(const TdQuote quote, GenerateQuote(cpu, report_data));
-
-  const Bytes shared = DhSharedSecret(group, ephemeral.private_key, packet.client_public);
-  // A fresh hello (new nonce/share) is a renegotiation: the whole session state —
-  // reorder buffer, cached results, counters — dies with the old keys.
-  sandbox->session = ChannelSession{};
-  sandbox->session.keys = DeriveSessionKeys(shared, transcript);
-  sandbox->session.established = true;
-  sandbox->session.hello_client_public = packet.client_public;
-  sandbox->session.hello_nonce = packet.nonce;
-
-  Packet response;
-  response.type = PacketType::kServerHello;
-  response.sandbox_id = sandbox->id;
-  response.monitor_public = ephemeral.public_key;
-  response.quote = quote;
-  sandbox->session.cached_server_hello = response.Serialize();
-  sandbox->outbound_wire.push_back(sandbox->session.cached_server_hello);
-  return OkStatus();
-}
-
-Status EreborMonitor::HandleDataRecord(Cpu& cpu, const Packet& packet) {
-  Sandbox* sandbox = sandbox_mgr_->Find(packet.sandbox_id);
-  if (sandbox == nullptr || !sandbox->session.established) {
-    return FailedPreconditionError("data record without established session");
-  }
-  ChannelSession& session = sandbox->session;
-  const uint64_t seq = packet.record.sequence;
-
-  if (seq < session.next_recv_seq) {
-    // Replay window: a duplicate of an already-accepted record. It is absorbed, never
-    // re-decrypted or re-delivered (replay cannot double-install client data). An
-    // honest client only re-sends when our result never arrived, so retransmit the
-    // cached last result to heal that loss.
-    ++session.duplicates;
-    MetricsRegistry::Global().Increment("channel.duplicates");
-    Tracer::Global().Record(TraceEvent::kChannelRetry, cpu.index(), cpu.cycles().now(),
-                            sandbox->id, seq);
-    if (!session.last_result_wire.empty()) {
-      sandbox->outbound_wire.push_back(session.last_result_wire);
-      ++session.retransmits;
-      MetricsRegistry::Global().Increment("channel.retries");
-      NoteFaultRecovered();
-    }
-    return OkStatus();
-  }
-  if (seq > session.next_recv_seq) {
-    if (seq - session.next_recv_seq > ChannelSession::kReorderWindow) {
-      ++session.rejects;
-      MetricsRegistry::Global().Increment("channel.rejects");
-      return InvalidArgumentError("data record beyond the reorder window");
-    }
-    // Reordered ahead of a gap: stash the sealed record until the gap fills. Nothing
-    // is decrypted out of order — AEAD still runs at exactly the expected sequence.
-    ++session.reorders;
-    MetricsRegistry::Global().Increment("channel.reorders");
-    session.reorder[seq] = packet.record;
-    return OkStatus();
-  }
-
-  auto accept = [&](const SealedRecord& record) -> Status {
-    EREBOR_ASSIGN_OR_RETURN(
-        Bytes plaintext,
-        AeadOpen(session.keys.client_to_server, record, session.next_recv_seq));
-    ++session.next_recv_seq;
-    cpu.cycles().Charge(plaintext.size() * cpu.costs().crypto_per_byte_x100 / 100);
-    Tracer::Global().Record(TraceEvent::kChannelDecrypt, cpu.index(), cpu.cycles().now(),
-                            sandbox->id, plaintext.size());
-    sandbox->input_plaintext.push_back(std::move(plaintext));
-    // First client data seals the sandbox (paper section 6.2).
-    return sandbox_mgr_->Seal(cpu, *sandbox);
-  };
-
-  const Status st = accept(packet.record);
-  if (!st.ok()) {
-    // Tampered/corrupted in transit: reject without advancing the sequence, so the
-    // client's retransmission of the same record is accepted cleanly.
-    ++session.rejects;
-    MetricsRegistry::Global().Increment("channel.corrupt_rejects");
-    return st;
-  }
-  // Drain any stashed reordered records that are now in sequence. A stashed record
-  // that fails to open was corrupt on the wire: drop it (the client retransmits).
-  while (true) {
-    const auto it = session.reorder.find(session.next_recv_seq);
-    if (it == session.reorder.end()) {
-      break;
-    }
-    const SealedRecord stashed = it->second;
-    session.reorder.erase(it);
-    if (!accept(stashed).ok()) {
-      ++session.rejects;
-      MetricsRegistry::Global().Increment("channel.corrupt_rejects");
-      break;
-    }
-    NoteFaultRecovered();
-  }
-  return OkStatus();
-}
-
-Status EreborMonitor::HandleFin(Cpu& cpu, const Packet& packet) {
-  Sandbox* sandbox = sandbox_mgr_->Find(packet.sandbox_id);
-  if (sandbox == nullptr) {
-    return NotFoundError("fin for unknown sandbox");
-  }
-  return sandbox_mgr_->Teardown(cpu, *sandbox);
-}
-
-Status EreborMonitor::ProxyDeliver(Cpu& cpu, const Bytes& wire) {
-  if (FaultInjector::Armed() &&
-      FaultInjector::Global().Fire("channel.deliver", FaultAction::kDrop)) {
-    // The untrusted proxy "lost" the packet at the monitor's doorstep. From the
-    // client's perspective this is ordinary network loss: its bounded retry covers it.
-    return OkStatus();
-  }
-  return WithGate(cpu, 64, TraceEvent::kEmcChannelOp, [&]() -> Status {
-    EREBOR_ASSIGN_OR_RETURN(const Packet packet, Packet::Deserialize(wire));
-    switch (packet.type) {
-      case PacketType::kClientHello:
-        return HandleHello(cpu, packet);
-      case PacketType::kDataRecord:
-        return HandleDataRecord(cpu, packet);
-      case PacketType::kFin:
-        return HandleFin(cpu, packet);
-      default:
-        return InvalidArgumentError("unexpected packet type from network");
-    }
-  });
-}
-
-StatusOr<Bytes> EreborMonitor::ProxyFetch(Cpu& cpu, int* source_sandbox_out) {
-  Bytes out;
-  const Status st = WithGate(cpu, 64, TraceEvent::kEmcChannelOp, [&]() -> Status {
-    for (auto& [id, sandbox] : sandbox_mgr_->mutable_sandboxes()) {
-      if (!sandbox->outbound_wire.empty()) {
-        out = std::move(sandbox->outbound_wire.front());
-        sandbox->outbound_wire.pop_front();
-        if (source_sandbox_out != nullptr) {
-          *source_sandbox_out = id;
-        }
-        return OkStatus();
-      }
-    }
-    return NotFoundError("no outbound packets");
-  });
-  if (!st.ok()) {
-    return st;
-  }
-  return out;
-}
-
-Status EreborMonitor::DebugInstallClientData(Cpu& cpu, Sandbox& sandbox, const Bytes& data) {
-  return WithGate(cpu, 64, TraceEvent::kEmcChannelOp, [&]() -> Status {
-    // Same decrypt/copy cost as the real channel path.
-    cpu.cycles().Charge(data.size() * cpu.costs().crypto_per_byte_x100 / 100);
-    sandbox.input_plaintext.push_back(data);
-    return sandbox_mgr_->Seal(cpu, sandbox);
-  });
-}
-
-StatusOr<Bytes> EreborMonitor::DebugFetchOutput(Sandbox& sandbox) {
-  if (sandbox.outbound_wire.empty()) {
-    return NotFoundError("no output pending");
-  }
-  Bytes out = std::move(sandbox.outbound_wire.front());
-  sandbox.outbound_wire.pop_front();
-  return out;
-}
-
-// ---- /dev/erebor ioctl ----
-
-StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
-                                              uint64_t cmd, Vaddr arg_va) {
-  Cpu& cpu = ctx.cpu();
-  Sandbox* sandbox = sandbox_mgr_->FindByTask(task);
-  ++counters_.emc_sandbox;
-  switch (cmd) {
-    case emc_ioctl::kDeclareConfined: {
-      if (sandbox == nullptr) {
-        return FailedPreconditionError("declare-confined from non-sandbox task");
-      }
-      uint8_t buf[16];
-      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
-      const Vaddr va = LoadLe64(buf);
-      const uint64_t len = LoadLe64(buf + 8);
-      EREBOR_RETURN_IF_ERROR(DeclareConfined(cpu, *sandbox, va, len));
-      return 0;
-    }
-    case emc_ioctl::kInput: {
-      if (sandbox == nullptr) {
-        return FailedPreconditionError("input ioctl from non-sandbox task");
-      }
-      ++sandbox->exits.ioctl_io;
-      uint8_t buf[16];
-      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
-      const Vaddr dst = LoadLe64(buf);
-      const uint64_t cap = LoadLe64(buf + 8);
-      if (sandbox->input_plaintext.empty()) {
-        return UnavailableError("EAGAIN");
-      }
-      const Bytes& data = sandbox->input_plaintext.front();
-      if (data.size() > cap) {
-        return OutOfRangeError("input larger than provided buffer");
-      }
-      const Status copy_st = WithGate(cpu, 64, TraceEvent::kEmcChannelOp,
-                                      [&]() -> Status {
-        return sandbox_mgr_->CopyIntoSandbox(cpu, *sandbox, dst, data.data(),
-                                             data.size());
-      });
-      if (!copy_st.ok()) {
-        // The input stays queued so a transient shepherd fault is retryable, but a
-        // sandbox that keeps faulting gets quarantined — torn down and scrubbed —
-        // rather than wedging the session forever.
-        ++sandbox->fault_strikes;
-        if (sandbox->fault_strikes >= sandbox->spec.max_fault_strikes) {
-          EREBOR_RETURN_IF_ERROR(sandbox_mgr_->Quarantine(
-              cpu, *sandbox, "repeated shepherd copy faults: " + copy_st.ToString()));
-        }
-        return copy_st;
-      }
-      if (sandbox->fault_strikes > 0) {
-        // A queued input finally copied in after transient shepherd faults.
-        sandbox->fault_strikes = 0;
-        NoteFaultRecovered();
-      }
-      const uint64_t n = data.size();
-      StoreLe64(buf + 8, n);
-      EREBOR_RETURN_IF_ERROR(WriteGuest(*task.aspace, arg_va, buf, sizeof(buf)));
-      sandbox->input_plaintext.pop_front();
-      return n;
-    }
-    case emc_ioctl::kOutput: {
-      if (sandbox == nullptr) {
-        return FailedPreconditionError("output ioctl from non-sandbox task");
-      }
-      ++sandbox->exits.ioctl_io;
-      uint8_t buf[16];
-      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
-      const Vaddr src = LoadLe64(buf);
-      const uint64_t len = LoadLe64(buf + 8);
-      if (len > wire::kMaxWireBytes) {
-        // The length is sandbox-controlled: bound it before sizing any buffer.
-        return InvalidArgumentError("output length exceeds the wire limit");
-      }
-      Bytes payload(len);
-      EREBOR_RETURN_IF_ERROR(WithGate(cpu, 64, TraceEvent::kEmcChannelOp,
-                                      [&]() -> Status {
-        EREBOR_RETURN_IF_ERROR(
-            sandbox_mgr_->CopyFromSandbox(cpu, *sandbox, src, payload.data(), len));
-        // Pad to the fixed output quantum, then seal (or emit plaintext-padded when no
-        // session exists, the DebugFS-style channel).
-        EREBOR_ASSIGN_OR_RETURN(const Bytes padded,
-                                PadOutput(payload, sandbox->spec.output_pad_bytes));
-        cpu.cycles().Charge(padded.size() * cpu.costs().crypto_per_byte_x100 / 100);
-        Tracer::Global().Record(TraceEvent::kChannelEncrypt, cpu.index(),
-                                cpu.cycles().now(), sandbox->id, padded.size());
-        if (mitigations_.quantize_output) {
-          // Release only at fixed interval boundaries: a result's timing no longer
-          // reflects the (secret-dependent) processing time.
-          const Cycles now = cpu.cycles().now();
-          const Cycles boundary = ((now / mitigations_.output_interval) + 1) *
-                                  mitigations_.output_interval;
-          cpu.cycles().Charge(boundary - now);
-          ++counters_.quantized_outputs;
-        }
-        if (sandbox->session.established) {
-          Packet packet;
-          packet.type = PacketType::kResultRecord;
-          packet.sandbox_id = sandbox->id;
-          packet.record = AeadSeal(sandbox->session.keys.server_to_client,
-                                   sandbox->session.next_send_seq++, padded);
-          // Cache the serialized result for retransmission: if it is lost on the
-          // wire, the client's duplicate data record triggers a re-send.
-          sandbox->session.last_result_wire = packet.Serialize();
-          sandbox->outbound_wire.push_back(sandbox->session.last_result_wire);
-        } else {
-          sandbox->outbound_wire.push_back(padded);
-        }
-        return OkStatus();
-      }));
-      return len;
-    }
-    case emc_ioctl::kProxyDeliver: {
-      if (sandbox != nullptr) {
-        return PermissionDeniedError("proxy ioctls are not for sandbox tasks");
-      }
-      uint8_t buf[16];
-      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
-      const Vaddr src = LoadLe64(buf);
-      const uint64_t len = LoadLe64(buf + 8);
-      if (len > wire::kMaxWireBytes) {
-        // Proxy-supplied length: refuse before allocating (a hostile proxy could
-        // otherwise demand a near-2^64-byte buffer).
-        return InvalidArgumentError("proxy packet exceeds the wire limit");
-      }
-      Bytes wire(len);
-      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, src, wire.data(), len));
-      EREBOR_RETURN_IF_ERROR(ProxyDeliver(cpu, wire));
-      return 0;
-    }
-    case emc_ioctl::kProxyFetch: {
-      if (sandbox != nullptr) {
-        return PermissionDeniedError("proxy ioctls are not for sandbox tasks");
-      }
-      uint8_t buf[16];
-      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
-      const Vaddr dst = LoadLe64(buf);
-      const uint64_t cap = LoadLe64(buf + 8);
-      int source_sandbox = -1;
-      auto wire = ProxyFetch(cpu, &source_sandbox);
-      if (!wire.ok()) {
-        return UnavailableError("EAGAIN");
-      }
-      // The proxy's buffer is ordinary pageable memory: fault it in before copying,
-      // and requeue the packet (to its owning sandbox) if the copy cannot complete.
-      Status st = wire->size() > cap ? OutOfRangeError("proxy buffer too small")
-                                     : kernel_->FaultInUserRange(ctx, task, dst,
-                                                                 wire->size());
-      if (st.ok()) {
-        st = WriteGuest(*task.aspace, dst, wire->data(), wire->size());
-      }
-      if (!st.ok()) {
-        Sandbox* origin = sandbox_mgr_->Find(source_sandbox);
-        if (origin != nullptr) {
-          origin->outbound_wire.push_front(std::move(*wire));
-        }
-        return st;
-      }
-      return wire->size();
-    }
-    default:
-      return InvalidArgumentError("unknown erebor ioctl " + std::to_string(cmd));
-  }
 }
 
 }  // namespace erebor

@@ -20,9 +20,11 @@
 #include "src/kernel/image.h"
 #include "src/kernel/kernel.h"
 #include "src/monitor/channel.h"
+#include "src/monitor/emc_dispatch.h"
 #include "src/monitor/gates.h"
 #include "src/monitor/mmu_policy.h"
 #include "src/monitor/sandbox.h"
+#include "src/monitor/sim_lock.h"
 
 namespace erebor {
 
@@ -56,28 +58,8 @@ struct MitigationConfig {
   Cycles output_interval = 10'000'000;
 };
 
-struct MonitorCounters {
-  uint64_t emc_total = 0;
-  uint64_t emc_pte = 0;
-  uint64_t emc_ptp_register = 0;
-  uint64_t emc_cr = 0;
-  uint64_t emc_msr = 0;
-  uint64_t emc_idt = 0;
-  uint64_t emc_usercopy = 0;
-  uint64_t emc_tdcall = 0;
-  uint64_t emc_text_poke = 0;
-  uint64_t emc_sandbox = 0;
-  uint64_t policy_denials = 0;
-  uint64_t sandbox_kills = 0;
-  uint64_t scrubbed_interrupts = 0;
-  uint64_t cached_cpuid_hits = 0;
-  // Mitigation activity.
-  uint64_t exit_stalls = 0;
-  uint64_t cache_flushes = 0;
-  uint64_t quantized_outputs = 0;
-  uint64_t huge_splits = 0;  // forced huge-page splits (section 7 future work)
-  uint64_t tlb_shootdowns = 0;  // monitor-initiated software-TLB shootdowns
-};
+// MonitorCounters lives in emc_dispatch.h so descriptor rows can name their
+// family counter by member pointer.
 
 class EreborMonitor {
  public:
@@ -101,6 +83,14 @@ class EreborMonitor {
   // Side-channel mitigation configuration (section 12); applies to sealed sandboxes.
   void SetMitigations(const MitigationConfig& config) { mitigations_ = config; }
   const MitigationConfig& mitigations() const { return mitigations_; }
+
+  // EMC locking layer. kSharded (default) serializes per sandbox + per frame
+  // shard; kGlobal is the one-big-lock baseline the emc_scaling bench compares
+  // against. Contention simulation is opt-in and off by default so every
+  // single-vCPU figure stays bit-identical (see sim_lock.h).
+  EmcLockTable& locks() { return locks_; }
+  void SetEmcLocking(EmcLocking mode) { locks_.set_mode(mode); }
+  void SetLockContention(bool on) { locks_.set_simulate_contention(on); }
 
   // ---- EMC surface (PrivilegedOps routes here) ----
   Status EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value);
@@ -161,14 +151,12 @@ class EreborMonitor {
  private:
   friend class EmcPrivOps;
 
-  // Runs `body` inside the EMC gates on `cpu`, charging `op_cycles` for the monitor-
-  // side work. `kind` tags the dispatch in the event trace (payload = op_cycles).
-  Status WithGate(Cpu& cpu, Cycles op_cycles, const std::function<Status()>& body,
-                  TraceEvent kind = TraceEvent::kEmcSandboxOp);
-  Status WithGate(Cpu& cpu, Cycles op_cycles, TraceEvent kind,
-                  const std::function<Status()>& body) {
-    return WithGate(cpu, op_cycles, body, kind);
-  }
+  // The single gated-dispatch path (emc_dispatch.cc): family counter, fault
+  // point, gate entry with bounded transient retry, lock acquisition, cycle
+  // charge, emc_total bump, trace emission, and argument validation — exactly
+  // once per EMC, driven by the descriptor table row for `call.op`.
+  Status EmcDispatch(Cpu& cpu, const EmcCall& call,
+                     const std::function<Status()>& body);
 
   // Counts a policy denial and emits its trace event.
   void NoteDenial(Cpu& cpu);
@@ -205,6 +193,7 @@ class EreborMonitor {
   std::unique_ptr<SandboxManager> sandbox_mgr_;
   MonitorCounters counters_;
   MetricsRegistry metrics_;
+  EmcLockTable locks_;
   Rng rng_;
 
   const IdtTable* approved_idt_ = nullptr;

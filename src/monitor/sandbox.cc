@@ -9,6 +9,21 @@
 
 namespace erebor {
 
+namespace {
+
+// Lock-discipline probe at every sandbox mutation entry point: a gated (EMC)
+// caller must hold this sandbox's lock (or the global lock in kGlobal mode).
+// Non-gated monitor paths — the syscall interposer's kill/teardown, the kill
+// observer's quarantine — run outside the gates and are exempt: they execute at
+// a point where no EMC is in flight for the sandbox.
+void NoteSandboxMutation(Cpu& cpu, const Sandbox& sandbox) {
+  if (cpu.in_monitor()) {
+    LockAudit::Global().ExpectSandboxHeld(cpu.index(), sandbox.id);
+  }
+}
+
+}  // namespace
+
 SandboxManager::SandboxManager(Machine* machine, FrameTable* frames, MmuPolicy* policy)
     : machine_(machine), frames_(frames), policy_(policy) {}
 
@@ -56,6 +71,8 @@ StatusOr<Sandbox*> SandboxManager::Create(Task& leader, const SandboxSpec& spec)
   }
   auto sandbox = std::make_unique<Sandbox>();
   sandbox->id = next_id_++;
+  sandbox->lock = SimLock("sandbox." + std::to_string(sandbox->id), kRankSandbox,
+                          sandbox->id);
   sandbox->spec = spec;
   sandbox->leader = &leader;
   sandbox->aspace = leader.aspace;
@@ -101,6 +118,7 @@ Status SandboxManager::UnmapFromDirectMap(Cpu& cpu, FrameNum first, uint64_t cou
 }
 
 Status SandboxManager::DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint64_t len) {
+  NoteSandboxMutation(cpu, sandbox);
   if (sandbox.state != SandboxState::kInitializing) {
     return FailedPreconditionError("confined memory must be declared before sealing");
   }
@@ -174,6 +192,7 @@ CommonRegion* SandboxManager::FindCommonRegion(const std::string& name) {
 
 Status SandboxManager::AttachCommon(Cpu& cpu, Sandbox& sandbox, int region_id, Vaddr va,
                                     bool writable_until_seal) {
+  NoteSandboxMutation(cpu, sandbox);
   if (region_id < 0 || region_id >= static_cast<int>(common_regions_.size())) {
     return NotFoundError("no such common region");
   }
@@ -199,6 +218,7 @@ Status SandboxManager::AttachCommon(Cpu& cpu, Sandbox& sandbox, int region_id, V
 }
 
 Status SandboxManager::Seal(Cpu& cpu, Sandbox& sandbox) {
+  NoteSandboxMutation(cpu, sandbox);
   if (sandbox.state == SandboxState::kSealed) {
     return OkStatus();
   }
@@ -241,6 +261,7 @@ Status SandboxManager::Seal(Cpu& cpu, Sandbox& sandbox) {
 }
 
 Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
+  NoteSandboxMutation(cpu, sandbox);
   if (sandbox.state == SandboxState::kTornDown ||
       sandbox.state == SandboxState::kQuarantined) {
     return OkStatus();  // already scrubbed and released
@@ -293,6 +314,7 @@ Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
 }
 
 Status SandboxManager::Quarantine(Cpu& cpu, Sandbox& sandbox, const std::string& reason) {
+  NoteSandboxMutation(cpu, sandbox);
   if (sandbox.state == SandboxState::kQuarantined) {
     return OkStatus();
   }
@@ -333,6 +355,7 @@ bool SandboxManager::SyscallPermitted(const Sandbox& sandbox, const Task& task, 
 
 Status SandboxManager::CopyIntoSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va,
                                        const uint8_t* data, uint64_t len) {
+  NoteSandboxMutation(cpu, sandbox);
   if (FaultInjector::Armed() &&
       FaultInjector::Global().Fire("sandbox.copy_in", FaultAction::kFail)) {
     // Transient shepherd fault: the caller leaves the input queued and retries, so
@@ -359,6 +382,7 @@ Status SandboxManager::CopyIntoSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va,
 
 Status SandboxManager::CopyFromSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint8_t* out,
                                        uint64_t len) {
+  NoteSandboxMutation(cpu, sandbox);
   uint64_t done = 0;
   while (done < len) {
     const Vaddr page_va = va + done;

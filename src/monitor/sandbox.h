@@ -18,6 +18,7 @@
 #include "src/monitor/channel.h"
 #include "src/monitor/frame_table.h"
 #include "src/monitor/mmu_policy.h"
+#include "src/monitor/sim_lock.h"
 
 namespace erebor {
 
@@ -61,6 +62,11 @@ struct Sandbox {
   SandboxState state = SandboxState::kInitializing;
   Task* leader = nullptr;
   std::shared_ptr<AddressSpace> aspace;
+
+  // Per-sandbox EMC serialization (kSharded locking): every gated operation
+  // that mutates this sandbox holds it; LockAudit checks the discipline at the
+  // manager's mutation entry points. Bound to the id in SandboxManager::Create.
+  SimLock lock;
 
   std::vector<std::pair<FrameNum, uint64_t>> confined_ranges;  // (first, count)
   uint64_t confined_bytes = 0;

@@ -1,0 +1,136 @@
+#include "src/monitor/sim_lock.h"
+
+#include <algorithm>
+
+#include "src/common/faultpoint.h"
+#include "src/common/trace.h"
+#include "src/hw/cpu.h"
+
+namespace erebor {
+
+void SimLock::Acquire(Cpu& cpu, bool simulate_contention) {
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("lock.acquire", FaultAction::kPreempt)) {
+    // Host preemption on the lock-boundary crossing: the vCPU eats one external
+    // interrupt delivery before it gets the lock. Pure cycle cost — the lock
+    // state itself is monitor memory the host cannot touch.
+    cpu.cycles().Charge(cpu.costs().interrupt_delivery);
+  }
+  LockAudit::Global().NoteAcquire(cpu.index(), this);
+  if (simulate_contention && cpu.cycles().now() < free_at_) {
+    const Cycles wait = free_at_ - cpu.cycles().now();
+    cpu.cycles().Charge(wait);
+    ++contended_;
+    contention_cycles_ += wait;
+    Tracer::Global().Record(TraceEvent::kLockContend, cpu.index(),
+                            cpu.cycles().now(), -1, wait);
+  }
+  ++acquisitions_;
+  held_ = true;
+  holder_ = cpu.index();
+}
+
+void SimLock::Release(Cpu& cpu, bool simulate_contention) {
+  if (simulate_contention) {
+    free_at_ = std::max(free_at_, cpu.cycles().now());
+  }
+  held_ = false;
+  holder_ = -1;
+  LockAudit::Global().NoteRelease(cpu.index(), this);
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().Fire("lock.release", FaultAction::kPreempt)) {
+    cpu.cycles().Charge(cpu.costs().interrupt_delivery);
+  }
+}
+
+LockAudit& LockAudit::Global() {
+  static LockAudit* audit = new LockAudit();
+  return *audit;
+}
+
+void LockAudit::Reset() {
+  held_.clear();
+  ordering_violations_ = 0;
+  unheld_violations_ = 0;
+}
+
+std::vector<LockAudit::Held>& LockAudit::StackFor(int cpu) {
+  if (static_cast<size_t>(cpu) >= held_.size()) {
+    held_.resize(static_cast<size_t>(cpu) + 1);
+  }
+  return held_[static_cast<size_t>(cpu)];
+}
+
+void LockAudit::NoteAcquire(int cpu, const SimLock* lock) {
+  std::vector<Held>& stack = StackFor(cpu);
+  if (!stack.empty()) {
+    const Held& top = stack.back();
+    // Ascending ranks; within a rank, ascending sub-ids. Re-acquiring a held
+    // lock (same rank+sub) is also an ordering violation: SimLock is not
+    // recursive, so a nested acquire means a body bypassed its guard helper.
+    if (top.rank > lock->rank() ||
+        (top.rank == lock->rank() && top.sub >= lock->sub())) {
+      ++ordering_violations_;
+    }
+  }
+  if (lock->held()) {
+    ++ordering_violations_;  // double acquire without an intervening release
+  }
+  stack.push_back(Held{lock, lock->rank(), lock->sub()});
+}
+
+void LockAudit::NoteRelease(int cpu, const SimLock* lock) {
+  std::vector<Held>& stack = StackFor(cpu);
+  // Releases come in reverse acquisition order; tolerate (but count) a release
+  // of something this vCPU never acquired.
+  const auto it = std::find_if(stack.rbegin(), stack.rend(),
+                               [lock](const Held& h) { return h.lock == lock; });
+  if (it == stack.rend()) {
+    ++ordering_violations_;
+    return;
+  }
+  if (it != stack.rbegin()) {
+    ++ordering_violations_;  // out-of-order (non-LIFO) release
+  }
+  stack.erase(std::next(it).base());
+}
+
+bool LockAudit::Holds(int cpu, int rank, int sub) const {
+  if (static_cast<size_t>(cpu) >= held_.size()) {
+    return false;
+  }
+  for (const Held& h : held_[static_cast<size_t>(cpu)]) {
+    if (h.rank == kRankGlobal || (h.rank == rank && h.sub == sub)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LockAudit::ExpectSandboxHeld(int cpu, int sandbox_id) {
+  if (!Holds(cpu, kRankSandbox, sandbox_id)) {
+    ++unheld_violations_;
+  }
+}
+
+void LockAudit::ExpectFrameShardHeld(int cpu, int shard) {
+  if (!Holds(cpu, kRankFrameShard + shard, shard)) {
+    ++unheld_violations_;
+  }
+}
+
+bool LockAudit::NothingHeld(int cpu) const {
+  return static_cast<size_t>(cpu) >= held_.size() ||
+         held_[static_cast<size_t>(cpu)].empty();
+}
+
+EmcLockTable::EmcLockTable()
+    : global_("emc.global", kRankGlobal),
+      monitor_state_("monitor.state", kRankMonitorState) {
+  for (int i = 0; i < kFrameShards; ++i) {
+    shards_[static_cast<size_t>(i)] =
+        SimLock("frames.shard" + std::to_string(i), kRankFrameShard + i, i);
+  }
+}
+
+}  // namespace erebor

@@ -1,0 +1,222 @@
+// Deterministic simulated locking for the EMC dispatch layer.
+//
+// The simulation is single-threaded, so these locks never block a host thread.
+// What they model is the *serialization cost* of concurrent EMC service across
+// vCPUs: every lock remembers the simulated cycle at which its last critical
+// section ended (`free_at_`), and — when contention simulation is enabled — an
+// acquiring vCPU whose own clock is behind that point is charged the wait. Two
+// determinism rules make this safe to leave compiled in everywhere:
+//
+//   1. Uncontended acquire/release charge ZERO cycles. The real acquire cost is
+//      already folded into the paper's 1224-cycle EMC round trip (Table 3), so
+//      single-vCPU runs — and any run with contention simulation off, which is
+//      the default — are bit-identical to the pre-lock monitor.
+//   2. Every charge is a pure function of the per-vCPU cycle clocks at the
+//      acquire site. No host time, no RNG: a replay with the same schedule
+//      charges the same waits.
+//
+// Locks are chaos-preemptible: when the fault injector is armed, the sites
+// "lock.acquire" / "lock.release" fire at every boundary crossing, and a
+// kPreempt decision charges one interrupt delivery (the host yanked the vCPU at
+// the lock edge). Firings land in the fault journal, so lock-boundary
+// preemptions replay bit-identically from the seed.
+//
+// LockAudit (a process-global, like Tracer) tracks which locks each vCPU holds
+// and enforces the discipline the invariant checker audits:
+//   - acquisition order: sandbox locks < monitor-state lock < frame shards in
+//     ascending shard index (the global lock, used in kGlobal mode, ranks below
+//     everything and is the only lock taken in that mode);
+//   - no EMC body mutates a sandbox or applies a PTE without holding that
+//     sandbox's lock / that frame shard's lock (checked at the mutation sites);
+//   - all locks are released by the time a dispatch returns (checked at safe
+//     points between scheduler slices).
+#ifndef EREBOR_SRC_MONITOR_SIM_LOCK_H_
+#define EREBOR_SRC_MONITOR_SIM_LOCK_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/cycles.h"
+
+namespace erebor {
+
+class Cpu;
+
+// Lock ranks, ascending acquisition order. Within kRankSandbox and
+// kRankFrameShard, the sub-id (sandbox id / shard index) must also ascend.
+enum LockRank : int {
+  kRankGlobal = -1,       // kGlobal mode: the only lock, taken before anything
+  kRankSandbox = 0,       // per-sandbox serialization
+  kRankMonitorState = 1,  // CR/MSR/IDT/tdcall/text state
+  kRankFrameShard = 2,    // frame-table shard i ranks kRankFrameShard + i
+};
+
+class SimLock {
+ public:
+  SimLock() = default;
+  SimLock(std::string name, int rank, int sub = 0)
+      : name_(std::move(name)), rank_(rank), sub_(sub) {}
+
+  // Acquires on `cpu`. When `simulate_contention`, charges the cycles until the
+  // lock's last release point if the acquiring vCPU's clock is behind it.
+  void Acquire(Cpu& cpu, bool simulate_contention);
+  void Release(Cpu& cpu, bool simulate_contention);
+
+  const std::string& name() const { return name_; }
+  int rank() const { return rank_; }
+  int sub() const { return sub_; }
+  bool held() const { return held_; }
+  int holder() const { return holder_; }
+
+  uint64_t acquisitions() const { return acquisitions_; }
+  uint64_t contended() const { return contended_; }
+  Cycles contention_cycles() const { return contention_cycles_; }
+
+ private:
+  std::string name_;
+  int rank_ = kRankMonitorState;
+  int sub_ = 0;
+  Cycles free_at_ = 0;  // simulated end of the last critical section
+  bool held_ = false;
+  int holder_ = -1;
+  uint64_t acquisitions_ = 0;
+  uint64_t contended_ = 0;
+  Cycles contention_cycles_ = 0;
+};
+
+// RAII acquisition; movable so helpers can hand guards out. A default-built
+// guard holds nothing (used when a lock is already covered, e.g. kGlobal mode).
+class SimLockGuard {
+ public:
+  SimLockGuard() = default;
+  SimLockGuard(SimLock* lock, Cpu* cpu, bool simulate_contention)
+      : lock_(lock), cpu_(cpu), simulate_(simulate_contention) {
+    if (lock_ != nullptr) {
+      lock_->Acquire(*cpu_, simulate_);
+    }
+  }
+  ~SimLockGuard() { reset(); }
+  SimLockGuard(SimLockGuard&& other) noexcept { *this = std::move(other); }
+  SimLockGuard& operator=(SimLockGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      lock_ = other.lock_;
+      cpu_ = other.cpu_;
+      simulate_ = other.simulate_;
+      other.lock_ = nullptr;
+    }
+    return *this;
+  }
+  SimLockGuard(const SimLockGuard&) = delete;
+  SimLockGuard& operator=(const SimLockGuard&) = delete;
+
+  void reset() {
+    if (lock_ != nullptr) {
+      lock_->Release(*cpu_, simulate_);
+      lock_ = nullptr;
+    }
+  }
+
+ private:
+  SimLock* lock_ = nullptr;
+  Cpu* cpu_ = nullptr;
+  bool simulate_ = false;
+};
+
+// Process-global lock-discipline bookkeeping. Tracks the per-vCPU held stack
+// and counts violations; the invariant checker's lock family asserts the stacks
+// are empty at safe points and that no violation was ever recorded.
+class LockAudit {
+ public:
+  static LockAudit& Global();
+
+  // Drops held stacks and violation counters (worlds arm this between runs so
+  // one run's bug does not bleed into the next assertion).
+  void Reset();
+
+  // Called by SimLock. Checks rank/sub ordering against the holder's stack.
+  void NoteAcquire(int cpu, const SimLock* lock);
+  void NoteRelease(int cpu, const SimLock* lock);
+
+  // Discipline probes at mutation sites. The check passes when this vCPU holds
+  // the matching lock — or the global lock, which covers everything in kGlobal
+  // mode. Both record a violation instead of failing, so the invariant checker
+  // reports them at the next safe point.
+  void ExpectSandboxHeld(int cpu, int sandbox_id);
+  void ExpectFrameShardHeld(int cpu, int shard);
+
+  // True when `cpu` holds no locks (a dispatch in flight holds some; a safe
+  // point between slices must hold none).
+  bool NothingHeld(int cpu) const;
+
+  uint64_t ordering_violations() const { return ordering_violations_; }
+  uint64_t unheld_violations() const { return unheld_violations_; }
+  uint64_t violations() const { return ordering_violations_ + unheld_violations_; }
+
+ private:
+  LockAudit() = default;
+  struct Held {
+    const SimLock* lock;
+    int rank;
+    int sub;
+  };
+  std::vector<Held>& StackFor(int cpu);
+  bool Holds(int cpu, int rank, int sub) const;
+
+  std::vector<std::vector<Held>> held_;  // indexed by vCPU
+  uint64_t ordering_violations_ = 0;
+  uint64_t unheld_violations_ = 0;
+};
+
+// The monitor's lock table: one global lock (kGlobal mode), the monitor-state
+// lock, and the sharded frame-table locks (kSharded mode; per-sandbox locks
+// live on the Sandbox itself). Frame shards are 2 MiB granules of the physical
+// frame space modulo kFrameShards, so contiguous allocations (one sandbox's
+// page tables and confined runs) mostly stay within one shard while distinct
+// sandboxes land on distinct shards.
+enum class EmcLocking : uint8_t { kGlobal, kSharded };
+
+class EmcLockTable {
+ public:
+  static constexpr int kFrameShards = 16;
+
+  EmcLockTable();
+
+  EmcLocking mode() const { return mode_; }
+  void set_mode(EmcLocking mode) { mode_ = mode; }
+  // Contention simulation is opt-in (the emc_scaling bench turns it on); the
+  // default keeps every existing single-vCPU figure bit-identical.
+  bool simulate_contention() const { return simulate_contention_; }
+  void set_simulate_contention(bool on) { simulate_contention_ = on; }
+
+  static int ShardOf(uint64_t frame) {
+    return static_cast<int>((frame >> 9) % kFrameShards);  // 512-frame granules
+  }
+
+  SimLock& global() { return global_; }
+  SimLock& monitor_state() { return monitor_state_; }
+  SimLock& shard(int i) { return shards_[static_cast<size_t>(i)]; }
+
+  // Guard helpers for dispatch bodies that discover their target mid-flight
+  // (channel packet handling). In kGlobal mode the dispatch-held global lock
+  // already covers the sandbox, so these return an empty guard.
+  SimLockGuard SandboxGuard(Cpu& cpu, SimLock& sandbox_lock) {
+    if (mode_ == EmcLocking::kGlobal) {
+      return SimLockGuard();
+    }
+    return SimLockGuard(&sandbox_lock, &cpu, simulate_contention_);
+  }
+
+ private:
+  EmcLocking mode_ = EmcLocking::kSharded;
+  bool simulate_contention_ = false;
+  SimLock global_;
+  SimLock monitor_state_;
+  std::array<SimLock, kFrameShards> shards_;
+};
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_MONITOR_SIM_LOCK_H_

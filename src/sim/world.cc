@@ -234,6 +234,9 @@ Status World::EnableChaos(const ChaosOptions& options) {
                                      ? FaultSchedule::Randomized(options.seed)
                                      : options.schedule;
   FaultInjector::Global().Arm(options.seed, schedule);
+  // Re-arm the lock-discipline audit alongside the injector so a prior world's
+  // violations (or held stacks from an aborted run) don't bleed into this soak.
+  LockAudit::Global().Reset();
   // A fault can fire mid-gate or mid-delivery, where PKRS is legitimately in flux;
   // checking there would false-positive. Defer to the next slice boundary instead.
   FaultInjector::Global().SetObserver(

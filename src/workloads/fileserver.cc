@@ -146,10 +146,13 @@ std::vector<uint64_t> FileServerSizes() {
 }
 
 StatusOr<FileServerResult> RunFileServer(ServerKind kind, SimMode mode,
-                                         uint64_t file_bytes, uint64_t requests) {
+                                         uint64_t file_bytes, uint64_t requests,
+                                         const RunnerOptions& options) {
   WorldConfig config;
   config.mode = mode;
-  config.machine.num_cpus = 1;
+  config.machine.num_cpus = options.num_cpus;
+  // The 16 MiB file sweep needs more guest memory than the RunnerOptions
+  // default; keep the historical 256 MiB sizing regardless of the option.
   config.machine.memory_frames = 64 * 1024;
   World world(config);
   EREBOR_RETURN_IF_ERROR(world.Boot());

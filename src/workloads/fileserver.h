@@ -6,6 +6,7 @@
 #define EREBOR_SRC_WORKLOADS_FILESERVER_H_
 
 #include "src/sim/world.h"
+#include "src/workloads/runner.h"
 
 namespace erebor {
 
@@ -24,8 +25,10 @@ struct FileServerResult {
 };
 
 // Serves `requests` transfers of a `file_bytes` file in the given mode.
-StatusOr<FileServerResult> RunFileServer(ServerKind kind, SimMode mode,
-                                         uint64_t file_bytes, uint64_t requests);
+// options.num_cpus sizes the machine (Figure 10 is single-core: default 1 vCPU).
+StatusOr<FileServerResult> RunFileServer(
+    ServerKind kind, SimMode mode, uint64_t file_bytes, uint64_t requests,
+    const RunnerOptions& options = SingleCpuRunnerOptions());
 
 // The Figure 10 file-size sweep.
 std::vector<uint64_t> FileServerSizes();

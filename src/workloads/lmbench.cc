@@ -93,10 +93,11 @@ std::vector<std::string> LmbenchNames() {
 }
 
 StatusOr<LmbenchResult> RunLmbench(const std::string& name, SimMode mode,
-                                   uint64_t iterations, bool batched_mmu) {
+                                   uint64_t iterations, bool batched_mmu,
+                                   const RunnerOptions& options) {
   WorldConfig config;
   config.mode = mode;
-  config.machine.num_cpus = 1;
+  config.machine.num_cpus = options.num_cpus;
   World world(config);
   EREBOR_RETURN_IF_ERROR(world.Boot());
   if (batched_mmu && world.monitor() != nullptr) {

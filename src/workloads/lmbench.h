@@ -5,6 +5,7 @@
 #define EREBOR_SRC_WORKLOADS_LMBENCH_H_
 
 #include "src/sim/world.h"
+#include "src/workloads/runner.h"
 
 namespace erebor {
 
@@ -31,8 +32,11 @@ std::vector<std::string> LmbenchNames();
 // `pagefault`) in the given world-mode for `iterations` operations.
 // batched_mmu enables the monitor's batched MMU updates (ablation for the paper's
 // section 9.1 remark that fork/pagefault costs drop with batching).
+// options.num_cpus sizes the machine (Figure 8 is a single-core measurement, so
+// the default stays 1 vCPU via SingleCpuRunnerOptions).
 StatusOr<LmbenchResult> RunLmbench(const std::string& name, SimMode mode,
-                                   uint64_t iterations = 2000, bool batched_mmu = false);
+                                   uint64_t iterations = 2000, bool batched_mmu = false,
+                                   const RunnerOptions& options = SingleCpuRunnerOptions());
 
 }  // namespace erebor
 

@@ -18,6 +18,7 @@
 #include "src/common/faultpoint.h"
 #include "src/common/metrics.h"
 #include "src/libos/libos.h"
+#include "src/monitor/sim_lock.h"
 #include "src/sim/world.h"
 #include "src/workloads/lmbench.h"
 
@@ -401,6 +402,85 @@ TEST(ChaosQuarantineTest, RepeatedShepherdFaultsQuarantineOnlyTheVictim) {
   world->kernel().Run(60);
   EXPECT_EQ(RunChaosSession(*world, *survivor, /*client_seed=*/12), Outcome::kCompleted);
   EXPECT_EQ((*victim)->state, SandboxState::kQuarantined);  // still fenced off
+}
+
+// ---- 5. Lock-discipline soak ----
+//
+// Host preemption exactly at SimLock boundary crossings ("lock.acquire" /
+// "lock.release" fire kPreempt) across both vCPUs, while a full chaotic client
+// session runs. The discipline must hold under the worst interleaving pressure
+// the deterministic model can produce: no ordering or unheld-mutation
+// violations, empty held-stacks at every safe point (the invariant checker's
+// lock family runs between slices), and the session itself never wedges.
+
+TEST(ChaosLockDisciplineTest, PreemptionAtLockBoundariesKeepsDisciplineIntact) {
+  FaultGuard guard;
+  auto world = MakeChaosWorld();  // 2 vCPUs
+  auto sandbox = AddEchoSandbox(*world, "lockchaos");
+  ASSERT_TRUE(sandbox.ok());
+  world->kernel().Run(60);
+
+  // Dense preemption: every third acquire and (offset so the two rules drift
+  // against each other) every fifth release eats an interrupt delivery.
+  ChaosOptions options;
+  options.seed = 21;
+  options.schedule.rules.push_back(FaultRule{
+      .site = "lock.acquire", .action = FaultAction::kPreempt, .period = 3});
+  options.schedule.rules.push_back(FaultRule{
+      .site = "lock.release", .action = FaultAction::kPreempt, .first_hit = 2,
+      .period = 5});
+  ASSERT_TRUE(world->EnableChaos(options).ok());  // also resets the LockAudit
+
+  const Outcome outcome = RunChaosSession(*world, *sandbox, /*client_seed=*/31);
+  EXPECT_NE(outcome, Outcome::kWedged);
+  EXPECT_GT(FaultInjector::Global().fired(), 0u)
+      << "no lock-boundary preemption ever fired";
+  EXPECT_EQ(world->invariant_violations(), 0u) << world->first_violation().ToString();
+  EXPECT_EQ(LockAudit::Global().ordering_violations(), 0u);
+  EXPECT_EQ(LockAudit::Global().unheld_violations(), 0u);
+  for (int c = 0; c < world->machine().num_cpus(); ++c) {
+    EXPECT_TRUE(LockAudit::Global().NothingHeld(c)) << "vCPU " << c;
+  }
+  EXPECT_TRUE(world->monitor()->AuditInvariants().ok());
+  world->DisableChaos();
+}
+
+TEST(ChaosLockDisciplineTest, QuarantineUnderLockPreemptionConfinesTheVictim) {
+  FaultGuard guard;
+  auto world = MakeChaosWorld();
+  auto victim = AddEchoSandbox(*world, "lockvictim");
+  ASSERT_TRUE(victim.ok());
+  world->kernel().Run(60);
+
+  // Lock-boundary preemption *plus* a shepherd-copy fault storm: the victim
+  // burns its strike budget and is quarantined mid-flight, with preemptions
+  // landing inside the very dispatches that take its lock. Quarantine must not
+  // leak a held lock or corrupt the discipline for the rest of the world.
+  ChaosOptions options;
+  options.seed = 23;
+  options.schedule.rules.push_back(FaultRule{
+      .site = "lock.acquire", .action = FaultAction::kPreempt, .period = 2});
+  options.schedule.rules.push_back(FaultRule{
+      .site = "sandbox.copy_in", .action = FaultAction::kFail, .max_fires = 16});
+  ASSERT_TRUE(world->EnableChaos(options).ok());
+
+  const Outcome outcome = RunChaosSession(*world, *victim, /*client_seed=*/33);
+  EXPECT_EQ(outcome, Outcome::kQuarantined);
+  EXPECT_EQ((*victim)->state, SandboxState::kQuarantined);
+  EXPECT_EQ(world->invariant_violations(), 0u) << world->first_violation().ToString();
+  EXPECT_EQ(LockAudit::Global().violations(), 0u);
+  for (int c = 0; c < world->machine().num_cpus(); ++c) {
+    EXPECT_TRUE(LockAudit::Global().NothingHeld(c)) << "vCPU " << c;
+  }
+  world->DisableChaos();
+
+  // A fresh sandbox in the same world still completes a clean session.
+  auto survivor = AddEchoSandbox(*world, "locksurvivor");
+  ASSERT_TRUE(survivor.ok());
+  world->kernel().Run(60);
+  EXPECT_EQ(RunChaosSession(*world, *survivor, /*client_seed=*/34), Outcome::kCompleted);
+  EXPECT_EQ(LockAudit::Global().violations(), 0u);
+  EXPECT_TRUE(world->monitor()->AuditInvariants().ok());
 }
 
 TEST(ChaosFrameExhaustionTest, TransientAllocatorExhaustionRecovers) {
