@@ -8,8 +8,10 @@
 # fig8 exits non-zero if the TLB breaks cycle-neutrality, the walker-read reduction
 # misses its 5x target, or the trace/counter EMC cross-check fails; fig9 exits
 # non-zero on a cycle-neutrality violation; tab6 on a trace mismatch; emc_scaling
-# if sharded EMC locking is below 2x the global baseline at 4 vCPUs. Any of those
-# fails this script.
+# if sharded EMC locking is below 2x the global baseline at 4 vCPUs; channel if
+# the zero-copy seal+open path is below 4x the scalar baseline at 64 KiB or the
+# 16-session sharded aggregate is below 2x one session. Any of those fails this
+# script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,7 +45,11 @@ echo "== emc_scaling (multi-vCPU EMC throughput, global vs sharded locking) =="
 "$BUILD_DIR/bench/emc_scaling"
 
 echo
-for name in fig8 fig9 tab3 tab6 emc_scaling; do
+echo "== channel (attested-channel seal+open and multi-session ingest) =="
+"$BUILD_DIR/bench/channel_throughput"
+
+echo
+for name in fig8 fig9 tab3 tab6 emc_scaling channel; do
   f="$OUT_DIR/BENCH_$name.json"
   if [[ ! -s "$f" ]]; then
     echo "bench.sh: missing or empty $f" >&2

@@ -71,20 +71,22 @@ Status RemoteClient::ProcessServerHello(const Bytes& wire) {
 }
 
 Bytes RemoteClient::SealData(const Bytes& plaintext) {
-  Packet packet;
-  packet.type = PacketType::kDataRecord;
-  packet.sandbox_id = sandbox_id_;
-  packet.record = AeadSeal(keys_.client_to_server, send_seq_++, plaintext);
-  last_data_wire_ = packet.Serialize();
+  // Seal straight into the wire buffer; byte-identical to the old
+  // Packet-serialize path, minus its staging copies.
+  last_data_wire_ = SealRecordWire(keys_.client_to_server, PacketType::kDataRecord,
+                                   sandbox_id_, send_seq_++, plaintext);
   return last_data_wire_;
 }
 
 StatusOr<Bytes> RemoteClient::OpenResult(const Bytes& wire) {
-  EREBOR_ASSIGN_OR_RETURN(const Packet packet, Packet::Deserialize(wire));
-  if (packet.type != PacketType::kResultRecord) {
+  EREBOR_ASSIGN_OR_RETURN(const RecordView view, ParseRecordWire(wire));
+  if (view.type != PacketType::kResultRecord) {
     return InvalidArgumentError("expected ResultRecord");
   }
-  const uint64_t seq = packet.record.sequence;
+  if (view.sandbox_id != sandbox_id_) {
+    return InvalidArgumentError("result record for a different sandbox");
+  }
+  const uint64_t seq = view.sequence;
   if (seq < recv_seq_) {
     return AlreadyExistsError("duplicate result record (seq " + std::to_string(seq) +
                               " already consumed)");
@@ -93,12 +95,15 @@ StatusOr<Bytes> RemoteClient::OpenResult(const Bytes& wire) {
     if (seq - recv_seq_ > ChannelSession::kReorderWindow) {
       return OutOfRangeError("result record beyond the reorder window");
     }
-    stashed_[seq] = packet.record;
+    SealedRecord& slot = stashed_[seq];
+    slot.sequence = seq;
+    slot.ciphertext.assign(view.ciphertext, view.ciphertext + view.ciphertext_len);
+    slot.tag = view.tag;
     return UnavailableError("result out of order; stashed awaiting seq " +
                             std::to_string(recv_seq_));
   }
   EREBOR_ASSIGN_OR_RETURN(const Bytes padded,
-                          AeadOpen(keys_.server_to_client, packet.record, recv_seq_));
+                          OpenRecordWire(keys_.server_to_client, view, recv_seq_));
   ++recv_seq_;
   return UnpadOutput(padded);
 }
@@ -108,8 +113,9 @@ StatusOr<Bytes> RemoteClient::PopStashedResult() {
   if (it == stashed_.end()) {
     return NotFoundError("no stashed result at seq " + std::to_string(recv_seq_));
   }
-  EREBOR_ASSIGN_OR_RETURN(const Bytes padded,
-                          AeadOpen(keys_.server_to_client, it->second, recv_seq_));
+  const RecordAad aad{static_cast<uint8_t>(PacketType::kResultRecord), sandbox_id_};
+  EREBOR_ASSIGN_OR_RETURN(
+      const Bytes padded, AeadOpen(keys_.server_to_client, aad, it->second, recv_seq_));
   stashed_.erase(it);
   ++recv_seq_;
   return UnpadOutput(padded);

@@ -1,0 +1,69 @@
+#include "src/crypto/accel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define EREBOR_ACCEL_X86 1
+#endif
+
+namespace erebor {
+namespace accel {
+
+namespace {
+
+struct Features {
+  bool sha_ni = false;
+  bool avx2 = false;
+};
+
+Features Detect() {
+  Features f;
+#ifdef EREBOR_ACCEL_X86
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_max(0, nullptr) < 7) {
+    return f;
+  }
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  const bool cpu_sha = (ebx & (1u << 29)) != 0;
+  const bool cpu_avx2 = (ebx & (1u << 5)) != 0;
+
+  // AVX2 additionally needs the OS to save YMM state (OSXSAVE + XCR0 bits 1|2).
+  bool os_avx = false;
+  __cpuid_count(1, 0, eax, ebx, ecx, edx);
+  if ((ecx & (1u << 27)) != 0) {  // OSXSAVE
+    // xgetbv(0): _xgetbv() would need -mxsave on this TU, so issue it directly.
+    unsigned int xcr0_lo = 0, xcr0_hi = 0;
+    __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv
+                     : "=a"(xcr0_lo), "=d"(xcr0_hi)
+                     : "c"(0));
+    os_avx = (xcr0_lo & 0x6) == 0x6;
+  }
+  const bool cpu_sse41 = (ecx & (1u << 19)) != 0;
+
+  f.sha_ni = cpu_sha && cpu_sse41;
+  f.avx2 = cpu_avx2 && os_avx;
+#endif
+  return f;
+}
+
+const Features& Cached() {
+  static const Features features = Detect();
+  return features;
+}
+
+bool g_enabled = true;
+
+}  // namespace
+
+bool HasShaNi() { return Cached().sha_ni; }
+bool HasAvx2() { return Cached().avx2; }
+
+bool SetEnabled(bool on) {
+  const bool previous = g_enabled;
+  g_enabled = on;
+  return previous;
+}
+
+bool Enabled() { return g_enabled; }
+
+}  // namespace accel
+}  // namespace erebor

@@ -12,15 +12,6 @@ ChaChaNonce NonceFromSequence(uint64_t sequence) {
   return nonce;
 }
 
-Digest256 ComputeTag(const AeadKeys& keys, uint64_t sequence, const Bytes& ciphertext) {
-  HmacSha256 mac(keys.mac_key);
-  uint8_t seq_bytes[8];
-  StoreLe64(seq_bytes, sequence);
-  mac.Update(seq_bytes, sizeof(seq_bytes));
-  mac.Update(ciphertext);
-  return mac.Finish();
-}
-
 AeadKeys KeysFromMaterial(const Bytes& material) {
   AeadKeys keys;
   std::memcpy(keys.cipher_key.data(), material.data(), 32);
@@ -29,6 +20,20 @@ AeadKeys KeysFromMaterial(const Bytes& material) {
 }
 
 }  // namespace
+
+Digest256 ComputeTag(const AeadKeys& keys, const RecordAad& aad, uint64_t sequence,
+                     const uint8_t* ciphertext, size_t len) {
+  HmacSha256 mac(keys.mac_key);
+  // Header-as-AAD: the routing fields precede the sequence so the MAC covers the
+  // exact bytes an attacker can rewrite on the wire.
+  uint8_t header[1 + 4 + 8];
+  header[0] = aad.type;
+  StoreLe32(header + 1, static_cast<uint32_t>(aad.sandbox_id));
+  StoreLe64(header + 5, sequence);
+  mac.Update(header, sizeof(header));
+  mac.Update(ciphertext, len);
+  return mac.Finish();
+}
 
 SessionKeys DeriveSessionKeys(const Bytes& shared_secret, const Digest256& transcript_hash) {
   const Bytes salt(transcript_hash.begin(), transcript_hash.end());
@@ -41,28 +46,42 @@ SessionKeys DeriveSessionKeys(const Bytes& shared_secret, const Digest256& trans
   return keys;
 }
 
-SealedRecord AeadSeal(const AeadKeys& keys, uint64_t sequence, const Bytes& plaintext) {
+Digest256 AeadSealInto(const AeadKeys& keys, const RecordAad& aad, uint64_t sequence,
+                       const uint8_t* plaintext, size_t len, uint8_t* out) {
+  ChaCha20XorTo(keys.cipher_key, NonceFromSequence(sequence), 1, plaintext, out, len);
+  return ComputeTag(keys, aad, sequence, out, len);
+}
+
+Status AeadOpenInto(const AeadKeys& keys, const RecordAad& aad, uint64_t sequence,
+                    const uint8_t* ciphertext, size_t len, const Digest256& tag,
+                    uint8_t* out) {
+  const Digest256 expected_tag = ComputeTag(keys, aad, sequence, ciphertext, len);
+  if (!ConstantTimeEqual(expected_tag.data(), tag.data(), expected_tag.size())) {
+    return PermissionDeniedError("AEAD tag verification failed");
+  }
+  ChaCha20XorTo(keys.cipher_key, NonceFromSequence(sequence), 1, ciphertext, out, len);
+  return OkStatus();
+}
+
+SealedRecord AeadSeal(const AeadKeys& keys, const RecordAad& aad, uint64_t sequence,
+                      const Bytes& plaintext) {
   SealedRecord record;
   record.sequence = sequence;
-  record.ciphertext = plaintext;
-  ChaCha20Xor(keys.cipher_key, NonceFromSequence(sequence), 1, record.ciphertext.data(),
-              record.ciphertext.size());
-  record.tag = ComputeTag(keys, sequence, record.ciphertext);
+  record.ciphertext.resize(plaintext.size());
+  record.tag = AeadSealInto(keys, aad, sequence, plaintext.data(), plaintext.size(),
+                            record.ciphertext.data());
   return record;
 }
 
-StatusOr<Bytes> AeadOpen(const AeadKeys& keys, const SealedRecord& record,
-                         uint64_t expected_sequence) {
+StatusOr<Bytes> AeadOpen(const AeadKeys& keys, const RecordAad& aad,
+                         const SealedRecord& record, uint64_t expected_sequence) {
   if (record.sequence != expected_sequence) {
     return PermissionDeniedError("AEAD record sequence mismatch (replay or reorder)");
   }
-  const Digest256 expected_tag = ComputeTag(keys, record.sequence, record.ciphertext);
-  if (!ConstantTimeEqual(expected_tag.data(), record.tag.data(), expected_tag.size())) {
-    return PermissionDeniedError("AEAD tag verification failed");
-  }
-  Bytes plaintext = record.ciphertext;
-  ChaCha20Xor(keys.cipher_key, NonceFromSequence(record.sequence), 1, plaintext.data(),
-              plaintext.size());
+  Bytes plaintext(record.ciphertext.size());
+  EREBOR_RETURN_IF_ERROR(AeadOpenInto(keys, aad, record.sequence,
+                                      record.ciphertext.data(), record.ciphertext.size(),
+                                      record.tag, plaintext.data()));
   return plaintext;
 }
 

@@ -1,6 +1,8 @@
-// Authenticated encryption: ChaCha20 + HMAC-SHA256 encrypt-then-MAC with a sequence
-// number in the associated data (anti-replay). This is the record layer of the
-// monitor<->client secure channel (paper section 6.3).
+// Authenticated encryption: ChaCha20 + HMAC-SHA256 encrypt-then-MAC with the
+// record header (type, sandbox id) and sequence number as associated data. This
+// is the record layer of the monitor<->client secure channel (paper section 6.3):
+// the header bytes an attacker can rewrite on the wire are exactly the bytes the
+// MAC covers, so relabeled or re-routed records fail authentication.
 #ifndef EREBOR_SRC_CRYPTO_AEAD_H_
 #define EREBOR_SRC_CRYPTO_AEAD_H_
 
@@ -23,6 +25,14 @@ struct SessionKeys {
 
 SessionKeys DeriveSessionKeys(const Bytes& shared_secret, const Digest256& transcript_hash);
 
+// Associated data bound into every record tag: the wire header fields that
+// routing decisions are made from. Mirrors the packet header byte-for-byte
+// (type as one byte, sandbox_id little-endian 32-bit).
+struct RecordAad {
+  uint8_t type = 0;
+  int32_t sandbox_id = -1;
+};
+
 // Sealed record: nonce (derived from seq), ciphertext, 32-byte tag.
 struct SealedRecord {
   uint64_t sequence = 0;
@@ -30,11 +40,28 @@ struct SealedRecord {
   Digest256 tag{};
 };
 
-SealedRecord AeadSeal(const AeadKeys& keys, uint64_t sequence, const Bytes& plaintext);
+// MAC input is aad.type || aad.sandbox_id (LE32) || sequence (LE64) || ciphertext.
+Digest256 ComputeTag(const AeadKeys& keys, const RecordAad& aad, uint64_t sequence,
+                     const uint8_t* ciphertext, size_t len);
 
-// Fails (kPermissionDenied) on tag mismatch or sequence tampering.
-StatusOr<Bytes> AeadOpen(const AeadKeys& keys, const SealedRecord& record,
-                         uint64_t expected_sequence);
+SealedRecord AeadSeal(const AeadKeys& keys, const RecordAad& aad, uint64_t sequence,
+                      const Bytes& plaintext);
+
+// Fails (kPermissionDenied) on tag mismatch or sequence/header tampering.
+StatusOr<Bytes> AeadOpen(const AeadKeys& keys, const RecordAad& aad,
+                         const SealedRecord& record, uint64_t expected_sequence);
+
+// Zero-copy variants for the record pipeline. Both accept `out` aliasing the
+// input exactly (in-place); partial overlap is not supported.
+//
+// Encrypts plaintext[0..len) into out and returns the tag over the ciphertext.
+Digest256 AeadSealInto(const AeadKeys& keys, const RecordAad& aad, uint64_t sequence,
+                       const uint8_t* plaintext, size_t len, uint8_t* out);
+
+// Authenticates first, then decrypts into out. On failure `out` is untouched.
+Status AeadOpenInto(const AeadKeys& keys, const RecordAad& aad, uint64_t sequence,
+                    const uint8_t* ciphertext, size_t len, const Digest256& tag,
+                    uint8_t* out);
 
 }  // namespace erebor
 

@@ -1,5 +1,14 @@
 #include "src/crypto/chacha20.h"
 
+#include <cstring>
+
+#include "src/crypto/accel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define EREBOR_CHACHA_X86 1
+#include <immintrin.h>
+#endif
+
 namespace erebor {
 
 namespace {
@@ -41,11 +50,8 @@ void Block(const uint32_t state[16], uint8_t out[64]) {
   }
 }
 
-}  // namespace
-
-void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
-                 uint8_t* data, size_t len) {
-  uint32_t state[16];
+void InitState(uint32_t state[16], const ChaChaKey& key, const ChaChaNonce& nonce,
+               uint32_t counter) {
   state[0] = 0x61707865;
   state[1] = 0x3320646e;
   state[2] = 0x79622d32;
@@ -57,6 +63,231 @@ void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counte
   for (int i = 0; i < 3; ++i) {
     state[13 + i] = LoadLe32(nonce.data() + 4 * i);
   }
+}
+
+// dst[i] = src[i] ^ mask[i] in 64-bit words; len must be a multiple of 8.
+inline void XorWords(const uint8_t* src, const uint8_t* mask, uint8_t* dst, size_t len) {
+  for (size_t i = 0; i < len; i += 8) {
+    uint64_t v;
+    uint64_t m;
+    std::memcpy(&v, src + i, 8);
+    std::memcpy(&m, mask + i, 8);
+    v ^= m;
+    std::memcpy(dst + i, &v, 8);
+  }
+}
+
+// One round step applied across kLanes independent blocks; the lane loop is what
+// the vectorizer turns into packed 32-bit ops (8 lanes -> one YMM op under AVX2).
+#define EREBOR_CHACHA_QR(a, b, c, d)           \
+  for (int l = 0; l < kLanes; ++l) {           \
+    x[a][l] += x[b][l];                        \
+    x[d][l] = Rotl32(x[d][l] ^ x[a][l], 16);   \
+    x[c][l] += x[d][l];                        \
+    x[b][l] = Rotl32(x[b][l] ^ x[c][l], 12);   \
+    x[a][l] += x[b][l];                        \
+    x[d][l] = Rotl32(x[d][l] ^ x[a][l], 8);    \
+    x[c][l] += x[d][l];                        \
+    x[b][l] = Rotl32(x[b][l] ^ x[c][l], 7);    \
+  }
+
+// Hashes kLanes consecutive blocks (counters state[12] .. state[12]+kLanes-1)
+// into keystream[64 * kLanes]. always_inline so each wrapper below compiles it
+// with its own target ISA.
+template <int kLanes>
+[[gnu::always_inline]] inline void HashLanes(const uint32_t state[16],
+                                             uint8_t* keystream) {
+  uint32_t x[16][kLanes];
+  for (int i = 0; i < 16; ++i) {
+    for (int l = 0; l < kLanes; ++l) {
+      x[i][l] = state[i] + (i == 12 ? static_cast<uint32_t>(l) : 0);
+    }
+  }
+  for (int round = 0; round < 10; ++round) {
+    EREBOR_CHACHA_QR(0, 4, 8, 12)
+    EREBOR_CHACHA_QR(1, 5, 9, 13)
+    EREBOR_CHACHA_QR(2, 6, 10, 14)
+    EREBOR_CHACHA_QR(3, 7, 11, 15)
+    EREBOR_CHACHA_QR(0, 5, 10, 15)
+    EREBOR_CHACHA_QR(1, 6, 11, 12)
+    EREBOR_CHACHA_QR(2, 7, 8, 13)
+    EREBOR_CHACHA_QR(3, 4, 9, 14)
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    for (int i = 0; i < 16; ++i) {
+      const uint32_t v =
+          x[i][l] + state[i] + (i == 12 ? static_cast<uint32_t>(l) : 0);
+      StoreLe32(keystream + 64 * l + 4 * i, v);
+    }
+  }
+}
+
+#undef EREBOR_CHACHA_QR
+
+// Consumes whole groups of kLanes blocks, advancing src/dst/remaining.
+template <int kLanes>
+[[gnu::always_inline]] inline void XorLanesRun(uint32_t state[16], const uint8_t*& src,
+                                               uint8_t*& dst, size_t& remaining) {
+  uint8_t keystream[64 * kLanes];
+  while (remaining >= sizeof(keystream)) {
+    HashLanes<kLanes>(state, keystream);
+    state[12] += kLanes;
+    XorWords(src, keystream, dst, sizeof(keystream));
+    src += sizeof(keystream);
+    dst += sizeof(keystream);
+    remaining -= sizeof(keystream);
+  }
+}
+
+#ifdef EREBOR_CHACHA_X86
+
+// The 16- and 8-bit rotations are byte permutations, so they compile to a single
+// vpshufb instead of two shifts and an or.
+#define EREBOR_VQR(a, b, c, d)                                        \
+  a = _mm256_add_epi32(a, b);                                         \
+  d = _mm256_shuffle_epi8(_mm256_xor_si256(d, a), rot16);             \
+  c = _mm256_add_epi32(c, d);                                         \
+  b = _mm256_xor_si256(b, c);                                         \
+  b = _mm256_or_si256(_mm256_slli_epi32(b, 12), _mm256_srli_epi32(b, 20)); \
+  a = _mm256_add_epi32(a, b);                                         \
+  d = _mm256_shuffle_epi8(_mm256_xor_si256(d, a), rot8);              \
+  c = _mm256_add_epi32(c, d);                                         \
+  b = _mm256_xor_si256(b, c);                                         \
+  b = _mm256_or_si256(_mm256_slli_epi32(b, 7), _mm256_srli_epi32(b, 25));
+
+// 8x8 transpose of 32-bit elements across rows r0..r7 (in place).
+#define EREBOR_TRANSPOSE8(r0, r1, r2, r3, r4, r5, r6, r7)  \
+  {                                                        \
+    const __m256i t0 = _mm256_unpacklo_epi32(r0, r1);      \
+    const __m256i t1 = _mm256_unpackhi_epi32(r0, r1);      \
+    const __m256i t2 = _mm256_unpacklo_epi32(r2, r3);      \
+    const __m256i t3 = _mm256_unpackhi_epi32(r2, r3);      \
+    const __m256i t4 = _mm256_unpacklo_epi32(r4, r5);      \
+    const __m256i t5 = _mm256_unpackhi_epi32(r4, r5);      \
+    const __m256i t6 = _mm256_unpacklo_epi32(r6, r7);      \
+    const __m256i t7 = _mm256_unpackhi_epi32(r6, r7);      \
+    const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);      \
+    const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);      \
+    const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);      \
+    const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);      \
+    const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);      \
+    const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);      \
+    const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);      \
+    const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);      \
+    r0 = _mm256_permute2x128_si256(u0, u4, 0x20);          \
+    r1 = _mm256_permute2x128_si256(u1, u5, 0x20);          \
+    r2 = _mm256_permute2x128_si256(u2, u6, 0x20);          \
+    r3 = _mm256_permute2x128_si256(u3, u7, 0x20);          \
+    r4 = _mm256_permute2x128_si256(u0, u4, 0x31);          \
+    r5 = _mm256_permute2x128_si256(u1, u5, 0x31);          \
+    r6 = _mm256_permute2x128_si256(u2, u6, 0x31);          \
+    r7 = _mm256_permute2x128_si256(u3, u7, 0x31);          \
+  }
+
+// Eight blocks per iteration: word i of vector v[i] lane l belongs to block l, so
+// after the rounds two 8x8 transposes turn the registers back into contiguous
+// 64-byte keystream blocks (words 0..7 from the first matrix, 8..15 from the
+// second). x86 is little-endian, so the packed words already have wire order.
+__attribute__((target("avx2")))
+void XorRunAvx2(uint32_t state[16], const uint8_t*& src, uint8_t*& dst,
+                size_t& remaining) {
+  const __m256i rot16 =
+      _mm256_set_epi8(13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2, 13, 12,
+                      15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+  const __m256i rot8 =
+      _mm256_set_epi8(14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3, 14, 13,
+                      12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+  const __m256i lane_counters = _mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+  while (remaining >= 512) {
+    __m256i v[16];
+    for (int i = 0; i < 16; ++i) {
+      v[i] = _mm256_set1_epi32(static_cast<int>(state[i]));
+    }
+    v[12] = _mm256_add_epi32(v[12], lane_counters);
+    const __m256i counters = v[12];
+    for (int round = 0; round < 10; ++round) {
+      EREBOR_VQR(v[0], v[4], v[8], v[12])
+      EREBOR_VQR(v[1], v[5], v[9], v[13])
+      EREBOR_VQR(v[2], v[6], v[10], v[14])
+      EREBOR_VQR(v[3], v[7], v[11], v[15])
+      EREBOR_VQR(v[0], v[5], v[10], v[15])
+      EREBOR_VQR(v[1], v[6], v[11], v[12])
+      EREBOR_VQR(v[2], v[7], v[8], v[13])
+      EREBOR_VQR(v[3], v[4], v[9], v[14])
+    }
+    for (int i = 0; i < 16; ++i) {
+      v[i] = _mm256_add_epi32(
+          v[i], i == 12 ? counters : _mm256_set1_epi32(static_cast<int>(state[i])));
+    }
+    EREBOR_TRANSPOSE8(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7])
+    EREBOR_TRANSPOSE8(v[8], v[9], v[10], v[11], v[12], v[13], v[14], v[15])
+    for (int l = 0; l < 8; ++l) {
+      const __m256i lo = _mm256_xor_si256(
+          v[l], _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 64 * l)));
+      const __m256i hi = _mm256_xor_si256(
+          v[8 + l],
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 64 * l + 32)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 64 * l), lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 64 * l + 32), hi);
+    }
+    state[12] += 8;
+    src += 512;
+    dst += 512;
+    remaining -= 512;
+  }
+}
+
+#undef EREBOR_TRANSPOSE8
+#undef EREBOR_VQR
+
+#endif
+
+void XorRunPortable(uint32_t state[16], const uint8_t*& src, uint8_t*& dst,
+                    size_t& remaining) {
+  XorLanesRun<4>(state, src, dst, remaining);
+}
+
+}  // namespace
+
+void ChaCha20XorTo(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                   const uint8_t* src, uint8_t* dst, size_t len) {
+  uint32_t state[16];
+  InitState(state, key, nonce, counter);
+  size_t remaining = len;
+#ifdef EREBOR_CHACHA_X86
+  if (accel::Enabled() && accel::HasAvx2()) {
+    XorRunAvx2(state, src, dst, remaining);
+  }
+#endif
+  XorRunPortable(state, src, dst, remaining);
+
+  uint8_t keystream[64];
+  while (remaining >= 64) {
+    HashLanes<1>(state, keystream);
+    state[12]++;
+    XorWords(src, keystream, dst, 64);
+    src += 64;
+    dst += 64;
+    remaining -= 64;
+  }
+  if (remaining != 0) {
+    HashLanes<1>(state, keystream);
+    state[12]++;
+    for (size_t i = 0; i < remaining; ++i) {
+      dst[i] = static_cast<uint8_t>(src[i] ^ keystream[i]);
+    }
+  }
+}
+
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                 uint8_t* data, size_t len) {
+  ChaCha20XorTo(key, nonce, counter, data, data, len);
+}
+
+void ChaCha20XorScalar(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                       uint8_t* data, size_t len) {
+  uint32_t state[16];
+  InitState(state, key, nonce, counter);
 
   uint8_t keystream[64];
   size_t offset = 0;

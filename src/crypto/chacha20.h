@@ -1,5 +1,8 @@
 // ChaCha20 stream cipher (RFC 8439 block function), from scratch. Used as the bulk
-// cipher of the monitor<->client secure channel.
+// cipher of the monitor<->client secure channel. The hot path hashes several
+// blocks per dispatch (8-lane AVX2 when available, 4-lane portable otherwise) and
+// XORs the keystream word-at-a-time; ChaCha20XorScalar keeps the original
+// byte-wise code as the cross-check reference and bench baseline.
 #ifndef EREBOR_SRC_CRYPTO_CHACHA20_H_
 #define EREBOR_SRC_CRYPTO_CHACHA20_H_
 
@@ -16,6 +19,18 @@ using ChaChaNonce = std::array<uint8_t, 12>;
 // XOR-encrypt/decrypt `data` in place with the keystream starting at block `counter`.
 void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
                  uint8_t* data, size_t len);
+
+// Fused variant: dst[i] = src[i] ^ keystream[i]. `dst` may alias `src` exactly
+// (in-place); partial overlap is not supported. This is the zero-copy entry the
+// AEAD layer uses to decrypt straight into a caller-provided buffer.
+void ChaCha20XorTo(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                   const uint8_t* src, uint8_t* dst, size_t len);
+
+// Reference implementation: one block at a time, byte-wise XOR. Kept verbatim from
+// the original scalar path so tests can assert the optimized paths are
+// bit-identical and benches can measure the speedup against it.
+void ChaCha20XorScalar(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                       uint8_t* data, size_t len);
 
 inline Bytes ChaCha20Encrypt(const ChaChaKey& key, const ChaChaNonce& nonce,
                              const Bytes& plaintext) {

@@ -2,6 +2,13 @@
 
 #include <cstring>
 
+#include "src/crypto/accel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define EREBOR_SHA256_X86 1
+#endif
+
 namespace erebor {
 
 namespace {
@@ -20,6 +27,111 @@ constexpr uint32_t kK[64] = {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+// Portable FIPS 180-4 compression, one block at a time.
+void ProcessBlocksScalar(uint32_t h[8], const uint8_t* data, size_t block_count) {
+  for (size_t blk = 0; blk < block_count; ++blk, data += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(data[4 * i]) << 24) |
+             (static_cast<uint32_t>(data[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(data[4 * i + 2]) << 8) |
+             static_cast<uint32_t>(data[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t temp1 = hh + s1 + ch + kK[i] + w[i];
+      const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t temp2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+}
+
+#ifdef EREBOR_SHA256_X86
+
+// SHA-NI compression. The SHA256RNDS2 instruction consumes the state as two
+// packed registers in ABEF/CDGH order, so the plain {a..h} words are permuted on
+// entry and exit. Message-schedule registers msgs[0..3] each hold four schedule
+// words; sha256msg1/msg2 plus one PALIGNR per group advance the schedule 16
+// rounds behind the round computation, exactly as in Intel's reference flow.
+__attribute__((target("sha,sse4.1,ssse3")))
+void ProcessBlocksShaNi(uint32_t h[8], const uint8_t* data, size_t block_count) {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+
+  for (size_t blk = 0; blk < block_count; ++blk, data += 64) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i msgs[4];
+    for (int i = 0; i < 4; ++i) {
+      msgs[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * i)),
+          kByteSwap);
+    }
+
+    for (int j = 0; j < 16; ++j) {
+      __m128i m = _mm_add_epi32(
+          msgs[j & 3], _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * j])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+      if (j >= 3 && j < 15) {
+        const __m128i carry = _mm_alignr_epi8(msgs[j & 3], msgs[(j + 3) & 3], 4);
+        msgs[(j + 1) & 3] = _mm_add_epi32(msgs[(j + 1) & 3], carry);
+        msgs[(j + 1) & 3] = _mm_sha256msg2_epu32(msgs[(j + 1) & 3], msgs[j & 3]);
+      }
+      m = _mm_shuffle_epi32(m, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, m);
+      if (j >= 1 && j <= 12) {
+        msgs[(j + 3) & 3] = _mm_sha256msg1_epu32(msgs[(j + 3) & 3], msgs[j & 3]);
+      }
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);        // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);           // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[4]), state1);
+}
+
+#endif  // EREBOR_SHA256_X86
+
 }  // namespace
 
 Sha256::Sha256() {
@@ -33,60 +145,44 @@ Sha256::Sha256() {
   h_[7] = 0x5be0cd19;
 }
 
-void Sha256::ProcessBlock(const uint8_t block[64]) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
-           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<uint32_t>(block[4 * i + 3]);
+void Sha256::ProcessBlocks(const uint8_t* data, size_t block_count) {
+#ifdef EREBOR_SHA256_X86
+  if (accel::Enabled() && accel::HasShaNi()) {
+    ProcessBlocksShaNi(h_, data, block_count);
+    return;
   }
-  for (int i = 16; i < 64; ++i) {
-    const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
-  for (int i = 0; i < 64; ++i) {
-    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    const uint32_t ch = (e & f) ^ (~e & g);
-    const uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
-  h_[5] += f;
-  h_[6] += g;
-  h_[7] += h;
+#endif
+  ProcessBlocksScalar(h_, data, block_count);
 }
 
 void Sha256::Update(const uint8_t* data, size_t len) {
+  if (len == 0) {
+    return;  // also keeps memcpy away from a null `data`
+  }
   total_len_ += len;
-  while (len > 0) {
+  // Top up a partially filled block first.
+  if (buffer_len_ != 0) {
     const size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
     std::memcpy(buffer_ + buffer_len_, data, take);
     buffer_len_ += take;
     data += take;
     len -= take;
     if (buffer_len_ == sizeof(buffer_)) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
+  }
+  // Bulk data is compressed straight from the caller's buffer, many blocks per
+  // dispatch, without staging through buffer_.
+  const size_t whole_blocks = len / 64;
+  if (whole_blocks != 0) {
+    ProcessBlocks(data, whole_blocks);
+    data += whole_blocks * 64;
+    len -= whole_blocks * 64;
+  }
+  if (len != 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
   }
 }
 

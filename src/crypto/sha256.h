@@ -32,7 +32,9 @@ class Sha256 {
   }
 
  private:
-  void ProcessBlock(const uint8_t block[64]);
+  // Compresses `block_count` consecutive 64-byte blocks. Dispatches to the
+  // SHA-NI path when available and accel::Enabled(), else the portable one.
+  void ProcessBlocks(const uint8_t* data, size_t block_count);
 
   uint32_t h_[8];
   uint8_t buffer_[64];

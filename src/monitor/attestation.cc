@@ -66,6 +66,15 @@ Status EreborMonitor::HandleHello(Cpu& cpu, const Packet& packet) {
     NoteFaultRecovered();
     return OkStatus();
   }
+  if (!session.RenegotiationAllowed()) {
+    // A non-replay hello against a live session that already installed client
+    // data is a stale-hello replay (or an active attack): re-keying here would
+    // destroy the session's keys, reorder state and cached results, so a
+    // recorded old hello could DoS the victim at will. The client signals
+    // intentional renegotiation by sending kFin first.
+    MetricsRegistry::Global().Increment("channel.hostile_hellos");
+    return PermissionDeniedError("hello renegotiation refused on a live session");
+  }
   const GroupParams& group = GroupParams::Default();
   const KeyPair ephemeral = GenerateKeyPair(group, rng_);
   const Digest256 transcript =
@@ -94,23 +103,26 @@ Status EreborMonitor::HandleHello(Cpu& cpu, const Packet& packet) {
   return OkStatus();
 }
 
-Status EreborMonitor::HandleDataRecord(Cpu& cpu, const Packet& packet) {
-  Sandbox* sandbox = sandbox_mgr_->Find(packet.sandbox_id);
+Status EreborMonitor::HandleDataRecord(Cpu& cpu, const RecordView& view) {
+  Sandbox* sandbox = sandbox_mgr_->Find(view.sandbox_id);
   if (sandbox == nullptr || !sandbox->session.established) {
     return FailedPreconditionError("data record without established session");
   }
   SimLockGuard held = locks_.SandboxGuard(cpu, sandbox->lock);
-  ChannelSession& session = sandbox->session;
-  const uint64_t seq = packet.record.sequence;
+  return IngestDataRecordLocked(cpu, *sandbox, view);
+}
 
-  switch (session.AdmitRecord(seq, packet.record)) {
+Status EreborMonitor::IngestDataRecordLocked(Cpu& cpu, Sandbox& sandbox,
+                                             const RecordView& view) {
+  ChannelSession& session = sandbox.session;
+  switch (session.AdmitRecord(view)) {
     case ChannelSession::RecordAdmit::kDuplicate:
       // An honest client only re-sends when our result never arrived, so
       // retransmit the cached last result to heal that loss.
       Tracer::Global().Record(TraceEvent::kChannelRetry, cpu.index(), cpu.cycles().now(),
-                              sandbox->id, seq);
+                              sandbox.id, view.sequence);
       if (!session.last_result_wire.empty()) {
-        sandbox->outbound_wire.push_back(session.last_result_wire);
+        sandbox.outbound_wire.push_back(session.last_result_wire);
         session.CountRetransmit();
         NoteFaultRecovered();
       }
@@ -123,32 +135,39 @@ Status EreborMonitor::HandleDataRecord(Cpu& cpu, const Packet& packet) {
       break;
   }
 
-  auto accept = [&](const SealedRecord& record) -> Status {
-    EREBOR_ASSIGN_OR_RETURN(
-        Bytes plaintext,
-        AeadOpen(session.keys.client_to_server, record, session.next_recv_seq));
-    ++session.next_recv_seq;
+  // Authenticate-then-decrypt straight from the wire buffer into the plaintext
+  // destination (no intermediate SealedRecord/Packet copies).
+  auto accept = [&](const uint8_t* ciphertext, size_t len, const Digest256& tag) -> Status {
+    const RecordAad aad{static_cast<uint8_t>(PacketType::kDataRecord), sandbox.id};
+    Bytes plaintext(len);
+    EREBOR_RETURN_IF_ERROR(AeadOpenInto(session.keys.client_to_server, aad,
+                                        session.next_recv_seq, ciphertext, len, tag,
+                                        plaintext.data()));
+    session.AdvanceRecv();
+    session.data_installed = true;
     cpu.cycles().Charge(plaintext.size() * cpu.costs().crypto_per_byte_x100 / 100);
     Tracer::Global().Record(TraceEvent::kChannelDecrypt, cpu.index(), cpu.cycles().now(),
-                            sandbox->id, plaintext.size());
-    sandbox->input_plaintext.push_back(std::move(plaintext));
+                            sandbox.id, plaintext.size());
+    sandbox.input_plaintext.push_back(std::move(plaintext));
     // First client data seals the sandbox (paper section 6.2).
-    return sandbox_mgr_->Seal(cpu, *sandbox);
+    return sandbox_mgr_->Seal(cpu, sandbox);
   };
 
-  const Status st = accept(packet.record);
+  const Status st = accept(view.ciphertext, view.ciphertext_len, view.tag);
   if (!st.ok()) {
-    // Tampered/corrupted in transit: reject without advancing the sequence, so the
-    // client's retransmission of the same record is accepted cleanly.
-    session.NoteCorruptReject();
+    // Authentication failure proves nothing about the sender — a forged header
+    // can name any sandbox — so the reject is counted globally, never against
+    // this session's strike counters, and the sequence does not advance (an
+    // honest client's retransmission of the same record is accepted cleanly).
+    NoteChannelAuthReject();
     return st;
   }
   // Drain any stashed reordered records that are now in sequence. A stashed record
   // that fails to open was corrupt on the wire: drop it (the client retransmits).
   SealedRecord stashed;
   while (session.TakeDrainable(&stashed)) {
-    if (!accept(stashed).ok()) {
-      session.NoteCorruptReject();
+    if (!accept(stashed.ciphertext.data(), stashed.ciphertext.size(), stashed.tag).ok()) {
+      NoteChannelAuthReject();
       break;
     }
     NoteFaultRecovered();
@@ -162,6 +181,9 @@ Status EreborMonitor::HandleFin(Cpu& cpu, const Packet& packet) {
     return NotFoundError("fin for unknown sandbox");
   }
   SimLockGuard held = locks_.SandboxGuard(cpu, sandbox->lock);
+  // An authenticated teardown intent: renegotiation on this slot is legitimate
+  // again (the stale-hello guard in HandleHello keys off this).
+  sandbox->session.fin_seen = true;
   return sandbox_mgr_->Teardown(cpu, *sandbox);
 }
 

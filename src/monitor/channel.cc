@@ -1,5 +1,6 @@
 #include "src/monitor/channel.h"
 
+#include <cassert>
 #include <cstring>
 
 #include "src/common/metrics.h"
@@ -196,30 +197,124 @@ StatusOr<Packet> Packet::Deserialize(const Bytes& wire) {
   return packet;
 }
 
-ChannelSession::RecordAdmit ChannelSession::AdmitRecord(uint64_t seq,
-                                                        const SealedRecord& record) {
-  if (seq < next_recv_seq) {
+Bytes SealRecordWire(const AeadKeys& keys, PacketType type, int32_t sandbox_id,
+                     uint64_t sequence, const uint8_t* plaintext, size_t len) {
+  // Same bytes as Packet::Serialize for a data/result record, but the ciphertext
+  // is produced in place in the wire buffer: one encryption pass, no staging copy.
+  Bytes out(wire::kRecordHeaderBytes + len + wire::kRecordTagBytes);
+  out[0] = static_cast<uint8_t>(type);
+  StoreLe32(out.data() + 1, static_cast<uint32_t>(sandbox_id));
+  StoreLe64(out.data() + 5, sequence);
+  StoreLe32(out.data() + 13, static_cast<uint32_t>(len));
+  const RecordAad aad{static_cast<uint8_t>(type), sandbox_id};
+  const Digest256 tag =
+      AeadSealInto(keys, aad, sequence, plaintext, len, out.data() + wire::kRecordHeaderBytes);
+  std::memcpy(out.data() + wire::kRecordHeaderBytes + len, tag.data(), tag.size());
+  return out;
+}
+
+namespace {
+
+StatusOr<RecordView> ParseRecordWireImpl(const Bytes& wire) {
+  if (wire.size() > wire::kMaxWireBytes) {
+    return InvalidArgumentError("packet exceeds the wire limit");
+  }
+  if (wire.size() < wire::kRecordHeaderBytes + wire::kRecordTagBytes) {
+    return InvalidArgumentError("truncated packet");
+  }
+  RecordView view;
+  view.type = static_cast<PacketType>(wire[0]);
+  if (view.type != PacketType::kDataRecord && view.type != PacketType::kResultRecord) {
+    return InvalidArgumentError("not a record packet");
+  }
+  view.sandbox_id = static_cast<int32_t>(LoadLe32(wire.data() + 1));
+  view.sequence = LoadLe64(wire.data() + 5);
+  const uint32_t ct_len = LoadLe32(wire.data() + 13);
+  // The length prefix is attacker-controlled; a record carries exactly one
+  // ciphertext and one tag, so it must match the remaining bytes exactly.
+  if (ct_len != wire.size() - wire::kRecordHeaderBytes - wire::kRecordTagBytes) {
+    return InvalidArgumentError("record length prefix mismatch");
+  }
+  view.ciphertext = wire.data() + wire::kRecordHeaderBytes;
+  view.ciphertext_len = ct_len;
+  std::memcpy(view.tag.data(), wire.data() + wire::kRecordHeaderBytes + ct_len,
+              view.tag.size());
+  return view;
+}
+
+}  // namespace
+
+StatusOr<RecordView> ParseRecordWire(const Bytes& wire) {
+  StatusOr<RecordView> view = ParseRecordWireImpl(wire);
+  MetricsRegistry::Global().Increment(view.ok() ? "channel.packets_parsed"
+                                                : "channel.parse_rejects");
+  return view;
+}
+
+StatusOr<Bytes> OpenRecordWire(const AeadKeys& keys, const RecordView& view,
+                               uint64_t expected_sequence) {
+  if (view.sequence != expected_sequence) {
+    return PermissionDeniedError("AEAD record sequence mismatch (replay or reorder)");
+  }
+  Bytes plaintext(view.ciphertext_len);
+  EREBOR_RETURN_IF_ERROR(AeadOpenInto(keys, view.Aad(), view.sequence, view.ciphertext,
+                                      view.ciphertext_len, view.tag, plaintext.data()));
+  return plaintext;
+}
+
+void NoteChannelAuthReject() {
+  MetricsRegistry::Global().Increment("channel.corrupt_rejects");
+}
+
+namespace {
+
+// Shared admission logic; `stash` is invoked only for kStashed so the zero-copy
+// caller materializes a SealedRecord copy only when one is actually parked.
+template <typename StashFn>
+ChannelSession::RecordAdmit AdmitRecordImpl(ChannelSession& session, uint64_t seq,
+                                            StashFn&& stash) {
+  using RecordAdmit = ChannelSession::RecordAdmit;
+  if (seq < session.next_recv_seq) {
     // Replay window: a duplicate of an already-accepted record. It is absorbed,
     // never re-decrypted or re-delivered (replay cannot double-install client data).
-    ++duplicates;
+    ++session.duplicates;
     MetricsRegistry::Global().Increment("channel.duplicates");
     return RecordAdmit::kDuplicate;
   }
-  if (seq > next_recv_seq) {
-    if (seq - next_recv_seq > kReorderWindow) {
-      ++rejects;
+  if (seq > session.next_recv_seq) {
+    if (seq - session.next_recv_seq > ChannelSession::kReorderWindow) {
+      ++session.rejects;
       MetricsRegistry::Global().Increment("channel.rejects");
       return RecordAdmit::kRejected;
     }
     // Reordered ahead of a gap: stash the sealed record until the gap fills.
     // Nothing is decrypted out of order — AEAD still runs at exactly the
     // expected sequence.
-    ++reorders;
+    ++session.reorders;
     MetricsRegistry::Global().Increment("channel.reorders");
-    reorder[seq] = record;
+    stash();
+    // Every key is in (next_recv_seq, next_recv_seq + kReorderWindow], so the
+    // buffer can never hold more than kReorderWindow entries.
+    assert(session.reorder.size() <= ChannelSession::kReorderWindow);
     return RecordAdmit::kStashed;
   }
   return RecordAdmit::kInSequence;
+}
+
+}  // namespace
+
+ChannelSession::RecordAdmit ChannelSession::AdmitRecord(uint64_t seq,
+                                                        const SealedRecord& record) {
+  return AdmitRecordImpl(*this, seq, [&] { reorder[seq] = record; });
+}
+
+ChannelSession::RecordAdmit ChannelSession::AdmitRecord(const RecordView& view) {
+  return AdmitRecordImpl(*this, view.sequence, [&] {
+    SealedRecord& slot = reorder[view.sequence];
+    slot.sequence = view.sequence;
+    slot.ciphertext.assign(view.ciphertext, view.ciphertext + view.ciphertext_len);
+    slot.tag = view.tag;
+  });
 }
 
 bool ChannelSession::TakeDrainable(SealedRecord* out) {
@@ -232,14 +327,19 @@ bool ChannelSession::TakeDrainable(SealedRecord* out) {
   return true;
 }
 
+void ChannelSession::AdvanceRecv() {
+  ++next_recv_seq;
+  // Prune every stash entry the window has passed. A record can be stashed AND
+  // later accepted via direct in-sequence arrival; without this, that stale
+  // stash entry (seq < next_recv_seq) would never be erased (TakeDrainable only
+  // looks at exactly next_recv_seq) and the buffer would leak.
+  reorder.erase(reorder.begin(), reorder.lower_bound(next_recv_seq));
+  assert(reorder.size() <= kReorderWindow);
+}
+
 bool ChannelSession::IsHelloReplay(const U256& client_public,
                                    const std::array<uint8_t, 32>& nonce) const {
   return established && client_public == hello_client_public && nonce == hello_nonce;
-}
-
-void ChannelSession::NoteCorruptReject() {
-  ++rejects;
-  MetricsRegistry::Global().Increment("channel.corrupt_rejects");
 }
 
 void ChannelSession::CountRetransmit() {

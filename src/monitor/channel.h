@@ -22,6 +22,11 @@ namespace wire {
 // in proxy/sandbox ioctl arguments) are attacker-controlled; every consumer must
 // bound them against this before sizing a buffer.
 inline constexpr uint64_t kMaxWireBytes = 16ull << 20;  // 16 MiB
+
+// Fixed layout of a data/result record on the wire:
+//   type(1) | sandbox_id LE32(4) | sequence LE64(8) | ct_len LE32(4) | ct | tag(32)
+inline constexpr size_t kRecordHeaderBytes = 1 + 4 + 8 + 4;
+inline constexpr size_t kRecordTagBytes = 32;
 }  // namespace wire
 
 enum class PacketType : uint8_t {
@@ -56,6 +61,53 @@ struct Packet {
 Digest256 HandshakeTranscript(const U256& client_public, const U256& monitor_public,
                               const std::array<uint8_t, 32>& nonce);
 
+// Zero-copy record path. Data/result records are by far the hottest packets, so
+// they get a dedicated pipeline that never round-trips the ciphertext through a
+// Packet: SealRecordWire encrypts straight into the wire buffer, ParseRecordWire
+// yields a borrowed view into the received buffer, and the AEAD open decrypts
+// from that view into its destination. The bytes produced/consumed are identical
+// to Packet::Serialize/Deserialize for the same record.
+
+// Borrowed, non-owning view of a data/result record inside a wire buffer. Valid
+// only while the underlying buffer is alive and unmodified.
+struct RecordView {
+  PacketType type = PacketType::kDataRecord;
+  int32_t sandbox_id = -1;
+  uint64_t sequence = 0;
+  const uint8_t* ciphertext = nullptr;
+  size_t ciphertext_len = 0;
+  Digest256 tag{};
+
+  // The AAD the record's tag must cover: exactly the rewritable header fields.
+  RecordAad Aad() const { return RecordAad{static_cast<uint8_t>(type), sandbox_id}; }
+};
+
+// Builds a complete wire packet, sealing `len` plaintext bytes directly into it.
+Bytes SealRecordWire(const AeadKeys& keys, PacketType type, int32_t sandbox_id,
+                     uint64_t sequence, const uint8_t* plaintext, size_t len);
+inline Bytes SealRecordWire(const AeadKeys& keys, PacketType type, int32_t sandbox_id,
+                            uint64_t sequence, const Bytes& plaintext) {
+  return SealRecordWire(keys, type, sandbox_id, sequence, plaintext.data(),
+                        plaintext.size());
+}
+
+// Parses a kDataRecord/kResultRecord wire packet without copying the ciphertext.
+// Bumps the same parse metrics as Packet::Deserialize. InvalidArgument on anything
+// that is not a well-formed record packet.
+StatusOr<RecordView> ParseRecordWire(const Bytes& wire);
+
+// Authenticate-then-decrypt a viewed record into a fresh buffer, enforcing the
+// expected sequence (kPermissionDenied on mismatch or bad tag).
+StatusOr<Bytes> OpenRecordWire(const AeadKeys& keys, const RecordView& view,
+                               uint64_t expected_sequence);
+
+// A record that failed authentication. Deliberately NOT a ChannelSession method:
+// an unauthenticated record proves nothing about who sent it (a forged header can
+// name any sandbox), so the reject is accounted globally and never charged to the
+// session the header points at — otherwise re-addressed garbage could strike out
+// an innocent session.
+void NoteChannelAuthReject();
+
 // Channel session state (one per connected client/sandbox).
 //
 // Robustness against a lossy/adversarial transport (the untrusted host carries every
@@ -83,22 +135,40 @@ struct ChannelSession {
   // counters and their global metrics are bumped here, and a kStashed record is
   // parked in the reorder buffer. The caller only decrypts on kInSequence.
   RecordAdmit AdmitRecord(uint64_t seq, const SealedRecord& record);
+  // Same, for the zero-copy path: the view's ciphertext is copied into the stash
+  // only when the record is actually parked (kStashed).
+  RecordAdmit AdmitRecord(const RecordView& view);
 
   // Pops the stashed record at next_recv_seq, if any (the drain loop after an
   // in-sequence accept).
   bool TakeDrainable(SealedRecord* out);
+
+  // Advances the receive window past an accepted record and prunes every stashed
+  // entry the window has passed. Without the prune, a record that was stashed and
+  // then also arrived in sequence leaks its stale stash entry forever.
+  void AdvanceRecv();
 
   // True when a ClientHello is a byte-identical retransmit of the hello that
   // established this session (answered from the cached ServerHello).
   bool IsHelloReplay(const U256& client_public,
                      const std::array<uint8_t, 32>& nonce) const;
 
-  // A record that failed AEAD open: counted as a reject ("channel.corrupt_rejects").
-  void NoteCorruptReject();
+  // Renegotiation policy: a fresh hello may re-key this session only while no
+  // client data has been installed, or after the client said kFin. Otherwise a
+  // replayed stale hello (valid format, old nonce) could tear down a live
+  // session's keys, reorder state and cached results.
+  bool RenegotiationAllowed() const {
+    return !established || !data_installed || fin_seen;
+  }
+
   // A cached response re-sent to heal client-observed loss ("channel.retries").
   void CountRetransmit();
 
   bool established = false;
+  // Set once the first data record decrypts and installs; gates renegotiation.
+  bool data_installed = false;
+  // Set when the client's kFin arrives; re-opens renegotiation for this slot.
+  bool fin_seen = false;
   SessionKeys keys;
   uint64_t next_recv_seq = 0;
   uint64_t next_send_seq = 0;

@@ -642,17 +642,93 @@ Status EreborMonitor::ProxyDeliver(Cpu& cpu, const Bytes& wire) {
   // The target sandbox is only known after deserialization, so the handlers take
   // the sandbox lock themselves (EmcLockTable::SandboxGuard).
   return EmcDispatch(cpu, call, [&]() -> Status {
+    if (!wire.empty() && static_cast<PacketType>(wire[0]) == PacketType::kDataRecord) {
+      // Hot path: data records are parsed as a borrowed view and decrypted
+      // straight from the wire buffer (no Packet materialization).
+      EREBOR_ASSIGN_OR_RETURN(const RecordView view, ParseRecordWire(wire));
+      return HandleDataRecord(cpu, view);
+    }
     EREBOR_ASSIGN_OR_RETURN(const Packet packet, Packet::Deserialize(wire));
     switch (packet.type) {
       case PacketType::kClientHello:
         return HandleHello(cpu, packet);
-      case PacketType::kDataRecord:
-        return HandleDataRecord(cpu, packet);
       case PacketType::kFin:
         return HandleFin(cpu, packet);
       default:
         return InvalidArgumentError("unexpected packet type from network");
     }
+  });
+}
+
+Status EreborMonitor::ProxyDeliverBatch(Cpu& cpu, const std::vector<Bytes>& wires) {
+  if (wires.empty()) {
+    return OkStatus();
+  }
+  EmcCall call{};
+  call.op = EmcOp::kChannelOp;
+  call.cost_units = wires.size();  // one gate crossing, per-packet channel-op cost
+  return EmcDispatch(cpu, call, [&]() -> Status {
+    Status first_error = OkStatus();
+    auto note = [&first_error](const Status& st) {
+      if (first_error.ok() && !st.ok()) {
+        first_error = st;
+      }
+    };
+
+    // Partition the burst: control packets stay in arrival order, data records
+    // are grouped per target sandbox with their relative order preserved.
+    std::vector<const Bytes*> control;
+    std::map<int32_t, std::vector<RecordView>> data_by_sandbox;
+    for (const Bytes& wire : wires) {
+      if (FaultInjector::Armed() &&
+          FaultInjector::Global().Fire("channel.deliver", FaultAction::kDrop)) {
+        continue;  // ordinary network loss; the client's bounded retry covers it
+      }
+      if (!wire.empty() && static_cast<PacketType>(wire[0]) == PacketType::kDataRecord) {
+        StatusOr<RecordView> view = ParseRecordWire(wire);
+        if (!view.ok()) {
+          note(view.status());
+          continue;
+        }
+        data_by_sandbox[view->sandbox_id].push_back(*view);
+        continue;
+      }
+      control.push_back(&wire);
+    }
+
+    for (const Bytes* wire : control) {
+      StatusOr<Packet> packet = Packet::Deserialize(*wire);
+      if (!packet.ok()) {
+        note(packet.status());
+        continue;
+      }
+      switch (packet->type) {
+        case PacketType::kClientHello:
+          note(HandleHello(cpu, *packet));
+          break;
+        case PacketType::kFin:
+          note(HandleFin(cpu, *packet));
+          break;
+        default:
+          note(InvalidArgumentError("unexpected packet type from network"));
+          break;
+      }
+    }
+
+    // One lock acquisition per sandbox group: under the kSharded plan concurrent
+    // batches for different sessions never touch the same lock.
+    for (const auto& [sandbox_id, views] : data_by_sandbox) {
+      Sandbox* sandbox = sandbox_mgr_->Find(sandbox_id);
+      if (sandbox == nullptr || !sandbox->session.established) {
+        note(FailedPreconditionError("data record without established session"));
+        continue;
+      }
+      SimLockGuard held = locks_.SandboxGuard(cpu, sandbox->lock);
+      for (const RecordView& view : views) {
+        note(IngestDataRecordLocked(cpu, *sandbox, view));
+      }
+    }
+    return first_error;
   });
 }
 

@@ -292,14 +292,12 @@ StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
           ++counters_.quantized_outputs;
         }
         if (sandbox->session.established) {
-          Packet packet;
-          packet.type = PacketType::kResultRecord;
-          packet.sandbox_id = sandbox->id;
-          packet.record = AeadSeal(sandbox->session.keys.server_to_client,
-                                   sandbox->session.next_send_seq++, padded);
-          // Cache the serialized result for retransmission: if it is lost on the
-          // wire, the client's duplicate data record triggers a re-send.
-          sandbox->session.last_result_wire = packet.Serialize();
+          // Seal straight into the wire buffer (no Packet round trip). Cache the
+          // result for retransmission: if it is lost on the wire, the client's
+          // duplicate data record triggers a re-send.
+          sandbox->session.last_result_wire = SealRecordWire(
+              sandbox->session.keys.server_to_client, PacketType::kResultRecord,
+              sandbox->id, sandbox->session.next_send_seq++, padded);
           sandbox->outbound_wire.push_back(sandbox->session.last_result_wire);
         } else {
           sandbox->outbound_wire.push_back(padded);
@@ -326,6 +324,38 @@ StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
       EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, src, wire.data(), len));
       EREBOR_RETURN_IF_ERROR(ProxyDeliver(cpu, wire));
       return 0;
+    }
+    case emc_ioctl::kProxyDeliverBatch: {
+      if (sandbox != nullptr) {
+        return PermissionDeniedError("proxy ioctls are not for sandbox tasks");
+      }
+      uint8_t buf[16];
+      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, arg_va, buf, sizeof(buf)));
+      const Vaddr src = LoadLe64(buf);
+      const uint64_t len = LoadLe64(buf + 8);
+      if (len > wire::kMaxWireBytes) {
+        return InvalidArgumentError("proxy batch exceeds the wire limit");
+      }
+      Bytes blob(len);
+      EREBOR_RETURN_IF_ERROR(ReadGuest(*task.aspace, src, blob.data(), len));
+      // Proxy-framed burst: [LE32 packet_len | packet]*. The framing is
+      // proxy-controlled, so every prefix is bounded against the bytes present.
+      std::vector<Bytes> wires;
+      size_t off = 0;
+      while (off < blob.size()) {
+        if (blob.size() - off < 4) {
+          return InvalidArgumentError("truncated batch frame header");
+        }
+        const uint32_t n = LoadLe32(blob.data() + off);
+        off += 4;
+        if (n > blob.size() - off) {
+          return InvalidArgumentError("batch frame overruns the buffer");
+        }
+        wires.emplace_back(blob.begin() + off, blob.begin() + off + n);
+        off += n;
+      }
+      EREBOR_RETURN_IF_ERROR(ProxyDeliverBatch(cpu, wires));
+      return static_cast<uint64_t>(wires.size());
     }
     case emc_ioctl::kProxyFetch: {
       if (sandbox != nullptr) {

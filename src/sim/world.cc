@@ -177,14 +177,33 @@ Status World::StartProxy() {
     const Vaddr data_va = buffer + kPageSize;  // packet staging
     bool moved = false;
 
-    // Network -> monitor.
-    auto received = ctx.Syscall(sys::kRecvfrom, data_va, 62 * kPageSize);
-    if (received.ok() && *received > 0) {
+    // Network -> monitor: drain every packet pending this slice into one
+    // [LE32 len | packet]* burst and hand the whole thing to the monitor in a
+    // single batch ioctl, so concurrent sessions cross the EMC boundary once
+    // and are ingested per-sandbox under the sharded lock plan.
+    uint64_t batched = 0;
+    for (;;) {
+      const uint64_t capacity = 62 * kPageSize - batched;
+      if (capacity <= 4) {
+        break;
+      }
+      auto received = ctx.Syscall(sys::kRecvfrom, data_va + batched + 4, capacity - 4);
+      if (!received.ok() || *received == 0) {
+        break;
+      }
+      uint8_t prefix[4];
+      StoreLe32(prefix, static_cast<uint32_t>(*received));
+      if (!ctx.WriteUser(data_va + batched, prefix, sizeof(prefix)).ok()) {
+        break;
+      }
+      batched += 4 + *received;
+    }
+    if (batched > 0) {
       uint8_t req[16];
       StoreLe64(req, data_va);
-      StoreLe64(req + 8, *received);
+      StoreLe64(req + 8, batched);
       if (ctx.WriteUser(req_va, req, sizeof(req)).ok()) {
-        (void)ctx.Syscall(sys::kIoctl, fd, emc_ioctl::kProxyDeliver, req_va);
+        (void)ctx.Syscall(sys::kIoctl, fd, emc_ioctl::kProxyDeliverBatch, req_va);
         moved = true;
       }
     }

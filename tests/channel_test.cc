@@ -540,6 +540,307 @@ TEST_F(ChannelE2eTest, ConcurrentSessionsAreIsolated) {
   EXPECT_EQ(bob_plain, expect_b);
 }
 
+// ---- Zero-copy record wire path ----
+
+TEST(RecordWireTest, SealRecordWireMatchesPacketSerialize) {
+  // The zero-copy seal must emit byte-identical wire to the Packet path, or a
+  // mixed-version client/monitor pair would desync.
+  const SessionKeys keys = DeriveSessionKeys(Bytes(32, 0x21), Digest256{});
+  const Bytes plaintext = ToBytes("zero copy or bust");
+  const Bytes wire =
+      SealRecordWire(keys.client_to_server, PacketType::kDataRecord, 5, 3, plaintext);
+
+  Packet packet;
+  packet.type = PacketType::kDataRecord;
+  packet.sandbox_id = 5;
+  packet.record =
+      AeadSeal(keys.client_to_server,
+               RecordAad{static_cast<uint8_t>(PacketType::kDataRecord), 5}, 3,
+               plaintext);
+  packet.record.sequence = 3;
+  EXPECT_EQ(wire, packet.Serialize());
+}
+
+TEST(RecordWireTest, ParseOpenRoundTripAndRejections) {
+  const SessionKeys keys = DeriveSessionKeys(Bytes(32, 0x22), Digest256{});
+  const Bytes plaintext = ToBytes("view first, decrypt second");
+  const Bytes wire =
+      SealRecordWire(keys.client_to_server, PacketType::kDataRecord, 9, 0, plaintext);
+
+  auto view = ParseRecordWire(wire);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->type, PacketType::kDataRecord);
+  EXPECT_EQ(view->sandbox_id, 9);
+  EXPECT_EQ(view->sequence, 0u);
+  auto opened = OpenRecordWire(keys.client_to_server, *view, 0);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+  // Wrong expected sequence: refused before any decryption happens.
+  EXPECT_FALSE(OpenRecordWire(keys.client_to_server, *view, 1).ok());
+
+  // Every truncation is rejected (a record's length prefix must match exactly).
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(ParseRecordWire(Bytes(wire.begin(), wire.begin() + cut)).ok());
+  }
+  // So is trailing garbage and a non-record type byte.
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(ParseRecordWire(padded).ok());
+  Bytes relabeled = wire;
+  relabeled[0] = static_cast<uint8_t>(PacketType::kClientHello);
+  EXPECT_FALSE(ParseRecordWire(relabeled).ok());
+}
+
+// ---- Reorder buffer hygiene (the stale-stash leak) ----
+
+SealedRecord MakeStashRecord(uint64_t seq) {
+  SealedRecord record;
+  record.sequence = seq;
+  record.ciphertext = ToBytes("stash payload");
+  return record;
+}
+
+TEST(ChannelSessionTest, StaleStashEntryPrunedWhenGapFillsInSequence) {
+  // Seq 1 arrives early and is stashed; then 0 and 1 both arrive in sequence
+  // (the client retransmitted 1, racing its own reordered copy). The stashed
+  // copy of 1 falls below the window and must be pruned on advance — before the
+  // fix it sat in the map forever, because TakeDrainable only ever looks at
+  // exactly next_recv_seq.
+  ChannelSession session;
+  session.established = true;
+  EXPECT_EQ(session.AdmitRecord(1, MakeStashRecord(1)),
+            ChannelSession::RecordAdmit::kStashed);
+  EXPECT_EQ(session.reorder.size(), 1u);
+
+  EXPECT_EQ(session.AdmitRecord(0, MakeStashRecord(0)),
+            ChannelSession::RecordAdmit::kInSequence);
+  session.AdvanceRecv();
+  EXPECT_EQ(session.AdmitRecord(1, MakeStashRecord(1)),
+            ChannelSession::RecordAdmit::kInSequence);
+  session.AdvanceRecv();
+  EXPECT_TRUE(session.reorder.empty()) << "stale stash entry leaked";
+  EXPECT_EQ(session.next_recv_seq, 2u);
+}
+
+TEST(ChannelSessionTest, ReorderBufferBoundedAtWindowAndDrainsEmpty) {
+  ChannelSession session;
+  session.established = true;
+  // Fill the entire window ahead of the gap at 0.
+  for (uint64_t seq = 1; seq <= ChannelSession::kReorderWindow; ++seq) {
+    EXPECT_EQ(session.AdmitRecord(seq, MakeStashRecord(seq)),
+              ChannelSession::RecordAdmit::kStashed);
+    EXPECT_LE(session.reorder.size(), ChannelSession::kReorderWindow);
+  }
+  // One past the window is refused outright, never stashed.
+  EXPECT_EQ(session.AdmitRecord(ChannelSession::kReorderWindow + 1,
+                                MakeStashRecord(ChannelSession::kReorderWindow + 1)),
+            ChannelSession::RecordAdmit::kRejected);
+  EXPECT_EQ(session.reorder.size(), ChannelSession::kReorderWindow);
+
+  // The gap fills: drain everything, checking the bound at every step.
+  EXPECT_EQ(session.AdmitRecord(0, MakeStashRecord(0)),
+            ChannelSession::RecordAdmit::kInSequence);
+  session.AdvanceRecv();
+  SealedRecord drained;
+  while (session.TakeDrainable(&drained)) {
+    EXPECT_EQ(drained.sequence, session.next_recv_seq);
+    session.AdvanceRecv();
+    EXPECT_LE(session.reorder.size(), ChannelSession::kReorderWindow);
+  }
+  EXPECT_TRUE(session.reorder.empty());
+  EXPECT_EQ(session.next_recv_seq, ChannelSession::kReorderWindow + 1);
+}
+
+TEST_F(ChannelE2eTest, ForgedRecordHeaderDoesNotStrikeVictimSession) {
+  // An attacker who rewrites the (unencrypted) record header must not be able
+  // to charge auth failures to the session the forged header points at — that
+  // would let re-addressed garbage strike out and quarantine an innocent
+  // sandbox.
+  SandboxSpec spec;
+  spec.name = "victim2";
+  auto sandbox2 = world_->LaunchSandboxProcess(
+      "victim2", spec, [](SyscallContext&) { return StepOutcome::kYield; });
+  ASSERT_TRUE(sandbox2.ok());
+
+  RemoteClient alice(world_->MakeTrustAnchors(), 701);
+  RemoteClient bob(world_->MakeTrustAnchors(), 702);
+  world_->ClientSend(alice.MakeHello(sandbox_->id));
+  auto hello_a = PumpUntilClientPacket();
+  ASSERT_TRUE(hello_a.ok());
+  ASSERT_TRUE(alice.ProcessServerHello(*hello_a).ok());
+  world_->ClientSend(bob.MakeHello((*sandbox2)->id));
+  auto hello_b = PumpUntilClientPacket();
+  ASSERT_TRUE(hello_b.ok());
+  ASSERT_TRUE(bob.ProcessServerHello(*hello_b).ok());
+
+  // Alice's session goes live (data installed) before the attacks.
+  world_->ClientSend(alice.SealData(ToBytes("legit data")));
+  auto result0 = PumpUntilClientPacket();
+  ASSERT_TRUE(result0.ok());
+  ASSERT_TRUE(alice.OpenResult(*result0).ok());
+
+  const uint64_t corrupt_before =
+      MetricsRegistry::Global().Value("channel.corrupt_rejects");
+  const uint64_t victim_rejects_before = sandbox_->session.rejects;
+
+  // Attack 1: re-route Bob's record to Alice's sandbox, patching the sequence
+  // field to Alice's expected one so it reaches authentication.
+  Bytes rerouted = bob.SealData(ToBytes("poison pill"));
+  StoreLe32(rerouted.data() + 1, static_cast<uint32_t>(sandbox_->id));
+  StoreLe64(rerouted.data() + 5, sandbox_->session.next_recv_seq);
+  world_->ClientSend(rerouted);
+
+  // Attack 2: relabel Alice's own result record (kResultRecord -> kDataRecord)
+  // and bounce it back at her sandbox with a patched sequence.
+  Bytes relabeled = *result0;
+  relabeled[0] = static_cast<uint8_t>(PacketType::kDataRecord);
+  StoreLe64(relabeled.data() + 5, sandbox_->session.next_recv_seq);
+  world_->ClientSend(relabeled);
+  world_->kernel().Run(3000);
+
+  // Both forgeries were rejected by the AAD-bound tag...
+  EXPECT_EQ(MetricsRegistry::Global().Value("channel.corrupt_rejects"),
+            corrupt_before + 2);
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 1u);
+  EXPECT_EQ(sandbox_->input_plaintext.size(), 0u);  // consumed the one legit input
+  // ...and NOTHING was charged to the victim: no session rejects, no fault
+  // strikes, no quarantine.
+  EXPECT_EQ(sandbox_->session.rejects, victim_rejects_before);
+  EXPECT_EQ(sandbox_->fault_strikes, 0u);
+  EXPECT_EQ(sandbox_->state, SandboxState::kSealed);
+
+  // The victim session still serves traffic with its original keys.
+  world_->ClientSend(alice.SealData(ToBytes("still trusted")));
+  auto result1 = PumpUntilClientPacket();
+  ASSERT_TRUE(result1.ok());
+  auto plain1 = alice.OpenResult(*result1);
+  ASSERT_TRUE(plain1.ok());
+  Bytes expected = ToBytes("still trusted");
+  for (uint8_t& b : expected) {
+    b ^= 0x20;
+  }
+  EXPECT_EQ(*plain1, expected);
+}
+
+TEST_F(ChannelE2eTest, StaleHelloCannotTearDownLiveSession) {
+  RemoteClient alice(world_->MakeTrustAnchors(), 711);
+  world_->ClientSend(alice.MakeHello(sandbox_->id));
+  auto hello = PumpUntilClientPacket();
+  ASSERT_TRUE(hello.ok());
+  ASSERT_TRUE(alice.ProcessServerHello(*hello).ok());
+
+  // The first record installs data: the session is now live.
+  world_->ClientSend(alice.SealData(ToBytes("live data")));
+  auto result = PumpUntilClientPacket();
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(alice.OpenResult(*result).ok());
+  ASSERT_TRUE(sandbox_->session.data_installed);
+
+  // The host replays a recorded stale hello (valid format, different nonce).
+  // Pre-fix this renegotiated: it destroyed the live session's keys, reorder
+  // state and cached results — a zero-cost DoS for anyone holding an old hello.
+  const uint64_t hostile_before =
+      MetricsRegistry::Global().Value("channel.hostile_hellos");
+  RemoteClient eve(world_->MakeTrustAnchors(), 712);
+  world_->ClientSend(eve.MakeHello(sandbox_->id));
+  world_->kernel().Run(2000);
+  EXPECT_EQ(MetricsRegistry::Global().Value("channel.hostile_hellos"),
+            hostile_before + 1);
+  EXPECT_FALSE(world_->ClientReceive().ok()) << "hostile hello got a ServerHello";
+
+  // The live session survived: same keys, same sequence space, still serving.
+  EXPECT_TRUE(sandbox_->session.established);
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 1u);
+  world_->ClientSend(alice.SealData(ToBytes("still alive")));
+  auto result2 = PumpUntilClientPacket();
+  ASSERT_TRUE(result2.ok()) << result2.status().ToString();
+  auto plain2 = alice.OpenResult(*result2);
+  ASSERT_TRUE(plain2.ok());
+  Bytes expected = ToBytes("still alive");
+  for (uint8_t& b : expected) {
+    b ^= 0x20;
+  }
+  EXPECT_EQ(*plain2, expected);
+}
+
+TEST_F(ChannelE2eTest, RenegotiationAllowedBeforeDataAndAfterFin) {
+  // Before any data is installed, a fresh hello may legitimately re-key the
+  // slot (e.g. the client rebooted after the handshake).
+  RemoteClient first(world_->MakeTrustAnchors(), 721);
+  world_->ClientSend(first.MakeHello(sandbox_->id));
+  auto hello1 = PumpUntilClientPacket();
+  ASSERT_TRUE(hello1.ok());
+  ASSERT_TRUE(first.ProcessServerHello(*hello1).ok());
+
+  RemoteClient second(world_->MakeTrustAnchors(), 722);
+  world_->ClientSend(second.MakeHello(sandbox_->id));
+  auto hello2 = PumpUntilClientPacket();
+  ASSERT_TRUE(hello2.ok()) << "pre-data renegotiation must be answered";
+  ASSERT_TRUE(second.ProcessServerHello(*hello2).ok());
+
+  // The renegotiated session carries data end to end.
+  world_->ClientSend(second.SealData(ToBytes("renegotiated")));
+  auto result = PumpUntilClientPacket();
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(second.OpenResult(*result).ok());
+
+  // After kFin the slot opens up again: a new hello is answered, not hostile.
+  const uint64_t hostile_before =
+      MetricsRegistry::Global().Value("channel.hostile_hellos");
+  world_->ClientSend(second.MakeFin());
+  ASSERT_TRUE(
+      world_->RunUntil([&] { return sandbox_->state == SandboxState::kTornDown; }).ok());
+  RemoteClient third(world_->MakeTrustAnchors(), 723);
+  world_->ClientSend(third.MakeHello(sandbox_->id));
+  auto hello3 = PumpUntilClientPacket();
+  EXPECT_TRUE(hello3.ok()) << "post-fin renegotiation must be answered";
+  EXPECT_EQ(MetricsRegistry::Global().Value("channel.hostile_hellos"), hostile_before);
+}
+
+TEST_F(ChannelE2eTest, BatchedIngestProcessesEveryPacketAcrossSessions) {
+  // A burst containing records for two sessions plus one malformed packet: the
+  // batch entry point must process every packet (grouped per sandbox, order
+  // preserved within each) and still report the malformed one's error.
+  SandboxSpec spec;
+  spec.name = "echo2";
+  auto env2 = std::make_shared<LibosEnv>(
+      LibosManifest{.name = "echo2", .heap_bytes = 1 << 20}, LibosBackend::kSandboxed);
+  auto sandbox2 = world_->LaunchSandboxProcess(
+      "echo2", spec, [env2](SyscallContext& ctx) -> StepOutcome {
+        if (!env2->initialized()) {
+          EXPECT_TRUE(env2->Initialize(ctx).ok());
+        }
+        return StepOutcome::kYield;
+      });
+  ASSERT_TRUE(sandbox2.ok());
+
+  RemoteClient alice(world_->MakeTrustAnchors(), 731);
+  RemoteClient bob(world_->MakeTrustAnchors(), 732);
+  world_->ClientSend(alice.MakeHello(sandbox_->id));
+  auto hello_a = PumpUntilClientPacket();
+  ASSERT_TRUE(hello_a.ok());
+  ASSERT_TRUE(alice.ProcessServerHello(*hello_a).ok());
+  world_->ClientSend(bob.MakeHello((*sandbox2)->id));
+  auto hello_b = PumpUntilClientPacket();
+  ASSERT_TRUE(hello_b.ok());
+  ASSERT_TRUE(bob.ProcessServerHello(*hello_b).ok());
+
+  std::vector<Bytes> wires;
+  wires.push_back(alice.SealData(ToBytes("a0")));
+  wires.push_back(bob.SealData(ToBytes("b0")));
+  wires.push_back(ToBytes("not a packet"));
+  wires.push_back(alice.SealData(ToBytes("a1")));
+  wires.push_back(bob.SealData(ToBytes("b1")));
+  const Status st =
+      world_->monitor()->ProxyDeliverBatch(world_->machine().cpu(0), wires);
+  EXPECT_FALSE(st.ok()) << "malformed packet's error must surface";
+
+  EXPECT_EQ(sandbox_->session.next_recv_seq, 2u);
+  EXPECT_EQ((*sandbox2)->session.next_recv_seq, 2u);
+  EXPECT_EQ(sandbox_->input_plaintext.size(), 2u);
+  EXPECT_EQ((*sandbox2)->input_plaintext.size(), 2u);
+}
+
 TEST_F(ChannelE2eTest, CrossSessionRecordInjectionRejected) {
   // A malicious network re-tags Bob's record with Alice's sandbox id; the AEAD keys
   // do not match and the monitor must reject it without sealing in bad data.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/crypto/accel.h"
 #include "src/crypto/aead.h"
 #include "src/crypto/chacha20.h"
 #include "src/crypto/group.h"
@@ -256,6 +257,67 @@ TEST(ChaCha20Test, XorIsInvolution) {
   EXPECT_EQ(data, original);
 }
 
+TEST(ChaCha20Test, MultiBlockPathsMatchScalarReference) {
+  // The wide paths (AVX2 8-block, portable 4-block, single-block word XOR) must
+  // produce exactly the reference byte-at-a-time keystream at every length that
+  // exercises a different path/tail combination.
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  ChaChaNonce nonce{};
+  nonce[3] = 0x9C;
+  Rng rng(4242);
+  for (const bool accelerated : {true, false}) {
+    accel::ScopedEnable scoped(accelerated);
+    for (const size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{63}, size_t{64},
+                             size_t{65}, size_t{255}, size_t{256}, size_t{257},
+                             size_t{511}, size_t{512}, size_t{513}, size_t{1024},
+                             size_t{4096}, size_t{65536}, size_t{100001}}) {
+      Bytes wide(len);
+      rng.Fill(wide.data(), wide.size());
+      Bytes reference = wide;
+      ChaCha20Xor(key, nonce, 1, wide.data(), wide.size());
+      ChaCha20XorScalar(key, nonce, 1, reference.data(), reference.size());
+      ASSERT_EQ(wide, reference) << "len=" << len << " accel=" << accelerated;
+    }
+  }
+}
+
+TEST(ChaCha20Test, OutOfPlaceMatchesInPlace) {
+  ChaChaKey key{};
+  key[31] = 0xEE;
+  ChaChaNonce nonce{};
+  Bytes src(777);
+  Rng rng(99);
+  rng.Fill(src.data(), src.size());
+  Bytes dst(src.size());
+  ChaCha20XorTo(key, nonce, 5, src.data(), dst.data(), src.size());
+  Bytes in_place = src;
+  ChaCha20Xor(key, nonce, 5, in_place.data(), in_place.size());
+  EXPECT_EQ(dst, in_place);
+}
+
+TEST(Sha256Test, AcceleratedMatchesPortable) {
+  // Same digests with the SHA-NI dispatch forced off, across lengths that hit
+  // every partial-block top-up / whole-block / tail combination in Update().
+  Rng rng(7);
+  for (size_t len = 0; len < 300; len += 13) {
+    Bytes message(len);
+    rng.Fill(message.data(), message.size());
+    accel::ScopedEnable on(true);
+    const Digest256 fast = Sha256::Hash(message);
+    accel::ScopedEnable off(false);
+    EXPECT_EQ(Sha256::Hash(message), fast) << "len=" << len;
+  }
+  Bytes big(1 << 18);
+  rng.Fill(big.data(), big.size());
+  accel::ScopedEnable on(true);
+  const Digest256 fast = Sha256::Hash(big);
+  accel::ScopedEnable off(false);
+  EXPECT_EQ(Sha256::Hash(big), fast);
+}
+
 // ---- AEAD records ----
 
 AeadKeys TestKeys() {
@@ -267,28 +329,86 @@ AeadKeys TestKeys() {
   return keys;
 }
 
+// A representative record header (data record for sandbox 7).
+constexpr RecordAad kTestAad{3, 7};
+
 TEST(AeadTest, SealOpenRoundTrip) {
   const AeadKeys keys = TestKeys();
   const Bytes plaintext = ToBytes("sensitive client data");
-  const SealedRecord record = AeadSeal(keys, 0, plaintext);
+  const SealedRecord record = AeadSeal(keys, kTestAad, 0, plaintext);
   EXPECT_NE(record.ciphertext, plaintext);
-  const auto opened = AeadOpen(keys, record, 0);
+  const auto opened = AeadOpen(keys, kTestAad, record, 0);
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(*opened, plaintext);
 }
 
 TEST(AeadTest, RejectsTamperedCiphertext) {
   const AeadKeys keys = TestKeys();
-  SealedRecord record = AeadSeal(keys, 0, ToBytes("data"));
+  SealedRecord record = AeadSeal(keys, kTestAad, 0, ToBytes("data"));
   record.ciphertext[0] ^= 1;
-  EXPECT_EQ(AeadOpen(keys, record, 0).status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(AeadOpen(keys, kTestAad, record, 0).status().code(),
+            ErrorCode::kPermissionDenied);
 }
 
 TEST(AeadTest, RejectsReplayedSequence) {
   const AeadKeys keys = TestKeys();
-  const SealedRecord record = AeadSeal(keys, 3, ToBytes("data"));
-  EXPECT_TRUE(AeadOpen(keys, record, 3).ok());
-  EXPECT_EQ(AeadOpen(keys, record, 4).status().code(), ErrorCode::kPermissionDenied);
+  const SealedRecord record = AeadSeal(keys, kTestAad, 3, ToBytes("data"));
+  EXPECT_TRUE(AeadOpen(keys, kTestAad, record, 3).ok());
+  EXPECT_EQ(AeadOpen(keys, kTestAad, record, 4).status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(AeadTest, HeaderIsBoundIntoTheTag) {
+  // The tag must cover the rewritable header fields: the same record presented
+  // under a relabeled type or re-routed sandbox id fails authentication.
+  const AeadKeys keys = TestKeys();
+  const SealedRecord record = AeadSeal(keys, kTestAad, 0, ToBytes("data"));
+  ASSERT_TRUE(AeadOpen(keys, kTestAad, record, 0).ok());
+  const RecordAad relabeled{4, kTestAad.sandbox_id};  // kDataRecord -> kResultRecord
+  EXPECT_EQ(AeadOpen(keys, relabeled, record, 0).status().code(),
+            ErrorCode::kPermissionDenied);
+  const RecordAad rerouted{kTestAad.type, kTestAad.sandbox_id + 1};
+  EXPECT_EQ(AeadOpen(keys, rerouted, record, 0).status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(AeadTest, IncrementalSealOpenAliasesInPlace) {
+  // The zero-copy pipeline encrypts and decrypts in place (dst == src); the
+  // result must match the copying API exactly.
+  const AeadKeys keys = TestKeys();
+  Rng rng(31);
+  Bytes plaintext(5000);
+  rng.Fill(plaintext.data(), plaintext.size());
+  const SealedRecord reference = AeadSeal(keys, kTestAad, 12, plaintext);
+
+  Bytes buffer = plaintext;
+  const Digest256 tag =
+      AeadSealInto(keys, kTestAad, 12, buffer.data(), buffer.size(), buffer.data());
+  EXPECT_EQ(buffer, reference.ciphertext);
+  EXPECT_EQ(tag, reference.tag);
+
+  ASSERT_TRUE(AeadOpenInto(keys, kTestAad, 12, buffer.data(), buffer.size(), tag,
+                           buffer.data())
+                  .ok());
+  EXPECT_EQ(buffer, plaintext);
+}
+
+TEST(AeadTest, OpenIntoAuthenticatesBeforeDecrypting) {
+  // On a bad tag the output buffer must be untouched: the API authenticates
+  // first, so unverified plaintext never materializes anywhere.
+  const AeadKeys keys = TestKeys();
+  const Bytes plaintext = ToBytes("never release unverified bytes");
+  Bytes ciphertext(plaintext.size());
+  Digest256 tag = AeadSealInto(keys, kTestAad, 0, plaintext.data(), plaintext.size(),
+                               ciphertext.data());
+  tag[0] ^= 1;
+  Bytes out(plaintext.size(), 0xCC);
+  const Bytes untouched = out;
+  EXPECT_EQ(AeadOpenInto(keys, kTestAad, 0, ciphertext.data(), ciphertext.size(), tag,
+                         out.data())
+                .code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(out, untouched);
 }
 
 TEST(AeadTest, SessionKeysAreDirectional) {
@@ -307,8 +427,8 @@ TEST_P(AeadSizeTest, RoundTripsAllSizes) {
   Rng rng(GetParam());
   Bytes plaintext(GetParam());
   rng.Fill(plaintext.data(), plaintext.size());
-  const SealedRecord record = AeadSeal(keys, 9, plaintext);
-  const auto opened = AeadOpen(keys, record, 9);
+  const SealedRecord record = AeadSeal(keys, kTestAad, 9, plaintext);
+  const auto opened = AeadOpen(keys, kTestAad, record, 9);
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(*opened, plaintext);
 }

@@ -42,6 +42,74 @@ TEST_P(PacketFuzzTest, TruncationsOfValidPacketsRejectOrParse) {
   }
 }
 
+TEST_P(PacketFuzzTest, AllPacketTypesRoundTripAndSurviveMutation) {
+  // Every packet type must (a) round-trip byte-exactly through
+  // Serialize/Deserialize, and (b) parse-or-reject — never crash or overread —
+  // when truncated at every byte offset or hit by random single-byte flips.
+  Rng rng(GetParam() * 977 + 5);
+  std::vector<Packet> packets;
+  {
+    Packet hello;
+    hello.type = PacketType::kClientHello;
+    hello.sandbox_id = 2;
+    hello.client_public = GenerateKeyPair(GroupParams::Default(), rng).public_key;
+    rng.Fill(hello.nonce.data(), hello.nonce.size());
+    packets.push_back(hello);
+  }
+  {
+    Packet server;
+    server.type = PacketType::kServerHello;
+    server.sandbox_id = 2;
+    server.monitor_public = GenerateKeyPair(GroupParams::Default(), rng).public_key;
+    rng.Fill(server.quote.report.measurements.mrtd.data(),
+             server.quote.report.measurements.mrtd.size());
+    for (auto& rtmr : server.quote.report.measurements.rtmr) {
+      rng.Fill(rtmr.data(), rtmr.size());
+    }
+    rng.Fill(server.quote.report.report_data.data(),
+             server.quote.report.report_data.size());
+    rng.Fill(server.quote.report.mac.data(), server.quote.report.mac.size());
+    server.quote.signature.commitment =
+        GenerateKeyPair(GroupParams::Default(), rng).public_key;
+    server.quote.signature.response =
+        GenerateKeyPair(GroupParams::Default(), rng).public_key;
+    packets.push_back(server);
+  }
+  for (const PacketType type : {PacketType::kDataRecord, PacketType::kResultRecord}) {
+    Packet record;
+    record.type = type;
+    record.sandbox_id = 11;
+    record.record.sequence = rng.Next();
+    record.record.ciphertext.resize(1 + rng.NextBelow(300));
+    rng.Fill(record.record.ciphertext.data(), record.record.ciphertext.size());
+    rng.Fill(record.record.tag.data(), record.record.tag.size());
+    packets.push_back(record);
+  }
+  {
+    Packet fin;
+    fin.type = PacketType::kFin;
+    fin.sandbox_id = 4;
+    packets.push_back(fin);
+  }
+
+  for (const Packet& packet : packets) {
+    const Bytes wire = packet.Serialize();
+    const auto back = Packet::Deserialize(wire);
+    ASSERT_TRUE(back.ok()) << "type " << static_cast<int>(packet.type);
+    EXPECT_EQ(back->Serialize(), wire) << "round trip not byte-exact";
+
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+      (void)Packet::Deserialize(Bytes(wire.begin(), wire.begin() + cut));
+    }
+    for (int round = 0; round < 200; ++round) {
+      Bytes mutated = wire;
+      mutated[rng.NextBelow(mutated.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextBelow(255));
+      (void)Packet::Deserialize(mutated);
+    }
+  }
+}
+
 TEST_P(PacketFuzzTest, KelfFuzzNeverCrashesLoader) {
   Rng rng(GetParam() * 31 + 7);
   for (int round = 0; round < 200; ++round) {
@@ -195,11 +263,12 @@ TEST(ChannelPropertyTest, LongSessionsRejectEveryOutOfOrderRecord) {
   const Bytes secret(32, 0x3A);
   Digest256 transcript{};
   const SessionKeys keys = DeriveSessionKeys(secret, transcript);
+  const RecordAad aad{static_cast<uint8_t>(PacketType::kDataRecord), 1};
   std::vector<SealedRecord> records;
   for (uint64_t seq = 0; seq < 64; ++seq) {
     Bytes payload(rng.NextBelow(256) + 1);
     rng.Fill(payload.data(), payload.size());
-    records.push_back(AeadSeal(keys.client_to_server, seq, payload));
+    records.push_back(AeadSeal(keys.client_to_server, aad, seq, payload));
   }
   uint64_t expected = 0;
   for (uint64_t seq = 0; seq < 64; ++seq) {
@@ -208,9 +277,9 @@ TEST(ChannelPropertyTest, LongSessionsRejectEveryOutOfOrderRecord) {
       if (probe == expected) {
         continue;
       }
-      EXPECT_FALSE(AeadOpen(keys.client_to_server, records[probe], expected).ok());
+      EXPECT_FALSE(AeadOpen(keys.client_to_server, aad, records[probe], expected).ok());
     }
-    EXPECT_TRUE(AeadOpen(keys.client_to_server, records[expected], expected).ok());
+    EXPECT_TRUE(AeadOpen(keys.client_to_server, aad, records[expected], expected).ok());
     ++expected;
   }
 }
