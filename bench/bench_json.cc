@@ -51,6 +51,12 @@ void AppendIndent(std::string& out, int depth) {
 Json Json::Object() { return Json(Kind::kObject); }
 Json Json::Array() { return Json(Kind::kArray); }
 
+Json Json::Number(uint64_t value) {
+  Json json(Kind::kScalar);
+  json.scalar_ = std::to_string(value);
+  return json;
+}
+
 Json& Json::Set(const std::string& key, Json value) {
   if (kind_ == Kind::kObject) {
     members_.emplace_back(key, std::move(value));

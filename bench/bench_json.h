@@ -24,6 +24,8 @@ class Json {
  public:
   static Json Object();
   static Json Array();
+  // Scalar factory for array elements (object fields already have Set overloads).
+  static Json Number(uint64_t value);
 
   // Object field setters (no-ops on arrays/scalars). Overloads cover everything the
   // benches report; doubles render with %.12g and non-finite values render as null.

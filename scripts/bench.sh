@@ -8,10 +8,15 @@
 # fig8 exits non-zero if the TLB breaks cycle-neutrality, the walker-read reduction
 # misses its 5x target, or the trace/counter EMC cross-check fails; fig9 exits
 # non-zero on a cycle-neutrality violation; tab6 on a trace mismatch; emc_scaling
-# if sharded EMC locking is below 2x the global baseline at 4 vCPUs; channel if
-# the zero-copy seal+open path is below 4x the scalar baseline at 64 KiB or the
-# 16-session sharded aggregate is below 2x one session. Any of those fails this
-# script.
+# if sharded EMC locking is below 2x the global baseline at 4 vCPUs, if any
+# real-thread cell diverges from its deterministic oracle (counters or per-vCPU
+# cycles), or — on hosts with >= 4 hardware threads — if sharded locking is
+# slower than global in wall-clock at 8 vCPUs; channel if the zero-copy
+# seal+open path is below 4x the scalar baseline at 64 KiB or the 16-session
+# sharded aggregate is below 2x one session. Any of those fails this script.
+# BENCH_emc_scaling.json carries both series: "cells" (simulated cycles,
+# deterministic engine) and "engine_cells" (wall-clock ns, real threads vs
+# their oracle twins).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,6 +47,9 @@ EREBOR_TRACE=1 "$BUILD_DIR/bench/tab6_stats"
 
 echo
 echo "== emc_scaling (multi-vCPU EMC throughput, global vs sharded locking) =="
+# Runs both engines: deterministic simulated-cycle cells plus the real-thread
+# wall-clock sweep with per-cell oracle-equivalence checks. Set
+# EREBOR_EXEC=deterministic to skip the threaded sweep.
 "$BUILD_DIR/bench/emc_scaling"
 
 echo

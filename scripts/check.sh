@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 check: configure, build, run the full test suite (including the chaos
-# soak), re-run it under ASan+UBSan, then a tracing smoke test (the trace-vs-counter
-# EMC cross-check must hold with the tracer enabled).
+# Tier-1 check: configure, build, run the full test suite (tier1, then the
+# real-thread engine tests, then the chaos soak), re-run it under ASan+UBSan,
+# run the threads label again under ThreadSanitizer, then a tracing smoke test
+# (the trace-vs-counter EMC cross-check must hold with the tracer enabled).
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
-#   EREBOR_SKIP_SANITIZE=1 skips the sanitizer pass (e.g. on memory-tight CI).
+#   EREBOR_SKIP_SANITIZE=1 skips the sanitizer passes (e.g. on memory-tight CI).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,8 +13,10 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-# Fast signal first: the tier-1 suite, then the long-running chaos soaks.
+# Fast signal first: the tier-1 suite, then the real-thread oracle-equivalence
+# tests, then the long-running chaos soaks.
 (cd "$BUILD_DIR" && ctest --output-on-failure -j -L tier1)
+(cd "$BUILD_DIR" && ctest --output-on-failure -j -L threads)
 (cd "$BUILD_DIR" && ctest --output-on-failure -j -L chaos)
 
 # Sanitizer pass: the whole suite again with AddressSanitizer + UBSan. The chaos
@@ -24,6 +27,15 @@ if [[ "${EREBOR_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$ASAN_DIR" -S . -DEREBOR_SANITIZE=ON
   cmake --build "$ASAN_DIR" -j
   (cd "$ASAN_DIR" && ctest --output-on-failure -j)
+
+  # ThreadSanitizer pass over the real-thread engine tests. Only threads_test
+  # is built and run here (TSan slows everything ~10x and the rest of the
+  # suite is single-threaded by construction); it must be completely clean —
+  # TSan forces a nonzero exit code whenever it reported a race.
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DEREBOR_SANITIZE=tsan
+  cmake --build "$TSAN_DIR" -j --target threads_test
+  "$TSAN_DIR/tests/threads_test"
 fi
 
 # Trace smoke test: the end-to-end trace tests re-run with the env toggles set, and

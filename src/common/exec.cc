@@ -1,0 +1,15 @@
+#include "src/common/exec.h"
+
+namespace erebor {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kDeterministic:
+      return "deterministic";
+    case ExecMode::kRealThreads:
+      return "real-threads";
+  }
+  return "?";
+}
+
+}  // namespace erebor

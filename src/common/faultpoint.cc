@@ -1,5 +1,8 @@
 #include "src/common/faultpoint.h"
 
+#include <algorithm>
+
+#include "src/common/exec.h"
 #include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/trace.h"
@@ -65,6 +68,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(uint64_t seed, FaultSchedule schedule) {
+  std::lock_guard<std::mutex> guard(mu_);
   seed_ = seed;
   schedule_ = std::move(schedule);
   hits_.clear();
@@ -72,11 +76,12 @@ void FaultInjector::Arm(uint64_t seed, FaultSchedule schedule) {
   journal_.clear();
   total_fired_ = 0;
   injected_ = MetricsRegistry::Global().Counter("faults.injected");
-  armed_ = true;
+  armed_.store(true, std::memory_order_seq_cst);
 }
 
 void FaultInjector::Disarm() {
-  armed_ = false;
+  armed_.store(false, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> guard(mu_);
   hits_.clear();
   rule_fires_.clear();
   journal_.clear();
@@ -85,9 +90,10 @@ void FaultInjector::Disarm() {
 }
 
 FaultDecision FaultInjector::At(const char* site) {
-  if (!armed_) {
+  if (!Armed()) {
     return FaultDecision{};
   }
+  std::lock_guard<std::mutex> guard(mu_);
   const size_t site_len = std::char_traits<char>::length(site);
   const uint64_t hit = hits_[std::string(site, site_len)]++;
   for (size_t i = 0; i < schedule_.rules.size(); ++i) {
@@ -113,12 +119,15 @@ FaultDecision FaultInjector::At(const char* site) {
     FiredFault fired{std::string(site, site_len), hit, rule.action};
     journal_.push_back(fired);
     if (injected_ != nullptr) {
-      ++*injected_;
+      CounterAdd(*injected_);
     }
     // Fault firings are observability events, not simulated work: no cycle charge,
     // payload packs the action and a site fingerprint for Chrome-trace inspection.
+    // The event lands on the probing thread's own vCPU ring (ring 0 from the
+    // single-threaded driver, whose thread is unbound).
     Tracer::Global().Record(
-        TraceEvent::kFaultInject, 0, 0, -1,
+        TraceEvent::kFaultInject, std::max(ExecutionEngine::current_cpu(), 0), 0,
+        -1,
         (static_cast<uint64_t>(rule.action) << 56) | (Fnv1a(site, site_len) >> 16));
     if (observer_) {
       observer_(fired);
@@ -129,13 +138,34 @@ FaultDecision FaultInjector::At(const char* site) {
 }
 
 uint64_t FaultInjector::JournalHash() const {
-  uint64_t hash = 0xCBF29CE484222325ULL;
+  std::lock_guard<std::mutex> guard(mu_);
+  // Hash in sorted (site, hit, action) order: the journal is a *set* witness.
+  // Threaded runs append entries in wall-clock order, which may legally differ
+  // from the single-thread replay; the fired set may not.
+  std::vector<const FiredFault*> sorted;
+  sorted.reserve(journal_.size());
   for (const FiredFault& fired : journal_) {
-    hash = Fnv1a(fired.site.data(), fired.site.size(), hash);
-    hash = Fnv1aWord(fired.hit, hash);
-    hash = Fnv1aWord(static_cast<uint64_t>(fired.action), hash);
+    sorted.push_back(&fired);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FiredFault* a, const FiredFault* b) {
+              if (a->site != b->site) return a->site < b->site;
+              if (a->hit != b->hit) return a->hit < b->hit;
+              return a->action < b->action;
+            });
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const FiredFault* fired : sorted) {
+    hash = Fnv1a(fired->site.data(), fired->site.size(), hash);
+    hash = Fnv1aWord(fired->hit, hash);
+    hash = Fnv1aWord(static_cast<uint64_t>(fired->action), hash);
   }
   return hash;
+}
+
+uint64_t FaultInjector::SiteHits(const std::string& site) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
 }
 
 FaultSchedule FaultSchedule::Randomized(uint64_t seed) {
@@ -190,7 +220,7 @@ FaultSchedule FaultSchedule::Randomized(uint64_t seed) {
 
 void NoteFaultRecovered() {
   static uint64_t* recovered = MetricsRegistry::Global().Counter("faults.recovered");
-  ++*recovered;
+  CounterAdd(*recovered);
 }
 
 }  // namespace erebor

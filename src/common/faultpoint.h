@@ -15,9 +15,11 @@
 #ifndef EREBOR_SRC_COMMON_FAULTPOINT_H_
 #define EREBOR_SRC_COMMON_FAULTPOINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,8 +80,9 @@ class FaultInjector {
  public:
   static FaultInjector& Global();
 
-  // The zero-cost guard: one load. Probe sites must check this before calling At().
-  static bool Armed() { return armed_; }
+  // The zero-cost guard: one relaxed load. Probe sites must check this before
+  // calling At().
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
 
   // Arms the engine with a (seed, schedule) pair; resets hit counters and journal.
   void Arm(uint64_t seed, FaultSchedule schedule);
@@ -88,6 +91,13 @@ class FaultInjector {
   // The probe: advances `site`'s hit counter and returns the (deterministic)
   // decision. Counts "faults.injected", emits a kFaultInject trace event, and
   // notifies the observer on every firing.
+  //
+  // Thread-safety: the whole probe is serialized under one mutex, which makes a
+  // site's hit indices equal to its At()-call order even under real threads. The
+  // decision for (site, hit) is a pure function, so the *set* of fired faults —
+  // and the order-independent JournalHash() — depends only on each site's total
+  // visit count, not on which thread drew which hit. A threaded run and its
+  // single-thread replay with equal per-site visit counts hash identically.
   FaultDecision At(const char* site);
 
   // Convenience probe for sites with a single meaningful action.
@@ -104,18 +114,26 @@ class FaultInjector {
   const FaultSchedule& schedule() const { return schedule_; }
   uint64_t fired() const { return total_fired_; }
   const std::vector<FiredFault>& journal() const { return journal_; }
-  // FNV-1a over (site, hit, action) triples: two runs injected identical faults iff
-  // their journal hashes match.
+  // FNV-1a over (site, hit, action) triples, hashed in (site, hit, action) sorted
+  // order so the hash witnesses the *set* of injected faults: journal append
+  // order may differ between a threaded run and its single-thread replay, the
+  // fired set may not.
   uint64_t JournalHash() const;
+  // Per-site visit count so far (0 if never probed); a replay harness matches
+  // these to certify that a journal-hash comparison is meaningful.
+  uint64_t SiteHits(const std::string& site) const;
 
  private:
   FaultInjector() = default;
 
-  static inline bool armed_ = false;
+  static inline std::atomic<bool> armed_{false};
 
+  // Serializes At() (and journal reads taken while probes may still be running).
+  // Arm/Disarm flip armed_ only from quiesced single-threaded code.
+  mutable std::mutex mu_;
   uint64_t seed_ = 0;
   FaultSchedule schedule_;
-  std::map<std::string, uint64_t> hits_;  // per-site visit counters
+  std::map<std::string, uint64_t> hits_;  // per-site visit counters (under mu_)
   std::vector<uint64_t> rule_fires_;      // per-rule firing counts (max_fires cap)
   std::vector<FiredFault> journal_;
   uint64_t total_fired_ = 0;

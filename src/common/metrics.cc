@@ -1,6 +1,9 @@
 #include "src/common/metrics.h"
 
+#include <atomic>
 #include <sstream>
+
+#include "src/common/exec.h"
 
 namespace erebor {
 
@@ -23,14 +26,18 @@ uint64_t Histogram::BucketFloor(int index) {
 }
 
 void Histogram::Observe(uint64_t value) {
-  ++buckets_[BucketIndex(value)];
-  ++count_;
-  sum_ += value;
-  if (value < min_) {
-    min_ = value;
+  CounterAdd(buckets_[BucketIndex(value)]);
+  CounterAdd(count_);
+  CounterAdd(sum_, value);
+  std::atomic_ref<uint64_t> min_ref(min_);
+  uint64_t seen = min_ref.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_ref.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
   }
-  if (value > max_) {
-    max_ = value;
+  std::atomic_ref<uint64_t> max_ref(max_);
+  seen = max_ref.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_ref.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
   }
 }
 
@@ -76,31 +83,40 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 uint64_t* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
   return &owned_[name];
+}
+
+void MetricsRegistry::Increment(const std::string& name, uint64_t delta) {
+  CounterAdd(*Counter(name), delta);
 }
 
 void MetricsRegistry::RegisterExternalCounter(const std::string& name,
                                               const uint64_t* cell) {
+  std::lock_guard<std::mutex> guard(mu_);
   external_[name] = cell;
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
   return &histograms_[name];
 }
 
 uint64_t MetricsRegistry::Value(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto owned = owned_.find(name);
   if (owned != owned_.end()) {
-    return owned->second;
+    return CounterLoad(owned->second);
   }
   auto ext = external_.find(name);
   if (ext != external_.end() && ext->second != nullptr) {
-    return *ext->second;
+    return CounterLoad(*ext->second);
   }
   return 0;
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto& [name, value] : owned_) {
     value = 0;
   }
@@ -111,6 +127,7 @@ void MetricsRegistry::Reset() {
 }
 
 std::string MetricsRegistry::Summary() const {
+  std::lock_guard<std::mutex> guard(mu_);
   std::ostringstream out;
   out << "=== metrics ===\n";
   // Merge owned and external under one sorted view.

@@ -15,11 +15,15 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace erebor {
 
-// Fixed-size log2 histogram. Observe() is allocation-free.
+// Fixed-size log2 histogram. Observe() is allocation-free and thread-safe
+// (relaxed atomic bumps; min/max via CAS loops) so vCPU threads can observe
+// concurrently. Readers are plain loads — aggregate views are taken at safe
+// points after worker threads have joined.
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
@@ -63,8 +67,11 @@ class MetricsRegistry {
 
   // Returns a stable pointer to the named owned counter, creating it at zero. The
   // pointer stays valid for the registry's lifetime (node-based map storage).
+  // Map insertion is serialized by an internal mutex, so first-use creation from
+  // concurrent vCPU threads is safe; the returned cell must be bumped with
+  // CounterAdd (as Increment does) when real threads are running.
   uint64_t* Counter(const std::string& name);
-  void Increment(const std::string& name, uint64_t delta = 1) { *Counter(name) += delta; }
+  void Increment(const std::string& name, uint64_t delta = 1);
 
   // Registers an externally-owned cell under `name`. The registry reads it for
   // Summary() but never writes it; the caller guarantees the address outlives the
@@ -77,6 +84,7 @@ class MetricsRegistry {
   // Current value of a counter (owned or external); 0 if unknown.
   uint64_t Value(const std::string& name) const;
   bool HasHistogram(const std::string& name) const {
+    std::lock_guard<std::mutex> guard(mu_);
     return histograms_.count(name) != 0;
   }
 
@@ -88,6 +96,9 @@ class MetricsRegistry {
   std::string Summary() const;
 
  private:
+  // Guards map *structure* only. Counter cells and histograms are bumped through
+  // their stable addresses without the mutex (CounterAdd / Histogram::Observe).
+  mutable std::mutex mu_;
   std::map<std::string, uint64_t> owned_;           // node-based: stable addresses
   std::map<std::string, const uint64_t*> external_;
   std::map<std::string, Histogram> histograms_;     // node-based: stable addresses

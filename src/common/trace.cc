@@ -1,8 +1,11 @@
 #include "src/common/trace.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "src/common/exec.h"
 
 namespace erebor {
 
@@ -53,6 +56,15 @@ const char* TraceEventName(TraceEvent event) {
 TraceRing::TraceRing(size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
 
 void TraceRing::Append(const TraceRecord& record) {
+  if (ExecutionEngine::real_threads()) {
+    std::lock_guard<std::mutex> guard(mu_);
+    AppendLocked(record);
+    return;
+  }
+  AppendLocked(record);
+}
+
+void TraceRing::AppendLocked(const TraceRecord& record) {
   slots_[head_] = record;
   head_ = (head_ + 1) % slots_.size();
   ++total_;
@@ -102,9 +114,28 @@ bool Tracer::EnableFromEnv() {
 void Tracer::Disable() { enabled_ = false; }
 
 void Tracer::Reset() {
+  std::lock_guard<std::mutex> guard(rings_mu_);
   rings_.clear();
+  rings_.reserve(kMaxRingCpus);  // backing store never reallocates after this
+  num_rings_.store(0, std::memory_order_release);
   std::fill(counts_.begin(), counts_.end(), 0);
   phases_.clear();
+}
+
+TraceRing* Tracer::RingFor(int cpu) {
+  const size_t index = static_cast<size_t>(
+      std::min(std::max(cpu, 0), kMaxRingCpus - 1));
+  // Fast path: the ring is already published. The acquire pairs with the
+  // release store below, making the pointed-to TraceRing visible.
+  if (index < num_rings_.load(std::memory_order_acquire)) {
+    return rings_[index].get();
+  }
+  std::lock_guard<std::mutex> guard(rings_mu_);
+  while (rings_.size() <= index) {
+    rings_.push_back(std::make_unique<TraceRing>(capacity_per_cpu_));
+  }
+  num_rings_.store(rings_.size(), std::memory_order_release);
+  return rings_[index].get();
 }
 
 void Tracer::RecordSlow(TraceEvent kind, int cpu, Cycles timestamp, int32_t sandbox_id,
@@ -112,44 +143,47 @@ void Tracer::RecordSlow(TraceEvent kind, int cpu, Cycles timestamp, int32_t sand
   if (cpu < 0) {
     cpu = 0;
   }
-  while (static_cast<size_t>(cpu) >= rings_.size()) {
-    rings_.push_back(std::make_unique<TraceRing>(capacity_per_cpu_));
-  }
   TraceRecord record;
   record.timestamp = timestamp;
   record.payload = payload;
   record.kind = kind;
   record.cpu = static_cast<uint16_t>(cpu);
   record.sandbox_id = sandbox_id;
-  rings_[cpu]->Append(record);
-  ++counts_[static_cast<size_t>(kind)];
+  RingFor(cpu)->Append(record);
+  CounterAdd(counts_[static_cast<size_t>(kind)]);
 }
 
 void Tracer::MarkPhase(const std::string& name, Cycles timestamp) {
   if (!enabled_) {
     return;
   }
+  // Phase marks come from the single-threaded driver between parallel regions;
+  // the snapshot still reads through CounterLoad in case stragglers are closing.
   RecordSlow(TraceEvent::kPhaseMark, 0, timestamp, -1, phases_.size());
   PhaseMark mark;
   mark.name = name;
-  mark.counts_at_mark = counts_;
+  mark.counts_at_mark.resize(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    mark.counts_at_mark[i] = CounterLoad(counts_[i]);
+  }
   phases_.push_back(std::move(mark));
 }
 
 uint64_t Tracer::CountKind(TraceEvent kind) const {
-  return counts_[static_cast<size_t>(kind)];
+  return CounterLoad(counts_[static_cast<size_t>(kind)]);
 }
 
 uint64_t Tracer::TotalEvents() const {
   uint64_t total = 0;
-  for (uint64_t c : counts_) {
-    total += c;
+  for (const uint64_t& c : counts_) {
+    total += CounterLoad(c);
   }
   return total;
 }
 
 const TraceRing* Tracer::ring(int cpu) const {
-  if (cpu < 0 || static_cast<size_t>(cpu) >= rings_.size()) {
+  if (cpu < 0 ||
+      static_cast<size_t>(cpu) >= num_rings_.load(std::memory_order_acquire)) {
     return nullptr;
   }
   return rings_[cpu].get();
@@ -187,28 +221,45 @@ const char* ChromeName(TraceEvent kind) {
 
 }  // namespace
 
+std::vector<TraceRecord> Tracer::MergedRecords() const {
+  std::vector<TraceRecord> merged;
+  const size_t n = num_rings_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (rings_[i] == nullptr) {
+      continue;
+    }
+    rings_[i]->ForEach([&](const TraceRecord& r) { merged.push_back(r); });
+  }
+  // Stable sort by (timestamp, cpu): each ring is already per-CPU chronological,
+  // so ties within one CPU keep their recording order, and the merged stream is
+  // the same no matter how host threads interleaved.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return a.cpu < b.cpu;
+                   });
+  return merged;
+}
+
 std::string Tracer::ChromeTraceJson() const {
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
-  for (const auto& ring : rings_) {
-    if (ring == nullptr) {
-      continue;
+  for (const TraceRecord& r : MergedRecords()) {
+    if (!first) {
+      out << ",";
     }
-    ring->ForEach([&](const TraceRecord& r) {
-      if (!first) {
-        out << ",";
-      }
-      first = false;
-      const char phase = ChromePhase(r.kind);
-      out << "{\"name\":\"" << ChromeName(r.kind) << "\",\"ph\":\"" << phase
-          << "\",\"ts\":" << r.timestamp << ",\"pid\":" << r.sandbox_id
-          << ",\"tid\":" << r.cpu;
-      if (phase == 'i') {
-        out << ",\"s\":\"t\"";
-      }
-      out << ",\"args\":{\"payload\":" << r.payload << "}}";
-    });
+    first = false;
+    const char phase = ChromePhase(r.kind);
+    out << "{\"name\":\"" << ChromeName(r.kind) << "\",\"ph\":\"" << phase
+        << "\",\"ts\":" << r.timestamp << ",\"pid\":" << r.sandbox_id
+        << ",\"tid\":" << r.cpu;
+    if (phase == 'i') {
+      out << ",\"s\":\"t\"";
+    }
+    out << ",\"args\":{\"payload\":" << r.payload << "}}";
   }
   out << "]}";
   return out.str();
@@ -231,11 +282,12 @@ std::string Tracer::SummaryTable() const {
   out << "=== trace summary ===\n";
   uint64_t retained = 0;
   uint64_t dropped = 0;
-  for (const auto& ring : rings_) {
-    retained += ring->size();
-    dropped += ring->dropped();
+  const size_t n = num_rings_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    retained += rings_[i]->size();
+    dropped += rings_[i]->dropped();
   }
-  out << "cpus traced: " << rings_.size() << "   events: " << TotalEvents()
+  out << "cpus traced: " << n << "   events: " << TotalEvents()
       << "   retained: " << retained << "   dropped: " << dropped << "\n";
 
   // Header: one delta column per phase plus the total.
@@ -252,7 +304,8 @@ std::string Tracer::SummaryTable() const {
 
   for (size_t k = 1; k < static_cast<size_t>(TraceEvent::kCount); ++k) {
     const TraceEvent kind = static_cast<TraceEvent>(k);
-    if (counts_[k] == 0) {
+    const uint64_t kind_total = CounterLoad(counts_[k]);
+    if (kind_total == 0) {
       continue;
     }
     std::string name = TraceEventName(kind);
@@ -265,14 +318,14 @@ std::string Tracer::SummaryTable() const {
     for (size_t p = 0; p < phases_.size(); ++p) {
       const uint64_t at_start = phases_[p].counts_at_mark[k];
       const uint64_t at_end =
-          p + 1 < phases_.size() ? phases_[p + 1].counts_at_mark[k] : counts_[k];
+          p + 1 < phases_.size() ? phases_[p + 1].counts_at_mark[k] : kind_total;
       std::string cell = std::to_string(at_end - at_start);
       out << "  " << cell;
       for (size_t i = cell.size(); i < 10; ++i) {
         out << ' ';
       }
     }
-    out << "  " << counts_[k] << "\n";
+    out << "  " << kind_total << "\n";
   }
   return out.str();
 }

@@ -14,9 +14,11 @@
 #ifndef EREBOR_SRC_COMMON_TRACE_H_
 #define EREBOR_SRC_COMMON_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -92,7 +94,11 @@ struct TraceRecord {
 };
 
 // Fixed-capacity ring: appends overwrite the oldest record once full. Storage is
-// allocated once at construction; Append never allocates.
+// allocated once at construction; Append never allocates. Under the real-thread
+// engine a ring is (almost always) appended only by the vCPU thread that owns it,
+// but cross-CPU records exist (the fault injector logs on the probing thread), so
+// Append serializes through a per-ring mutex when real threads are live — the
+// deterministic engine takes the original lock-free path.
 class TraceRing {
  public:
   explicit TraceRing(size_t capacity);
@@ -107,16 +113,26 @@ class TraceRing {
   void ForEach(const std::function<void(const TraceRecord&)>& fn) const;
 
  private:
+  void AppendLocked(const TraceRecord& record);
+
+  std::mutex mu_;  // taken only under ExecutionEngine::real_threads()
   std::vector<TraceRecord> slots_;
   size_t head_ = 0;  // next write position
   uint64_t total_ = 0;
 };
 
-// Process-global tracer with one ring per CPU. The simulation is deterministic and
-// single-threaded, so no synchronization is needed.
+// Process-global tracer with one ring per CPU. Recording from concurrent vCPU
+// threads is safe: per-kind counts are relaxed-atomic bumps, ring growth is
+// mutex-guarded with an atomically published ring count (the ring vector's
+// backing store is pre-reserved, so peers index it without racing a realloc),
+// and exports — taken at safe points after threads join — merge all rings into
+// one deterministic stream ordered by (timestamp, cpu).
 class Tracer {
  public:
   static constexpr size_t kDefaultCapacityPerCpu = 1 << 16;
+  // Fixed upper bound on per-CPU rings, matching LockAudit::kMaxCpus; records
+  // from higher CPU indices clamp onto the last ring.
+  static constexpr int kMaxRingCpus = 64;
 
   static Tracer& Global();
 
@@ -148,13 +164,19 @@ class Tracer {
   uint64_t CountKind(TraceEvent kind) const;
   uint64_t TotalEvents() const;
 
-  int num_rings() const { return static_cast<int>(rings_.size()); }
+  int num_rings() const {
+    return static_cast<int>(num_rings_.load(std::memory_order_acquire));
+  }
   const TraceRing* ring(int cpu) const;
 
   // ---- Exporters ----
+  // All retained records across rings, merged deterministically: stable-sorted by
+  // (timestamp, cpu), so two runs that recorded the same per-CPU streams export
+  // the same sequence regardless of host-thread interleaving.
+  std::vector<TraceRecord> MergedRecords() const;
   // Chrome trace_event JSON ("ts" is in simulated cycles, not microseconds; load via
   // chrome://tracing or Perfetto). EMC gates and syscalls export as B/E duration
-  // pairs; everything else as instant events.
+  // pairs; everything else as instant events. Emits MergedRecords() order.
   std::string ChromeTraceJson() const;
   Status WriteChromeTrace(const std::string& path) const;
   // Plain-text per-phase count table.
@@ -170,10 +192,19 @@ class Tracer {
     std::vector<uint64_t> counts_at_mark;  // snapshot of counts_
   };
 
+  TraceRing* RingFor(int cpu);
+
   bool enabled_ = false;
   size_t capacity_per_cpu_ = kDefaultCapacityPerCpu;
   std::string json_path_;
+  // Ring growth: push_back under rings_mu_, then publish via num_rings_
+  // (release); readers acquire-load the count before indexing. The vector is
+  // reserved to kMaxRingCpus at Reset() so the backing store never reallocates
+  // under a concurrent reader.
+  std::mutex rings_mu_;
   std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::atomic<size_t> num_rings_{0};
+  // Per-kind counts: fixed-size vector, relaxed-atomic bumps via CounterAdd.
   std::vector<uint64_t> counts_ = std::vector<uint64_t>(
       static_cast<size_t>(TraceEvent::kCount), 0);
   std::vector<PhaseMark> phases_;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <string_view>
 
+#include "src/common/exec.h"
 #include "src/common/log.h"
 #include "src/common/trace.h"
 
@@ -39,16 +40,65 @@ StatusOr<WalkResult> Cpu::WalkCached(Paddr root, Vaddr va, CpuMode mode) {
 
 void Cpu::InvlpgBroadcast(Paddr root, Vaddr va) {
   Tracer::Global().Record(TraceEvent::kTlbInvlpg, index_, cycles_.now(), -1, va);
-  ++Tlb::GlobalStats().invlpg;
+  CounterAdd(Tlb::GlobalStats().invlpg);
   if (!Tlb::Enabled() || !Tlb::hooks().invlpg) {
     return;
   }
+  const TlbInvalidation inv{TlbInvalidation::Kind::kPage, root, va, 0};
   if (tlb_peers_.empty()) {
-    tlb_.InvalidatePage(root, va);
+    ApplyTlbInvalidation(inv);
     return;
   }
   for (Cpu* peer : tlb_peers_) {
-    peer->tlb().InvalidatePage(root, va);
+    peer->RequestTlbInvalidation(inv);
+  }
+}
+
+void Cpu::RequestTlbInvalidation(const TlbInvalidation& inv) {
+  // Direct application is safe when no parallel region is live, or when the
+  // calling thread *is* this CPU's thread (its own TLB, its own lookups).
+  if (!ExecutionEngine::real_threads() ||
+      ExecutionEngine::current_cpu() == index_) {
+    ApplyTlbInvalidation(inv);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(tlb_queue_mu_);
+    tlb_queue_.push_back(inv);
+  }
+  tlb_queue_pending_.store(true, std::memory_order_release);
+}
+
+void Cpu::DrainTlbInvalidations() {
+  if (!tlb_queue_pending_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::vector<TlbInvalidation> pending;
+  {
+    std::lock_guard<std::mutex> guard(tlb_queue_mu_);
+    pending.swap(tlb_queue_);
+    tlb_queue_pending_.store(false, std::memory_order_release);
+  }
+  for (const TlbInvalidation& inv : pending) {
+    ApplyTlbInvalidation(inv);
+  }
+  tlb_drained_ += pending.size();
+}
+
+void Cpu::ApplyTlbInvalidation(const TlbInvalidation& inv) {
+  switch (inv.kind) {
+    case TlbInvalidation::Kind::kPage:
+      tlb_.InvalidatePage(inv.root, inv.va);
+      break;
+    case TlbInvalidation::Kind::kRoot:
+      tlb_.FlushRoot(inv.root);
+      break;
+    case TlbInvalidation::Kind::kAll:
+      tlb_.FlushAll();
+      break;
+    case TlbInvalidation::Kind::kEntry:
+      tlb_.ShootdownEntry(inv.entry_pa);
+      break;
   }
 }
 

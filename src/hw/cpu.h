@@ -12,8 +12,10 @@
 #define EREBOR_SRC_HW_CPU_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/common/status.h"
@@ -83,6 +85,24 @@ struct IdtTable {
 
 class Cpu;
 using FaultHandler = std::function<void(Cpu&, const Fault&)>;
+
+// One queued cross-CPU TLB maintenance operation. Under the real-thread engine a
+// CPU never writes a peer's Tlb directly (that is a data race against the peer's
+// own lookups); it posts one of these to the peer's pending queue instead, and
+// the peer drains at its next EMC gate boundary — the software analogue of an
+// IPI-based shootdown where the handler runs at the next interruptible point.
+struct TlbInvalidation {
+  enum class Kind : uint8_t {
+    kPage,   // invlpg: (root, va)
+    kRoot,   // address-space teardown: all entries under root
+    kAll,    // full flush
+    kEntry,  // monitor shootdown by leaf-PTE physical address
+  };
+  Kind kind = Kind::kPage;
+  Paddr root = 0;
+  Vaddr va = 0;
+  Paddr entry_pa = 0;
+};
 
 // tdcall sink: implemented by the TDX module, installed by the machine.
 class TdcallSink {
@@ -171,8 +191,22 @@ class Cpu {
   // Kernel-initiated single-page invalidation (PrivilegedOps::InvlPg): invlpg is
   // ring-0 but not in the paper's sensitive set, so the deprivileged kernel runs it
   // directly in both worlds. Records a trace event; charges no cycles (the cost is
-  // already folded into the page-op cycle constants).
+  // already folded into the page-op cycle constants). Under real threads, peer
+  // invalidations are posted to each peer's pending queue instead of applied.
   void InvlpgBroadcast(Paddr root, Vaddr va);
+
+  // ---- Cross-CPU TLB invalidation queue (real-thread engine) ----
+  // Applies `inv` to this CPU's TLB right now, or queues it when a *peer* thread
+  // is the caller under the real-thread engine. The deterministic engine always
+  // applies directly (same behaviour as before this queue existed).
+  void RequestTlbInvalidation(const TlbInvalidation& inv);
+  // Drains the pending queue into this CPU's TLB; called by this CPU's own
+  // thread at EMC gate boundaries and by the World after a parallel region.
+  void DrainTlbInvalidations();
+  bool tlb_invalidations_pending() const {
+    return tlb_queue_pending_.load(std::memory_order_acquire);
+  }
+  uint64_t tlb_invalidations_drained() const { return tlb_drained_; }
 
   // ---- Control flow (CET) ----
   // Indirect call/jmp to `target`: #CP unless the label is an endbr64 target (when IBT
@@ -198,6 +232,7 @@ class Cpu {
   Status CheckSensitive(const char* what);
   void SyncMsrCache(uint32_t index, uint64_t value);
   void FlushTlb();
+  void ApplyTlbInvalidation(const TlbInvalidation& inv);
 
   int index_;
   PhysMemory* memory_;
@@ -219,6 +254,12 @@ class Cpu {
   uint64_t scet_cache_ = 0;  // mirror of msrs_[IA32_S_CET]
   Tlb tlb_;
   std::vector<Cpu*> tlb_peers_;
+  // Pending cross-CPU invalidations (posted by peers under the real-thread
+  // engine; drained by this CPU's own thread at gate boundaries).
+  std::mutex tlb_queue_mu_;
+  std::vector<TlbInvalidation> tlb_queue_;
+  std::atomic<bool> tlb_queue_pending_{false};
+  uint64_t tlb_drained_ = 0;  // ops ever drained (own-thread counter)
   const IdtTable* idt_ = nullptr;
   TdcallSink* tdcall_sink_ = nullptr;
   ShadowStack* shadow_stack_ = nullptr;

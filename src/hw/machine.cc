@@ -1,5 +1,6 @@
 #include "src/hw/machine.h"
 
+#include "src/common/exec.h"
 #include "src/common/trace.h"
 
 namespace erebor {
@@ -27,8 +28,9 @@ void Machine::FlushAllTlbs() {
   if (!Tlb::Enabled()) {
     return;  // the caches are empty; skip the per-CPU scans
   }
+  const TlbInvalidation inv{TlbInvalidation::Kind::kAll, 0, 0, 0};
   for (auto& cpu : cpus_) {
-    cpu->tlb().FlushAll();
+    cpu->RequestTlbInvalidation(inv);
   }
 }
 
@@ -36,8 +38,9 @@ void Machine::FlushTlbRoot(Paddr root) {
   if (!Tlb::Enabled()) {
     return;
   }
+  const TlbInvalidation inv{TlbInvalidation::Kind::kRoot, root, 0, 0};
   for (auto& cpu : cpus_) {
-    cpu->tlb().FlushRoot(root);
+    cpu->RequestTlbInvalidation(inv);
   }
 }
 
@@ -47,12 +50,13 @@ void Machine::ShootdownTlbLeaf(Paddr entry_pa, int initiating_cpu) {
   // TLB is globally off.
   Tracer::Global().Record(TraceEvent::kTlbShootdown, initiating_cpu,
                           cpus_[initiating_cpu]->cycles().now(), -1, entry_pa);
-  ++Tlb::GlobalStats().shootdowns;
+  CounterAdd(Tlb::GlobalStats().shootdowns);
   if (!Tlb::Enabled()) {
     return;
   }
+  const TlbInvalidation inv{TlbInvalidation::Kind::kEntry, 0, 0, entry_pa};
   for (auto& cpu : cpus_) {
-    cpu->tlb().ShootdownEntry(entry_pa);
+    cpu->RequestTlbInvalidation(inv);
   }
 }
 

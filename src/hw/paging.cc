@@ -1,5 +1,7 @@
 #include "src/hw/paging.h"
 
+#include "src/common/exec.h"
+
 namespace erebor {
 
 uint64_t& PageTableWalkReads() {
@@ -42,7 +44,7 @@ StatusOr<WalkResult> WalkPageTables(const PhysMemory& memory, Paddr root, Vaddr 
       return OutOfRangeError("page-table page outside physical memory");
     }
     const Pte entry = memory.Read64(entry_pa);
-    ++PageTableWalkReads();
+    CounterAdd(PageTableWalkReads());
     if (path != nullptr) {
       path->entry_pa[level] = entry_pa;
       path->deepest = level;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/common/exec.h"
 #include "src/common/metrics.h"
 
 namespace erebor {
@@ -93,7 +94,7 @@ StatusOr<WalkResult> Tlb::WalkCached(const PhysMemory& memory, Paddr root, Vaddr
   LeafEntry& le = leaf_[LeafIndex(root, va, mode)];
   if (le.valid && le.gen == generation_ && le.root == root && le.va_page == va_page &&
       le.mode == mode) {
-    ++GlobalStats().hits;
+    CounterAdd(GlobalStats().hits);
     WalkResult result = le.result;
     result.pa = le.pa_page + (va & kPageMask);
     return result;
@@ -104,10 +105,10 @@ StatusOr<WalkResult> Tlb::WalkCached(const PhysMemory& memory, Paddr root, Vaddr
     // One leaf read instead of a four-level descent. The structure entry is only
     // created from a walk that reached a level-0 table, so a non-present leaf here
     // fails exactly like the full walk: at level 0.
-    ++GlobalStats().psc_hits;
+    CounterAdd(GlobalStats().psc_hits);
     const Paddr slot = se.l1_table + PteIndex(va, 0) * sizeof(Pte);
     const Pte entry = memory.Read64(slot);
-    ++PageTableWalkReads();
+    CounterAdd(PageTableWalkReads());
     if (!pte::Present(entry)) {
       return NotFoundError("non-present PTE at level 0");
     }
@@ -125,7 +126,7 @@ StatusOr<WalkResult> Tlb::WalkCached(const PhysMemory& memory, Paddr root, Vaddr
     return result;
   }
 
-  ++GlobalStats().misses;
+  CounterAdd(GlobalStats().misses);
   WalkPath path;
   auto walk = WalkPageTables(memory, root, va, &path);
   // Cache the intermediate path whenever the walk reached the level-0 table, even if
@@ -231,7 +232,7 @@ void Tlb::InsertStructure(Paddr root, Vaddr va, const WalkPath& path) {
 void Tlb::FlushAll() {
   // O(1): stamped entries go stale without being touched. Occupancy bookkeeping
   // (tags, buckets, filter) survives and is reclaimed slot-by-slot on reuse.
-  ++GlobalStats().flushes;
+  CounterAdd(GlobalStats().flushes);
   ++generation_;
 }
 

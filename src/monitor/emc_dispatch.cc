@@ -3,6 +3,7 @@
 // /dev/erebor driver live in interposition.cc. monitor.cc keeps boot/lifecycle.
 #include <cstring>
 
+#include "src/common/exec.h"
 #include "src/common/faultpoint.h"
 #include "src/common/log.h"
 #include "src/monitor/monitor.h"
@@ -129,7 +130,7 @@ Status EreborMonitor::EmcDispatch(Cpu& cpu, const EmcCall& call,
   // Family counters count *requests*, successful or not, and always did so
   // before the gate (a refused entry still shows up in the family's rate).
   if (d.family_counter != nullptr) {
-    ++(counters_.*(d.family_counter));
+    CounterAdd(counters_.*(d.family_counter));
   }
   if (d.requires_attached_kernel && kernel_ == nullptr) {
     return FailedPreconditionError(std::string(d.name) +
@@ -191,7 +192,7 @@ Status EreborMonitor::EmcDispatch(Cpu& cpu, const EmcCall& call,
       call.has_unit_override ? call.unit_override : cpu.costs().*(d.unit_cost);
   const Cycles op_cycles = unit * call.cost_units + call.extra_cycles;
   cpu.cycles().Charge(op_cycles);
-  ++counters_.emc_total;
+  CounterAdd(counters_.emc_total);
   Tracer::Global().Record(d.trace_event, cpu.index(), cpu.cycles().now(),
                           call.sandbox_id, op_cycles);
 
@@ -212,7 +213,7 @@ Status EreborMonitor::EmcDispatch(Cpu& cpu, const EmcCall& call,
 }
 
 void EreborMonitor::NoteDenial(Cpu& cpu) {
-  ++counters_.policy_denials;
+  CounterAdd(counters_.policy_denials);
   Tracer::Global().Record(TraceEvent::kPolicyDenial, cpu.index(), cpu.cycles().now());
 }
 
@@ -224,7 +225,7 @@ void EreborMonitor::ShootdownAfterPteWrite(Cpu& cpu, Paddr entry_pa, Pte old_val
   if (!pte::Present(old_value) || old_value == new_value) {
     return;
   }
-  ++counters_.tlb_shootdowns;
+  CounterAdd(counters_.tlb_shootdowns);
   if (Tlb::hooks().pte_shootdown) {
     machine_->ShootdownTlbLeaf(entry_pa, cpu.index());
   }
@@ -322,7 +323,7 @@ Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_val
   // The former huge leaf may be cached; the relinked intermediate changes every
   // translation under it.
   ShootdownAfterPteWrite(cpu, entry_pa, old, inter);
-  ++counters_.huge_splits;
+  CounterAdd(counters_.huge_splits);
   return OkStatus();
 }
 
@@ -586,7 +587,7 @@ StatusOr<Paddr> EreborMonitor::EmcLoadKernelModule(Cpu& cpu, const Bytes& code) 
 // ---- Sandbox surface ----
 
 StatusOr<Sandbox*> EreborMonitor::CreateSandbox(Task& leader, const SandboxSpec& spec) {
-  ++counters_.emc_sandbox;
+  CounterAdd(counters_.emc_sandbox);
   return sandbox_mgr_->Create(leader, spec);
 }
 

@@ -1,5 +1,6 @@
 #include "src/monitor/gates.h"
 
+#include "src/common/exec.h"
 #include "src/common/faultpoint.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
@@ -35,6 +36,10 @@ void EmcGates::Install() {
 }
 
 Status EmcGates::Enter(Cpu& cpu) {
+  // Gate boundaries are the drain points for cross-CPU TLB maintenance under the
+  // real-thread engine (the software analogue of taking the shootdown IPI at the
+  // next interruptible point). Free when nothing is pending: one relaxed load.
+  cpu.DrainTlbInvalidations();
   if (FaultInjector::Armed() &&
       FaultInjector::Global().Fire("gates.enter", FaultAction::kFail)) {
     // Injected transient entry refusal (e.g. the host preempted the vCPU on the
@@ -51,7 +56,7 @@ Status EmcGates::Enter(Cpu& cpu) {
   cpu.cycles().Charge(cpu.costs().emc_round_trip / 2);
   cpu.TrustedWriteMsr(msr::kIa32Pkrs, MonitorModePkrs());
   cpu.SetMonitorContext(true);
-  ++entries_;
+  CounterAdd(entries_);
   entry_ts_[cpu.index()] = cpu.cycles().now();
   Tracer::Global().Record(TraceEvent::kEmcEnter, cpu.index(), cpu.cycles().now());
   if (FaultInjector::Armed() &&
@@ -69,6 +74,7 @@ Status EmcGates::Enter(Cpu& cpu) {
 }
 
 void EmcGates::Exit(Cpu& cpu) {
+  cpu.DrainTlbInvalidations();
   cpu.cycles().Charge(cpu.costs().emc_round_trip - cpu.costs().emc_round_trip / 2);
   if (FaultInjector::Armed()) {
     const FaultDecision decision = FaultInjector::Global().At("gates.exit");
@@ -115,7 +121,7 @@ void EmcGates::InterruptRestore(Cpu& cpu) {
     // Unbalanced restore: nothing was saved on this CPU, so there is no monitor
     // context to return to. Granting the saved-slot view here would let the untrusted
     // OS manufacture a monitor PKRS grant; stay in the kernel view instead.
-    *MetricsRegistry::Global().Counter("gates.unbalanced_int_restore") += 1;
+    MetricsRegistry::Global().Increment("gates.unbalanced_int_restore");
     return;
   }
   const uint64_t restored = stack.back();

@@ -6,6 +6,7 @@
 
 #include <cstring>
 
+#include "src/common/exec.h"
 #include "src/common/faultpoint.h"
 #include "src/common/log.h"
 
@@ -105,7 +106,7 @@ Status EreborMonitor::BootStage1(const Bytes& firmware_image, bool arm_fence) {
   // RetrofitKey rewrites live supervisor leaves behind the kernel's back, so the
   // policy calls back here for the machine-wide shootdown.
   policy_->SetTlbShootdown([this](Paddr entry_pa) {
-    ++counters_.tlb_shootdowns;
+    CounterAdd(counters_.tlb_shootdowns);
     if (Tlb::hooks().retrofit_shootdown) {
       machine_->ShootdownTlbLeaf(entry_pa);
     }

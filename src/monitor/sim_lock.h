@@ -1,11 +1,13 @@
-// Deterministic simulated locking for the EMC dispatch layer.
+// Simulated locking for the EMC dispatch layer, with a real-mutex backing for
+// the kRealThreads execution engine.
 //
-// The simulation is single-threaded, so these locks never block a host thread.
-// What they model is the *serialization cost* of concurrent EMC service across
-// vCPUs: every lock remembers the simulated cycle at which its last critical
-// section ended (`free_at_`), and — when contention simulation is enabled — an
-// acquiring vCPU whose own clock is behind that point is charged the wait. Two
-// determinism rules make this safe to leave compiled in everywhere:
+// Under the deterministic engine the simulation is single-threaded, so these
+// locks never block a host thread. What they model is the *serialization cost*
+// of concurrent EMC service across vCPUs: every lock remembers the simulated
+// cycle at which its last critical section ended (`free_at_`), and — when
+// contention simulation is enabled — an acquiring vCPU whose own clock is
+// behind that point is charged the wait. Two determinism rules make this safe
+// to leave compiled in everywhere:
 //
 //   1. Uncontended acquire/release charge ZERO cycles. The real acquire cost is
 //      already folded into the paper's 1224-cycle EMC round trip (Table 3), so
@@ -14,6 +16,14 @@
 //   2. Every charge is a pure function of the per-vCPU cycle clocks at the
 //      acquire site. No host time, no RNG: a replay with the same schedule
 //      charges the same waits.
+//
+// Under ExecutionEngine::real_threads() every SimLock is backed by a real
+// std::mutex: Acquire blocks the calling OS thread, Release unlocks it, and the
+// same LockAudit rank discipline is enforced with the same lock-site names. Real
+// contention is *observed* (real_contended_ / real_wait_ns_) but never charged
+// as simulated cycles and never traced as kLockContend — wall-clock ordering may
+// differ between runs, charged cycles may not, so a threaded run stays counter-
+// and cycle-identical to a single-thread run with contention simulation off.
 //
 // Locks are chaos-preemptible: when the fault injector is armed, the sites
 // "lock.acquire" / "lock.release" fire at every boundary crossing, and a
@@ -35,6 +45,8 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,12 +67,15 @@ enum LockRank : int {
 
 class SimLock {
  public:
-  SimLock() = default;
+  SimLock() : mu_(std::make_shared<std::mutex>()) {}
   SimLock(std::string name, int rank, int sub = 0)
-      : name_(std::move(name)), rank_(rank), sub_(sub) {}
+      : name_(std::move(name)), rank_(rank), sub_(sub),
+        mu_(std::make_shared<std::mutex>()) {}
 
   // Acquires on `cpu`. When `simulate_contention`, charges the cycles until the
-  // lock's last release point if the acquiring vCPU's clock is behind it.
+  // lock's last release point if the acquiring vCPU's clock is behind it. Under
+  // real_threads(), blocks on the backing mutex instead; simulated waits are
+  // never charged there (the wait is real).
   void Acquire(Cpu& cpu, bool simulate_contention);
   void Release(Cpu& cpu, bool simulate_contention);
 
@@ -73,6 +88,10 @@ class SimLock {
   uint64_t acquisitions() const { return acquisitions_; }
   uint64_t contended() const { return contended_; }
   Cycles contention_cycles() const { return contention_cycles_; }
+  // Real-thread contention observations (not part of the simulated cycle model;
+  // the emc_scaling bench reports them alongside wall-clock throughput).
+  uint64_t real_contended() const { return real_contended_; }
+  uint64_t real_wait_ns() const { return real_wait_ns_; }
 
  private:
   std::string name_;
@@ -84,6 +103,13 @@ class SimLock {
   uint64_t acquisitions_ = 0;
   uint64_t contended_ = 0;
   Cycles contention_cycles_ = 0;
+  uint64_t real_contended_ = 0;
+  uint64_t real_wait_ns_ = 0;
+  // Backing mutex for kRealThreads. shared_ptr keeps SimLock copy-assignable
+  // (EmcLockTable builds its shard array by assignment at construction time,
+  // strictly before any thread exists); every named construction gets a fresh
+  // mutex, so no two distinct locks ever share one.
+  std::shared_ptr<std::mutex> mu_;
 };
 
 // RAII acquisition; movable so helpers can hand guards out. A default-built
@@ -130,6 +156,12 @@ class SimLockGuard {
 // are empty at safe points and that no violation was ever recorded.
 class LockAudit {
  public:
+  // Upper bound on simulated vCPUs; per-CPU held stacks are a fixed array so a
+  // vCPU thread can reach its own stack without racing a resize triggered by a
+  // peer (each thread only ever touches its own stack, violation counters are
+  // relaxed-atomic bumps).
+  static constexpr int kMaxCpus = 64;
+
   static LockAudit& Global();
 
   // Drops held stacks and violation counters (worlds arm this between runs so
@@ -151,9 +183,9 @@ class LockAudit {
   // point between slices must hold none).
   bool NothingHeld(int cpu) const;
 
-  uint64_t ordering_violations() const { return ordering_violations_; }
-  uint64_t unheld_violations() const { return unheld_violations_; }
-  uint64_t violations() const { return ordering_violations_ + unheld_violations_; }
+  uint64_t ordering_violations() const;
+  uint64_t unheld_violations() const;
+  uint64_t violations() const { return ordering_violations() + unheld_violations(); }
 
  private:
   LockAudit() = default;
@@ -165,8 +197,8 @@ class LockAudit {
   std::vector<Held>& StackFor(int cpu);
   bool Holds(int cpu, int rank, int sub) const;
 
-  std::vector<std::vector<Held>> held_;  // indexed by vCPU
-  uint64_t ordering_violations_ = 0;
+  std::array<std::vector<Held>, kMaxCpus> held_;  // indexed by vCPU
+  uint64_t ordering_violations_ = 0;  // bumped via CounterAdd (thread-safe)
   uint64_t unheld_violations_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "src/sim/world.h"
 
+#include <thread>
+
 #include "src/common/log.h"
 
 namespace erebor {
@@ -226,6 +228,84 @@ Status World::StartProxy() {
   return kernel_->SpawnProcess("erebor-proxy", std::move(program)).status();
 }
 
+Status World::RunOnThreads(const std::function<Status(int cpu)>& body) {
+  const int num_cpus = machine_->num_cpus();
+  std::vector<Status> results(static_cast<size_t>(num_cpus), OkStatus());
+  if (config_.exec == ExecMode::kDeterministic) {
+    // The oracle schedule: same bodies, same per-vCPU work, sequential in CPU
+    // order on the calling thread. Bit-replayable by construction.
+    for (int cpu = 0; cpu < num_cpus; ++cpu) {
+      ExecutionEngine::CpuBinding binding(cpu);
+      results[static_cast<size_t>(cpu)] = body(cpu);
+    }
+  } else {
+    // One OS thread per vCPU. The RealThreadsScope flips every seam (SimLock
+    // mutexes, TLB queueing, trace ring locking) for the region's lifetime;
+    // everything before and after this block is single-threaded.
+    ExecutionEngine::RealThreadsScope scope;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_cpus));
+    for (int cpu = 0; cpu < num_cpus; ++cpu) {
+      threads.emplace_back([this, cpu, &body, &results]() {
+        ExecutionEngine::CpuBinding binding(cpu);
+        results[static_cast<size_t>(cpu)] = body(cpu);
+        // Drain before parking so a peer's late shootdown cannot strand in the
+        // queue of a vCPU that already finished its work...
+        machine_->cpu(cpu).DrainTlbInvalidations();
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  // ...and drain once more after the join (or the sequential loop) for anything
+  // posted after a vCPU's final own-thread drain. Single-threaded here, so this
+  // also covers the deterministic engine's direct-apply invariants trivially.
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    machine_->cpu(cpu).DrainTlbInvalidations();
+  }
+  // Fault firings inside the region defer invariant checking to this safe point
+  // (mirrors ChaosTick's slice-boundary deferral).
+  if (pending_invariant_check_.exchange(false) && invariants_ != nullptr) {
+    const Status st = invariants_->CheckAll();
+    if (!st.ok()) {
+      ++invariant_violations_;
+      if (first_violation_.ok()) {
+        first_violation_ = st;
+      }
+    }
+  }
+  for (const Status& result : results) {
+    EREBOR_RETURN_IF_ERROR(result);
+  }
+  return OkStatus();
+}
+
+void World::ThreadChaosTick(int cpu) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!chaos_ || !injector.Armed() || cpu < 0 || cpu >= machine_->num_cpus()) {
+    return;
+  }
+  ++chaos_thread_slices_[static_cast<size_t>(cpu)];
+  Cpu& vcpu = machine_->cpu(cpu);
+  if (chaos_options_.host_preempt &&
+      injector.Fire("host.preempt", FaultAction::kPreempt)) {
+    // Host preemption of *this* vCPU at a thread-chosen point: one interrupt
+    // delivery charged to the preempted vCPU itself. (Cross-CPU interrupt
+    // injection stays driver-only — the InterruptController is not a per-thread
+    // structure.)
+    vcpu.cycles().Charge(vcpu.costs().interrupt_delivery);
+  }
+  // This vCPU's private stream decides whether the host also migrated the vCPU
+  // across physical cores, going through a cold TLB: wall-clock-only (the TLB
+  // charges no cycles), own-thread-safe, and — because the stream is consumed
+  // once per tick regardless — deterministic per (seed, cpu, tick index), so a
+  // sequential oracle replay flushes at exactly the same ticks.
+  if (chaos_rngs_[static_cast<size_t>(cpu)].Next() % 16 == 0) {
+    vcpu.tlb().FlushAll();
+  }
+}
+
 Status World::RunUntil(const std::function<bool()>& done, uint64_t max_slices) {
   for (uint64_t i = 0; i < max_slices; ++i) {
     if (done()) {
@@ -256,6 +336,16 @@ Status World::EnableChaos(const ChaosOptions& options) {
   // Re-arm the lock-discipline audit alongside the injector so a prior world's
   // violations (or held stacks from an aborted run) don't bleed into this soak.
   LockAudit::Global().Reset();
+  // One private chaos stream per vCPU, derived from (seed, cpu id): no shared
+  // RNG is ever touched from a vCPU thread, and each stream's consumption is a
+  // pure function of that vCPU's own tick count, so the 64-seed soak replays
+  // bit-identically under both execution engines.
+  chaos_rngs_.clear();
+  chaos_thread_slices_.assign(static_cast<size_t>(machine_->num_cpus()), 0);
+  for (int cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    chaos_rngs_.emplace_back(options.seed ^
+                             (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(cpu) + 1)));
+  }
   // A fault can fire mid-gate or mid-delivery, where PKRS is legitimately in flux;
   // checking there would false-positive. Defer to the next slice boundary instead.
   FaultInjector::Global().SetObserver(
@@ -278,7 +368,15 @@ void World::ChaosTick() {
   FaultInjector& injector = FaultInjector::Global();
   if (chaos_options_.host_preempt && injector.Armed() &&
       injector.Fire("host.preempt", FaultAction::kPreempt)) {
-    attacker_->PreemptGuest(static_cast<int>(chaos_slice_) % machine_->num_cpus());
+    // Preemption target: drawn from the per-CPU stream of the vCPU whose slice
+    // this is, so the choice stays deterministic without any shared RNG (the
+    // streams double as the vCPU-thread streams under the real-thread engine).
+    const int slot = static_cast<int>(chaos_slice_) % machine_->num_cpus();
+    const int target = chaos_rngs_.empty()
+                           ? slot
+                           : static_cast<int>(chaos_rngs_[static_cast<size_t>(slot)].Next() %
+                                              static_cast<uint64_t>(machine_->num_cpus()));
+    attacker_->PreemptGuest(target);
   }
   if (chaos_options_.host_dma_probe && injector.Armed() && monitor_ != nullptr) {
     const FaultDecision decision = injector.At("host.dma");
@@ -302,8 +400,8 @@ void World::ChaosTick() {
   }
   const bool cadence_due = chaos_options_.check_every_slices != 0 &&
                            chaos_slice_ % chaos_options_.check_every_slices == 0;
-  if ((pending_invariant_check_ || cadence_due) && invariants_ != nullptr) {
-    pending_invariant_check_ = false;
+  if ((pending_invariant_check_.exchange(false) || cadence_due) &&
+      invariants_ != nullptr) {
     const Status st = invariants_->CheckAll();
     if (!st.ok()) {
       ++invariant_violations_;

@@ -9,10 +9,13 @@
 #ifndef EREBOR_SRC_SIM_WORLD_H_
 #define EREBOR_SRC_SIM_WORLD_H_
 
+#include <atomic>
 #include <memory>
 
 #include "src/client/client.h"
+#include "src/common/exec.h"
 #include "src/common/faultpoint.h"
+#include "src/common/rng.h"
 #include "src/host/attacks.h"
 #include "src/libos/libos.h"
 #include "src/monitor/invariants.h"
@@ -31,6 +34,12 @@ std::string SimModeName(SimMode mode);
 
 struct WorldConfig {
   SimMode mode = SimMode::kEreborFull;
+  // Execution engine for RunOnThreads parallel regions: kDeterministic runs the
+  // per-vCPU bodies sequentially on the calling thread (the bit-replayable
+  // oracle); kRealThreads runs one OS thread per vCPU with real mutexes behind
+  // the EMC lock plans. Boot, scheduling (RunUntil) and teardown are always
+  // single-threaded regardless of this setting.
+  ExecMode exec = ExecMode::kDeterministic;
   MachineConfig machine;
   KernelConfig kernel;
   KernelBuildOptions kernel_image;  // instrumented flag is forced by mode
@@ -95,6 +104,26 @@ class World {
   // Runs the scheduler until `done` returns true or no task is runnable.
   Status RunUntil(const std::function<bool()>& done, uint64_t max_slices = 2'000'000);
 
+  // ---- Parallel region (the execution-engine seam) ----
+  // Runs `body(cpu)` once per vCPU. Under ExecMode::kRealThreads each body runs
+  // on its own OS thread bound to its vCPU (SimLocks become real mutexes,
+  // cross-CPU TLB maintenance queues, shared counters go relaxed-atomic); under
+  // kDeterministic the bodies run sequentially on the calling thread in CPU
+  // order — the oracle schedule. Both engines execute identical simulated work,
+  // so EMC-family counters, fault-journal hashes, and per-CPU charged cycles
+  // must be bit-identical across them. Returns the first non-OK body status
+  // after every thread has joined and all invalidation queues are drained.
+  Status RunOnThreads(const std::function<Status(int cpu)>& body);
+  ExecMode exec_mode() const { return config_.exec; }
+
+  // Per-vCPU chaos step for RunOnThreads bodies: fires the "host.preempt" probe
+  // and, via this vCPU's private RNG stream (seeded from (chaos seed, cpu)),
+  // occasionally models a host-side vCPU migration by flushing the vCPU's own
+  // TLB (wall-clock-only; zero cycles). Safe from the owning vCPU thread in
+  // both engines; a no-op when chaos is off. Deterministic per (seed, cpu,
+  // call index), so a sequential replay makes identical decisions.
+  void ThreadChaosTick(int cpu);
+
   // ---- Chaos soak ----
   // Arms the global FaultInjector with options.schedule (or a seed-randomized one)
   // and hooks host probes + invariant checks into RunUntil. Requires a booted
@@ -129,9 +158,16 @@ class World {
   ChaosOptions chaos_options_;
   std::unique_ptr<InvariantChecker> invariants_;
   uint64_t chaos_slice_ = 0;
-  bool pending_invariant_check_ = false;
+  // Set by the fault observer, possibly from a vCPU thread mid-parallel-region;
+  // consumed at the next safe point (slice boundary or post-join).
+  std::atomic<bool> pending_invariant_check_{false};
   uint64_t invariant_violations_ = 0;
   Status first_violation_;
+  // Per-vCPU chaos RNG streams, seeded from (chaos seed, cpu id) at EnableChaos.
+  // Each stream is consumed only by its own vCPU (ThreadChaosTick) or by the
+  // single-threaded driver (ChaosTick), never shared across threads.
+  std::vector<SplitMix64> chaos_rngs_;
+  std::vector<uint64_t> chaos_thread_slices_;  // per-vCPU ThreadChaosTick count
 };
 
 }  // namespace erebor
