@@ -14,10 +14,17 @@
 // Throughput is bytes * 2.1e9 / max-per-vCPU-cycle-delta. Sharded locking at
 // 16 sessions must be >= 2x the 1-session aggregate.
 //
+// Part B also re-runs the sharded ingest cells on the real-thread execution
+// engine (one OS thread per vCPU, real mutexes instead of simulated
+// contention); every threaded cell must ingest exactly the same per-session
+// record counts as a fresh deterministic oracle run. Set
+// EREBOR_EXEC=deterministic to skip the threaded half.
+//
 // Emits BENCH_channel.json (scripts/bench.sh collects and validates it).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -174,15 +181,24 @@ struct IngestCell {
   EmcLocking locking = EmcLocking::kGlobal;
   uint64_t bytes = 0;
   Cycles wall_cycles = 0;
+  uint64_t wall_ns = 0;  // host wall clock (meaningful on the threaded engine)
+  // Per-session ingested record counts (session.next_recv_seq), the oracle
+  // observable for the engine comparison.
+  std::vector<uint64_t> recv_seqs;
   // Aggregate simulated throughput in MB/s at 2.1 GHz.
   double mbps() const {
     return wall_cycles == 0 ? 0 : static_cast<double>(bytes) * 2.1e9 / wall_cycles / 1e6;
   }
+  double wall_mbps() const {
+    return wall_ns == 0 ? 0 : static_cast<double>(bytes) * 1e9 / wall_ns / 1e6;
+  }
 };
 
-bool RunIngestCell(int sessions, EmcLocking locking, IngestCell* out) {
+bool RunIngestCell(int sessions, EmcLocking locking, IngestCell* out,
+                   ExecMode exec = ExecMode::kDeterministic) {
   WorldConfig config;
   config.mode = SimMode::kEreborFull;
+  config.exec = exec;
   config.machine.num_cpus = kVcpus;
   config.machine.memory_frames = 64 * 1024;
   World world(config);
@@ -243,7 +259,9 @@ bool RunIngestCell(int sessions, EmcLocking locking, IngestCell* out) {
 
   EreborMonitor* monitor = world.monitor();
   monitor->SetEmcLocking(locking);
-  monitor->SetLockContention(true);
+  // Deterministic cells charge simulated contention; under real threads the
+  // lock plans are backed by real mutexes and wall time is the signal.
+  monitor->SetLockContention(exec == ExecMode::kDeterministic);
   LockAudit::Global().Reset();
 
   Machine& machine = world.machine();
@@ -262,23 +280,47 @@ bool RunIngestCell(int sessions, EmcLocking locking, IngestCell* out) {
   // Session s is pinned to vCPU s % kVcpus (records must stay in sequence per
   // session); each round every vCPU ingests one batch holding one record for
   // each of its sessions, interleaved round-robin so contended acquisitions
-  // overlap the way a real concurrent burst would.
-  for (int round = 0; round < kRounds; ++round) {
-    for (int c = 0; c < kVcpus; ++c) {
-      std::vector<Bytes> batch;
-      for (int s = c; s < sessions; s += kVcpus) {
-        batch.push_back(records[s][round]);
-      }
-      if (batch.empty()) {
-        continue;
-      }
-      const Status st = monitor->ProxyDeliverBatch(machine.cpu(c), batch);
-      if (!st.ok()) {
-        std::printf("channel_throughput: ingest failed: %s\n", st.ToString().c_str());
-        return false;
+  // overlap the way a real concurrent burst would. On the threaded engine the
+  // same per-vCPU schedule runs on real OS threads.
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (exec == ExecMode::kDeterministic) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (int c = 0; c < kVcpus; ++c) {
+        std::vector<Bytes> batch;
+        for (int s = c; s < sessions; s += kVcpus) {
+          batch.push_back(records[s][round]);
+        }
+        if (batch.empty()) {
+          continue;
+        }
+        const Status st = monitor->ProxyDeliverBatch(machine.cpu(c), batch);
+        if (!st.ok()) {
+          std::printf("channel_throughput: ingest failed: %s\n", st.ToString().c_str());
+          return false;
+        }
       }
     }
+  } else {
+    const Status st = world.RunOnThreads([&](int c) -> Status {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<Bytes> batch;
+        for (int s = c; s < sessions; s += kVcpus) {
+          batch.push_back(records[s][round]);
+        }
+        if (batch.empty()) {
+          continue;
+        }
+        EREBOR_RETURN_IF_ERROR(monitor->ProxyDeliverBatch(machine.cpu(c), batch));
+      }
+      return OkStatus();
+    });
+    if (!st.ok()) {
+      std::printf("channel_throughput: threaded ingest failed: %s\n",
+                  st.ToString().c_str());
+      return false;
+    }
   }
+  const auto wall_end = std::chrono::steady_clock::now();
 
   Cycles wall = 0;
   for (int c = 0; c < kVcpus; ++c) {
@@ -307,6 +349,13 @@ bool RunIngestCell(int sessions, EmcLocking locking, IngestCell* out) {
   out->locking = locking;
   out->bytes = static_cast<uint64_t>(sessions) * kRounds * kIngestPayload;
   out->wall_cycles = wall;
+  out->wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_start)
+          .count());
+  out->recv_seqs.clear();
+  for (int s = 0; s < sessions; ++s) {
+    out->recv_seqs.push_back(fleet[s]->session.next_recv_seq);
+  }
   return true;
 }
 
@@ -394,12 +443,54 @@ int main() {
     ok = false;
   }
 
+  // -- real-thread engine: same ingest cells, record-count oracle --
+  Json ingest_engine = Json::Array();
+  bool engine_oracle = true;
+  const char* exec_env = std::getenv("EREBOR_EXEC");
+  if (exec_env == nullptr || std::string(exec_env) != "deterministic") {
+    std::printf("\n-- real-thread engine ingest (host wall clock, %d vCPUs) --\n",
+                kVcpus);
+    std::printf("%-9s %14s %9s\n", "sessions", "wall MB/s", "oracle");
+    for (const int sessions : {4, 16}) {
+      IngestCell threaded, oracle;
+      if (!RunIngestCell(sessions, EmcLocking::kSharded, &threaded,
+                         ExecMode::kRealThreads) ||
+          !RunIngestCell(sessions, EmcLocking::kSharded, &oracle,
+                         ExecMode::kDeterministic)) {
+        return 1;
+      }
+      const bool match = threaded.recv_seqs == oracle.recv_seqs;
+      if (!match) {
+        std::printf("channel_throughput: ORACLE MISMATCH per-session record "
+                    "counts (%d sessions)\n",
+                    sessions);
+        engine_oracle = false;
+      }
+      std::printf("%-9d %14.1f %9s\n", sessions, threaded.wall_mbps(),
+                  match ? "match" : "MISMATCH");
+      ingest_engine.Push(Json::Object()
+                             .Set("sessions", sessions)
+                             .Set("locking", "sharded")
+                             .Set("bytes", threaded.bytes)
+                             .Set("wall_ns", threaded.wall_ns)
+                             .Set("wall_mbps", threaded.wall_mbps())
+                             .Set("oracle_match", match));
+    }
+    if (!engine_oracle) {
+      ok = false;
+    }
+  } else {
+    std::printf("\nEREBOR_EXEC=deterministic: skipping real-thread ingest\n");
+  }
+
   Json root = Json::Object();
   root.Set("bench", "channel")
       .Set("sha_ni", accel::HasShaNi())
       .Set("avx2", accel::HasAvx2())
       .Set("pipeline", std::move(pipeline))
       .Set("ingest", std::move(ingest))
+      .Set("ingest_engine", std::move(ingest_engine))
+      .Set("engine_oracle_match", engine_oracle)
       .Set("speedup_64k", speedup_64k)
       .Set("sharded_scale_16_sessions", scale_16)
       .Set("pass", ok);

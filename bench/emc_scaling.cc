@@ -429,7 +429,17 @@ int main() {
     std::printf("%-6s %-8s %12s %12s %10s %8s\n", "vcpus", "locking",
                 "wall op/s", "oracle ns", "real waits", "oracle");
     double global_8vcpu_ops = 0, sharded_8vcpu_ops = 0;
-    for (const int vcpus : {1, 2, 4, 8}) {
+    // Wide cells only where the host can actually run them in parallel: a
+    // 64-vCPU sweep on a 4-core box measures the scheduler, not the locking
+    // plan. LockAudit::kMaxCpus bounds the top end.
+    std::vector<int> engine_vcpus = {1, 2, 4, 8};
+    for (const int wide : {16, 32, 64}) {
+      if (hw >= static_cast<unsigned>(wide) &&
+          wide <= static_cast<int>(LockAudit::kMaxCpus)) {
+        engine_vcpus.push_back(wide);
+      }
+    }
+    for (const int vcpus : engine_vcpus) {
       for (const EmcLocking locking : {EmcLocking::kGlobal, EmcLocking::kSharded}) {
         EngineCell threaded, oracle;
         if (!RunEngineCell(vcpus, locking, ExecMode::kRealThreads, &threaded) ||

@@ -57,7 +57,16 @@ echo "== channel (attested-channel seal+open and multi-session ingest) =="
 "$BUILD_DIR/bench/channel_throughput"
 
 echo
-for name in fig8 fig9 tab3 tab6 emc_scaling channel; do
+echo "== batched_mmu (per-op vs batched vs ring MMU-update ablation) =="
+# Fails if the ring path recovers less than a majority of the Erebor-added
+# fork/mmap/pagefault cost, or if the multi-vCPU ring burst diverges between
+# the real-thread engine and its deterministic oracle. EREBOR_BENCH_ITERS
+# overrides the iteration count; EREBOR_EXEC=deterministic skips the threaded
+# oracle half.
+"$BUILD_DIR/bench/batched_mmu"
+
+echo
+for name in fig8 fig9 tab3 tab6 emc_scaling channel batched_mmu; do
   f="$OUT_DIR/BENCH_$name.json"
   if [[ ! -s "$f" ]]; then
     echo "bench.sh: missing or empty $f" >&2

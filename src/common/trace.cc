@@ -27,6 +27,7 @@ const char* TraceEventName(TraceEvent event) {
     case TraceEvent::kEmcTextPoke: return "emc_text_poke";
     case TraceEvent::kEmcSandboxOp: return "emc_sandbox_op";
     case TraceEvent::kEmcChannelOp: return "emc_channel_op";
+    case TraceEvent::kEmcRingDoorbell: return "emc_ring_doorbell";
     case TraceEvent::kPolicyDenial: return "policy_denial";
     case TraceEvent::kTdxVmcall: return "tdx_vmcall";
     case TraceEvent::kTdxReport: return "tdx_report";

@@ -47,6 +47,10 @@ enum class TraceEvent : uint16_t {
   kEmcTextPoke,
   kEmcSandboxOp,
   kEmcChannelOp,
+  // MMU ring doorbell (src/monitor/emc_ring.cc): one per drained submission
+  // window; payload = gated cycles for the doorbell itself (descriptors drained
+  // from the ring trace their own per-family events as usual).
+  kEmcRingDoorbell,
   kPolicyDenial,
   // TDX module (src/tdx/tdx_module.cc).
   kTdxVmcall,

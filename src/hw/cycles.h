@@ -39,6 +39,7 @@ struct CycleModel {
   Cycles monitor_msr_op = 389;      // MSR allow-list check + write
   Cycles monitor_tdreport_op = 126857;  // report generation + exclusive-interface check
   Cycles monitor_channel_op = 64;   // gated channel/proxy bookkeeping (non-crypto part)
+  Cycles monitor_ring_op = 72;      // MMU-ring doorbell: window snapshot + index checks
 
   // ---- Event delivery ----
   Cycles exception_delivery = 520;      // IDT dispatch + stack push/pop (#PF, #GP, ...)

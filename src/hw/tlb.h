@@ -23,6 +23,7 @@
 #ifndef EREBOR_SRC_HW_TLB_H_
 #define EREBOR_SRC_HW_TLB_H_
 
+#include <set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -157,6 +158,35 @@ class Tlb {
 // at the mutation sites; this predicate identifies the security-critical subset the
 // monitor must shoot down even for a kernel that skips its own invlpg.
 bool PteRevokesPermissions(Pte old_value, Pte new_value);
+
+// Deferred shootdown coalescing for batched MMU updates: the monitor's ring
+// drain collects the leaf-entry addresses that need invalidation across a whole
+// submission window and flushes each distinct address once at the end, instead
+// of broadcasting per PTE write. Iteration order is deterministic (ordered set)
+// so coalesced drains stay bit-identical across runs and engines.
+class TlbShootdownBatch {
+ public:
+  // Queues entry_pa; returns false (and counts a coalesce) when it was already
+  // pending in this batch.
+  bool Add(Paddr entry_pa) {
+    if (!pending_.insert(entry_pa).second) {
+      ++coalesced_;
+      return false;
+    }
+    return true;
+  }
+  size_t size() const { return pending_.size(); }
+  uint64_t coalesced() const { return coalesced_; }
+  const std::set<Paddr>& entries() const { return pending_; }
+  void Clear() {
+    pending_.clear();
+    coalesced_ = 0;
+  }
+
+ private:
+  std::set<Paddr> pending_;
+  uint64_t coalesced_ = 0;
+};
 
 }  // namespace erebor
 

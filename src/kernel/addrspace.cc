@@ -1,10 +1,19 @@
 #include "src/kernel/addrspace.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/faultpoint.h"
+#include "src/kernel/mmu_ring.h"
 
 namespace erebor {
+
+namespace {
+// Pages mapped around a demand fault when the ring path is available: the
+// marginal page costs one descriptor instead of a full #PF + EMC round trip,
+// so a modest window recovers most of the per-fault gate cost.
+constexpr uint64_t kFaultAroundPages = 16;
+}  // namespace
 
 PteWriter AddressSpace::MakeWriter(Cpu& cpu, int* pte_writes) {
   PteWriter writer;
@@ -70,7 +79,101 @@ Status AddressSpace::MapFrame(Cpu& cpu, Vaddr va, FrameNum frame, Pte flags) {
   return OkStatus();
 }
 
+Status AddressSpace::RingFlush(Cpu& cpu, EmcRing* ring, MmuRingBatch& batch) {
+  if (batch.staged() == 0) {
+    return OkStatus();
+  }
+  batch.Publish();
+  int32_t first_error = 0;
+  // One doorbell normally drains the whole window; a CQ-backpressured monitor
+  // leaves SQEs pending, so ring until they are gone.
+  while (ring->SqPending() > 0) {
+    EREBOR_RETURN_IF_ERROR(ops_->RingDoorbell(cpu));
+    batch.Reap(&first_error);
+  }
+  batch.Reap(&first_error);
+  if (first_error != 0) {
+    return InternalError("MMU-ring descriptor refused (monitor code " +
+                         std::to_string(-first_error) + ")");
+  }
+  return OkStatus();
+}
+
+Status AddressSpace::MapRangeRing(Cpu& cpu, EmcRing* ring,
+                                  const std::vector<PageMapping>& mappings) {
+  MmuRingBatch batch(ring);
+  // Phase 1: walk down per mapping, staging PTP registrations and intermediate
+  // links. The batch overlay makes staged intermediates visible to later walks
+  // in the same window, so a PTP created for one mapping is reused by its
+  // neighbours without a flush.
+  std::vector<std::pair<Paddr, Pte>> leaves;
+  leaves.reserve(mappings.size());
+  for (const PageMapping& mapping : mappings) {
+    Paddr table = root_;
+    const bool user = (mapping.flags & pte::kUser) != 0;
+    for (int level = kPagingLevels - 1; level >= 1; --level) {
+      const Paddr entry_pa = table + PteIndex(mapping.va, level) * sizeof(Pte);
+      Pte entry = batch.PendingRead(entry_pa, machine_->memory().Read64(entry_pa));
+      if (!pte::Present(entry)) {
+        if (batch.FreeSlots() < 2) {
+          EREBOR_RETURN_IF_ERROR(RingFlush(cpu, ring, batch));
+        }
+        EREBOR_ASSIGN_OR_RETURN(const FrameNum ptp, pool_->Alloc());
+        machine_->memory().ZeroFrame(ptp);
+        machine_->memory().FramePtr(ptp);
+        Pte inter = pte::Make(ptp, pte::kPresent | pte::kWritable);
+        if (user) {
+          inter |= pte::kUser;
+        }
+        // Registration precedes the linking write in the SQ, and the drain is
+        // in-order, so the monitor sees the frame as a PTP before any PTE
+        // points at it.
+        if (!batch.StageRegisterPtp(ptp, root_) ||
+            !batch.StagePteWrite(entry_pa, inter)) {
+          return InternalError("MMU-ring batch overflow while linking a PTP");
+        }
+        owned_ptps_.push_back(ptp);
+        entry = inter;
+      } else if (user && !pte::User(entry)) {
+        if (batch.FreeSlots() < 1) {
+          EREBOR_RETURN_IF_ERROR(RingFlush(cpu, ring, batch));
+        }
+        if (!batch.StagePteWrite(entry_pa, entry | pte::kUser)) {
+          return InternalError("MMU-ring batch overflow widening an intermediate");
+        }
+      }
+      table = pte::Frame(entry) << kPageShift;
+    }
+    leaves.emplace_back(table + PteIndex(mapping.va, 0) * sizeof(Pte),
+                        pte::Make(mapping.frame, mapping.flags | pte::kPresent));
+    if (user) {
+      ++mapped_user_pages_;
+    }
+  }
+  // Phase 2: leaf stores ride as spans, chunked to whatever room the SQ has
+  // left (a span needs its header slot plus one per entry).
+  size_t i = 0;
+  while (i < leaves.size()) {
+    size_t room = batch.FreeSlots();
+    if (room < 2) {
+      EREBOR_RETURN_IF_ERROR(RingFlush(cpu, ring, batch));
+      room = batch.FreeSlots();
+    }
+    const size_t take = std::min(leaves.size() - i, room - 1);
+    const std::vector<std::pair<Paddr, Pte>> chunk(leaves.begin() + i,
+                                                   leaves.begin() + i + take);
+    if (!batch.StagePteSpan(chunk)) {
+      return InternalError("MMU-ring span staging failed");
+    }
+    i += take;
+  }
+  return RingFlush(cpu, ring, batch);
+}
+
 Status AddressSpace::MapRangeBatched(Cpu& cpu, const std::vector<PageMapping>& mappings) {
+  if (EmcRing* ring = ops_->mmu_ring(cpu.index()); ring != nullptr) {
+    return MapRangeRing(cpu, ring, mappings);
+  }
   // Phase 1: materialize the leaf slots (may create intermediate PTPs; those writes
   // stay per-entry because each links a fresh table).
   std::vector<PrivilegedOps::PteUpdate> updates;
@@ -182,15 +285,39 @@ StatusOr<Vaddr> AddressSpace::CreateVma(uint64_t len, Pte flags, VmaKind kind, V
   return start;
 }
 
+Status AddressSpace::DestroyVmaRing(Cpu& cpu, EmcRing* ring, const Vma& vma) {
+  // Zero every mapped leaf through the ring; the monitor defers the shootdown
+  // for each present-entry rewrite and flushes the coalesced set once per
+  // drain, replacing the per-page InvlPg of the synchronous path.
+  MmuRingBatch batch(ring);
+  for (Vaddr va = vma.start; va < vma.end; va += kPageSize) {
+    const auto walk = LookupCached(cpu, va);
+    if (!walk.ok()) {
+      continue;
+    }
+    if (batch.FreeSlots() < 1) {
+      EREBOR_RETURN_IF_ERROR(RingFlush(cpu, ring, batch));
+    }
+    if (!batch.StagePteWrite(walk->leaf_entry_pa, 0)) {
+      return InternalError("MMU-ring batch overflow while unmapping");
+    }
+  }
+  return RingFlush(cpu, ring, batch);
+}
+
 Status AddressSpace::DestroyVma(Cpu& cpu, Vaddr start) {
   const auto it = vmas_.find(start);
   if (it == vmas_.end()) {
     return NotFoundError("no VMA at given start");
   }
-  for (Vaddr va = it->second.start; va < it->second.end; va += kPageSize) {
-    const auto walk = LookupCached(cpu, va);
-    if (walk.ok()) {
-      (void)UnmapPage(cpu, va);
+  if (EmcRing* ring = ops_->mmu_ring(cpu.index()); ring != nullptr) {
+    EREBOR_RETURN_IF_ERROR(DestroyVmaRing(cpu, ring, it->second));
+  } else {
+    for (Vaddr va = it->second.start; va < it->second.end; va += kPageSize) {
+      const auto walk = LookupCached(cpu, va);
+      if (walk.ok()) {
+        (void)UnmapPage(cpu, va);
+      }
     }
   }
   vmas_.erase(it);
@@ -206,12 +333,50 @@ Vma* AddressSpace::FindVma(Vaddr va) {
   return (va >= it->second.start && va < it->second.end) ? &it->second : nullptr;
 }
 
+StatusOr<int> AddressSpace::FaultAroundRing(Cpu& cpu, EmcRing* ring, Vma& vma,
+                                            Vaddr page_va) {
+  std::vector<PageMapping> mappings;
+  for (Vaddr va = page_va;
+       va < vma.end && mappings.size() < kFaultAroundPages; va += kPageSize) {
+    if (va != page_va && LookupCached(cpu, va).ok()) {
+      break;  // window runs to the first already-mapped page
+    }
+    auto alloc = pool_->Alloc();
+    if (!alloc.ok() && alloc.status().code() == ErrorCode::kResourceExhausted) {
+      // Same bounded-retry degradation contract as the synchronous fault path.
+      alloc = pool_->Alloc();
+      if (alloc.ok() && FaultInjector::Armed()) {
+        NoteFaultRecovered();
+      }
+    }
+    if (!alloc.ok()) {
+      if (va == page_va) {
+        return alloc.status();  // the faulting page itself must map
+      }
+      break;  // fault-around is best-effort
+    }
+    machine_->memory().ZeroFrame(*alloc);
+    machine_->memory().FramePtr(*alloc);
+    owned_frames_.push_back(*alloc);
+    cpu.cycles().Charge(cpu.costs().page_zero);
+    mappings.push_back({va, *alloc, vma.flags});
+  }
+  EREBOR_RETURN_IF_ERROR(MapRangeRing(cpu, ring, mappings));
+  return static_cast<int>(mappings.size());
+}
+
 StatusOr<int> AddressSpace::HandleDemandFault(Cpu& cpu, Vaddr va, PhysMemory* file_source) {
   Vma* vma = FindVma(va);
   if (vma == nullptr) {
     return NotFoundError("segmentation fault: no VMA for address");
   }
   const Vaddr page_va = PageAlignDown(va);
+  if (EmcRing* ring = ops_->mmu_ring(cpu.index());
+      ring != nullptr && vma->kind != VmaKind::kCommon) {
+    // Ring path: map the faulting page plus the following unmapped window
+    // through one doorbell, so neighbouring touches never fault at all.
+    return FaultAroundRing(cpu, ring, *vma, page_va);
+  }
   int pte_writes = 0;
   PteWriter writer = MakeWriter(cpu, &pte_writes);
 
@@ -279,14 +444,35 @@ Status AddressSpace::CloneUserMappings(Cpu& cpu, const AddressSpace& src) {
   return MapRangeBatched(cpu, mappings);
 }
 
+bool AddressSpace::ReclaimFramesRing(Cpu& cpu, EmcRing* ring) {
+  MmuRingBatch batch(ring);
+  for (const FrameNum frame : owned_frames_) {
+    if (batch.FreeSlots() < 1 && !RingFlush(cpu, ring, batch).ok()) {
+      return false;
+    }
+    if (!batch.StageFrameReclaim(frame)) {
+      return false;
+    }
+  }
+  return RingFlush(cpu, ring, batch).ok();
+}
+
 void AddressSpace::ReleaseUserFrames(Cpu& cpu) {
   // The root and PTP frames return to the pool and may be recycled as page tables of
   // a future process, so every cached translation keyed by this root must die now.
   // Always on (not a test-toggleable hook): this is allocator hygiene, not one of the
   // paper's invalidation obligations.
   machine_->FlushTlbRoot(root_);
+  // Ring path: the monitor scrubs the released frames (kFrameReclaim); if any
+  // descriptor is refused, fall back to zeroing everything kernel-side — a
+  // double zero is harmless, an unscrubbed frame is not.
+  EmcRing* ring = ops_->mmu_ring(cpu.index());
+  const bool scrubbed =
+      ring != nullptr && !owned_frames_.empty() && ReclaimFramesRing(cpu, ring);
   for (const FrameNum frame : owned_frames_) {
-    machine_->memory().ZeroFrame(frame);
+    if (!scrubbed) {
+      machine_->memory().ZeroFrame(frame);
+    }
     (void)pool_->Free(frame);
   }
   owned_frames_.clear();

@@ -14,6 +14,9 @@
 
 namespace erebor {
 
+struct EmcRing;
+class MmuRingBatch;
+
 enum class VmaKind : uint8_t {
   kAnon,      // demand-zero anonymous memory
   kConfined,  // sandbox confined memory (pre-populated + pinned by the monitor)
@@ -55,6 +58,10 @@ class AddressSpace {
     Pte flags;
   };
   Status MapRangeBatched(Cpu& cpu, const std::vector<PageMapping>& mappings);
+  // When the backend exposes an MMU ring for `cpu` (PrivilegedOps::mmu_ring),
+  // MapRangeBatched, DestroyVma, HandleDemandFault, and ReleaseUserFrames all
+  // switch to staging descriptors and crossing the gate once per doorbell; the
+  // synchronous per-op paths above remain byte-for-byte what they were.
 
   // Populates every not-yet-mapped page of the VMA at `start` (anon/file kinds get
   // fresh zeroed frames; common kinds use their backing), with leaf writes batched.
@@ -90,6 +97,20 @@ class AddressSpace {
       : machine_(machine), ops_(ops), pool_(pool), root_(root) {}
 
   PteWriter MakeWriter(Cpu& cpu, int* pte_writes = nullptr);
+
+  // ---- MMU-ring staging paths (active only when ops_->mmu_ring() != nullptr) ----
+  // Publishes the staged batch and crosses the gate until the SQ drains; the
+  // first per-descriptor refusal comes back as an error.
+  Status RingFlush(Cpu& cpu, EmcRing* ring, MmuRingBatch& batch);
+  Status MapRangeRing(Cpu& cpu, EmcRing* ring, const std::vector<PageMapping>& mappings);
+  Status DestroyVmaRing(Cpu& cpu, EmcRing* ring, const Vma& vma);
+  // Maps the faulting page plus up to a window of following unmapped pages of
+  // the VMA through one doorbell. Returns the number of pages mapped.
+  StatusOr<int> FaultAroundRing(Cpu& cpu, EmcRing* ring, Vma& vma, Vaddr page_va);
+  // Stages kFrameReclaim for every owned frame (the monitor scrubs them).
+  // Returns false if any descriptor was refused — the caller falls back to
+  // zeroing kernel-side.
+  bool ReclaimFramesRing(Cpu& cpu, EmcRing* ring);
 
   Machine* machine_;
   PrivilegedOps* ops_;

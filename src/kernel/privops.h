@@ -13,6 +13,8 @@
 
 namespace erebor {
 
+struct EmcRing;  // src/kernel/mmu_ring.h
+
 class PrivilegedOps {
  public:
   virtual ~PrivilegedOps() = default;
@@ -57,6 +59,21 @@ class PrivilegedOps {
 
   // Self-modifying kernel code (text_poke): validated + applied by the monitor.
   virtual Status TextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes, uint64_t len) = 0;
+
+  // MMU-ring doorbell: one gate crossing that asks the monitor to drain this
+  // vCPU's submission ring (src/kernel/mmu_ring.h). Backends without rings
+  // refuse; callers must have checked mmu_ring() first.
+  virtual Status RingDoorbell(Cpu& cpu) {
+    (void)cpu;
+    return FailedPreconditionError("this backend has no MMU rings");
+  }
+  // The submission/completion ring for a vCPU, or nullptr when rings are
+  // disabled (the default). Not an EMC: this is how the kernel discovers the
+  // shared-memory mapping, not a privileged operation.
+  virtual EmcRing* mmu_ring(int cpu_index) {
+    (void)cpu_index;
+    return nullptr;
+  }
 
   // Number of monitor calls made (0 for the native backend); Table 6's EMC/s metric.
   virtual uint64_t emc_count() const = 0;

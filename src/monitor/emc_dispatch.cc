@@ -60,6 +60,30 @@ EmcValidation ValidateLoadModule(const EmcArgs& args) {
   return EmcValidation{OkStatus(), false};
 }
 
+// Ring-doorbell structural screen: args.count is the submission-window size
+// (sq_tail - shadow_sq_head), args.len the completion backlog (shadow_cq_tail -
+// cq_head), both computed from a single snapshot of the untrusted indexes. A
+// window or backlog larger than the ring means the kernel wrapped or forged an
+// index — Garmr-class gate-entry abuse, counted as a denial (the caller adds a
+// strike).
+EmcValidation ValidateRingDoorbell(const EmcArgs& args) {
+  if (args.count == 0) {
+    return EmcValidation{InvalidArgumentError("ring doorbell with empty submission window"),
+                         false};
+  }
+  if (args.count > EmcRing::kSlots) {
+    return EmcValidation{
+        OutOfRangeError("SQ window exceeds ring capacity (wrapped or forged tail)"),
+        /*count_denial=*/true};
+  }
+  if (args.len > EmcRing::kSlots) {
+    return EmcValidation{
+        OutOfRangeError("CQ head ahead of tail (forged consumer index)"),
+        /*count_denial=*/true};
+  }
+  return EmcValidation{OkStatus(), false};
+}
+
 using Table = std::array<EmcDescriptor, static_cast<size_t>(EmcOp::kCount)>;
 
 Table BuildTable() {
@@ -98,6 +122,11 @@ Table BuildTable() {
   row({EmcOp::kTextPoke, "text_poke", "emc.text_poke", TraceEvent::kEmcTextPoke,
        &CycleModel::monitor_pte_op, &MonitorCounters::emc_text_poke, false, true,
        false, false, ValidateOk});
+  row({EmcOp::kRingDoorbell, "ring_doorbell", "emc.ring_doorbell",
+       TraceEvent::kEmcRingDoorbell, &CycleModel::monitor_ring_op,
+       &MonitorCounters::emc_ring, /*requires_attached_kernel=*/false,
+       /*locks_monitor_state=*/false, /*locks_target_sandbox=*/true,
+       /*locks_frame_shards=*/true, ValidateRingDoorbell});
   row({EmcOp::kLoadKernelModule, "load_kernel_module", "emc.load_kernel_module",
        TraceEvent::kEmcTextPoke, &CycleModel::page_copy,
        &MonitorCounters::emc_text_poke, /*requires_attached_kernel=*/true, true,
@@ -233,6 +262,40 @@ void EreborMonitor::ShootdownAfterPteWrite(Cpu& cpu, Paddr entry_pa, Pte old_val
 
 // ---- MMU / monitor-state EMC bodies ----
 
+// The policy/apply sequence shared by the synchronous EmcWritePte and the ring
+// drain (emc_ring.cc). `deferred` non-null defers the post-write shootdown into
+// the batch for coalescing; null keeps the immediate per-write broadcast. The
+// ring path cannot take the huge-page split (it allocates and relinks under a
+// different lock footprint than the drain planned for), so it is refused there
+// and routed to the synchronous path.
+Status EreborMonitor::WritePteBodyLocked(Cpu& cpu, Paddr entry_pa, Pte value,
+                                         TlbShootdownBatch* deferred) {
+  const PolicyDecision decision = policy_->CheckPteWrite(entry_pa, value);
+  if (decision.needs_split) {
+    if (deferred != nullptr) {
+      NoteDenial(cpu);
+      return PermissionDeniedError(
+          "huge-page splits require the synchronous write_pte path");
+    }
+    return SplitHugePageLocked(cpu, entry_pa, value);
+  }
+  if (!decision.allowed) {
+    NoteDenial(cpu);
+    return PermissionDeniedError("EMC WritePte refused: " + decision.denial_reason);
+  }
+  LockAudit::Global().ExpectFrameShardHeld(cpu.index(),
+                                           EmcLockTable::ShardOf(FrameOf(entry_pa)));
+  const Pte old = machine_->memory().Read64(entry_pa);
+  machine_->memory().Write64(entry_pa, decision.adjusted_value);
+  policy_->NoteLeafWrite(old, decision.adjusted_value, entry_pa);
+  if (deferred == nullptr) {
+    ShootdownAfterPteWrite(cpu, entry_pa, old, decision.adjusted_value);
+  } else if (pte::Present(old) && old != decision.adjusted_value) {
+    deferred->Add(entry_pa);
+  }
+  return OkStatus();
+}
+
 Status EreborMonitor::EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value) {
   EmcCall call{};
   call.op = EmcOp::kWritePte;
@@ -240,21 +303,7 @@ Status EreborMonitor::EmcWritePte(Cpu& cpu, Paddr entry_pa, Pte value) {
   call.args.value = value;
   call.shard_mask = 1ull << EmcLockTable::ShardOf(FrameOf(entry_pa));
   return EmcDispatch(cpu, call, [&]() -> Status {
-    const PolicyDecision decision = policy_->CheckPteWrite(entry_pa, value);
-    if (decision.needs_split) {
-      return SplitHugePageLocked(cpu, entry_pa, value);
-    }
-    if (!decision.allowed) {
-      NoteDenial(cpu);
-      return PermissionDeniedError("EMC WritePte refused: " + decision.denial_reason);
-    }
-    LockAudit::Global().ExpectFrameShardHeld(cpu.index(),
-                                             EmcLockTable::ShardOf(FrameOf(entry_pa)));
-    const Pte old = machine_->memory().Read64(entry_pa);
-    machine_->memory().Write64(entry_pa, decision.adjusted_value);
-    policy_->NoteLeafWrite(old, decision.adjusted_value, entry_pa);
-    ShootdownAfterPteWrite(cpu, entry_pa, old, decision.adjusted_value);
-    return OkStatus();
+    return WritePteBodyLocked(cpu, entry_pa, value, /*deferred=*/nullptr);
   });
 }
 
@@ -371,6 +420,32 @@ Status EreborMonitor::EmcWritePteBatch(Cpu& cpu, const PrivilegedOps::PteUpdate*
   });
 }
 
+// Shared by the synchronous EmcRegisterPtp and the ring drain.
+Status EreborMonitor::RegisterPtpBodyLocked(Cpu& cpu, FrameNum frame, Paddr root_pa) {
+  if (frame >= frame_table_->size()) {
+    return OutOfRangeError("PTP frame beyond physical memory");
+  }
+  FrameInfo& info = frame_table_->info(frame);
+  if (info.type != FrameType::kNormal) {
+    NoteDenial(cpu);
+    return PermissionDeniedError("cannot re-type " + FrameTypeName(info.type) +
+                                 " frame as PTP");
+  }
+  LockAudit::Global().ExpectFrameShardHeld(cpu.index(), EmcLockTable::ShardOf(frame));
+  // A PTP must start zeroed so no stale attacker-chosen entries become live.
+  machine_->memory().ZeroFrame(frame);
+  info.type = FrameType::kPtp;
+  info.ptp_root = root_pa;
+  // A frame registered as its own root is a PML4; others are linked (and get their
+  // level) when an intermediate entry first points at them.
+  info.ptp_level = AddrOf(frame) == root_pa ? 4 : 0;
+  // The frame may already be mapped (direct map, default key): retrofit the PTP key
+  // so the kernel cannot write the new page table through the old mapping.
+  EREBOR_RETURN_IF_ERROR(policy_->RetrofitKey(machine_->memory(), frame,
+                                              layout::kPtpKey, /*strip_write=*/false));
+  return OkStatus();
+}
+
 Status EreborMonitor::EmcRegisterPtp(Cpu& cpu, FrameNum frame, Paddr root_pa) {
   EmcCall call{};
   call.op = EmcOp::kRegisterPtp;
@@ -378,29 +453,7 @@ Status EreborMonitor::EmcRegisterPtp(Cpu& cpu, FrameNum frame, Paddr root_pa) {
   call.args.root_pa = root_pa;
   call.shard_mask = 1ull << EmcLockTable::ShardOf(frame);
   return EmcDispatch(cpu, call, [&]() -> Status {
-    if (frame >= frame_table_->size()) {
-      return OutOfRangeError("PTP frame beyond physical memory");
-    }
-    FrameInfo& info = frame_table_->info(frame);
-    if (info.type != FrameType::kNormal) {
-      NoteDenial(cpu);
-      return PermissionDeniedError("cannot re-type " + FrameTypeName(info.type) +
-                                   " frame as PTP");
-    }
-    LockAudit::Global().ExpectFrameShardHeld(cpu.index(),
-                                             EmcLockTable::ShardOf(frame));
-    // A PTP must start zeroed so no stale attacker-chosen entries become live.
-    machine_->memory().ZeroFrame(frame);
-    info.type = FrameType::kPtp;
-    info.ptp_root = root_pa;
-    // A frame registered as its own root is a PML4; others are linked (and get their
-    // level) when an intermediate entry first points at them.
-    info.ptp_level = AddrOf(frame) == root_pa ? 4 : 0;
-    // The frame may already be mapped (direct map, default key): retrofit the PTP key
-    // so the kernel cannot write the new page table through the old mapping.
-    EREBOR_RETURN_IF_ERROR(policy_->RetrofitKey(machine_->memory(), frame,
-                                                layout::kPtpKey, /*strip_write=*/false));
-    return OkStatus();
+    return RegisterPtpBodyLocked(cpu, frame, root_pa);
   });
 }
 

@@ -46,9 +46,15 @@ struct MonitorCounters {
   uint64_t quantized_outputs = 0;
   uint64_t huge_splits = 0;  // forced huge-page splits (section 7 future work)
   uint64_t tlb_shootdowns = 0;  // monitor-initiated software-TLB shootdowns
+  // MMU submission/completion rings (src/monitor/emc_ring.cc).
+  uint64_t emc_ring = 0;                   // doorbell crossings (family counter)
+  uint64_t ring_descriptors = 0;           // descriptors drained and applied
+  uint64_t ring_rejects = 0;               // descriptors refused (structural or policy)
+  uint64_t ring_strikes = 0;               // hostile-shaped submissions (strike-counted)
+  uint64_t ring_shootdowns_coalesced = 0;  // duplicate shootdowns merged per drain
 };
 
-// One value per EMC entry point. The first ten mirror the PrivilegedOps
+// One value per EMC entry point. The first eleven mirror the PrivilegedOps
 // virtuals (InvlPg is deliberately absent: it is a non-EMC hint the kernel may
 // issue directly); the last three are the monitor's own gated surfaces.
 enum class EmcOp : uint8_t {
@@ -62,6 +68,7 @@ enum class EmcOp : uint8_t {
   kCopyFromUser,
   kTdcall,
   kTextPoke,
+  kRingDoorbell,
   kLoadKernelModule,
   kSandboxOp,   // declare-confined / attach-common / teardown
   kChannelOp,   // packet delivery/fetch + shepherd data movement

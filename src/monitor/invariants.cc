@@ -17,7 +17,8 @@ void InvariantChecker::AddSecret(const Bytes& pattern) {
 Status InvariantChecker::CheckAll() {
   ++checks_run_;
   MetricsRegistry::Global().Increment("invariants.checks");
-  for (Status st : {CheckFrames(), CheckGates(), CheckSecrets(), CheckLocks()}) {
+  for (Status st :
+       {CheckFrames(), CheckGates(), CheckSecrets(), CheckLocks(), CheckRings()}) {
     if (!st.ok()) {
       ++violations_;
       MetricsRegistry::Global().Increment("invariants.violations");
@@ -75,6 +76,45 @@ Status InvariantChecker::CheckLocks() {
     if (!audit.NothingHeld(i)) {
       return InternalError("cpu " + std::to_string(i) +
                            " still holds an EMC lock at a safe point");
+    }
+  }
+  return OkStatus();
+}
+
+Status InvariantChecker::CheckRings() {
+  EmcRingTable& rings = monitor_->rings();
+  for (int i = 0; i < rings.size(); ++i) {
+    const RingState* rs = rings.state(i);
+    if (rs == nullptr) {
+      continue;
+    }
+    const std::string who = "ring " + std::to_string(i);
+    // The published indexes are copies of the shadows; the monitor never reads
+    // them back, so any divergence means a drain path skipped its publish (or
+    // monitor state itself was corrupted — either way a violation).
+    if (rs->ring.sq_head.load(std::memory_order_relaxed) != rs->shadow_sq_head) {
+      return InternalError(who + ": published sq_head diverged from the shadow");
+    }
+    if (rs->ring.cq_tail.load(std::memory_order_relaxed) != rs->shadow_cq_tail) {
+      return InternalError(who + ": published cq_tail diverged from the shadow");
+    }
+    // The monitor must never post more completions than the ring holds beyond
+    // what it has seen consumed (cq_head is untrusted, so clamp-check only the
+    // monitor-owned half: completions never exceed consumed submissions).
+    const uint64_t completions = rs->shadow_cq_tail;
+    const uint64_t consumed = rs->shadow_sq_head;
+    if (completions > consumed) {
+      return InternalError(who + ": more completions posted than SQEs consumed");
+    }
+    // Drain accounting balances: every applied or rejected descriptor consumed
+    // at least one SQE (spans consume more).
+    if (rs->applied + rs->rejected > consumed) {
+      return InternalError(who + ": applied+rejected exceeds consumed SQEs");
+    }
+    // A ring at the strike limit must be poisoned — an unpoisoned ring past the
+    // limit means a strike path forgot containment.
+    if (rs->strikes >= EmcRingTable::kStrikeLimit && !rs->poisoned) {
+      return InternalError(who + ": strike limit reached but ring not poisoned");
     }
   }
   return OkStatus();

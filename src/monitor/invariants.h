@@ -15,6 +15,10 @@
 //  4. Locks: the EMC locking discipline held — no lock-ordering or unheld-mutation
 //     violation was recorded by LockAudit, and at a safe point no vCPU still holds
 //     a lock (a held lock here means a dispatch path leaked a guard).
+//  5. Rings: every enabled MMU ring's monitor-owned state is self-consistent —
+//     published sq_head/cq_tail equal the shadows, the completion backlog fits
+//     the ring, drain accounting balances (applied + rejected bounded by what
+//     was consumed), and a ring at or past the strike limit is poisoned.
 #ifndef EREBOR_SRC_MONITOR_INVARIANTS_H_
 #define EREBOR_SRC_MONITOR_INVARIANTS_H_
 
@@ -44,6 +48,7 @@ class InvariantChecker {
   Status CheckGates();    // family 2
   Status CheckSecrets();  // family 3
   Status CheckLocks();    // family 4 (LockAudit discipline)
+  Status CheckRings();    // family 5 (MMU-ring shadow-state consistency)
 
   uint64_t checks_run() const { return checks_run_; }
   uint64_t violations() const { return violations_; }

@@ -63,6 +63,13 @@ EreborMonitor::EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host)
                                    &counters_.quantized_outputs);
   metrics_.RegisterExternalCounter("monitor.huge_splits", &counters_.huge_splits);
   metrics_.RegisterExternalCounter("monitor.tlb_shootdowns", &counters_.tlb_shootdowns);
+  metrics_.RegisterExternalCounter("monitor.emc_ring", &counters_.emc_ring);
+  metrics_.RegisterExternalCounter("monitor.ring_descriptors",
+                                   &counters_.ring_descriptors);
+  metrics_.RegisterExternalCounter("monitor.ring_rejects", &counters_.ring_rejects);
+  metrics_.RegisterExternalCounter("monitor.ring_strikes", &counters_.ring_strikes);
+  metrics_.RegisterExternalCounter("monitor.ring_shootdowns_coalesced",
+                                   &counters_.ring_shootdowns_coalesced);
 }
 
 Status EreborMonitor::BootStage1(const Bytes& firmware_image, bool arm_fence) {

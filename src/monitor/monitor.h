@@ -21,6 +21,7 @@
 #include "src/kernel/kernel.h"
 #include "src/monitor/channel.h"
 #include "src/monitor/emc_dispatch.h"
+#include "src/monitor/emc_ring.h"
 #include "src/monitor/gates.h"
 #include "src/monitor/mmu_policy.h"
 #include "src/monitor/sandbox.h"
@@ -84,6 +85,21 @@ class EreborMonitor {
   void EnableBatchedMmu(bool enabled) { batched_mmu_ = enabled; }
   bool batched_mmu() const { return batched_mmu_; }
 
+  // Enables the per-vCPU MMU submission/completion rings (the general form of
+  // batched MMU updates: one EMC doorbell drains a whole descriptor window).
+  // Off by default so every figure stays bit-identical without rings; see
+  // src/monitor/emc_ring.h and DESIGN.md.
+  void EnableMmuRings(bool enabled) {
+    if (enabled) {
+      rings_.Enable(machine_->num_cpus());
+    } else {
+      rings_.Disable();
+    }
+  }
+  bool mmu_rings() const { return rings_.enabled(); }
+  EmcRingTable& rings() { return rings_; }
+  EmcRing* mmu_ring(int cpu_index) { return rings_.ring(cpu_index); }
+
   // Side-channel mitigation configuration (section 12); applies to sealed sandboxes.
   void SetMitigations(const MitigationConfig& config) { mitigations_ = config; }
   const MitigationConfig& mitigations() const { return mitigations_; }
@@ -107,6 +123,11 @@ class EreborMonitor {
   Status EmcCopyFromUser(Cpu& cpu, Vaddr src, uint8_t* dst, uint64_t len);
   Status EmcTdcall(Cpu& cpu, uint64_t leaf, uint64_t* args, size_t nargs);
   Status EmcTextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes, uint64_t len);
+  // MMU-ring doorbell: one gate crossing that drains the calling vCPU's
+  // submission ring through the dispatch core (emc_ring.cc). Per-descriptor
+  // refusals are reported via CQE results; the call itself fails only on
+  // structural ring abuse (overflowed window, poisoned ring) or gate refusal.
+  Status EmcRingDoorbell(Cpu& cpu);
   // Dynamic kernel code (loadable module / JITed eBPF): the monitor byte-scans the
   // blob, installs it into fresh kernel-text frames (W^X from then on) and returns
   // the load address (paper section 5.2: dynamic code is validated before loading).
@@ -177,6 +198,19 @@ class EreborMonitor {
   // own TLB obligation — it must hold even for a malicious kernel that skips invlpg.
   void ShootdownAfterPteWrite(Cpu& cpu, Paddr entry_pa, Pte old_value, Pte new_value);
 
+  // Shared EMC bodies (locks held by the dispatcher): the synchronous EMCs and
+  // the ring drain run the identical policy/apply sequence through these.
+  // `deferred` non-null defers TLB shootdowns into the batch for coalescing
+  // (ring drains); null keeps the immediate per-write shootdown.
+  Status WritePteBodyLocked(Cpu& cpu, Paddr entry_pa, Pte value,
+                            TlbShootdownBatch* deferred);
+  Status RegisterPtpBodyLocked(Cpu& cpu, FrameNum frame, Paddr root_pa);
+
+  // Ring drain internals (emc_ring.cc).
+  Status DrainRingLocked(Cpu& cpu, RingState& rs, const std::vector<RingSqe>& window,
+                         uint32_t cq_head_snapshot, uint32_t* strikes_out);
+  void RingPostStrikes(Cpu& cpu, RingState& rs, uint32_t strikes);
+
   // ioctl dispatch for /dev/erebor.
   StatusOr<uint64_t> DeviceIoctl(SyscallContext& ctx, Task& task, uint64_t cmd,
                                  Vaddr arg_va);
@@ -209,6 +243,7 @@ class EreborMonitor {
   MonitorCounters counters_;
   MetricsRegistry metrics_;
   EmcLockTable locks_;
+  EmcRingTable rings_;
   Rng rng_;
 
   const IdtTable* approved_idt_ = nullptr;
@@ -266,6 +301,10 @@ class EmcPrivOps : public PrivilegedOps {
   }
   Status TextPoke(Cpu& cpu, Paddr code_pa, const uint8_t* bytes, uint64_t len) override {
     return monitor_->EmcTextPoke(cpu, code_pa, bytes, len);
+  }
+  Status RingDoorbell(Cpu& cpu) override { return monitor_->EmcRingDoorbell(cpu); }
+  EmcRing* mmu_ring(int cpu_index) override {
+    return monitor_->mmu_ring(cpu_index);
   }
   uint64_t emc_count() const override { return monitor_->counters().emc_total; }
 

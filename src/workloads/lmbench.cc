@@ -93,15 +93,19 @@ std::vector<std::string> LmbenchNames() {
 }
 
 StatusOr<LmbenchResult> RunLmbench(const std::string& name, SimMode mode,
-                                   uint64_t iterations, bool batched_mmu,
+                                   uint64_t iterations, MmuUpdateMode mmu,
                                    const RunnerOptions& options) {
   WorldConfig config;
   config.mode = mode;
   config.machine.num_cpus = options.num_cpus;
   World world(config);
   EREBOR_RETURN_IF_ERROR(world.Boot());
-  if (batched_mmu && world.monitor() != nullptr) {
-    world.monitor()->EnableBatchedMmu(true);
+  if (world.monitor() != nullptr) {
+    if (mmu == MmuUpdateMode::kBatched) {
+      world.monitor()->EnableBatchedMmu(true);
+    } else if (mmu == MmuUpdateMode::kRing) {
+      world.monitor()->EnableMmuRings(true);
+    }
   }
 
   auto state = std::make_shared<BenchState>();

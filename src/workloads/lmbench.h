@@ -28,14 +28,21 @@ struct LmbenchResult {
 // The Figure 8 benchmark set.
 std::vector<std::string> LmbenchNames();
 
+// How the kernel under test submits MMU updates to the monitor (the section 9.1
+// ablation axis). kPerOp is the paper's measured configuration: one EMC gate
+// crossing per PTE store. kBatched turns on the monitor's batched PTE-write
+// validation (one crossing per leaf batch). kRing additionally routes the
+// MMU-heavy kernel paths through the submission/completion rings — descriptors
+// staged in shared memory, one doorbell crossing per drained window.
+enum class MmuUpdateMode { kPerOp, kBatched, kRing };
+
 // Runs one named benchmark (`null`, `read`, `write`, `stat`, `sig`, `fork`, `mmap`,
 // `pagefault`) in the given world-mode for `iterations` operations.
-// batched_mmu enables the monitor's batched MMU updates (ablation for the paper's
-// section 9.1 remark that fork/pagefault costs drop with batching).
 // options.num_cpus sizes the machine (Figure 8 is a single-core measurement, so
 // the default stays 1 vCPU via SingleCpuRunnerOptions).
 StatusOr<LmbenchResult> RunLmbench(const std::string& name, SimMode mode,
-                                   uint64_t iterations = 2000, bool batched_mmu = false,
+                                   uint64_t iterations = 2000,
+                                   MmuUpdateMode mmu = MmuUpdateMode::kPerOp,
                                    const RunnerOptions& options = SingleCpuRunnerOptions());
 
 }  // namespace erebor

@@ -47,7 +47,7 @@ const std::vector<std::string>& PrivOpsVirtualRows() {
       "write_pte",    "write_pte_batch", "register_ptp",
       "write_cr",     "write_msr",       "load_idt",
       "copy_to_user", "copy_from_user",  "tdcall",
-      "text_poke",
+      "text_poke",    "ring_doorbell",
   };
   return rows;
 }
@@ -131,6 +131,7 @@ TEST(EmcDescriptorTableTest, UnitCostsAreTheTable4Members) {
   EXPECT_EQ(cost(EmcOp::kCopyFromUser), &CycleModel::monitor_stac_op);
   EXPECT_EQ(cost(EmcOp::kTdcall), &CycleModel::monitor_tdreport_op);
   EXPECT_EQ(cost(EmcOp::kTextPoke), &CycleModel::monitor_pte_op);
+  EXPECT_EQ(cost(EmcOp::kRingDoorbell), &CycleModel::monitor_ring_op);
   EXPECT_EQ(cost(EmcOp::kLoadKernelModule), &CycleModel::page_copy);
   EXPECT_EQ(cost(EmcOp::kSandboxOp), &CycleModel::monitor_pte_op);
   EXPECT_EQ(cost(EmcOp::kChannelOp), &CycleModel::monitor_channel_op);
@@ -305,7 +306,7 @@ TEST(EmcNeutralityTest, GoldenLmbenchAndFileserverNumbersAreBitIdentical) {
     EXPECT_EQ(r->emc_count, g.emc) << g.name;
   }
   const auto batched =
-      RunLmbench("pagefault", SimMode::kEreborFull, 400, /*batched_mmu=*/true);
+      RunLmbench("pagefault", SimMode::kEreborFull, 400, MmuUpdateMode::kBatched);
   ASSERT_TRUE(batched.ok());
   EXPECT_EQ(batched->total_cycles, 17182100u);
   EXPECT_EQ(batched->emc_count, 6421u);

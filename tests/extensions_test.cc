@@ -81,8 +81,10 @@ TEST_F(BatchedMmuTest, BatchStillEnforcesPolicy) {
 }
 
 TEST(BatchedMmuBenchTest, ForkGetsFasterWithBatching) {
-  const auto plain = RunLmbench("fork", SimMode::kEreborFull, 300, false);
-  const auto batched = RunLmbench("fork", SimMode::kEreborFull, 300, true);
+  const auto plain =
+      RunLmbench("fork", SimMode::kEreborFull, 300, MmuUpdateMode::kPerOp);
+  const auto batched =
+      RunLmbench("fork", SimMode::kEreborFull, 300, MmuUpdateMode::kBatched);
   ASSERT_TRUE(plain.ok() && batched.ok());
   EXPECT_LT(batched->cycles_per_op(), plain->cycles_per_op() * 0.9)
       << "batching should cut a visible share of fork's MMU cost";
