@@ -1,0 +1,259 @@
+// Fleet-serving robustness bench: N remote clients against a fleet of sandboxes
+// through the untrusted proxy's batched-ingest channel, with a hostile tenant
+// mix (25% by default) drawn from the monitor's attack classes. Reports serving
+// tails (p50/p99/p999), throughput, quarantine/replacement counts and recovery
+// time, and enforces the containment SLO in its exit code:
+//
+//   - every attacked session is quarantined and replaced (or shed once its
+//     replacement budget is spent);
+//   - no never-attacked tenant is ever quarantined;
+//   - benign-tenant p99 under attack stays within 1.5x of the attack-free
+//     baseline (the fleet absorbs hostile traffic without a tail collapse);
+//   - the monitor's invariants (including quarantine fencing) hold throughout;
+//   - the post-serving parallel burst ingests identical per-tenant record
+//     counts on the deterministic and real-thread engines.
+//
+// With EREBOR_BENCH_JSON set, everything lands in BENCH_serving.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/fleet/supervisor.h"
+
+namespace erebor {
+namespace {
+
+constexpr int kTenants = 16;
+constexpr int kVcpus = 4;
+constexpr int kRounds = 10;
+constexpr int kStandbys = 3;
+constexpr int kBurstRounds = 64;
+constexpr uint64_t kSeed = 42;
+constexpr double kHostileFraction = 0.25;
+constexpr double kTailBudget = 1.5;  // benign p99 under attack vs baseline
+
+FleetConfig BaseConfig() {
+  FleetConfig config;
+  config.num_vcpus = kVcpus;
+  config.num_tenants = kTenants;
+  config.standby_pool = kStandbys;
+  config.requests_per_tenant = kRounds;
+  config.seed = kSeed;
+  return config;
+}
+
+struct RunResult {
+  bool ok = false;
+  FleetReport report;
+  std::vector<uint64_t> burst;
+};
+
+RunResult RunFleet(const FleetConfig& config, int burst_rounds) {
+  RunResult result;
+  FleetSupervisor fleet(config);
+  Status st = fleet.Start();
+  if (!st.ok()) {
+    std::printf("serving: fleet start failed: %s\n", st.ToString().c_str());
+    return result;
+  }
+  st = fleet.RunServing();
+  if (!st.ok()) {
+    std::printf("serving: serving loop failed: %s\n", st.ToString().c_str());
+    return result;
+  }
+  if (burst_rounds > 0) {
+    auto burst = fleet.RunBurstIngest(burst_rounds);
+    if (!burst.ok()) {
+      std::printf("serving: burst ingest failed: %s\n",
+                  burst.status().ToString().c_str());
+      return result;
+    }
+    result.burst = *burst;
+  }
+  result.report = fleet.Report();
+  result.ok = result.report.ok;
+  return result;
+}
+
+Json TenantJson(const TenantReport& t) {
+  return Json::Object()
+      .Set("tenant", t.tenant)
+      .Set("attack", AttackClassName(t.attack))
+      .Set("admit_state", TenantAdmitStateName(t.admit_state))
+      .Set("served", t.served)
+      .Set("failed", t.failed)
+      .Set("deferred", t.deferred)
+      .Set("shed", t.shed)
+      .Set("quarantines", t.quarantines)
+      .Set("replacements", t.replacements)
+      .Set("p50_ns", t.p50_ns)
+      .Set("p99_ns", t.p99_ns)
+      .Set("p999_ns", t.p999_ns);
+}
+
+Json ReportJson(const FleetReport& r) {
+  Json tenants = Json::Array();
+  for (const TenantReport& t : r.tenants) {
+    tenants.Push(TenantJson(t));
+  }
+  return Json::Object()
+      .Set("served", r.total_served)
+      .Set("failed", r.total_failed)
+      .Set("deferred", r.total_deferred)
+      .Set("shed", r.total_shed)
+      .Set("quarantines", r.quarantines)
+      .Set("replacements", r.replacements)
+      .Set("benign_p50_ns", r.benign_p50_ns)
+      .Set("benign_p99_ns", r.benign_p99_ns)
+      .Set("benign_p999_ns", r.benign_p999_ns)
+      .Set("fleet_p50_ns", r.fleet_p50_ns)
+      .Set("fleet_p99_ns", r.fleet_p99_ns)
+      .Set("fleet_p999_ns", r.fleet_p999_ns)
+      .Set("replacement_max_ns", r.replacement_max_ns)
+      .Set("replacement_mean_ns", r.replacement_mean_ns)
+      .Set("ops_per_sec", r.ops_per_sec)
+      .Set("span_seconds", r.span_seconds)
+      .Set("invariant_violations", r.invariant_violations)
+      .Set("containment", r.containment)
+      .Set("fingerprint", r.fingerprint)
+      .Set("tenants", std::move(tenants));
+}
+
+}  // namespace
+}  // namespace erebor
+
+int main() {
+  using namespace erebor;
+  bool ok = true;
+
+  // -- attack-free baseline: the tail the hostile run is budgeted against --
+  std::printf("-- serving baseline (%d tenants, %d vCPUs, no attacks) --\n",
+              kTenants, kVcpus);
+  FleetConfig baseline_config = BaseConfig();
+  const RunResult baseline = RunFleet(baseline_config, /*burst_rounds=*/0);
+  if (!baseline.ok) {
+    return 1;
+  }
+  std::printf("baseline: served %llu  p50 %llu ns  p99 %llu ns  %.0f ops/s\n",
+              static_cast<unsigned long long>(baseline.report.total_served),
+              static_cast<unsigned long long>(baseline.report.benign_p50_ns),
+              static_cast<unsigned long long>(baseline.report.benign_p99_ns),
+              baseline.report.ops_per_sec);
+  if (baseline.report.total_served <
+      static_cast<uint64_t>(kTenants) * kRounds) {
+    std::printf("serving: FAIL baseline dropped requests\n");
+    ok = false;
+  }
+  if (baseline.report.quarantines != 0 ||
+      baseline.report.invariant_violations != 0) {
+    std::printf("serving: FAIL baseline quarantined or tripped invariants\n");
+    ok = false;
+  }
+
+  // -- hostile mix: 25% of tenants attack from round 1 --
+  FleetConfig hostile_config = BaseConfig();
+  hostile_config.attacks = MixedAttacks(kTenants, kHostileFraction, kSeed);
+  int hostile_count = 0;
+  for (AttackClass a : hostile_config.attacks) {
+    hostile_count += a != AttackClass::kNone;
+  }
+  std::printf("\n-- serving under attack (%d/%d tenants hostile) --\n",
+              hostile_count, kTenants);
+  const RunResult hostile = RunFleet(hostile_config, /*burst_rounds=*/0);
+  if (!hostile.ok) {
+    return 1;
+  }
+  const FleetReport& hr = hostile.report;
+  std::printf("%-8s %-16s %7s %7s %6s %5s %12s\n", "tenant", "attack", "served",
+              "failed", "quar", "repl", "p99 ns");
+  for (const TenantReport& t : hr.tenants) {
+    std::printf("%-8d %-16s %7llu %7llu %6llu %5llu %12llu\n", t.tenant,
+                AttackClassName(t.attack),
+                static_cast<unsigned long long>(t.served),
+                static_cast<unsigned long long>(t.failed),
+                static_cast<unsigned long long>(t.quarantines),
+                static_cast<unsigned long long>(t.replacements),
+                static_cast<unsigned long long>(t.p99_ns));
+  }
+  std::printf("fleet: served %llu  quarantines %llu  replacements %llu  "
+              "recovery mean %llu ns (max %llu)\n",
+              static_cast<unsigned long long>(hr.total_served),
+              static_cast<unsigned long long>(hr.quarantines),
+              static_cast<unsigned long long>(hr.replacements),
+              static_cast<unsigned long long>(hr.replacement_mean_ns),
+              static_cast<unsigned long long>(hr.replacement_max_ns));
+
+  if (!hr.containment) {
+    std::printf("serving: FAIL containment (attacked sessions not all "
+                "quarantined+replaced, or a benign tenant was)\n");
+    ok = false;
+  }
+  if (hr.invariant_violations != 0) {
+    std::printf("serving: FAIL invariants under attack: %s\n", hr.error.c_str());
+    ok = false;
+  }
+  const double tail_ratio =
+      baseline.report.benign_p99_ns > 0
+          ? static_cast<double>(hr.benign_p99_ns) /
+                static_cast<double>(baseline.report.benign_p99_ns)
+          : 0.0;
+  std::printf("benign p99 under attack: %llu ns (%.2fx of baseline, budget "
+              "%.1fx)\n",
+              static_cast<unsigned long long>(hr.benign_p99_ns), tail_ratio,
+              kTailBudget);
+  if (tail_ratio > kTailBudget) {
+    std::printf("serving: FAIL benign tail blew the budget\n");
+    ok = false;
+  }
+
+  // -- execution-engine oracle: smaller fleet, burst ingest on both engines --
+  bool engine_match = true;
+  const char* exec_env = std::getenv("EREBOR_EXEC");
+  if (exec_env == nullptr || std::string(exec_env) != "deterministic") {
+    std::printf("\n-- engine oracle (burst ingest, %d rounds) --\n", kBurstRounds);
+    FleetConfig oracle_config = BaseConfig();
+    oracle_config.num_tenants = 8;
+    oracle_config.requests_per_tenant = 4;
+    oracle_config.standby_pool = 2;
+    oracle_config.attacks = MixedAttacks(8, kHostileFraction, kSeed);
+    oracle_config.exec = ExecMode::kDeterministic;
+    const RunResult oracle = RunFleet(oracle_config, kBurstRounds);
+    oracle_config.exec = ExecMode::kRealThreads;
+    const RunResult threaded = RunFleet(oracle_config, kBurstRounds);
+    if (!oracle.ok || !threaded.ok) {
+      return 1;
+    }
+    engine_match = oracle.burst == threaded.burst &&
+                   oracle.report.fingerprint == threaded.report.fingerprint;
+    std::printf("per-tenant burst counts + serving fingerprints: %s\n",
+                engine_match ? "match" : "MISMATCH");
+    if (!engine_match) {
+      std::printf("serving: FAIL engine oracle mismatch\n");
+      ok = false;
+    }
+  } else {
+    std::printf("\nEREBOR_EXEC=deterministic: skipping real-thread oracle\n");
+  }
+
+  Json root = Json::Object();
+  root.Set("bench", "serving")
+      .Set("tenants", kTenants)
+      .Set("vcpus", kVcpus)
+      .Set("requests_per_tenant", kRounds)
+      .Set("hostile_tenants", hostile_count)
+      .Set("baseline", ReportJson(baseline.report))
+      .Set("hostile", ReportJson(hostile.report))
+      .Set("tail_ratio", tail_ratio)
+      .Set("tail_budget", kTailBudget)
+      .Set("containment", hr.containment)
+      .Set("engine_oracle_match", engine_match)
+      .Set("pass", ok);
+  std::string path;
+  if (WriteBenchJson("serving", root, &path)) {
+    std::printf("serving: JSON written to %s\n", path.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -66,7 +66,16 @@ echo "== batched_mmu (per-op vs batched vs ring MMU-update ablation) =="
 "$BUILD_DIR/bench/batched_mmu"
 
 echo
-for name in fig8 fig9 tab3 tab6 emc_scaling channel batched_mmu; do
+echo "== serving (fleet supervisor under hostile load) =="
+# Fails if any attacked tenant escapes quarantine+replacement, if a benign
+# tenant is penalized for a neighbor's attack, if the benign p99 under attack
+# exceeds 1.5x the attack-free baseline, or if the real-thread burst-ingest
+# engine diverges from its deterministic oracle. EREBOR_EXEC=deterministic
+# skips the threaded oracle half.
+"$BUILD_DIR/bench/serving"
+
+echo
+for name in fig8 fig9 tab3 tab6 emc_scaling channel batched_mmu serving; do
   f="$OUT_DIR/BENCH_$name.json"
   if [[ ! -s "$f" ]]; then
     echo "bench.sh: missing or empty $f" >&2
@@ -85,5 +94,27 @@ assert "bench" in doc, "missing bench key"' "$f" || {
     grep -q '"bench"' "$f" || { echo "bench.sh: malformed $f" >&2; exit 1; }
   fi
 done
+# Serving bench carries its own pass/fail verdicts in the JSON; re-check them
+# here so a stale or hand-edited file cannot masquerade as a clean run.
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json,sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "serving", "wrong bench name"
+assert doc["pass"] is True, "serving bench did not pass"
+assert doc["hostile"]["containment"] is True, "hostile run not contained"
+assert doc["tail_ratio"] <= doc["tail_budget"], "benign p99 blew the tail budget"
+for run in ("baseline", "hostile"):
+    for key in ("served", "benign_p50_ns", "benign_p99_ns", "ops_per_sec"):
+        assert key in doc[run], f"missing {run}.{key}"' \
+    "$OUT_DIR/BENCH_serving.json" || {
+      echo "bench.sh: BENCH_serving.json failed validation" >&2
+      exit 1
+    }
+else
+  grep -q '"containment": true' "$OUT_DIR/BENCH_serving.json" || {
+    echo "bench.sh: BENCH_serving.json failed validation" >&2
+    exit 1
+  }
+fi
 echo "bench.sh: JSON results in $OUT_DIR/:"
 ls -l "$OUT_DIR"/BENCH_*.json

@@ -17,6 +17,9 @@ cmake --build "$BUILD_DIR" -j
 # tests, then the long-running chaos soaks.
 (cd "$BUILD_DIR" && ctest --output-on-failure -j -L tier1)
 (cd "$BUILD_DIR" && ctest --output-on-failure -j -L threads)
+# Fleet-serving soak: hostile tenants interleaved with benign load on both
+# execution engines, with containment and journal-replay assertions.
+(cd "$BUILD_DIR" && ctest --output-on-failure -j -L serving)
 (cd "$BUILD_DIR" && ctest --output-on-failure -j -L chaos)
 
 # Sanitizer pass: the whole suite again with AddressSanitizer + UBSan. The chaos
@@ -29,13 +32,16 @@ if [[ "${EREBOR_SKIP_SANITIZE:-0}" != "1" ]]; then
   (cd "$ASAN_DIR" && ctest --output-on-failure -j)
 
   # ThreadSanitizer pass over the real-thread engine tests. Only threads_test
-  # is built and run here (TSan slows everything ~10x and the rest of the
-  # suite is single-threaded by construction); it must be completely clean —
-  # TSan forces a nonzero exit code whenever it reported a race.
+  # and fleet_test are built and run here (TSan slows everything ~10x and the
+  # rest of the suite is single-threaded by construction); they must be
+  # completely clean — TSan forces a nonzero exit code whenever it reported a
+  # race. fleet_test exercises the real-thread engine through the supervisor's
+  # burst-ingest and engine-oracle paths.
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DEREBOR_SANITIZE=tsan
-  cmake --build "$TSAN_DIR" -j --target threads_test
+  cmake --build "$TSAN_DIR" -j --target threads_test fleet_test
   "$TSAN_DIR/tests/threads_test"
+  "$TSAN_DIR/tests/fleet_test"
 fi
 
 # Trace smoke test: the end-to-end trace tests re-run with the env toggles set, and

@@ -13,8 +13,29 @@ Digest256 ComputeExpectedMrtd(const Bytes& firmware_image, const Bytes& monitor_
   return regs.mrtd;
 }
 
+namespace {
+// Default retransmit schedule, in scheduler slices: generous enough for chaos soaks
+// (dozens of retransmission rounds under heavy fault injection), tight enough that a
+// dead peer exhausts the budget instead of wedging the session driver.
+constexpr BackoffPolicy kClientRetryPolicy{
+    .max_attempts = 256, .base_wait = 8, .max_wait = 256, .jitter_pct = 50};
+}  // namespace
+
 RemoteClient::RemoteClient(ClientTrustAnchors anchors, uint64_t seed)
-    : anchors_(anchors), rng_(seed) {}
+    : anchors_(anchors), rng_(seed), backoff_(kClientRetryPolicy, seed) {}
+
+void RemoteClient::SetRetryPolicy(const BackoffPolicy& policy) {
+  // Re-seed from the client's own stream so distinct clients stay decorrelated.
+  backoff_ = JitteredBackoff(policy, rng_.Next());
+}
+
+void RemoteClient::AccountResend() {
+  ++retries_;
+  MetricsRegistry::Global().Increment("channel.retries");
+  if (!backoff_.NextWait(&retry_wait_)) {
+    retry_wait_ = backoff_.policy().max_wait;  // exhausted: caller must give up
+  }
+}
 
 Bytes RemoteClient::MakeHello(int sandbox_id) {
   sandbox_id_ = sandbox_id;
@@ -30,14 +51,12 @@ Bytes RemoteClient::MakeHello(int sandbox_id) {
 }
 
 Bytes RemoteClient::ResendHello() {
-  ++retries_;
-  MetricsRegistry::Global().Increment("channel.retries");
+  AccountResend();
   return last_hello_wire_;
 }
 
 Bytes RemoteClient::ResendData() {
-  ++retries_;
-  MetricsRegistry::Global().Increment("channel.retries");
+  AccountResend();
   return last_data_wire_;
 }
 

@@ -6,6 +6,7 @@
 
 #include <map>
 
+#include "src/common/backoff.h"
 #include "src/monitor/channel.h"
 
 namespace erebor {
@@ -51,13 +52,28 @@ class RemoteClient {
   // The monitor's handshake replay cache answers a resent hello with the identical
   // cached ServerHello; a resent data record is absorbed as a duplicate and triggers
   // a retransmit of any lost result. Both bump the "channel.retries" metric.
+  //
+  // Retransmit pacing is centralized here instead of in every caller's loop: both
+  // resend paths draw on one jittered exponential retry budget (src/common/backoff.h)
+  // seeded per-client, so a fleet of clients that time out together does not
+  // retransmit in lockstep. Each Resend* accounts one attempt and refreshes
+  // retry_wait() — the pause, in scheduler slices, the caller should pump before
+  // expecting the retransmission to have been answered. Once the budget is
+  // exhausted, retry_budget_exhausted() turns true and the caller must fail the
+  // session rather than keep flooding a peer that will never answer.
   Bytes ResendHello();
   Bytes ResendData();
+  uint64_t retry_wait() const { return retry_wait_; }
+  bool retry_budget_exhausted() const { return backoff_.exhausted(); }
+  void SetRetryPolicy(const BackoffPolicy& policy);  // resets the budget
+  void ResetRetryBudget() { backoff_.Reset(); }
   uint64_t retries() const { return retries_; }
 
   int sandbox_id() const { return sandbox_id_; }
 
  private:
+  void AccountResend();
+
   ClientTrustAnchors anchors_;
   Rng rng_;
   int sandbox_id_ = -1;
@@ -71,6 +87,8 @@ class RemoteClient {
   Bytes last_hello_wire_;
   Bytes last_data_wire_;
   uint64_t retries_ = 0;
+  JitteredBackoff backoff_;
+  uint64_t retry_wait_ = 0;
   std::map<uint64_t, SealedRecord> stashed_;  // out-of-order results awaiting the gap
 };
 

@@ -1,0 +1,42 @@
+#include "src/common/backoff.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace erebor {
+
+uint64_t JitteredBackoffWait(const BackoffPolicy& policy, uint64_t seed,
+                             uint64_t attempt) {
+  // Ceiling: base_wait << attempt, saturating at max_wait (also on shift overflow).
+  uint64_t ceiling = policy.max_wait;
+  if (attempt < 63) {
+    const uint64_t shifted = policy.base_wait << attempt;
+    const bool overflowed =
+        policy.base_wait != 0 && (shifted >> attempt) != policy.base_wait;
+    if (!overflowed) {
+      ceiling = std::min(shifted, policy.max_wait);
+    }
+  }
+  if (policy.jitter_pct == 0 || ceiling == 0) {
+    return ceiling;
+  }
+  const uint64_t pct = std::min<uint32_t>(policy.jitter_pct, 100);
+  const uint64_t spread = static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(ceiling) * pct) / 100);
+  // One hash per (seed, attempt): stateless, so replay from any attempt index is
+  // exact. The golden-ratio stride keeps adjacent attempts decorrelated.
+  SplitMix64 hash(seed ^ ((attempt + 1) * 0x9E3779B97F4A7C15ULL));
+  return ceiling - hash.Next() % (spread + 1);
+}
+
+bool JitteredBackoff::NextWait(uint64_t* wait_out) {
+  if (attempts_ >= policy_.max_attempts) {
+    return false;
+  }
+  *wait_out = JitteredBackoffWait(policy_, seed_, attempts_);
+  ++attempts_;
+  return true;
+}
+
+}  // namespace erebor

@@ -1,5 +1,6 @@
 #include "src/common/metrics.h"
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
 
@@ -77,6 +78,52 @@ std::string Histogram::ToString() const {
   return out.str();
 }
 
+LatencyHistogram::LatencyHistogram(uint64_t bucket_width, uint32_t num_buckets)
+    : bucket_width_(bucket_width == 0 ? 1 : bucket_width),
+      buckets_(num_buckets == 0 ? 2 : num_buckets + 1, 0) {}
+
+void LatencyHistogram::Observe(uint64_t value) {
+  const size_t last = buckets_.size() - 1;  // overflow bucket
+  const size_t index =
+      std::min<size_t>(static_cast<size_t>(value / bucket_width_), last);
+  CounterAdd(buckets_[index]);
+  CounterAdd(count_);
+  CounterAdd(sum_, value);
+  std::atomic_ref<uint64_t> max_ref(max_);
+  uint64_t seen = max_ref.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_ref.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::min(std::max(p, 0.0), 1.0);
+  // Rank of the target observation, 1-based, ceiling — p999 over 1000 samples is
+  // the 999th, not the 1000th.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(count_) + 0.999999));
+  uint64_t seen = 0;
+  for (size_t i = 0; i + 1 < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return (i + 1) * bucket_width_;  // upper edge of the holding bucket
+    }
+  }
+  return max_;  // rank falls in the overflow bucket
+}
+
+void LatencyHistogram::Reset() {
+  for (uint64_t& b : buckets_) {
+    b = 0;
+  }
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
@@ -102,6 +149,16 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return &histograms_[name];
 }
 
+LatencyHistogram* MetricsRegistry::GetLatencyHistogram(const std::string& name,
+                                                       uint64_t bucket_width,
+                                                       uint32_t num_buckets) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto [it, inserted] = latency_histograms_.try_emplace(name, bucket_width,
+                                                        num_buckets);
+  (void)inserted;  // first creation wins; a different later shape is ignored
+  return &it->second;
+}
+
 uint64_t MetricsRegistry::Value(const std::string& name) const {
   std::lock_guard<std::mutex> guard(mu_);
   auto owned = owned_.find(name);
@@ -121,6 +178,9 @@ void MetricsRegistry::Reset() {
     value = 0;
   }
   for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
+  for (auto& [name, histogram] : latency_histograms_) {
     histogram.Reset();
   }
   external_.clear();

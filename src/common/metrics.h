@@ -17,6 +17,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace erebor {
 
@@ -58,6 +59,42 @@ class Histogram {
   uint64_t max_ = 0;
 };
 
+// Fixed-width linear-bucket histogram with percentile export, for serving-tail
+// latency SLOs (p50/p99/p999). The log2 Histogram above is the right shape for
+// cycle costs spanning decades but its bucket floors are powers of two — far too
+// coarse for "is p99 within 1.5x of baseline". Here every bucket is bucket_width
+// units wide; values at or past num_buckets * bucket_width land in an overflow
+// bucket whose percentile reports the observed max. Observe() is allocation-free
+// and thread-safe (same relaxed-atomic discipline as Histogram); Percentile() is a
+// plain-load reader meant for safe points after worker threads have joined.
+class LatencyHistogram {
+ public:
+  LatencyHistogram(uint64_t bucket_width, uint32_t num_buckets);
+
+  void Observe(uint64_t value);
+
+  // Value at or below which a fraction p (in [0, 1]) of observations fall,
+  // reported as the upper edge of the bucket holding that rank. 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  uint64_t bucket_width() const { return bucket_width_; }
+
+  void Reset();
+
+ private:
+  uint64_t bucket_width_;
+  std::vector<uint64_t> buckets_;  // last slot is the overflow bucket
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
 class MetricsRegistry {
  public:
   // Process-wide registry for call sites with no natural owner (channel parsing,
@@ -81,6 +118,13 @@ class MetricsRegistry {
   // Named histogram, created on first use; pointer is stable.
   Histogram* GetHistogram(const std::string& name);
 
+  // Named fixed-bucket latency histogram, created on first use with the given
+  // shape; pointer is stable. A later call with a different shape returns the
+  // existing histogram unchanged (first creation wins).
+  LatencyHistogram* GetLatencyHistogram(const std::string& name,
+                                        uint64_t bucket_width,
+                                        uint32_t num_buckets);
+
   // Current value of a counter (owned or external); 0 if unknown.
   uint64_t Value(const std::string& name) const;
   bool HasHistogram(const std::string& name) const {
@@ -102,6 +146,7 @@ class MetricsRegistry {
   std::map<std::string, uint64_t> owned_;           // node-based: stable addresses
   std::map<std::string, const uint64_t*> external_;
   std::map<std::string, Histogram> histograms_;     // node-based: stable addresses
+  std::map<std::string, LatencyHistogram> latency_histograms_;
 };
 
 }  // namespace erebor

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/common/backoff.h"
 #include "src/common/faultpoint.h"
 #include "src/common/log.h"
 #include "src/common/metrics.h"
@@ -425,10 +426,12 @@ bool EagainBackoff::ShouldRetry(SyscallContext& ctx) {
   if (attempts >= max_attempts) {
     return false;
   }
+  const BackoffPolicy policy{.max_attempts = max_attempts,
+                             .base_wait = base_wait_cycles,
+                             .max_wait = max_wait_cycles,
+                             .jitter_pct = jitter_pct};
+  ctx.Compute(JitteredBackoffWait(policy, jitter_seed, attempts));
   ++attempts;
-  const uint64_t wait = next_wait_cycles == 0 ? base_wait_cycles : next_wait_cycles;
-  ctx.Compute(wait);
-  next_wait_cycles = std::min(wait * 2, max_wait_cycles);
   return true;
 }
 

@@ -60,6 +60,11 @@ bool IsWouldBlock(const Status& status);
 // remains. Exhaustion returns false — the caller must fail the operation instead of
 // spinning forever on a peer that will never answer.
 //
+// The schedule itself comes from the shared policy in src/common/backoff.h: with
+// jitter_pct == 0 (the default) it is the fixed doubling sequence the workload
+// golden counts were calibrated against; seeding jitter_pct/jitter_seed
+// desynchronizes a fleet of sandboxes all polling for input at once.
+//
 //   if (!input.ok()) {
 //     if (!IsWouldBlock(input.status())) return Fail(input.status());
 //     if (!state->backoff.ShouldRetry(ctx)) return Fail("retry budget exhausted");
@@ -71,13 +76,11 @@ struct EagainBackoff {
   uint64_t max_attempts = 10'000;
   uint64_t base_wait_cycles = 1'000;
   uint64_t max_wait_cycles = 64'000;
-  uint64_t next_wait_cycles = 0;  // 0 = start from base_wait_cycles
+  uint32_t jitter_pct = 0;  // 0 = fixed schedule (bit-compatible with goldens)
+  uint64_t jitter_seed = 0;
 
   bool ShouldRetry(SyscallContext& ctx);  // defined in kernel.cc
-  void Reset() {
-    attempts = 0;
-    next_wait_cycles = 0;
-  }
+  void Reset() { attempts = 0; }
 };
 
 }  // namespace erebor

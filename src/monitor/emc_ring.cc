@@ -349,6 +349,48 @@ Status EreborMonitor::DrainRingLocked(Cpu& cpu, RingState& rs,
   return OkStatus();
 }
 
+void EreborMonitor::FenceRingsOnQuarantine(Cpu& cpu, Sandbox& sandbox) {
+  (void)cpu;  // the fence is free: quarantine cleanup is never billed to anyone
+  if (!rings_.enabled()) {
+    return;
+  }
+  for (int i = 0; i < rings_.size(); ++i) {
+    RingState* rs = rings_.state(i);
+    if (rs == nullptr || rs->bound_sandbox != sandbox.id) {
+      continue;
+    }
+    // Snapshot the untrusted indexes once and clamp: a forged sq_tail cannot make
+    // the fence walk more slots than the ring holds.
+    const uint32_t sq_tail = rs->ring.sq_tail.load(std::memory_order_relaxed);
+    const uint32_t cq_head = rs->ring.cq_head.load(std::memory_order_relaxed);
+    uint32_t pending = sq_tail - rs->shadow_sq_head;
+    if (pending > EmcRing::kSlots) {
+      pending = EmcRing::kSlots;
+    }
+    for (uint32_t j = 0; j < pending; ++j) {
+      const RingSqe sqe = rs->ring.sq[rs->shadow_sq_head & EmcRing::kMask];
+      ++rs->shadow_sq_head;
+      ++rs->rejected;  // consumed but never applied: drain accounting stays balanced
+      if (rs->shadow_cq_tail - cq_head < EmcRing::kSlots) {
+        RingCqe cqe;
+        cqe.user_data = sqe.user_data;
+        cqe.result = -static_cast<int32_t>(ErrorCode::kUnavailable);
+        rs->ring.cq[rs->shadow_cq_tail & EmcRing::kMask] = cqe;
+        ++rs->shadow_cq_tail;
+      }
+    }
+    rs->ring.sq_head.store(rs->shadow_sq_head, std::memory_order_relaxed);
+    rs->ring.cq_tail.store(rs->shadow_cq_tail, std::memory_order_relaxed);
+    // The binding is dead: refuse every further doorbell. Anything the kernel
+    // stages after this point is inert by construction.
+    rs->poisoned = true;
+    MetricsRegistry::Global().Increment("ring.quarantine_fenced");
+    if (pending > 0) {
+      MetricsRegistry::Global().Increment("ring.quarantine_flushed_sqes", pending);
+    }
+  }
+}
+
 void EreborMonitor::RingPostStrikes(Cpu& cpu, RingState& rs, uint32_t strikes) {
   if (strikes == 0) {
     return;

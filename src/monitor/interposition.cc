@@ -380,7 +380,10 @@ StatusOr<uint64_t> EreborMonitor::DeviceIoctl(SyscallContext& ctx, Task& task,
       }
       if (!st.ok()) {
         Sandbox* origin = sandbox_mgr_->Find(source_sandbox);
-        if (origin != nullptr) {
+        // Only requeue into a live sandbox: a teardown or quarantine may have
+        // raced the fetch, and its scrubbed queues must stay empty.
+        if (origin != nullptr && origin->state != SandboxState::kTornDown &&
+            origin->state != SandboxState::kQuarantined) {
           origin->outbound_wire.push_front(std::move(*wire));
         }
         return st;

@@ -18,7 +18,8 @@ Status InvariantChecker::CheckAll() {
   ++checks_run_;
   MetricsRegistry::Global().Increment("invariants.checks");
   for (Status st :
-       {CheckFrames(), CheckGates(), CheckSecrets(), CheckLocks(), CheckRings()}) {
+       {CheckFrames(), CheckGates(), CheckSecrets(), CheckLocks(), CheckRings(),
+        CheckQuarantine()}) {
     if (!st.ok()) {
       ++violations_;
       MetricsRegistry::Global().Increment("invariants.violations");
@@ -115,6 +116,46 @@ Status InvariantChecker::CheckRings() {
     // limit means a strike path forgot containment.
     if (rs->strikes >= EmcRingTable::kStrikeLimit && !rs->poisoned) {
       return InternalError(who + ": strike limit reached but ring not poisoned");
+    }
+  }
+  return OkStatus();
+}
+
+Status InvariantChecker::CheckQuarantine() {
+  EmcRingTable& rings = monitor_->rings();
+  for (const auto& [id, sandbox] : monitor_->sandboxes().sandboxes()) {
+    if (sandbox->state != SandboxState::kQuarantined) {
+      continue;
+    }
+    const std::string who = "quarantined sandbox " + std::to_string(id);
+    // The teardown scrub must have left nothing deliverable: a stashed reorder
+    // record or a queued outbound wire here would be ciphertext under destroyed
+    // keys at best, and a use-after-scrub at worst.
+    if (!sandbox->session.reorder.empty()) {
+      return InternalError(who + ": undelivered reorder-buffer records survive");
+    }
+    if (!sandbox->input_plaintext.empty()) {
+      return InternalError(who + ": undelivered input plaintext survives");
+    }
+    if (!sandbox->outbound_wire.empty()) {
+      return InternalError(who + ": undelivered outbound records survive");
+    }
+    if (!sandbox->confined_ranges.empty()) {
+      return InternalError(who + ": confined frames were not released");
+    }
+    // No live ring slots: any ring still bound to the sandbox must be poisoned
+    // (nothing staged there can ever be applied) and its pre-quarantine window
+    // fully consumed — an unpoisoned binding would keep accepting doorbells
+    // against released frames.
+    for (int i = 0; i < rings.size(); ++i) {
+      const RingState* rs = rings.state(i);
+      if (rs == nullptr || rs->bound_sandbox != id) {
+        continue;
+      }
+      if (!rs->poisoned) {
+        return InternalError(who + ": ring " + std::to_string(i) +
+                             " is still bound and not poisoned");
+      }
     }
   }
   return OkStatus();

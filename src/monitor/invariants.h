@@ -19,6 +19,10 @@
 //     published sq_head/cq_tail equal the shadows, the completion backlog fits
 //     the ring, drain accounting balances (applied + rejected bounded by what
 //     was consumed), and a ring at or past the strike limit is poisoned.
+//  6. Quarantine: a quarantined sandbox is fully fenced — no live MMU-ring slots
+//     (every ring still bound to it is poisoned with its pending window flushed),
+//     no undelivered reorder-buffer stash, and no residual plaintext or outbound
+//     queues (the teardown scrub left nothing deliverable behind).
 #ifndef EREBOR_SRC_MONITOR_INVARIANTS_H_
 #define EREBOR_SRC_MONITOR_INVARIANTS_H_
 
@@ -47,8 +51,9 @@ class InvariantChecker {
   Status CheckFrames();   // family 1 (AuditInvariants)
   Status CheckGates();    // family 2
   Status CheckSecrets();  // family 3
-  Status CheckLocks();    // family 4 (LockAudit discipline)
-  Status CheckRings();    // family 5 (MMU-ring shadow-state consistency)
+  Status CheckLocks();       // family 4 (LockAudit discipline)
+  Status CheckRings();       // family 5 (MMU-ring shadow-state consistency)
+  Status CheckQuarantine();  // family 6 (quarantined sandboxes hold nothing live)
 
   uint64_t checks_run() const { return checks_run_; }
   uint64_t violations() const { return violations_; }

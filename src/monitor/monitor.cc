@@ -39,6 +39,9 @@ EreborMonitor::EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host)
   gates_ = std::make_unique<EmcGates>(machine);
   sandbox_mgr_ = std::make_unique<SandboxManager>(machine, frame_table_.get(),
                                                   policy_.get());
+  sandbox_mgr_->SetQuarantineHook([this](Cpu& cpu, Sandbox& sandbox) {
+    FenceRingsOnQuarantine(cpu, sandbox);
+  });
   // Registry-backed counters: every MonitorCounters field is visible through the
   // metrics registry while ++counters_.<field> stays a plain increment.
   metrics_.RegisterExternalCounter("monitor.emc_total", &counters_.emc_total);

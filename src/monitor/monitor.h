@@ -210,6 +210,12 @@ class EreborMonitor {
   Status DrainRingLocked(Cpu& cpu, RingState& rs, const std::vector<RingSqe>& window,
                          uint32_t cq_head_snapshot, uint32_t* strikes_out);
   void RingPostStrikes(Cpu& cpu, RingState& rs, uint32_t strikes);
+  // Quarantine fence (emc_ring.cc): flushes every ring bound to the sandbox —
+  // in-flight SQEs complete with error CQEs (where the CQ has room) and the ring
+  // is poisoned — so no descriptor staged before the quarantine can be applied
+  // against frames the teardown scrub is about to release. Installed as the
+  // SandboxManager quarantine hook.
+  void FenceRingsOnQuarantine(Cpu& cpu, Sandbox& sandbox);
 
   // ioctl dispatch for /dev/erebor.
   StatusOr<uint64_t> DeviceIoctl(SyscallContext& ctx, Task& task, uint64_t cmd,

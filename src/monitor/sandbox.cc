@@ -318,6 +318,12 @@ Status SandboxManager::Quarantine(Cpu& cpu, Sandbox& sandbox, const std::string&
   if (sandbox.state == SandboxState::kQuarantined) {
     return OkStatus();
   }
+  // Fence state held outside the manager first (in-flight MMU-ring SQEs), so no
+  // descriptor staged before the quarantine can be applied after the scrub below
+  // releases the frames it targets.
+  if (quarantine_hook_) {
+    quarantine_hook_(cpu, sandbox);
+  }
   // Scrub and release exactly like a normal teardown (confined frames zeroized and
   // returned to the CMA pool, session keys destroyed), then park in kQuarantined so
   // no future channel/ioctl traffic can revive the sandbox.

@@ -11,6 +11,7 @@
 #define EREBOR_SRC_MONITOR_SANDBOX_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -127,6 +128,14 @@ class SandboxManager {
   // while this one is permanently fenced off. Idempotent.
   Status Quarantine(Cpu& cpu, Sandbox& sandbox, const std::string& reason);
 
+  // Invoked once per (non-idempotent) Quarantine, before the teardown scrub, so
+  // subsystems holding per-sandbox state the manager cannot see — the MMU-ring
+  // table with its in-flight SQEs — can drain and fence it. Without the fence a
+  // quarantined sandbox's still-bound ring keeps accepting doorbells and its
+  // pending descriptors would be applied against released frames.
+  using QuarantineHook = std::function<void(Cpu&, Sandbox&)>;
+  void SetQuarantineHook(QuarantineHook hook) { quarantine_hook_ = std::move(hook); }
+
   // ---- Exit-policy queries used by the monitor's interposition stubs ----
   // Returns true if `nr` is permitted for a task of this sandbox in its current state.
   bool SyscallPermitted(const Sandbox& sandbox, const Task& task, int nr,
@@ -159,6 +168,7 @@ class SandboxManager {
   // Deque, not vector: CreateCommonRegion hands out pointers into this container and
   // a vector would invalidate them on reallocation.
   std::deque<CommonRegion> common_regions_;
+  QuarantineHook quarantine_hook_;
   int next_id_ = 1;
 };
 

@@ -2,7 +2,9 @@
 
 #include <set>
 
+#include "src/common/backoff.h"
 #include "src/common/bytes.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 
@@ -182,6 +184,118 @@ TEST(BytesTest, SecureZero) {
   for (uint8_t v : b) {
     EXPECT_EQ(v, 0);
   }
+}
+
+// ---- Jittered exponential backoff (src/common/backoff.h) ----
+
+TEST(BackoffTest, ZeroJitterReproducesLegacyFixedDoubling) {
+  // jitter_pct=0 must be bit-compatible with the old EagainBackoff sequence
+  // (base << attempt, capped) — the fig9 golden cycle counts depend on it.
+  BackoffPolicy policy;
+  policy.base_wait = 1'000;
+  policy.max_wait = 64'000;
+  policy.jitter_pct = 0;
+  for (uint64_t seed : {0ull, 7ull, 123456789ull}) {
+    uint64_t expected = policy.base_wait;
+    for (uint64_t attempt = 0; attempt < 20; ++attempt) {
+      EXPECT_EQ(JitteredBackoffWait(policy, seed, attempt),
+                std::min(expected, policy.max_wait))
+          << "seed " << seed << " attempt " << attempt;
+      if (expected < policy.max_wait) {
+        expected *= 2;
+      }
+    }
+  }
+}
+
+TEST(BackoffTest, JitterStaysWithinTheConfiguredBandAndBelowTheCeiling) {
+  BackoffPolicy policy;
+  policy.base_wait = 1'000;
+  policy.max_wait = 64'000;
+  policy.jitter_pct = 50;
+  for (uint64_t attempt = 0; attempt < 24; ++attempt) {
+    const uint64_t ceiling =
+        std::min(policy.base_wait << std::min<uint64_t>(attempt, 10), policy.max_wait);
+    const uint64_t wait = JitteredBackoffWait(policy, /*seed=*/99, attempt);
+    EXPECT_LE(wait, ceiling) << attempt;
+    EXPECT_GE(wait, ceiling - ceiling / 2) << attempt;  // 50% band
+  }
+  // Never exceeds max_wait even at absurd attempt counts (shift overflow).
+  EXPECT_LE(JitteredBackoffWait(policy, 1, 63), policy.max_wait);
+  EXPECT_LE(JitteredBackoffWait(policy, 1, 1'000'000), policy.max_wait);
+}
+
+TEST(BackoffTest, DifferentSeedsDesynchronize) {
+  // The point of the jitter: a fleet of clients that time out together must not
+  // retransmit in lockstep. Two seeds must diverge somewhere in the schedule,
+  // while each seed's own schedule stays deterministic.
+  BackoffPolicy policy;
+  policy.jitter_pct = 50;
+  bool diverged = false;
+  for (uint64_t attempt = 0; attempt < 16; ++attempt) {
+    const uint64_t a = JitteredBackoffWait(policy, /*seed=*/1, attempt);
+    const uint64_t b = JitteredBackoffWait(policy, /*seed=*/2, attempt);
+    EXPECT_EQ(a, JitteredBackoffWait(policy, 1, attempt));  // deterministic
+    diverged |= a != b;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, BudgetExhaustsAfterMaxAttemptsAndResets) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  JitteredBackoff backoff(policy, /*seed=*/5);
+  uint64_t wait = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(backoff.NextWait(&wait)) << i;
+    EXPECT_GT(wait, 0u);
+  }
+  EXPECT_FALSE(backoff.NextWait(&wait));
+  EXPECT_TRUE(backoff.exhausted());
+  backoff.Reset();
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_TRUE(backoff.NextWait(&wait));
+}
+
+// ---- Fixed-bucket latency histogram (src/common/metrics.h) ----
+
+TEST(LatencyHistogramTest, PercentilesReportBucketUpperEdges) {
+  LatencyHistogram hist(/*bucket_width=*/100, /*num_buckets=*/64);
+  for (uint64_t v = 0; v < 100; ++v) {
+    hist.Observe(v * 10);  // 0..990: buckets 0..9, 10 observations each
+  }
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.Percentile(0.50), 500u);   // 50th obs lands in bucket [400,500)
+  EXPECT_EQ(hist.Percentile(0.99), 1000u);  // 99th in [900,1000)
+  EXPECT_EQ(hist.Percentile(1.0), 1000u);
+  EXPECT_EQ(hist.max(), 990u);
+}
+
+TEST(LatencyHistogramTest, OverflowBucketReportsObservedMax) {
+  LatencyHistogram hist(/*bucket_width=*/10, /*num_buckets=*/4);
+  hist.Observe(5);
+  hist.Observe(1'000'000);  // far past the last bucket
+  EXPECT_EQ(hist.Percentile(0.25), 10u);
+  EXPECT_EQ(hist.Percentile(1.0), 1'000'000u);  // overflow -> max, not an edge
+}
+
+TEST(LatencyHistogramTest, EmptyAndResetAreZero) {
+  LatencyHistogram hist(100, 8);
+  EXPECT_EQ(hist.Percentile(0.99), 0u);
+  hist.Observe(250);
+  EXPECT_GT(hist.count(), 0u);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Percentile(0.5), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+}
+
+TEST(LatencyHistogramTest, RegistryCreatesOnFirstUseWithStableShape) {
+  MetricsRegistry registry;
+  LatencyHistogram* a = registry.GetLatencyHistogram("t", 100, 16);
+  LatencyHistogram* b = registry.GetLatencyHistogram("t", 999, 2);  // ignored
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->bucket_width(), 100u);
 }
 
 }  // namespace

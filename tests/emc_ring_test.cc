@@ -568,5 +568,65 @@ TEST_F(EmcRingTest, FuzzedWindowsNeverBreakInvariantsOrOvercharge) {
   EXPECT_GT(counters().ring_strikes, 0u);
 }
 
+// Regression: quarantining a sandbox (for any reason — here an unrelated one)
+// must fence its bound rings. Before the quarantine hook, the ring stayed live
+// with pending SQEs that a later doorbell would have applied against frames the
+// teardown scrub had already released.
+TEST_F(EmcRingTest, QuarantineDrainsAndPoisonsBoundRingsWithPendingSqes) {
+  Boot();
+  Sandbox* sandbox = LaunchSandbox("quarantine-fence");
+  ASSERT_NE(sandbox, nullptr);
+  ASSERT_TRUE(world_->monitor()->rings().BindSandbox(0, sandbox->id).ok());
+
+  // The kernel may already have used its ring while the sandbox launched:
+  // reap that traffic and snapshot the counters it left behind.
+  ReapAll();
+  RingState* rs = state();
+  const uint64_t head_before = rs->shadow_sq_head;
+  const uint64_t applied_before = rs->applied;
+
+  // Stage pending, not-yet-doorbelled submissions (valid shape, in-flight).
+  std::vector<RingSqe> pending;
+  for (uint64_t i = 0; i < 5; ++i) {
+    RingSqe sqe = Nop();
+    sqe.user_data = 0xFE00 + i;
+    pending.push_back(sqe);
+  }
+  Publish(pending);
+  const uint64_t fenced_before =
+      MetricsRegistry::Global().Value("ring.quarantine_fenced");
+
+  ASSERT_TRUE(world_->monitor()
+                  ->sandboxes()
+                  .Quarantine(cpu0(), *sandbox, "test: unrelated fault path")
+                  .ok());
+
+  // The ring is poisoned, every staged SQE was consumed and flushed as a
+  // kUnavailable completion, and the accounting stayed balanced.
+  EXPECT_TRUE(rs->poisoned);
+  EXPECT_EQ(rs->shadow_sq_head, head_before + 5);
+  EXPECT_EQ(MetricsRegistry::Global().Value("ring.quarantine_fenced"),
+            fenced_before + 1);
+  const std::vector<RingCqe> cqes = ReapAll();
+  ASSERT_EQ(cqes.size(), 5u);
+  for (uint64_t i = 0; i < cqes.size(); ++i) {
+    EXPECT_EQ(cqes[i].user_data, 0xFE00 + i);
+    EXPECT_EQ(cqes[i].result,
+              -static_cast<int32_t>(ErrorCode::kUnavailable));
+  }
+
+  // A doorbell after the fence is refused without applying anything.
+  Publish({Nop()});
+  EXPECT_EQ(Doorbell().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(rs->applied, applied_before);
+
+  // Family-6 invariant: the quarantined sandbox holds no live ring slots and
+  // no undelivered stashed records.
+  InvariantChecker checker(world_->monitor());
+  const Status st = checker.CheckQuarantine();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  ExpectInvariantsHold();
+}
+
 }  // namespace
 }  // namespace erebor
