@@ -199,6 +199,8 @@ bool RunIngestCell(int sessions, EmcLocking locking, IngestCell* out,
   WorldConfig config;
   config.mode = SimMode::kEreborFull;
   config.exec = exec;
+  // Up to 16 concurrent ingest sessions — past PKS's 11 sandbox domains.
+  config.isolation = IsolationKind::kTmeMk;
   config.machine.num_cpus = kVcpus;
   config.machine.memory_frames = 64 * 1024;
   World world(config);

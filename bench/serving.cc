@@ -42,6 +42,9 @@ FleetConfig BaseConfig() {
   config.standby_pool = kStandbys;
   config.requests_per_tenant = kRounds;
   config.seed = kSeed;
+  // Tenants + standbys + mid-run replacements overrun PKS's 11-domain budget;
+  // the fleet benches model a TME-MK host where the ceiling is ~2K.
+  config.isolation = IsolationKind::kTmeMk;
   return config;
 }
 

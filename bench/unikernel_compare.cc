@@ -24,6 +24,8 @@ int main() {
 
   WorldConfig config;
   config.mode = SimMode::kEreborFull;
+  // The tenancy sweep launches more sandboxes than PKS's 11-domain budget.
+  config.isolation = IsolationKind::kTmeMk;
   config.machine.memory_frames = 96 * 1024;
   World world(config);
   if (!world.Boot().ok()) {

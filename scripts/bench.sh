@@ -75,7 +75,15 @@ echo "== serving (fleet supervisor under hostile load) =="
 "$BUILD_DIR/bench/serving"
 
 echo
-for name in fig8 fig9 tab3 tab6 emc_scaling channel batched_mmu serving; do
+echo "== tab7_platforms (isolation-backend ablation: PKS vs TME-MK vs CET-only) =="
+# Fails if a measured gated PTE write diverges from its backend cost model, if
+# TME-MK cannot hold 16/64/256 live sealed sandboxes with clean invariants, or
+# if PKS admission past the 11-key budget is not a clean kUnavailable refusal
+# counted in fleet.domain_exhausted.
+"$BUILD_DIR/bench/tab7_platforms"
+
+echo
+for name in fig8 fig9 tab3 tab6 emc_scaling channel batched_mmu serving tab7_platforms; do
   f="$OUT_DIR/BENCH_$name.json"
   if [[ ! -s "$f" ]]; then
     echo "bench.sh: missing or empty $f" >&2
@@ -113,6 +121,39 @@ for run in ("baseline", "hostile"):
 else
   grep -q '"containment": true' "$OUT_DIR/BENCH_serving.json" || {
     echo "bench.sh: BENCH_serving.json failed validation" >&2
+    exit 1
+  }
+fi
+# tab7 carries the backend-ablation verdicts: all three backend rows present,
+# the TME-MK scaling series sealed every target with clean invariants, and the
+# PKS exhaustion probe behaved.
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json,sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "tab7_platforms", "wrong bench name"
+assert doc["pass"] is True, "tab7_platforms did not pass"
+names = [row["name"] for row in doc["backends"]]
+assert names == ["pks", "tme-mk", "cet-only"], f"unexpected backend rows {names}"
+for row in doc["backends"]:
+    assert row["measured_ok"], "measurement failed for " + row["name"]
+    assert row["measured_gated_pte_write"] == row["pte_total"], \
+        "measured PTE write diverged from the cost model for " + row["name"]
+targets = [cell["live_sandboxes"] for cell in doc["tme_mk_scaling"]]
+assert targets == [16, 64, 256], f"unexpected scaling series {targets}"
+for cell in doc["tme_mk_scaling"]:
+    assert cell["sealed"] == cell["live_sandboxes"], "scaling level fell short"
+    assert cell["domains_in_use"] == cell["live_sandboxes"], "domain accounting drifted"
+    assert cell["invariants_ok"], "invariant violation in the scaling sweep"
+ex = doc["pks_exhaustion"]
+assert ex["overflow_unavailable"] is True, "overflow was not a clean kUnavailable"
+assert ex["domain_exhausted_delta"] == 1, "fleet.domain_exhausted not counted"' \
+    "$OUT_DIR/BENCH_tab7_platforms.json" || {
+      echo "bench.sh: BENCH_tab7_platforms.json failed validation" >&2
+      exit 1
+    }
+else
+  grep -q '"pass": true' "$OUT_DIR/BENCH_tab7_platforms.json" || {
+    echo "bench.sh: BENCH_tab7_platforms.json failed validation" >&2
     exit 1
   }
 fi

@@ -292,6 +292,7 @@ Status FleetSupervisor::Start() {
   WorldConfig wc;
   wc.mode = SimMode::kEreborFull;
   wc.exec = config_.exec;
+  wc.isolation = config_.isolation;
   wc.machine.num_cpus = config_.num_vcpus;
   world_ = std::make_unique<World>(wc);
   EREBOR_RETURN_IF_ERROR(world_->Boot());

@@ -72,6 +72,9 @@ struct FleetConfig {
   // Execution engine for the RunBurstIngest parallel region; the serving loop
   // itself is scheduler-driven and single-threaded on both engines.
   ExecMode exec = ExecMode::kDeterministic;
+  // Isolation backend for the fleet's world. PKS caps the fleet at 11 live
+  // sandbox domains (standbys included); TME-MK lifts the ceiling to ~2K.
+  IsolationKind isolation = IsolationKind::kPks;
   // Per-tenant attack classes; resized to num_tenants with kNone. Hostile tenants
   // serve round 0 benignly (their sessions must exist to be attacked), then fire
   // their attack every round from round 1 on.

@@ -254,6 +254,30 @@ StatusOr<WalkResult> Cpu::TranslateAs(CpuMode as_mode, Vaddr va, AccessType acce
   }
   const WalkResult& r = *walk;
 
+  // TME-MK keyID check (memory-controller enforcement; both CPU modes, data and
+  // fetch). The monitor context is exempt: its accesses run under the monitor's
+  // own keyID. Read-shared bindings (kernel text, PTPs) admit reads and fetches
+  // through any keyID but only same-key writes.
+  auto keyid_check = [&]() -> Status {
+    if (keyid_map_ == nullptr || in_monitor_) {
+      return OkStatus();
+    }
+    const FrameNum frame = r.pa >> kPageShift;
+    const uint32_t mapped = pte::KeyId(r.leaf);
+    const uint32_t bound = keyid_map_->KeyOf(frame);
+    if (mapped == bound) {
+      return OkStatus();
+    }
+    if (access != AccessType::kWrite && keyid_map_->ReadShared(frame)) {
+      return OkStatus();
+    }
+    char reason[64];
+    std::snprintf(reason, sizeof(reason),
+                  "TME-MK: keyID mismatch (mapping %u, frame bound %u)", mapped,
+                  bound);
+    return fail(pf_err::kPresent | pf_err::kProtectionKey, reason);
+  };
+
   if (as_mode == CpuMode::kUser) {
     if (!r.user_accessible) {
       return fail(pf_err::kPresent, "user access to supervisor page");
@@ -267,6 +291,7 @@ StatusOr<WalkResult> Cpu::TranslateAs(CpuMode as_mode, Vaddr va, AccessType acce
     if (access == AccessType::kExecute && r.no_execute) {
       return fail(pf_err::kPresent, "execute of NX page");
     }
+    EREBOR_RETURN_IF_ERROR(keyid_check());
     return r;
   }
 
@@ -301,6 +326,7 @@ StatusOr<WalkResult> Cpu::TranslateAs(CpuMode as_mode, Vaddr va, AccessType acce
   if (access == AccessType::kExecute && r.no_execute) {
     return fail(pf_err::kPresent, "execute of NX page");
   }
+  EREBOR_RETURN_IF_ERROR(keyid_check());
   return r;
 }
 

@@ -21,6 +21,7 @@
 #include "src/common/status.h"
 #include "src/hw/cet.h"
 #include "src/hw/cycles.h"
+#include "src/hw/isolation.h"
 #include "src/hw/paging.h"
 #include "src/hw/phys_mem.h"
 #include "src/hw/tlb.h"
@@ -162,6 +163,14 @@ class Cpu {
   void SetMonitorContext(bool in_monitor) { in_monitor_ = in_monitor; }
   bool in_monitor() const { return in_monitor_; }
 
+  // ---- TME-MK keyID enforcement ----
+  // When a KeyIdMap is attached (TME-MK worlds only), every checked access
+  // compares the mapping's keyID against the accessed frame's binding; the
+  // monitor context is exempt (its accesses carry the monitor's keyID by
+  // construction). PKS worlds leave this null and pay nothing.
+  void SetKeyIdMap(const KeyIdMap* map) { keyid_map_ = map; }
+  const KeyIdMap* keyid_map() const { return keyid_map_; }
+
   // Trusted variants used only by monitor gate code (the gate is part of the scanned,
   // attested monitor binary, so its embedded sensitive instructions are legitimate).
   void TrustedWriteMsr(uint32_t index, uint64_t value);
@@ -248,6 +257,7 @@ class Cpu {
   bool ac_flag_ = false;
   bool fence_enabled_ = false;
   bool in_monitor_ = false;
+  const KeyIdMap* keyid_map_ = nullptr;
 
   std::map<uint32_t, uint64_t> msrs_;
   uint64_t pkrs_cache_ = 0;  // mirror of msrs_[IA32_PKRS]

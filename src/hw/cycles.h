@@ -51,6 +51,11 @@ struct CycleModel {
   Cycles syscall_stub_overhead = 120;       // monitor syscall-entry stub on every syscall
   Cycles cached_cpuid_service = 150;        // monitor-served cpuid from its cache
 
+  // ---- TME-MK backend costs (only charged by the TME-MK isolation backend;
+  // PKS worlds never touch them, keeping the Table-3/4 goldens untouched) ----
+  Cycles pconfig_key_program = 1790;  // PCONFIG: program an encryption key (per domain)
+  Cycles frame_bind_op = 38;          // rebind one frame's keyID at the controller
+
   // ---- Memory-ish costs used by workload accounting ----
   Cycles page_fault_service_native = 1350;  // kernel #PF handler work excluding PTE writes
   Cycles dma_page_copy = 900;               // device copy of one 4KiB page

@@ -31,6 +31,15 @@ inline constexpr Pte kNoExecute = 1ULL << 63;
 inline constexpr int kPkeyShift = 59;
 inline constexpr Pte kPkeyMask = 0xFULL << kPkeyShift;
 
+// TME-MK encryption keyID field: the high PTE bits between the frame number
+// (ends at bit 51) and NX (bit 63), i.e. bits 52..62 — 11 bits, 2048 keyIDs.
+// It deliberately overlaps the 4-bit PKS pkey field (bits 59..62): a world runs
+// exactly one isolation backend, so the bits are interpreted by at most one
+// mechanism at a time.
+inline constexpr int kKeyIdShift = 52;
+inline constexpr int kKeyIdBits = 11;
+inline constexpr Pte kKeyIdMask = ((Pte{1} << kKeyIdBits) - 1) << kKeyIdShift;
+
 inline constexpr Pte kFrameMask = 0x000FFFFFFFFFF000ULL;
 
 inline constexpr Pte Make(FrameNum frame, Pte flags) {
@@ -44,6 +53,12 @@ inline constexpr bool NoExecute(Pte e) { return (e & kNoExecute) != 0; }
 inline constexpr uint8_t Pkey(Pte e) { return static_cast<uint8_t>((e & kPkeyMask) >> kPkeyShift); }
 inline constexpr Pte WithPkey(Pte e, uint8_t key) {
   return (e & ~kPkeyMask) | (static_cast<Pte>(key & 0xF) << kPkeyShift);
+}
+inline constexpr uint32_t KeyId(Pte e) {
+  return static_cast<uint32_t>((e & kKeyIdMask) >> kKeyIdShift);
+}
+inline constexpr Pte WithKeyId(Pte e, uint32_t keyid) {
+  return (e & ~kKeyIdMask) | ((static_cast<Pte>(keyid) << kKeyIdShift) & kKeyIdMask);
 }
 // CET shadow-stack leaf encoding: not-writable but dirty (see paper section 2.2).
 inline constexpr bool IsShadowStack(Pte e) {

@@ -58,6 +58,22 @@ inline CycleModel SevCycleModel() {
   return model;
 }
 
+// Cycle model for the TME-MK isolation backend (TME-Box-style keyID
+// confinement). The EMC gate no longer flips PKRS — the monitor's keyID view
+// follows the gate context — so the round trip drops the two wrmsr and keeps
+// only the stack switch + CET discipline. PTE writes gain a keyID-field check
+// on top of the PKS-era policy work, and the #INT gate saves/restores a view
+// token instead of PKRS (no wrmsr pair). Domain setup pays PCONFIG + per-frame
+// binding costs instead (CycleModel::pconfig_key_program / frame_bind_op).
+inline CycleModel TmeMkCycleModel(CycleModel base = CycleModel{}) {
+  CycleModel model = base;
+  model.emc_round_trip =
+      base.emc_round_trip - 2 * base.native_wrmsr + 2 * 24;  // 1224 -> 544
+  model.monitor_pte_op = base.monitor_pte_op + 12;           // keyID-field check
+  model.int_gate_overhead = base.int_gate_overhead - 114;    // no PKRS wrmsr pair
+  return model;
+}
+
 inline CycleModel PlatformCycleModel(CvmPlatform platform) {
   switch (platform) {
     case CvmPlatform::kAmdSev:

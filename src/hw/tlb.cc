@@ -321,6 +321,11 @@ bool PteRevokesPermissions(Pte old_value, Pte new_value) {
   if (pte::Pkey(old_value) != pte::Pkey(new_value)) {
     return true;
   }
+  // A keyID change (TME-MK, bits 52..62; superset of the pkey field) changes
+  // what an access through a cached translation does — treat as a revocation.
+  if (pte::KeyId(old_value) != pte::KeyId(new_value)) {
+    return true;
+  }
   if (pte::IsShadowStack(old_value) != pte::IsShadowStack(new_value)) {
     return true;
   }

@@ -14,20 +14,38 @@ constexpr char kMagic[4] = {'K', 'E', 'L', 'F'};
 }  // namespace
 
 Bytes KernelImage::Serialize() const {
-  Bytes out;
-  out.insert(out.end(), kMagic, kMagic + 4);
-  uint8_t tmp[8];
+  // Exact-size the buffer and write by offset: one allocation, no reallocating
+  // insert() growth (which GCC's -Werror stringop-overflow analysis flags with
+  // false positives on empty vectors).
+  size_t total = 4 + 4 + 4;
+  for (const auto& section : sections) {
+    total += 4 + section.name.size() + 4 + 8 + 4 + section.data.size();
+  }
+  for (const auto& symbol : symbols) {
+    total += 4 + symbol.name.size() + 8 + 4;
+  }
+  Bytes out(total);
+  size_t off = 0;
+  auto put_raw = [&](const void* p, size_t n) {
+    if (n != 0) {
+      std::memcpy(out.data() + off, p, n);
+      off += n;
+    }
+  };
+  put_raw(kMagic, 4);
   auto put32 = [&](uint32_t v) {
+    uint8_t tmp[4];
     StoreLe32(tmp, v);
-    out.insert(out.end(), tmp, tmp + 4);
+    put_raw(tmp, 4);
   };
   auto put64 = [&](uint64_t v) {
+    uint8_t tmp[8];
     StoreLe64(tmp, v);
-    out.insert(out.end(), tmp, tmp + 8);
+    put_raw(tmp, 8);
   };
   auto put_string = [&](const std::string& s) {
     put32(static_cast<uint32_t>(s.size()));
-    out.insert(out.end(), s.begin(), s.end());
+    put_raw(s.data(), s.size());
   };
 
   put32(static_cast<uint32_t>(sections.size()));
@@ -36,7 +54,7 @@ Bytes KernelImage::Serialize() const {
     put32((section.executable ? 1u : 0u) | (section.writable ? 2u : 0u));
     put64(section.vaddr);
     put32(static_cast<uint32_t>(section.data.size()));
-    out.insert(out.end(), section.data.begin(), section.data.end());
+    put_raw(section.data.data(), section.data.size());
   }
   put32(static_cast<uint32_t>(symbols.size()));
   for (const auto& symbol : symbols) {

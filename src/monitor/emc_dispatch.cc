@@ -327,7 +327,7 @@ Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_val
   // The pool frame usually still has a default-key direct-map leaf: re-key it now or
   // the kernel could forge entries in the new table through that old mapping.
   EREBOR_RETURN_IF_ERROR(
-      policy_->RetrofitKey(machine_->memory(), ptp, layout::kPtpKey, false));
+      policy_->RetrofitTag(&cpu, machine_->memory(), ptp, ProtClass::kPtp, false));
 
   // Validate + install every 4 KiB entry through the normal policy (this is the whole
   // point: per-page rules apply inside the former huge page).
@@ -352,7 +352,8 @@ Status EreborMonitor::SplitHugePageLocked(Cpu& cpu, Paddr entry_pa, Pte huge_val
       ptp_info.type = FrameType::kNormal;
       ptp_info.ptp_level = 0;
       ptp_info.ptp_root = 0;
-      (void)policy_->RetrofitKey(machine_->memory(), ptp, layout::kDefaultKey, false);
+      (void)policy_->RetrofitTag(&cpu, machine_->memory(), ptp, ProtClass::kDefault,
+                                 false);
       return PermissionDeniedError("huge-page split refused at subpage " +
                                    std::to_string(i) + ": " + decision.denial_reason);
     }
@@ -441,8 +442,8 @@ Status EreborMonitor::RegisterPtpBodyLocked(Cpu& cpu, FrameNum frame, Paddr root
   info.ptp_level = AddrOf(frame) == root_pa ? 4 : 0;
   // The frame may already be mapped (direct map, default key): retrofit the PTP key
   // so the kernel cannot write the new page table through the old mapping.
-  EREBOR_RETURN_IF_ERROR(policy_->RetrofitKey(machine_->memory(), frame,
-                                              layout::kPtpKey, /*strip_write=*/false));
+  EREBOR_RETURN_IF_ERROR(policy_->RetrofitTag(&cpu, machine_->memory(), frame,
+                                              ProtClass::kPtp, /*strip_write=*/false));
   return OkStatus();
 }
 
@@ -468,7 +469,7 @@ Status EreborMonitor::EmcWriteCr(Cpu& cpu, int reg, uint64_t value) {
     uint64_t effective = value;
     if (reg == 4) {
       // The protection bits are sticky: merge them into whatever the kernel asked for.
-      effective |= cr::kCr4Smep | cr::kCr4Smap | cr::kCr4Pks | cr::kCr4Cet;
+      effective |= isolation_->PinnedCr4();
     }
     cpu.TrustedWriteCr(reg, effective);
     return OkStatus();
@@ -622,8 +623,8 @@ StatusOr<Paddr> EreborMonitor::EmcLoadKernelModule(Cpu& cpu, const Bytes& code) 
       (void)frame_table_->SetType(first + i, FrameType::kKernelText);
       // W^X through *all* mappings: the direct-map view loses W and gets the
       // kernel-text key.
-      EREBOR_RETURN_IF_ERROR(policy_->RetrofitKey(machine_->memory(), first + i,
-                                                  layout::kKernelTextKey,
+      EREBOR_RETURN_IF_ERROR(policy_->RetrofitTag(&cpu, machine_->memory(), first + i,
+                                                  ProtClass::kKernelText,
                                                   /*strip_write=*/true));
     }
     EREBOR_RETURN_IF_ERROR(

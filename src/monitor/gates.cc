@@ -4,11 +4,13 @@
 #include "src/common/faultpoint.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
+#include "src/monitor/isolation.h"
 
 namespace erebor {
 
-EmcGates::EmcGates(Machine* machine) : machine_(machine) {
-  saved_pkrs_.resize(machine->num_cpus());
+EmcGates::EmcGates(Machine* machine, IsolationBackend* isolation)
+    : machine_(machine), isolation_(isolation) {
+  saved_views_.resize(machine->num_cpus());
   entry_ts_.resize(machine->num_cpus(), 0);
 }
 
@@ -27,11 +29,9 @@ void EmcGates::Install() {
         std::make_unique<ShadowStack>("monitor_ss_cpu" + std::to_string(i)));
     (void)shadow_stacks_.back()->Activate(i);
     cpu.SetShadowStack(shadow_stacks_.back().get());
-    // CET on: IBT + shadow stacks; PKS on; kernel-mode PKRS view installed.
-    cpu.TrustedWriteCr(4, cpu.cr4() | cr::kCr4Cet | cr::kCr4Pks);
-    cpu.TrustedWriteMsr(msr::kIa32SCet, msr::kCetIbtEn | msr::kCetShstkEn);
-    cpu.TrustedWriteMsr(msr::kIa32Pl0Ssp, 0xFFFFA00000000000ULL + 0x1000 * i);
-    cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+    // Backend register discipline: CET enables plus the backend's own view
+    // install (PKS: CR4.PKS + kernel-mode PKRS; TME-MK: keyID map wiring).
+    isolation_->InstallCpu(cpu);
   }
 }
 
@@ -52,9 +52,9 @@ Status EmcGates::Enter(Cpu& cpu) {
   EREBOR_RETURN_IF_ERROR(cpu.IndirectBranch(entry_label_));
   // Shadow stack records the return into kernel code for the eventual exit gate ret.
   EREBOR_RETURN_IF_ERROR(cpu.ShadowCall(exit_return_label_));
-  // Entry gate body: grant PKRS, switch stacks, mark monitor context.
+  // Entry gate body: grant the monitor view, switch stacks, mark monitor context.
   cpu.cycles().Charge(cpu.costs().emc_round_trip / 2);
-  cpu.TrustedWriteMsr(msr::kIa32Pkrs, MonitorModePkrs());
+  isolation_->GateEnter(cpu);
   cpu.SetMonitorContext(true);
   CounterAdd(entries_);
   entry_ts_[cpu.index()] = cpu.cycles().now();
@@ -62,7 +62,7 @@ Status EmcGates::Enter(Cpu& cpu) {
   if (FaultInjector::Armed() &&
       FaultInjector::Global().Fire("gates.enter", FaultAction::kPreempt)) {
     // Adversarial interrupt timing: a host-injected interrupt lands the instant EMC
-    // execution begins. The #INT gate must save and revoke the monitor PKRS around
+    // execution begins. The #INT gate must save and revoke the monitor view around
     // the untrusted handler and restore it afterwards — the classic PKU-gate
     // interleaving that invariant checks then verify survived.
     InterruptSave(cpu);
@@ -79,18 +79,17 @@ void EmcGates::Exit(Cpu& cpu) {
   if (FaultInjector::Armed()) {
     const FaultDecision decision = FaultInjector::Global().At("gates.exit");
     if (decision.action == FaultAction::kCorrupt) {
-      // Simulated PKRS/S_CET scramble racing the exit sequence. The exit gate's
-      // unconditional wrmsr pair (PKRS below, S_CET here — a no-op write in the
-      // unfaulted baseline, so it is only modeled on the fault path) must leave the
-      // CPU in the exact kernel-mode view regardless; the invariant checker verifies
-      // both registers after every injected fault.
-      cpu.TrustedWriteMsr(msr::kIa32Pkrs, decision.entropy | 1);
-      cpu.TrustedWriteMsr(msr::kIa32SCet, decision.entropy >> 32);
-      cpu.TrustedWriteMsr(msr::kIa32SCet, msr::kCetIbtEn | msr::kCetShstkEn);
+      // Simulated gate-register scramble racing the exit sequence (PKRS + S_CET
+      // under PKS, S_CET alone under TME-MK — a no-op write in the unfaulted
+      // baseline, so it is only modeled on the fault path). The exit gate's
+      // unconditional rewrite below must leave the CPU in the exact kernel-mode
+      // view regardless; the invariant checker verifies the registers after
+      // every injected fault.
+      isolation_->ScrambleOnExit(cpu, decision.entropy);
       NoteFaultRecovered();
     }
   }
-  cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+  isolation_->GateExit(cpu);
   cpu.SetMonitorContext(false);
   // Balanced shadow-stack return; a mismatch would raise #CP.
   (void)cpu.ShadowReturn(exit_return_label_);
@@ -108,28 +107,28 @@ void EmcGates::Exit(Cpu& cpu) {
 
 void EmcGates::InterruptSave(Cpu& cpu) {
   cpu.cycles().Charge(cpu.costs().int_gate_overhead);
-  saved_pkrs_[cpu.index()].push_back(cpu.pkrs());
-  cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+  saved_views_[cpu.index()].push_back(isolation_->InterruptViewToken(cpu));
+  isolation_->InterruptRevoke(cpu);
   cpu.SetMonitorContext(false);
   Tracer::Global().Record(TraceEvent::kIntGateSave, cpu.index(), cpu.cycles().now(), -1,
-                          saved_pkrs_[cpu.index()].size());
+                          saved_views_[cpu.index()].size());
 }
 
 void EmcGates::InterruptRestore(Cpu& cpu) {
-  std::vector<uint64_t>& stack = saved_pkrs_[cpu.index()];
+  std::vector<uint64_t>& stack = saved_views_[cpu.index()];
   if (stack.empty()) {
     // Unbalanced restore: nothing was saved on this CPU, so there is no monitor
     // context to return to. Granting the saved-slot view here would let the untrusted
-    // OS manufacture a monitor PKRS grant; stay in the kernel view instead.
+    // OS manufacture a monitor view grant; stay in the kernel view instead.
     MetricsRegistry::Global().Increment("gates.unbalanced_int_restore");
     return;
   }
   const uint64_t restored = stack.back();
   stack.pop_back();
-  cpu.TrustedWriteMsr(msr::kIa32Pkrs, restored);
+  isolation_->InterruptRestoreView(cpu, restored);
   // A nested restore returns to the *outer interrupt handler's* kernel view, not to
   // the monitor; only the outermost restore re-grants monitor context.
-  cpu.SetMonitorContext(restored == MonitorModePkrs());
+  cpu.SetMonitorContext(isolation_->TokenGrantsMonitor(restored));
   Tracer::Global().Record(TraceEvent::kIntGateRestore, cpu.index(), cpu.cycles().now(),
                           -1, stack.size());
 }

@@ -2,11 +2,14 @@
 //
 // The entry gate is the only endbr64-marked label in the monitor: CET-IBT makes it the
 // sole legal indirect-branch target, so the kernel can only ever enter monitor code at
-// the top of the gate, which (1) grants this core's PKRS access to monitor memory,
-// (2) switches to the protected per-core monitor stack, and (3) flips the vCPU's
-// monitor-context flag. The exit gate reverses all three. The #INT gate protects EMC
-// execution against preemption: interrupts arriving while in monitor context have
-// their PKRS saved and revoked before the untrusted OS handler runs.
+// the top of the gate, which (1) grants this core's view of monitor memory (a PKRS
+// write under PKS; implicit in the gate context under TME-MK), (2) switches to the
+// protected per-core monitor stack, and (3) flips the vCPU's monitor-context flag. The
+// exit gate reverses all three. The #INT gate protects EMC execution against
+// preemption: interrupts arriving while in monitor context have their view token saved
+// and revoked before the untrusted OS handler runs. The register discipline at every
+// one of these points is the isolation backend's (src/monitor/isolation.h); the PKS
+// backend reproduces the paper's PKRS wrmsr sequence bit for bit.
 #ifndef EREBOR_SRC_MONITOR_GATES_H_
 #define EREBOR_SRC_MONITOR_GATES_H_
 
@@ -18,6 +21,8 @@
 
 namespace erebor {
 
+class IsolationBackend;
+
 // PKRS views: what each protection key permits in normal (kernel) mode vs monitor mode.
 inline constexpr uint64_t KernelModePkrs() {
   return pkrs::DenyAll(layout::kMonitorKey) | pkrs::DenyWrite(layout::kPtpKey) |
@@ -27,7 +32,7 @@ inline constexpr uint64_t MonitorModePkrs() { return 0; }  // grant all
 
 class EmcGates {
  public:
-  explicit EmcGates(Machine* machine);
+  EmcGates(Machine* machine, IsolationBackend* isolation);
 
   // Registers the gate labels and per-core monitor stacks; enables CET on each CPU
   // (called from monitor stage-1 boot, running trusted).
@@ -37,29 +42,30 @@ class EmcGates {
   CodeLabelId internal_label() const { return internal_label_; }
 
   // The EMC path proper. Enter() performs the IBT-checked indirect branch to the entry
-  // gate; on success the CPU is in monitor context with full PKRS. Exit() returns to
-  // normal mode. Both charge their half of the paper's 1224-cycle round trip.
+  // gate; on success the CPU is in monitor context with the monitor view granted.
+  // Exit() returns to normal mode. Both charge their half of the round trip.
   Status Enter(Cpu& cpu);
   void Exit(Cpu& cpu);
 
   // #INT gate wrapping for an interrupt that arrives during EMC execution: saves and
-  // revokes PKRS around the untrusted handler. Interrupts nest (an NMI can land inside
-  // a timer handler that itself preempted the monitor), so the save slot is a per-CPU
-  // stack. InterruptRestore refuses an unbalanced call — a restore with no prior save
-  // would otherwise hand the untrusted OS the monitor's PKRS view.
+  // revokes the view token around the untrusted handler. Interrupts nest (an NMI can
+  // land inside a timer handler that itself preempted the monitor), so the save slot
+  // is a per-CPU stack. InterruptRestore refuses an unbalanced call — a restore with
+  // no prior save would otherwise hand the untrusted OS the monitor's view.
   void InterruptSave(Cpu& cpu);
   void InterruptRestore(Cpu& cpu);
 
   uint64_t entries() const { return entries_; }
-  size_t interrupt_depth(int cpu) const { return saved_pkrs_[cpu].size(); }
+  size_t interrupt_depth(int cpu) const { return saved_views_[cpu].size(); }
 
  private:
   Machine* machine_;
+  IsolationBackend* isolation_;
   CodeLabelId entry_label_ = kInvalidCodeLabel;
   CodeLabelId exit_return_label_ = kInvalidCodeLabel;
   CodeLabelId internal_label_ = kInvalidCodeLabel;  // non-endbr body (attack target)
   std::vector<std::unique_ptr<ShadowStack>> shadow_stacks_;
-  std::vector<std::vector<uint64_t>> saved_pkrs_;  // per-CPU #INT-gate PKRS save stacks
+  std::vector<std::vector<uint64_t>> saved_views_;  // per-CPU #INT-gate token stacks
   std::vector<Cycles> entry_ts_;  // per-CPU gate-entry timestamp (round-trip histogram)
   uint64_t entries_ = 0;
 };

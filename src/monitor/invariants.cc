@@ -1,6 +1,7 @@
 #include "src/monitor/invariants.h"
 
 #include <algorithm>
+#include <set>
 
 #include "src/common/metrics.h"
 #include "src/monitor/gates.h"
@@ -19,7 +20,7 @@ Status InvariantChecker::CheckAll() {
   MetricsRegistry::Global().Increment("invariants.checks");
   for (Status st :
        {CheckFrames(), CheckGates(), CheckSecrets(), CheckLocks(), CheckRings(),
-        CheckQuarantine()}) {
+        CheckQuarantine(), CheckDomains()}) {
     if (!st.ok()) {
       ++violations_;
       MetricsRegistry::Global().Increment("invariants.violations");
@@ -46,12 +47,9 @@ Status InvariantChecker::CheckGates() {
                            std::to_string(gates.interrupt_depth(i)) +
                            " unbalanced #INT-gate PKRS saves");
     }
-    const auto pkrs = cpu.ReadMsr(msr::kIa32Pkrs);
-    if (pkrs.ok() && *pkrs != KernelModePkrs()) {
-      return InternalError("cpu " + std::to_string(i) +
-                           " PKRS not restored to the kernel view (have 0x" +
-                           std::to_string(*pkrs) + ")");
-    }
+    // Backend register audit (PKS: PKRS == KernelModePkrs(); TME-MK: no CPU may
+    // still hold the keyID-exempt monitor context).
+    EREBOR_RETURN_IF_ERROR(monitor_->isolation().AuditCpu(cpu));
     const auto scet = cpu.ReadMsr(msr::kIa32SCet);
     const uint64_t cet_required = msr::kCetIbtEn | msr::kCetShstkEn;
     if (scet.ok() && (*scet & cet_required) != cet_required) {
@@ -157,6 +155,43 @@ Status InvariantChecker::CheckQuarantine() {
                              " is still bound and not poisoned");
       }
     }
+  }
+  return OkStatus();
+}
+
+Status InvariantChecker::CheckDomains() {
+  const IsolationBackend& iso = monitor_->isolation();
+  uint64_t live = 0;
+  std::set<uint32_t> tags;
+  for (const auto& [id, sandbox] : monitor_->sandboxes().sandboxes()) {
+    const std::string who = "sandbox " + std::to_string(id);
+    if (sandbox->state == SandboxState::kInitializing ||
+        sandbox->state == SandboxState::kSealed) {
+      ++live;
+      if (sandbox->domain_tag == 0) {
+        return InternalError(who + " is live without an isolation domain");
+      }
+      if (!tags.insert(sandbox->domain_tag).second) {
+        return InternalError(who + " shares isolation domain tag " +
+                             std::to_string(sandbox->domain_tag) +
+                             " with another live sandbox");
+      }
+      if (iso.DomainTagOf(id) != sandbox->domain_tag) {
+        return InternalError(who + " domain tag diverged from the backend's record");
+      }
+    } else if (sandbox->domain_tag != 0) {
+      return InternalError(who + " was torn down but still holds domain tag " +
+                           std::to_string(sandbox->domain_tag));
+    }
+  }
+  if (live != iso.sandbox_domains_in_use()) {
+    return InternalError("isolation-domain leak: " + std::to_string(live) +
+                         " live sandboxes but " +
+                         std::to_string(iso.sandbox_domains_in_use()) +
+                         " domains in use at the backend");
+  }
+  if (live > iso.max_sandbox_domains()) {
+    return InternalError("more live sandboxes than the backend's domain budget");
   }
   return OkStatus();
 }

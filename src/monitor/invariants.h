@@ -23,6 +23,10 @@
 //     (every ring still bound to it is poisoned with its pending window flushed),
 //     no undelivered reorder-buffer stash, and no residual plaintext or outbound
 //     queues (the teardown scrub left nothing deliverable behind).
+//  7. Domains: isolation-domain accounting balances — every live sandbox holds
+//     exactly one backend domain (unique, non-zero, matching the backend's own
+//     record), torn-down sandboxes hold none, and the live count never exceeds
+//     the backend's budget.
 #ifndef EREBOR_SRC_MONITOR_INVARIANTS_H_
 #define EREBOR_SRC_MONITOR_INVARIANTS_H_
 
@@ -54,6 +58,7 @@ class InvariantChecker {
   Status CheckLocks();       // family 4 (LockAudit discipline)
   Status CheckRings();       // family 5 (MMU-ring shadow-state consistency)
   Status CheckQuarantine();  // family 6 (quarantined sandboxes hold nothing live)
+  Status CheckDomains();     // family 7 (isolation-domain accounting)
 
   uint64_t checks_run() const { return checks_run_; }
   uint64_t violations() const { return violations_; }

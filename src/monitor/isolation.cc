@@ -1,0 +1,372 @@
+#include "src/monitor/isolation.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/monitor/gates.h"
+
+namespace erebor {
+
+namespace {
+
+const char* ProtClassName(ProtClass cls) {
+  switch (cls) {
+    case ProtClass::kDefault:
+      return "default";
+    case ProtClass::kMonitor:
+      return "monitor";
+    case ProtClass::kPtp:
+      return "PTP";
+    case ProtClass::kKernelText:
+      return "kernel-text";
+    case ProtClass::kShadowStack:
+      return "shadow-stack";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PKS backend
+// ---------------------------------------------------------------------------
+
+PksBackend::PksBackend() {
+  for (uint32_t key = 16 - kNumSandboxKeys; key < 16; ++key) {
+    free_keys_.push_back(key);
+  }
+}
+
+uint32_t PksBackend::ClassTag(ProtClass cls) const {
+  switch (cls) {
+    case ProtClass::kDefault:
+      return layout::kDefaultKey;
+    case ProtClass::kMonitor:
+      return layout::kMonitorKey;
+    case ProtClass::kPtp:
+      return layout::kPtpKey;
+    case ProtClass::kKernelText:
+      return layout::kKernelTextKey;
+    case ProtClass::kShadowStack:
+      return layout::kShadowStackKey;
+  }
+  return layout::kDefaultKey;
+}
+
+bool PksBackend::ClassReadShared(ProtClass cls) const {
+  // PKRS encodes this per key: the PTP and kernel-text keys are DenyWrite (the
+  // walker must read PTPs, fetches need text), the monitor and shadow-stack
+  // keys DenyAll. Mirrored here so BindClass is meaningful on both backends.
+  return cls == ProtClass::kPtp || cls == ProtClass::kKernelText;
+}
+
+StatusOr<uint32_t> PksBackend::AllocateSandboxDomain(int sandbox_id) {
+  if (free_keys_.empty()) {
+    return ResourceExhaustedError(
+        "all " + std::to_string(kNumSandboxKeys) + " PKS sandbox keys in use");
+  }
+  const uint32_t key = free_keys_.front();
+  free_keys_.erase(free_keys_.begin());
+  sandbox_keys_[sandbox_id] = key;
+  ++domains_in_use_;
+  return key;
+}
+
+void PksBackend::ReleaseSandboxDomain(uint32_t tag) {
+  for (auto it = sandbox_keys_.begin(); it != sandbox_keys_.end(); ++it) {
+    if (it->second == tag) {
+      sandbox_keys_.erase(it);
+      free_keys_.insert(
+          std::lower_bound(free_keys_.begin(), free_keys_.end(), tag), tag);
+      if (domains_in_use_ > 0) {
+        --domains_in_use_;
+      }
+      return;
+    }
+  }
+}
+
+uint32_t PksBackend::DomainTagOf(int sandbox_id) const {
+  const auto it = sandbox_keys_.find(sandbox_id);
+  return it == sandbox_keys_.end() ? 0 : it->second;
+}
+
+void PksBackend::InstallCpu(Cpu& cpu) const {
+  // CET on: IBT + shadow stacks; PKS on; kernel-mode PKRS view installed.
+  cpu.TrustedWriteCr(4, cpu.cr4() | cr::kCr4Cet | cr::kCr4Pks);
+  cpu.TrustedWriteMsr(msr::kIa32SCet, msr::kCetIbtEn | msr::kCetShstkEn);
+  cpu.TrustedWriteMsr(msr::kIa32Pl0Ssp, 0xFFFFA00000000000ULL + 0x1000 * cpu.index());
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+}
+
+void PksBackend::GateEnter(Cpu& cpu) const {
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, MonitorModePkrs());
+}
+
+void PksBackend::GateExit(Cpu& cpu) const {
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+}
+
+void PksBackend::ScrambleOnExit(Cpu& cpu, uint64_t entropy) const {
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, entropy | 1);
+  cpu.TrustedWriteMsr(msr::kIa32SCet, entropy >> 32);
+  cpu.TrustedWriteMsr(msr::kIa32SCet, msr::kCetIbtEn | msr::kCetShstkEn);
+}
+
+uint64_t PksBackend::InterruptViewToken(const Cpu& cpu) const { return cpu.pkrs(); }
+
+void PksBackend::InterruptRevoke(Cpu& cpu) const {
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, KernelModePkrs());
+}
+
+void PksBackend::InterruptRestoreView(Cpu& cpu, uint64_t token) const {
+  cpu.TrustedWriteMsr(msr::kIa32Pkrs, token);
+}
+
+bool PksBackend::TokenGrantsMonitor(uint64_t token) const {
+  return token == MonitorModePkrs();
+}
+
+uint64_t PksBackend::PinnedCr4() const {
+  return cr::kCr4Smep | cr::kCr4Smap | cr::kCr4Pks | cr::kCr4Cet;
+}
+
+Status PksBackend::CheckMsrWrite(uint32_t index) const {
+  switch (index) {
+    case msr::kIa32Pkrs:
+      return PermissionDeniedError("IA32_PKRS is monitor-owned");
+    case msr::kIa32SCet:
+      return PermissionDeniedError("IA32_S_CET is monitor-owned");
+    case msr::kIa32Pl0Ssp:
+      return PermissionDeniedError("IA32_PL0_SSP is monitor-owned");
+    case msr::kIa32UintrTt:
+      return PermissionDeniedError("IA32_UINTR_TT is monitor-owned");
+    default:
+      return OkStatus();
+  }
+}
+
+Status PksBackend::AuditCpu(const Cpu& cpu) const {
+  const auto pkrs = cpu.ReadMsr(msr::kIa32Pkrs);
+  if (pkrs.ok() && *pkrs != KernelModePkrs()) {
+    return InternalError("cpu " + std::to_string(cpu.index()) +
+                         " PKRS not restored to the kernel view (have 0x" +
+                         std::to_string(*pkrs) + ")");
+  }
+  return OkStatus();
+}
+
+Status PksBackend::AuditFrame(FrameNum frame, const FrameInfo& info, Pte leaf) const {
+  switch (info.type) {
+    case FrameType::kMonitor:
+      if (pte::Present(leaf) && pte::Pkey(leaf) != layout::kMonitorKey) {
+        return InternalError("monitor frame " + std::to_string(frame) +
+                             " mapped without the monitor key");
+      }
+      break;
+    case FrameType::kPtp:
+      if (pte::Present(leaf) && pte::Pkey(leaf) != layout::kPtpKey) {
+        return InternalError("PTP frame " + std::to_string(frame) +
+                             " mapped without the PTP key");
+      }
+      break;
+    default:
+      break;
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// TME-MK backend
+// ---------------------------------------------------------------------------
+
+TmeMkBackend::TmeMkBackend(uint64_t num_frames) : map_(num_frames) {}
+
+uint32_t TmeMkBackend::ClassTag(ProtClass cls) const {
+  // Class keyIDs mirror the PKS key numbering so audits read the same either way.
+  switch (cls) {
+    case ProtClass::kDefault:
+      return 0;
+    case ProtClass::kMonitor:
+      return 1;
+    case ProtClass::kPtp:
+      return 2;
+    case ProtClass::kKernelText:
+      return 3;
+    case ProtClass::kShadowStack:
+      return 4;
+  }
+  return 0;
+}
+
+bool TmeMkBackend::ClassReadShared(ProtClass cls) const {
+  return cls == ProtClass::kPtp || cls == ProtClass::kKernelText;
+}
+
+StatusOr<uint32_t> TmeMkBackend::AllocateSandboxDomain(int sandbox_id) {
+  const uint32_t total = 1u << pte::kKeyIdBits;
+  if (in_use_.size() >= max_sandbox_domains()) {
+    return ResourceExhaustedError("all " + std::to_string(max_sandbox_domains()) +
+                                  " TME-MK sandbox keyIDs in use");
+  }
+  // Next-fit over the sandbox keyID space so freshly freed keyIDs are not
+  // immediately reused (a stale binding then misses instead of aliasing).
+  uint32_t keyid = next_keyid_;
+  while (in_use_.count(keyid) != 0) {
+    ++keyid;
+    if (keyid >= total) {
+      keyid = kFirstSandboxKeyId;
+    }
+  }
+  next_keyid_ = keyid + 1 >= total ? kFirstSandboxKeyId : keyid + 1;
+  in_use_.insert(keyid);
+  sandbox_keys_[sandbox_id] = keyid;
+  ++domains_in_use_;
+  return keyid;
+}
+
+void TmeMkBackend::ReleaseSandboxDomain(uint32_t tag) {
+  if (in_use_.erase(tag) == 0) {
+    return;
+  }
+  programmed_.erase(tag);
+  for (auto it = sandbox_keys_.begin(); it != sandbox_keys_.end(); ++it) {
+    if (it->second == tag) {
+      sandbox_keys_.erase(it);
+      break;
+    }
+  }
+  if (domains_in_use_ > 0) {
+    --domains_in_use_;
+  }
+}
+
+uint32_t TmeMkBackend::DomainTagOf(int sandbox_id) const {
+  const auto it = sandbox_keys_.find(sandbox_id);
+  return it == sandbox_keys_.end() ? 0 : it->second;
+}
+
+void TmeMkBackend::BindFrame(Cpu* cpu, FrameNum frame, uint32_t tag,
+                             bool read_shared) {
+  if (cpu != nullptr) {
+    // First use of a sandbox keyID programs its encryption key (PCONFIG);
+    // every rebind pays the controller update.
+    if (tag >= kFirstSandboxKeyId && programmed_.insert(tag).second) {
+      cpu->cycles().Charge(cpu->costs().pconfig_key_program);
+    }
+    cpu->cycles().Charge(cpu->costs().frame_bind_op);
+  }
+  map_.Bind(frame, tag, read_shared);
+}
+
+void TmeMkBackend::InstallCpu(Cpu& cpu) const {
+  // CET on: IBT + shadow stacks. No CR4.PKS, no PKRS view — the keyID bindings
+  // at the controller are the protection; the CPU checks them against this map
+  // whenever it is outside monitor context.
+  cpu.TrustedWriteCr(4, cpu.cr4() | cr::kCr4Cet);
+  cpu.TrustedWriteMsr(msr::kIa32SCet, msr::kCetIbtEn | msr::kCetShstkEn);
+  cpu.TrustedWriteMsr(msr::kIa32Pl0Ssp, 0xFFFFA00000000000ULL + 0x1000 * cpu.index());
+  cpu.SetKeyIdMap(&map_);
+}
+
+void TmeMkBackend::ScrambleOnExit(Cpu& cpu, uint64_t entropy) const {
+  // No PKRS to scramble; the injected fault races the CET half of the exit
+  // sequence, whose unconditional rewrite must still win.
+  cpu.TrustedWriteMsr(msr::kIa32SCet, entropy >> 32);
+  cpu.TrustedWriteMsr(msr::kIa32SCet, msr::kCetIbtEn | msr::kCetShstkEn);
+}
+
+uint64_t TmeMkBackend::InterruptViewToken(const Cpu& cpu) const {
+  // The "view" is just the monitor-context flag: keyID checks are suspended in
+  // monitor context and active outside it, with no register to save or revoke.
+  return cpu.in_monitor() ? 1 : 0;
+}
+
+uint64_t TmeMkBackend::PinnedCr4() const {
+  return cr::kCr4Smep | cr::kCr4Smap | cr::kCr4Cet;
+}
+
+Status TmeMkBackend::CheckMsrWrite(uint32_t index) const {
+  switch (index) {
+    // IA32_PKRS is architecturally writable but inert here: CR4.PKS is never
+    // set, so a legacy kernel poking PKRS harms only itself. Refusing it would
+    // needlessly break kernels that carry PKS code on non-PKS deployments.
+    case msr::kIa32SCet:
+      return PermissionDeniedError("IA32_S_CET is monitor-owned");
+    case msr::kIa32Pl0Ssp:
+      return PermissionDeniedError("IA32_PL0_SSP is monitor-owned");
+    case msr::kIa32UintrTt:
+      return PermissionDeniedError("IA32_UINTR_TT is monitor-owned");
+    default:
+      return OkStatus();
+  }
+}
+
+Status TmeMkBackend::AuditCpu(const Cpu& cpu) const {
+  // At a safe point no CPU is mid-gate, so none may still hold the monitor's
+  // keyID-exempt context (the TME-MK analogue of a leaked monitor PKRS view).
+  if (cpu.in_monitor()) {
+    return InternalError("cpu " + std::to_string(cpu.index()) +
+                         " still in monitor keyID context at a safe point");
+  }
+  return OkStatus();
+}
+
+Status TmeMkBackend::AuditFrame(FrameNum frame, const FrameInfo& info,
+                                Pte leaf) const {
+  const std::string who = "frame " + std::to_string(frame);
+  auto expect_binding = [&](ProtClass cls) -> Status {
+    if (map_.KeyOf(frame) != ClassTag(cls)) {
+      return InternalError(who + " (" + ProtClassName(cls) +
+                           ") not bound to its class keyID");
+    }
+    if (map_.ReadShared(frame) != ClassReadShared(cls)) {
+      return InternalError(who + " (" + ProtClassName(cls) +
+                           ") has the wrong read-shared binding");
+    }
+    // The kernel's own mapping must stay on the default keyID: a tagged direct
+    // -map leaf would satisfy the controller check and re-open the frame.
+    if (pte::Present(leaf) && pte::KeyId(leaf) != 0) {
+      return InternalError(who + " (" + ProtClassName(cls) +
+                           ") has a keyID-tagged kernel mapping");
+    }
+    return OkStatus();
+  };
+  switch (info.type) {
+    case FrameType::kMonitor:
+      return expect_binding(ProtClass::kMonitor);
+    case FrameType::kPtp:
+      return expect_binding(ProtClass::kPtp);
+    case FrameType::kKernelText:
+      return expect_binding(ProtClass::kKernelText);
+    case FrameType::kSandboxConfined: {
+      const uint32_t owner_tag = DomainTagOf(info.owner_sandbox);
+      if (owner_tag == 0) {
+        return InternalError(who + " confined but its owner has no keyID");
+      }
+      if (map_.KeyOf(frame) != owner_tag) {
+        return InternalError(who + " confined but not bound to its owner's keyID");
+      }
+      if (map_.ReadShared(frame)) {
+        return InternalError(who + " confined but bound read-shared");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return OkStatus();
+}
+
+std::unique_ptr<IsolationBackend> MakeIsolationBackend(IsolationKind kind,
+                                                       uint64_t num_frames) {
+  switch (kind) {
+    case IsolationKind::kPks:
+      return std::make_unique<PksBackend>();
+    case IsolationKind::kTmeMk:
+      return std::make_unique<TmeMkBackend>(num_frames);
+  }
+  return std::make_unique<PksBackend>();
+}
+
+}  // namespace erebor

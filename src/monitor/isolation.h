@@ -1,0 +1,232 @@
+// Pluggable isolation backends (ROADMAP item 5): the seam between the
+// monitor's policy/gate/sandbox machinery and the hardware mechanism that
+// enforces intra-kernel domain separation.
+//
+// The paper builds Erebor on PKS — 16 supervisor protection keys carried in
+// PTE bits 59..62 and checked against IA32_PKRS — which caps concurrent
+// sandbox domains at 11 (keys 0..4 are reserved for the monitor's own
+// protection classes). TME-Box shows the same confinement can ride on TME-MK
+// memory-encryption keyIDs in the PTE high bits, enforced at the memory
+// controller, with thousands of domains and no per-gate register writes.
+//
+// Everything mechanism-shaped goes through this interface:
+//   - tag algebra: encode/decode the backend's tag field in PTEs, and the
+//     policy rewrite applied to kernel leaf mappings of protected frames;
+//   - domain budget: allocation/release of per-sandbox domains, with the
+//     backend-reported maximum (the fleet refuses admission beyond it);
+//   - frame binding: per-frame tag retrofit at the "memory controller"
+//     (PCONFIG-style for TME-MK; a no-op for PKS, whose tags live in PTEs);
+//   - gate discipline: per-CPU install, EMC entry/exit register grants, and
+//     the #INT-gate save/revoke/restore protocol via opaque view tokens;
+//   - register ownership: which CR4 bits are pinned and which MSRs the
+//     kernel may never write;
+//   - invariant audit: the backend-specific register and frame-tag checks
+//     run by the invariant checker's gate and frame families.
+#ifndef EREBOR_SRC_MONITOR_ISOLATION_H_
+#define EREBOR_SRC_MONITOR_ISOLATION_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/hw/isolation.h"
+#include "src/hw/machine.h"
+#include "src/kernel/layout.h"
+#include "src/monitor/frame_table.h"
+
+namespace erebor {
+
+// Protection classes the monitor assigns to frames; each backend maps a class
+// to its own tag value (PKS: keys 0..4; TME-MK: keyIDs 0..4).
+enum class ProtClass : uint8_t {
+  kDefault = 0,
+  kMonitor,
+  kPtp,
+  kKernelText,
+  kShadowStack,
+};
+
+class IsolationBackend {
+ public:
+  virtual ~IsolationBackend() = default;
+
+  virtual IsolationKind kind() const = 0;
+  const char* name() const { return IsolationKindName(kind()); }
+
+  // ---- Tag algebra ----
+  virtual uint32_t ClassTag(ProtClass cls) const = 0;
+  // Does this class's frame stay readable through foreign tags? (PTPs must stay
+  // walkable, kernel text fetchable; monitor state and confined memory do not.)
+  virtual bool ClassReadShared(ProtClass cls) const = 0;
+  virtual uint32_t TagOf(Pte pte) const = 0;
+  virtual Pte WithTag(Pte pte, uint32_t tag) const = 0;
+  // Policy rewrite of an allowed kernel leaf mapping of a class-`cls` frame.
+  // PKS forces the class key into the mapping (the PTE *is* the enforcement
+  // point); TME-MK leaves the mapping untagged — the frame's keyID binding at
+  // the controller is what denies the access.
+  virtual Pte RetagKernelLeaf(Pte pte, ProtClass cls) const = 0;
+
+  // ---- Sandbox domains ----
+  virtual uint32_t max_sandbox_domains() const = 0;
+  uint32_t sandbox_domains_in_use() const { return domains_in_use_; }
+  virtual StatusOr<uint32_t> AllocateSandboxDomain(int sandbox_id) = 0;
+  virtual void ReleaseSandboxDomain(uint32_t tag) = 0;
+  // TME-MK: the keyID a live sandbox owns (0 = unknown). PKS mirrors the
+  // allocation for symmetry so audits can cross-check either backend.
+  virtual uint32_t DomainTagOf(int sandbox_id) const = 0;
+
+  // ---- Frame bindings (memory-controller state; PKS: no-op) ----
+  // `cpu` may be null for boot-time binds (no cost accounting yet).
+  virtual void BindFrame(Cpu* cpu, FrameNum frame, uint32_t tag,
+                         bool read_shared) = 0;
+  void BindClass(Cpu* cpu, FrameNum frame, ProtClass cls) {
+    BindFrame(cpu, frame, ClassTag(cls), ClassReadShared(cls));
+  }
+
+  // ---- Gate register discipline ----
+  // Per-CPU boot-time install (CR4 bits, CET MSRs, backend view wiring).
+  virtual void InstallCpu(Cpu& cpu) const = 0;
+  // Register grant/revoke at the EMC entry/exit gates (the monitor-context
+  // flag itself is flipped by the gates, mechanism-independent).
+  virtual void GateEnter(Cpu& cpu) const = 0;
+  virtual void GateExit(Cpu& cpu) const = 0;
+  // Fault-injection scramble racing the exit sequence: clobber the backend's
+  // gate registers with `entropy`, then restore the CET enables (the exit
+  // gate's unconditional rewrite must still win).
+  virtual void ScrambleOnExit(Cpu& cpu, uint64_t entropy) const = 0;
+  // #INT-gate protocol: save the current view as an opaque token, revoke down
+  // to the kernel view, and later restore a popped token. PKS tokens are PKRS
+  // values; TME-MK tokens are the monitor-context flag.
+  virtual uint64_t InterruptViewToken(const Cpu& cpu) const = 0;
+  virtual void InterruptRevoke(Cpu& cpu) const = 0;
+  virtual void InterruptRestoreView(Cpu& cpu, uint64_t token) const = 0;
+  virtual bool TokenGrantsMonitor(uint64_t token) const = 0;
+
+  // ---- Register ownership ----
+  virtual uint64_t PinnedCr4() const = 0;
+  virtual Status CheckMsrWrite(uint32_t index) const = 0;
+
+  // ---- Invariant audit ----
+  // Family 2: per-CPU gate-register state at a safe point.
+  virtual Status AuditCpu(const Cpu& cpu) const = 0;
+  // Family 1: per-frame tag/binding state. `leaf` is the frame's recorded
+  // supervisor (direct-map) leaf PTE, 0 if none.
+  virtual Status AuditFrame(FrameNum frame, const FrameInfo& info,
+                            Pte leaf) const = 0;
+
+  // TME-MK: the binding table CPUs check on every translation (null for PKS).
+  virtual const KeyIdMap* keyid_map() const { return nullptr; }
+
+ protected:
+  uint32_t domains_in_use_ = 0;
+};
+
+// PKS backend: the paper's design, bit-identical to the pre-seam monitor.
+class PksBackend : public IsolationBackend {
+ public:
+  PksBackend();
+
+  IsolationKind kind() const override { return IsolationKind::kPks; }
+
+  uint32_t ClassTag(ProtClass cls) const override;
+  bool ClassReadShared(ProtClass cls) const override;
+  uint32_t TagOf(Pte pte) const override { return pte::Pkey(pte); }
+  Pte WithTag(Pte pte, uint32_t tag) const override {
+    return pte::WithPkey(pte, static_cast<uint8_t>(tag));
+  }
+  Pte RetagKernelLeaf(Pte pte, ProtClass cls) const override {
+    return pte::WithPkey(pte, static_cast<uint8_t>(ClassTag(cls)));
+  }
+
+  uint32_t max_sandbox_domains() const override { return kNumSandboxKeys; }
+  StatusOr<uint32_t> AllocateSandboxDomain(int sandbox_id) override;
+  void ReleaseSandboxDomain(uint32_t tag) override;
+  uint32_t DomainTagOf(int sandbox_id) const override;
+
+  void BindFrame(Cpu*, FrameNum, uint32_t, bool) override {}  // tags live in PTEs
+
+  void InstallCpu(Cpu& cpu) const override;
+  void GateEnter(Cpu& cpu) const override;
+  void GateExit(Cpu& cpu) const override;
+  void ScrambleOnExit(Cpu& cpu, uint64_t entropy) const override;
+  uint64_t InterruptViewToken(const Cpu& cpu) const override;
+  void InterruptRevoke(Cpu& cpu) const override;
+  void InterruptRestoreView(Cpu& cpu, uint64_t token) const override;
+  bool TokenGrantsMonitor(uint64_t token) const override;
+
+  uint64_t PinnedCr4() const override;
+  Status CheckMsrWrite(uint32_t index) const override;
+
+  Status AuditCpu(const Cpu& cpu) const override;
+  Status AuditFrame(FrameNum frame, const FrameInfo& info, Pte leaf) const override;
+
+  // 16 PKS keys, 5 reserved for the monitor's protection classes.
+  static constexpr uint32_t kNumSandboxKeys = 16 - 5;
+
+ private:
+  std::vector<uint32_t> free_keys_;          // keys 5..15, smallest first
+  std::map<int, uint32_t> sandbox_keys_;     // sandbox id -> key
+};
+
+// TME-MK backend: keyIDs in PTE bits 52..62, per-frame bindings at the
+// simulated memory controller, no gate register writes.
+class TmeMkBackend : public IsolationBackend {
+ public:
+  explicit TmeMkBackend(uint64_t num_frames);
+
+  IsolationKind kind() const override { return IsolationKind::kTmeMk; }
+
+  uint32_t ClassTag(ProtClass cls) const override;
+  bool ClassReadShared(ProtClass cls) const override;
+  uint32_t TagOf(Pte pte) const override { return pte::KeyId(pte); }
+  Pte WithTag(Pte pte, uint32_t tag) const override {
+    return pte::WithKeyId(pte, tag);
+  }
+  // The mapping stays untagged: the kernel's view carries the default keyID
+  // and the frame's binding denies the access at the controller.
+  Pte RetagKernelLeaf(Pte pte, ProtClass) const override { return pte; }
+
+  uint32_t max_sandbox_domains() const override {
+    return (1u << pte::kKeyIdBits) - kFirstSandboxKeyId;
+  }
+  StatusOr<uint32_t> AllocateSandboxDomain(int sandbox_id) override;
+  void ReleaseSandboxDomain(uint32_t tag) override;
+  uint32_t DomainTagOf(int sandbox_id) const override;
+
+  void BindFrame(Cpu* cpu, FrameNum frame, uint32_t tag, bool read_shared) override;
+
+  void InstallCpu(Cpu& cpu) const override;
+  void GateEnter(Cpu&) const override {}  // view follows the gate context
+  void GateExit(Cpu&) const override {}
+  void ScrambleOnExit(Cpu& cpu, uint64_t entropy) const override;
+  uint64_t InterruptViewToken(const Cpu& cpu) const override;
+  void InterruptRevoke(Cpu&) const override {}
+  void InterruptRestoreView(Cpu&, uint64_t) const override {}
+  bool TokenGrantsMonitor(uint64_t token) const override { return token == 1; }
+
+  uint64_t PinnedCr4() const override;
+  Status CheckMsrWrite(uint32_t index) const override;
+
+  Status AuditCpu(const Cpu& cpu) const override;
+  Status AuditFrame(FrameNum frame, const FrameInfo& info, Pte leaf) const override;
+
+  const KeyIdMap* keyid_map() const override { return &map_; }
+
+  // keyIDs 0..4 mirror the ProtClass tags; sandboxes draw from 5..2047.
+  static constexpr uint32_t kFirstSandboxKeyId = 5;
+
+ private:
+  KeyIdMap map_;
+  uint32_t next_keyid_ = kFirstSandboxKeyId;  // next-fit allocation cursor
+  std::set<uint32_t> in_use_;                 // allocated sandbox keyIDs
+  std::set<uint32_t> programmed_;             // keyIDs whose PCONFIG cost was paid
+  std::map<int, uint32_t> sandbox_keys_;      // sandbox id -> keyID
+};
+
+std::unique_ptr<IsolationBackend> MakeIsolationBackend(IsolationKind kind,
+                                                       uint64_t num_frames);
+
+}  // namespace erebor
+
+#endif  // EREBOR_SRC_MONITOR_ISOLATION_H_

@@ -45,9 +45,9 @@ PolicyDecision MmuPolicy::CheckPteWrite(Paddr entry_pa, Pte value) {
     return decision;
   }
 
-  // Kernel-supplied entries may not carry protection keys: key assignment is the
-  // monitor's prerogative.
-  if (pte::Pkey(value) != layout::kDefaultKey) {
+  // Kernel-supplied entries may not carry protection tags (PKS keys or TME-MK
+  // keyIDs): tag assignment is the monitor's prerogative.
+  if (isolation_->TagOf(value) != 0) {
     decision.denial_reason = "kernel attempted to set a protection key";
     return decision;
   }
@@ -107,9 +107,10 @@ PolicyDecision MmuPolicy::CheckPteWrite(Paddr entry_pa, Pte value) {
       decision.denial_reason = "shadow-stack frames are monitor-managed";
       return decision;
     case FrameType::kMonitor:
-      // The monitor's own mapping in the direct map is permitted but always carries
-      // the monitor key, so the kernel's PKRS blocks all access.
-      adjusted = pte::WithPkey(adjusted, layout::kMonitorKey);
+      // The monitor's own mapping in the direct map is permitted but always denies
+      // kernel access (PKS: the monitor key vs the kernel's PKRS; TME-MK: the
+      // frame's keyID binding vs the untagged mapping).
+      adjusted = isolation_->RetagKernelLeaf(adjusted, ProtClass::kMonitor);
       if (is_user) {
         decision.denial_reason = "monitor frames may not be mapped user-accessible";
         return decision;
@@ -117,8 +118,8 @@ PolicyDecision MmuPolicy::CheckPteWrite(Paddr entry_pa, Pte value) {
       break;
     case FrameType::kPtp:
       // Page tables stay readable (the walker needs them) but never writable by the
-      // kernel: force the PTP key (write-disable) onto the mapping.
-      adjusted = pte::WithPkey(adjusted, layout::kPtpKey);
+      // kernel: the PTP class is write-disabled through foreign views.
+      adjusted = isolation_->RetagKernelLeaf(adjusted, ProtClass::kPtp);
       if (is_user) {
         decision.denial_reason = "PTP frames may not be mapped user-accessible";
         return decision;
@@ -127,7 +128,7 @@ PolicyDecision MmuPolicy::CheckPteWrite(Paddr entry_pa, Pte value) {
     case FrameType::kKernelText:
       // W^X: kernel code is never writable, through any mapping.
       adjusted &= ~pte::kWritable;
-      adjusted = pte::WithPkey(adjusted, layout::kKernelTextKey);
+      adjusted = isolation_->RetagKernelLeaf(adjusted, ProtClass::kKernelText);
       break;
     case FrameType::kSandboxCommon:
       // User mappings of common frames are legitimate only as demand-faults of a
@@ -179,7 +180,7 @@ Status MmuPolicy::CheckCrWrite(int reg, uint64_t value, uint64_t current_value) 
       return OkStatus();
     }
     case 4: {
-      const uint64_t required = cr::kCr4Smep | cr::kCr4Smap | cr::kCr4Pks | cr::kCr4Cet;
+      const uint64_t required = isolation_->PinnedCr4();
       if ((current_value & required) != 0 && (value & required) != required) {
         return PermissionDeniedError("CR4 protection bits (SMEP/SMAP/PKS/CET) are pinned");
       }
@@ -191,18 +192,7 @@ Status MmuPolicy::CheckCrWrite(int reg, uint64_t value, uint64_t current_value) 
 }
 
 Status MmuPolicy::CheckMsrWrite(uint32_t index) const {
-  switch (index) {
-    case msr::kIa32Pkrs:
-      return PermissionDeniedError("IA32_PKRS is monitor-owned");
-    case msr::kIa32SCet:
-      return PermissionDeniedError("IA32_S_CET is monitor-owned");
-    case msr::kIa32Pl0Ssp:
-      return PermissionDeniedError("IA32_PL0_SSP is monitor-owned");
-    case msr::kIa32UintrTt:
-      return PermissionDeniedError("IA32_UINTR_TT is monitor-owned");
-    default:
-      return OkStatus();
-  }
+  return isolation_->CheckMsrWrite(index);
 }
 
 Status MmuPolicy::CheckSharedConversion(FrameNum first, uint64_t count,
@@ -245,8 +235,12 @@ void MmuPolicy::NoteLeafWrite(Pte old_value, Pte new_value, Paddr entry_pa) {
   }
 }
 
-Status MmuPolicy::RetrofitKey(PhysMemory& memory, FrameNum frame, uint8_t key,
-                              bool strip_write) {
+Status MmuPolicy::RetrofitTag(Cpu* cpu, PhysMemory& memory, FrameNum frame,
+                              ProtClass cls, bool strip_write) {
+  // Bind the frame at the backend's controller first (no-op under PKS): from here
+  // on, accesses through any untagged view are refused by the binding even before
+  // the PTE rewrite below lands.
+  isolation_->BindClass(cpu, frame, cls);
   FrameInfo& info = frames_->info(frame);
   if (info.supervisor_leaf_pa == 0) {
     return OkStatus();  // no pre-existing supervisor mapping
@@ -256,12 +250,12 @@ Status MmuPolicy::RetrofitKey(PhysMemory& memory, FrameNum frame, uint8_t key,
     info.supervisor_leaf_pa = 0;  // stale record
     return OkStatus();
   }
-  Pte updated = pte::WithPkey(current, key);
+  Pte updated = isolation_->RetagKernelLeaf(current, cls);
   if (strip_write) {
     updated &= ~pte::kWritable;
   }
   memory.Write64(info.supervisor_leaf_pa, updated);
-  // The direct-map leaf just changed key/W under live translations: without this
+  // The direct-map leaf just changed tag/W under live translations: without this
   // shootdown the kernel could keep writing the re-typed frame through a cached walk.
   if (updated != current && tlb_shootdown_) {
     tlb_shootdown_(info.supervisor_leaf_pa);

@@ -1,16 +1,19 @@
 // MMU virtualization policy engine (paper section 5.2 and 6.1).
 //
 // Every PTE the deprivileged kernel asks the monitor to write is validated — and where
-// the paper's design *rewrites* rather than refuses (forcing protection keys onto
+// the paper's design *rewrites* rather than refuses (forcing protection tags onto
 // monitor/PTP/kernel-text frames, stripping W from kernel text), the policy returns the
 // adjusted value. Confined sandbox frames are simply unmappable by the kernel (the
-// monitor maps them itself through a trusted path that updates map counts).
+// monitor maps them itself through a trusted path that updates map counts). The tag
+// mechanics — which PTE bits carry a tag, whether the rewrite tags the mapping or binds
+// the frame at the controller — belong to the isolation backend.
 #ifndef EREBOR_SRC_MONITOR_MMU_POLICY_H_
 #define EREBOR_SRC_MONITOR_MMU_POLICY_H_
 
 #include "src/hw/paging.h"
 #include "src/kernel/layout.h"
 #include "src/monitor/frame_table.h"
+#include "src/monitor/isolation.h"
 
 namespace erebor {
 
@@ -25,7 +28,8 @@ struct PolicyDecision {
 
 class MmuPolicy {
  public:
-  explicit MmuPolicy(FrameTable* frames) : frames_(frames) {}
+  MmuPolicy(FrameTable* frames, IsolationBackend* isolation)
+      : frames_(frames), isolation_(isolation) {}
 
   // Installed by the sandbox manager: approves user mappings of common-region frames
   // (root of the requesting address space, target frame, writability).
@@ -35,7 +39,7 @@ class MmuPolicy {
   }
 
   // Installed by the monitor: machine-wide software-TLB shootdown for a rewritten
-  // leaf entry (RetrofitKey changes a live supervisor mapping's key/W in place, so
+  // leaf entry (RetrofitTag changes a live supervisor mapping's tag/W in place, so
   // cached walks of the direct map must be dropped).
   using TlbShootdownFn = std::function<void(Paddr)>;
   void SetTlbShootdown(TlbShootdownFn shootdown) { tlb_shootdown_ = std::move(shootdown); }
@@ -52,8 +56,8 @@ class MmuPolicy {
   // load-bearing and may never be cleared; CR3 must name a registered root PTP.
   Status CheckCrWrite(int reg, uint64_t value, uint64_t current_value) const;
 
-  // Validates a kernel-requested MSR write. Monitor-owned MSRs (PKRS, CET, shadow
-  // stack pointer, user-interrupt table) are refused.
+  // Validates a kernel-requested MSR write. Monitor-owned MSRs (per backend: PKRS,
+  // CET, shadow stack pointer, user-interrupt table) are refused.
   Status CheckMsrWrite(uint32_t index) const;
 
   // Validates a MapGPA shared conversion: only the shared-IO window may be shared.
@@ -64,13 +68,18 @@ class MmuPolicy {
   // contents; entry_pa is where the PTE lives.
   void NoteLeafWrite(Pte old_value, Pte new_value, Paddr entry_pa = 0);
 
-  // Retrofits a protection key (and optionally strips W) onto a frame's pre-existing
-  // supervisor mapping — closes the window where a frame is re-typed after its
-  // direct-map entry was created with the default key.
-  Status RetrofitKey(PhysMemory& memory, FrameNum frame, uint8_t key, bool strip_write);
+  // Retrofits a protection class (and optionally strips W) onto a frame — binds the
+  // frame at the backend and rewrites any pre-existing supervisor mapping, closing
+  // the window where a frame is re-typed after its direct-map entry was created
+  // with the default tag. `cpu` may be null (no per-op cost accounting).
+  Status RetrofitTag(Cpu* cpu, PhysMemory& memory, FrameNum frame, ProtClass cls,
+                     bool strip_write);
+
+  IsolationBackend& isolation() const { return *isolation_; }
 
  private:
   FrameTable* frames_;
+  IsolationBackend* isolation_;
   CommonMappingValidator common_validator_;
   TlbShootdownFn tlb_shootdown_;
 };

@@ -32,13 +32,15 @@ Bytes BuildMonitorImage() {
   return image;
 }
 
-EreborMonitor::EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host)
+EreborMonitor::EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host,
+                             IsolationKind isolation)
     : machine_(machine), tdx_(tdx), host_(host), rng_(0xE2EB02) {
   frame_table_ = std::make_unique<FrameTable>(machine->memory().num_frames());
-  policy_ = std::make_unique<MmuPolicy>(frame_table_.get());
-  gates_ = std::make_unique<EmcGates>(machine);
+  isolation_ = MakeIsolationBackend(isolation, machine->memory().num_frames());
+  policy_ = std::make_unique<MmuPolicy>(frame_table_.get(), isolation_.get());
+  gates_ = std::make_unique<EmcGates>(machine, isolation_.get());
   sandbox_mgr_ = std::make_unique<SandboxManager>(machine, frame_table_.get(),
-                                                  policy_.get());
+                                                  policy_.get(), isolation_.get());
   sandbox_mgr_->SetQuarantineHook([this](Cpu& cpu, Sandbox& sandbox) {
     FenceRingsOnQuarantine(cpu, sandbox);
   });
@@ -99,8 +101,20 @@ Status EreborMonitor::BootStage1(const Bytes& firmware_image, bool arm_fence) {
                                                 FrameType::kSharedIo));
   scratch_pa_ = AddrOf(layout::kMonitorFirstFrame + 1);
 
-  // Install gates, CET, PKS views; then arm the fence so only monitor context can
-  // execute sensitive instructions from here on.
+  // Bind the boot-claimed regions at the backend's controller (no-op under PKS,
+  // whose tags ride in the PTEs): monitor frames become private to the monitor
+  // domain; kernel text stays fetchable/readable but unwritable through any
+  // foreign view.
+  for (uint64_t i = 0; i < layout::kMonitorFrames; ++i) {
+    isolation_->BindClass(nullptr, layout::kMonitorFirstFrame + i, ProtClass::kMonitor);
+  }
+  for (uint64_t i = 0; i < layout::kKernelTextFrames; ++i) {
+    isolation_->BindClass(nullptr, layout::kKernelTextFirstFrame + i,
+                          ProtClass::kKernelText);
+  }
+
+  // Install gates, CET, and the backend's per-CPU view (PKS: PKRS); then arm the
+  // fence so only monitor context can execute sensitive instructions from here on.
   gates_->Install();
   monitor_syscall_stub_ = machine_->registry().Register("monitor_syscall_stub",
                                                         CodeDomain::kMonitor, true);
@@ -202,18 +216,16 @@ Status EreborMonitor::AuditInvariants() {
           return InternalError("confined frame " + std::to_string(frame) +
                                " still reachable via the kernel direct map");
         }
+        // Backend audit: TME-MK verifies the frame is bound to its owner's keyID.
+        EREBOR_RETURN_IF_ERROR(isolation_->AuditFrame(frame, info, leaf));
         break;
       case FrameType::kMonitor:
-        if (pte::Present(leaf) && pte::Pkey(leaf) != layout::kMonitorKey) {
-          return InternalError("monitor frame " + std::to_string(frame) +
-                               " mapped without the monitor key");
-        }
+        // Backend audit: PKS checks the monitor key on the mapping, TME-MK the
+        // monitor binding at the controller.
+        EREBOR_RETURN_IF_ERROR(isolation_->AuditFrame(frame, info, leaf));
         break;
       case FrameType::kPtp:
-        if (pte::Present(leaf) && pte::Pkey(leaf) != layout::kPtpKey) {
-          return InternalError("PTP frame " + std::to_string(frame) +
-                               " mapped without the PTP key");
-        }
+        EREBOR_RETURN_IF_ERROR(isolation_->AuditFrame(frame, info, leaf));
         if (pte::Present(leaf) && pte::User(leaf)) {
           return InternalError("PTP frame " + std::to_string(frame) +
                                " user-accessible");
@@ -224,6 +236,7 @@ Status EreborMonitor::AuditInvariants() {
           return InternalError("kernel-text frame " + std::to_string(frame) +
                                " writable");
         }
+        EREBOR_RETURN_IF_ERROR(isolation_->AuditFrame(frame, info, leaf));
         break;
       case FrameType::kShadowStack:
       case FrameType::kFirmware:

@@ -23,6 +23,7 @@
 #include "src/monitor/emc_dispatch.h"
 #include "src/monitor/emc_ring.h"
 #include "src/monitor/gates.h"
+#include "src/monitor/isolation.h"
 #include "src/monitor/mmu_policy.h"
 #include "src/monitor/sandbox.h"
 #include "src/monitor/sim_lock.h"
@@ -68,7 +69,12 @@ struct MitigationConfig {
 
 class EreborMonitor {
  public:
-  EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host);
+  // `isolation` selects the backend enforcing intra-kernel domain separation
+  // (src/monitor/isolation.h): kPks is the paper's design and the default;
+  // kTmeMk trades the PKRS gate writes for per-frame keyID bindings and lifts
+  // the 11-sandbox domain ceiling to ~2K.
+  EreborMonitor(Machine* machine, TdxModule* tdx, HostVmm* host,
+                IsolationKind isolation = IsolationKind::kPks);
 
   // ---- Boot ----
   // arm_fence=false supports the exit-protection-only evaluation ablation, which keeps
@@ -175,6 +181,8 @@ class EreborMonitor {
   MetricsRegistry& metrics() { return metrics_; }
   FrameTable& frame_table() { return *frame_table_; }
   MmuPolicy& policy() { return *policy_; }
+  IsolationBackend& isolation() { return *isolation_; }
+  const IsolationBackend& isolation() const { return *isolation_; }
   EmcGates& gates() { return *gates_; }
   Machine& machine() { return *machine_; }
   TdxModule& tdx() { return *tdx_; }
@@ -243,6 +251,7 @@ class EreborMonitor {
 
   Bytes monitor_image_;
   std::unique_ptr<FrameTable> frame_table_;
+  std::unique_ptr<IsolationBackend> isolation_;
   std::unique_ptr<MmuPolicy> policy_;
   std::unique_ptr<EmcGates> gates_;
   std::unique_ptr<SandboxManager> sandbox_mgr_;

@@ -24,8 +24,9 @@ void NoteSandboxMutation(Cpu& cpu, const Sandbox& sandbox) {
 
 }  // namespace
 
-SandboxManager::SandboxManager(Machine* machine, FrameTable* frames, MmuPolicy* policy)
-    : machine_(machine), frames_(frames), policy_(policy) {}
+SandboxManager::SandboxManager(Machine* machine, FrameTable* frames, MmuPolicy* policy,
+                               IsolationBackend* isolation)
+    : machine_(machine), frames_(frames), policy_(policy), isolation_(isolation) {}
 
 void SandboxManager::Attach(Kernel* kernel, FrameNum cma_first, uint64_t cma_frames) {
   kernel_ = kernel;
@@ -49,17 +50,17 @@ PteWriter SandboxManager::TrustedWriter(Cpu& cpu, AddressSpace& aspace) {
     }
     return OkStatus();
   };
-  writer.alloc_ptp = [this, &aspace]() -> StatusOr<FrameNum> {
+  writer.alloc_ptp = [this, &cpu, &aspace]() -> StatusOr<FrameNum> {
     EREBOR_ASSIGN_OR_RETURN(const FrameNum frame, kernel_->pool().Alloc());
     machine_->memory().ZeroFrame(frame);
     machine_->memory().FramePtr(frame);
     (void)frames_->SetType(frame, FrameType::kPtp);
     frames_->info(frame).ptp_root = aspace.root();
     frames_->info(frame).ptp_level = 0;  // linked when first referenced
-    // Pool frames keep their default-key direct-map leaf: re-key it so the kernel
+    // Pool frames keep their default-tag direct-map leaf: re-tag it so the kernel
     // cannot forge entries in the sandbox's page tables through the direct map.
-    EREBOR_RETURN_IF_ERROR(
-        policy_->RetrofitKey(machine_->memory(), frame, layout::kPtpKey, false));
+    EREBOR_RETURN_IF_ERROR(policy_->RetrofitTag(&cpu, machine_->memory(), frame,
+                                                ProtClass::kPtp, false));
     return frame;
   };
   return writer;
@@ -71,6 +72,16 @@ StatusOr<Sandbox*> SandboxManager::Create(Task& leader, const SandboxSpec& spec)
   }
   auto sandbox = std::make_unique<Sandbox>();
   sandbox->id = next_id_++;
+  // Admission control: every live sandbox holds one isolation domain (a PKS key
+  // or TME-MK keyID). When the backend's budget is exhausted the launch is
+  // refused cleanly — domains are never shared between tenants.
+  auto domain = isolation_->AllocateSandboxDomain(sandbox->id);
+  if (!domain.ok()) {
+    MetricsRegistry::Global().Increment("fleet.domain_exhausted");
+    return UnavailableError("sandbox admission refused: " +
+                            std::string(domain.status().message()));
+  }
+  sandbox->domain_tag = *domain;
   sandbox->lock = SimLock("sandbox." + std::to_string(sandbox->id), kRankSandbox,
                           sandbox->id);
   sandbox->spec = spec;
@@ -135,6 +146,10 @@ Status SandboxManager::DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uin
     info.pinned = true;
     machine_->memory().ZeroFrame(first + i);
     machine_->memory().FramePtr(first + i);
+    // Bind the frame to the sandbox's private domain (TME-MK: keyID binding at
+    // the controller, first use programs the key; PKS: no-op, the tag lives in
+    // the PTE installed below).
+    isolation_->BindFrame(&cpu, first + i, sandbox.domain_tag, false);
     // Pre-populating confined memory costs a demand-fault-with-EMC per page — the
     // paper's one-time initialization overhead (11.5%-52.7%, section 9.2).
     cpu.cycles().Charge(cpu.costs().page_zero + cpu.costs().page_fault_service_native +
@@ -142,19 +157,18 @@ Status SandboxManager::DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uin
   }
   EREBOR_RETURN_IF_ERROR(UnmapFromDirectMap(cpu, first, count));
 
-  // Pre-populate + pin the sandbox mapping (user, writable, NX).
+  // Pre-populate + pin the sandbox mapping (user, writable, NX), tagged with the
+  // sandbox's own domain so the mapping matches the frame binding (TME-MK) or
+  // carries its key label (PKS; inert on user pages — PKS checks supervisor
+  // accesses only — but it keeps the tag algebra uniform across backends).
+  const Pte base_flags = pte::kPresent | pte::kUser | pte::kWritable | pte::kNoExecute;
+  const Pte leaf_flags = isolation_->WithTag(base_flags, sandbox.domain_tag);
   EREBOR_RETURN_IF_ERROR(
-      sandbox.aspace->CreateVma(len, pte::kPresent | pte::kUser | pte::kWritable |
-                                         pte::kNoExecute,
-                                VmaKind::kConfined, va)
-          .status());
+      sandbox.aspace->CreateVma(len, base_flags, VmaKind::kConfined, va).status());
   PteWriter writer = TrustedWriter(cpu, *sandbox.aspace);
   for (uint64_t i = 0; i < count; ++i) {
     EREBOR_RETURN_IF_ERROR(MapPage(machine_->memory(), sandbox.aspace->root(),
-                                   va + AddrOf(i), first + i,
-                                   pte::kPresent | pte::kUser | pte::kWritable |
-                                       pte::kNoExecute,
-                                   writer));
+                                   va + AddrOf(i), first + i, leaf_flags, writer));
   }
   sandbox.confined_ranges.emplace_back(first, count);
   sandbox.confined_bytes += len;
@@ -302,6 +316,8 @@ Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
       info.owner_sandbox = -1;
       info.pinned = false;
       info.map_count = 0;
+      // Drop the domain binding: the frame returns to the pool as default-tagged.
+      isolation_->BindFrame(&cpu, first + i, 0, false);
       (void)cma_->Free(first + i);
     }
   }
@@ -309,6 +325,11 @@ Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
   sandbox.input_plaintext.clear();
   sandbox.outbound_wire.clear();
   sandbox.session = ChannelSession{};
+  // Return the isolation domain to the backend so a future tenant can claim it.
+  if (sandbox.domain_tag != 0) {
+    isolation_->ReleaseSandboxDomain(sandbox.domain_tag);
+    sandbox.domain_tag = 0;
+  }
   sandbox.state = SandboxState::kTornDown;
   return OkStatus();
 }

@@ -90,12 +90,17 @@ struct Sandbox {
   // quarantines the sandbox.
   uint64_t fault_strikes = 0;
   std::string quarantine_reason;
+
+  // Isolation domain held from Create until Teardown/Quarantine: a PKS key
+  // (5..15) or a TME-MK keyID (5..2047), allocated through the backend.
+  uint32_t domain_tag = 0;
 };
 
 // Manages all sandboxes. The monitor owns exactly one of these.
 class SandboxManager {
  public:
-  SandboxManager(Machine* machine, FrameTable* frames, MmuPolicy* policy);
+  SandboxManager(Machine* machine, FrameTable* frames, MmuPolicy* policy,
+                 IsolationBackend* isolation);
 
   // Binds the kernel (for task lookups) and takes ownership of the confined-memory
   // CMA range.
@@ -162,6 +167,7 @@ class SandboxManager {
   Machine* machine_;
   FrameTable* frames_;
   MmuPolicy* policy_;
+  IsolationBackend* isolation_;
   Kernel* kernel_ = nullptr;
   std::unique_ptr<FrameAllocator> cma_;
   std::map<int, std::unique_ptr<Sandbox>> sandboxes_;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "src/common/log.h"
+#include "src/hw/platform.h"
 
 namespace erebor {
 
@@ -39,7 +40,12 @@ Bytes MakeFirmwareImage() {
 
 World::World(const WorldConfig& config) : config_(config) {
   firmware_image_ = MakeFirmwareImage();
-  machine_ = std::make_unique<Machine>(config.machine);
+  if (config_.isolation == IsolationKind::kTmeMk) {
+    // TME-MK cost profile: cheaper gates (no PKRS wrmsr pair), slightly dearer
+    // PTE ops (keyID-field check). PKS worlds keep the paper's calibration.
+    config_.machine.cycles = TmeMkCycleModel(config_.machine.cycles);
+  }
+  machine_ = std::make_unique<Machine>(config_.machine);
   tdx_ = std::make_unique<TdxModule>(machine_.get());
   host_ = std::make_unique<HostVmm>(machine_.get(), tdx_.get());
   tdx_->SetVmcallSink(host_.get());
@@ -74,7 +80,8 @@ Status World::Boot() {
   active_ops_ = native_ops_.get();
 
   if (with_monitor) {
-    monitor_ = std::make_unique<EreborMonitor>(machine_.get(), tdx_.get(), host_.get());
+    monitor_ = std::make_unique<EreborMonitor>(machine_.get(), tdx_.get(), host_.get(),
+                                               config_.isolation);
     // The exit-protection-only ablation leaves the fence open and privileged ops
     // native, isolating the interposition overhead (paper Figure 9 breakdown). It is
     // deliberately not security-complete.

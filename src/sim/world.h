@@ -17,6 +17,7 @@
 #include "src/common/faultpoint.h"
 #include "src/common/rng.h"
 #include "src/host/attacks.h"
+#include "src/hw/isolation.h"
 #include "src/libos/libos.h"
 #include "src/monitor/invariants.h"
 
@@ -40,6 +41,11 @@ struct WorldConfig {
   // the EMC lock plans. Boot, scheduling (RunUntil) and teardown are always
   // single-threaded regardless of this setting.
   ExecMode exec = ExecMode::kDeterministic;
+  // Isolation backend for Erebor modes (src/monitor/isolation.h). kPks is the
+  // paper's design (11 sandbox domains); kTmeMk trades the PKRS gate writes for
+  // per-frame keyID bindings (~2K domains) and applies TmeMkCycleModel() to the
+  // machine's cycle costs at construction.
+  IsolationKind isolation = IsolationKind::kPks;
   MachineConfig machine;
   KernelConfig kernel;
   KernelBuildOptions kernel_image;  // instrumented flag is forced by mode
