@@ -83,7 +83,27 @@ echo "== tab7_platforms (isolation-backend ablation: PKS vs TME-MK vs CET-only) 
 "$BUILD_DIR/bench/tab7_platforms"
 
 echo
-for name in fig8 fig9 tab3 tab6 emc_scaling channel batched_mmu serving tab7_platforms; do
+echo "== warm_start (cold boot vs real warm session install vs CoW clone) =="
+# Fails if the warm install (full attested handshake + session install — no
+# debug shortcut) is not cheaper than a cold boot, or if a template clone is
+# not at least 10x cheaper than cold at every heap size.
+"$BUILD_DIR/bench/warm_start"
+
+echo
+echo "== mem_sharing (common-memory footprint ablation) =="
+# Fails if any fleet size fails to initialize or the 8-sandbox sharing savings
+# drop below 60%.
+"$BUILD_DIR/bench/mem_sharing"
+
+echo
+echo "== churn (fleet-churn: warm clones, promotions, quarantine-and-replace) =="
+# Fails if the clone-launch rate misses 10k/sec, dormant clones pin confined
+# frames, a promotion/quarantine-replacement fails, the pool-mode fleet loses
+# containment, or any invariant family is violated.
+"$BUILD_DIR/bench/churn"
+
+echo
+for name in fig8 fig9 tab3 tab6 emc_scaling channel batched_mmu serving tab7_platforms warm_start mem_sharing churn; do
   f="$OUT_DIR/BENCH_$name.json"
   if [[ ! -s "$f" ]]; then
     echo "bench.sh: missing or empty $f" >&2
@@ -154,6 +174,31 @@ assert ex["domain_exhausted_delta"] == 1, "fleet.domain_exhausted not counted"' 
 else
   grep -q '"pass": true' "$OUT_DIR/BENCH_tab7_platforms.json" || {
     echo "bench.sh: BENCH_tab7_platforms.json failed validation" >&2
+    exit 1
+  }
+fi
+# churn carries the fleet-scale warm-start verdicts: launch rate over target,
+# 1k+ live sandboxes with zero dormant confined frames, every promotion and
+# quarantine-replacement served, and a clean invariant record.
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json,sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "churn", "wrong bench name"
+assert doc["pass"] is True, "churn bench did not pass"
+assert doc["launches_per_sec"] >= doc["launch_target"], "clone-launch rate under target"
+assert doc["live_sandboxes"] >= 1000, "fewer than 1k live sandboxes"
+assert doc["dormant_confined_frames"] == 0, "dormant clones pinned confined frames"
+assert doc["invariant_violations"] == 0, "invariant violation during churn"
+assert doc["promotions"] >= 1 and doc["quarantine_replacements"] >= 1, \
+    "promotion/quarantine churn did not run"
+assert doc["fleet_pool_promotions"] >= 1, "fleet pool never promoted a clone"' \
+    "$OUT_DIR/BENCH_churn.json" || {
+      echo "bench.sh: BENCH_churn.json failed validation" >&2
+      exit 1
+    }
+else
+  grep -q '"pass": true' "$OUT_DIR/BENCH_churn.json" || {
+    echo "bench.sh: BENCH_churn.json failed validation" >&2
     exit 1
   }
 fi

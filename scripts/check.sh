@@ -20,6 +20,9 @@ cmake --build "$BUILD_DIR" -j
 # Fleet-serving soak: hostile tenants interleaved with benign load on both
 # execution engines, with containment and journal-replay assertions.
 (cd "$BUILD_DIR" && ctest --output-on-failure -j -L serving)
+# Fleet-churn soak: warm-clone-pool serving with quarantine-and-replace under
+# the chaos engine, plus the pool-mode engine-equivalence oracle.
+(cd "$BUILD_DIR" && ctest --output-on-failure -j -L churn)
 (cd "$BUILD_DIR" && ctest --output-on-failure -j -L chaos)
 
 # Sanitizer pass: the whole suite again with AddressSanitizer + UBSan. The chaos
@@ -31,17 +34,19 @@ if [[ "${EREBOR_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake --build "$ASAN_DIR" -j
   (cd "$ASAN_DIR" && ctest --output-on-failure -j)
 
-  # ThreadSanitizer pass over the real-thread engine tests. Only threads_test
-  # and fleet_test are built and run here (TSan slows everything ~10x and the
-  # rest of the suite is single-threaded by construction); they must be
-  # completely clean — TSan forces a nonzero exit code whenever it reported a
-  # race. fleet_test exercises the real-thread engine through the supervisor's
-  # burst-ingest and engine-oracle paths.
+  # ThreadSanitizer pass over the real-thread engine tests. Only threads_test,
+  # fleet_test and churn_test are built and run here (TSan slows everything
+  # ~10x and the rest of the suite is single-threaded by construction); they
+  # must be completely clean — TSan forces a nonzero exit code whenever it
+  # reported a race. fleet_test exercises the real-thread engine through the
+  # supervisor's burst-ingest and engine-oracle paths; churn_test drives the
+  # same threaded path with the warm-clone pool on.
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DEREBOR_SANITIZE=tsan
-  cmake --build "$TSAN_DIR" -j --target threads_test fleet_test
+  cmake --build "$TSAN_DIR" -j --target threads_test fleet_test churn_test
   "$TSAN_DIR/tests/threads_test"
   "$TSAN_DIR/tests/fleet_test"
+  "$TSAN_DIR/tests/churn_test"
 fi
 
 # Trace smoke test: the end-to-end trace tests re-run with the env toggles set, and

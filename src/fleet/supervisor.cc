@@ -114,14 +114,28 @@ FleetSupervisor::FleetSupervisor(const FleetConfig& config)
 FleetSupervisor::~FleetSupervisor() = default;
 
 ProgramFn FleetSupervisor::MakeServiceProgram(const std::string& name,
-                                              Cycles service_cycles,
-                                              bool gate_probe) {
+                                              Cycles service_cycles, bool gate_probe,
+                                              std::shared_ptr<LibosEnv> clone_of,
+                                              std::shared_ptr<std::atomic<bool>> promoted) {
   auto env = std::make_shared<LibosEnv>(
       LibosManifest{.name = name, .heap_bytes = 1 << 20}, LibosBackend::kSandboxed);
   auto ready = ready_count_;
-  return [env, ready, service_cycles, gate_probe](SyscallContext& ctx) -> StepOutcome {
+  return [env, ready, service_cycles, gate_probe, clone_of,
+          promoted](SyscallContext& ctx) -> StepOutcome {
+    if (promoted != nullptr && !promoted->load(std::memory_order_relaxed)) {
+      // Parked standby: touch nothing — no fd, no confined memory — so the
+      // clone triggers no CoW break and never lazily allocates a domain.
+      return StepOutcome::kYield;
+    }
     if (!env->initialized()) {
-      if (!env->Initialize(ctx).ok()) {
+      if (clone_of != nullptr) {
+        // Warm clone: the arena rides in on the template's CoW-shared pages;
+        // bring-up is just this process's own /dev/erebor fd.
+        env->AdoptTemplateState(*clone_of);
+        if (!env->AttachClone(ctx).ok()) {
+          return StepOutcome::kExited;
+        }
+      } else if (!env->Initialize(ctx).ok()) {
         return StepOutcome::kExited;
       }
       ready->fetch_add(1, std::memory_order_relaxed);
@@ -161,8 +175,60 @@ StatusOr<Sandbox*> FleetSupervisor::LaunchServiceSandbox(const std::string& name
   return sandbox;
 }
 
+Status FleetSupervisor::BootTemplate() {
+  template_env_ = std::make_shared<LibosEnv>(
+      LibosManifest{.name = "fleet-template", .heap_bytes = 1 << 20},
+      LibosBackend::kSandboxed);
+  auto env = template_env_;
+  auto ready = ready_count_;
+  auto frozen = template_frozen_;
+  // The template serves nobody: it initializes its LibOS once, then parks. After
+  // the freeze its confined pages are read-only template frames, so the parked
+  // loop must never touch user memory again.
+  auto program = [env, ready, frozen](SyscallContext& ctx) -> StepOutcome {
+    if (frozen->load(std::memory_order_relaxed)) {
+      return StepOutcome::kYield;
+    }
+    if (!env->initialized()) {
+      if (!env->Initialize(ctx).ok()) {
+        return StepOutcome::kExited;
+      }
+      ready->fetch_add(1, std::memory_order_relaxed);
+    }
+    return StepOutcome::kYield;
+  };
+  SandboxSpec spec;
+  spec.name = "fleet-template";
+  auto sandbox = world_->LaunchSandboxProcess(spec.name, spec, std::move(program));
+  EREBOR_RETURN_IF_ERROR(sandbox.status());
+  ++launched_;
+  EREBOR_RETURN_IF_ERROR(world_->RunUntil(
+      [&] { return ready_count_->load(std::memory_order_relaxed) >= launched_; },
+      400'000));
+  template_frozen_->store(true, std::memory_order_relaxed);
+  EREBOR_RETURN_IF_ERROR(
+      world_->monitor()->SnapshotTemplate(world_->machine().cpu(0), **sandbox));
+  template_sandbox_ = *sandbox;
+  return OkStatus();
+}
+
 Status FleetSupervisor::LaunchStandby() {
   const std::string name = "standby-" + std::to_string(standby_serial_++);
+  if (config_.warm_clone_pool && template_sandbox_ != nullptr) {
+    SandboxSpec spec;
+    spec.name = name;
+    auto promoted = std::make_shared<std::atomic<bool>>(false);
+    auto sandbox = world_->LaunchCloneProcess(
+        name, *template_sandbox_, spec,
+        MakeServiceProgram(name, ServiceCostForTenant(standby_serial_),
+                           /*gate_probe=*/false, template_env_, promoted));
+    EREBOR_RETURN_IF_ERROR(sandbox.status());
+    // No LibOS rendezvous: a parked clone runs nothing until promotion flips
+    // its latch, so the pool refill is just the CloneFromTemplate delta.
+    standby_promoted_[(*sandbox)->id] = std::move(promoted);
+    standbys_.push_back(*sandbox);
+    return OkStatus();
+  }
   auto sandbox = LaunchServiceSandbox(name, ServiceCostForTenant(standby_serial_),
                                       /*gate_probe=*/false);
   EREBOR_RETURN_IF_ERROR(sandbox.status());
@@ -331,6 +397,11 @@ Status FleetSupervisor::Start() {
   benign_latency_->Reset();
   fleet_latency_->Reset();
   replacement_latency_->Reset();
+
+  // Pool mode: freeze a template first so the standby pool is CoW clones.
+  if (config_.warm_clone_pool) {
+    EREBOR_RETURN_IF_ERROR(BootTemplate());
+  }
 
   // Warm standby pool, pre-initialized so promotion only pays the handshake.
   for (int i = 0; i < config_.standby_pool; ++i) {
@@ -545,6 +616,23 @@ Status FleetSupervisor::PromoteStandby(TenantState& t) {
   }
   Sandbox* standby = standbys_.front();
   standbys_.pop_front();
+  // A parked clone holds no isolation domain; promotion allocates it now so
+  // exhaustion surfaces here as a launch-time refusal, not a mid-request kill.
+  if (standby->domain_deferred) {
+    const Status promoted =
+        world_->monitor()->ActivateClone(world_->machine().cpu(0), *standby);
+    if (!promoted.ok()) {
+      admission_.SetState(t.tenant, TenantAdmitState::kShedding);
+      t.pending_replace = false;
+      return promoted;
+    }
+    MetricsRegistry::Global().Increment("fleet.pool.promotions");
+  }
+  const auto latch = standby_promoted_.find(standby->id);
+  if (latch != standby_promoted_.end()) {
+    latch->second->store(true, std::memory_order_relaxed);
+    standby_promoted_.erase(latch);
+  }
   t.sandbox = standby;
   t.ring_bound = false;
   t.results.clear();

@@ -42,6 +42,7 @@
 
 #include <atomic>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,13 @@ struct FleetConfig {
   // hostile-traffic mix.
   bool chaos = false;
   uint64_t chaos_seed = 1;
+  // Warm-clone pool (ROADMAP item 2): Start() boots one benign service sandbox
+  // to completion, freezes it as a copy-on-write template, and fills the standby
+  // pool with template clones instead of cold boots. Standbys park without an
+  // isolation domain (PKS has 11); PromoteStandby allocates the domain, then
+  // runs the real attested handshake. Default off — the serving path, goldens
+  // and fingerprints are bit-identical to the pre-pool supervisor.
+  bool warm_clone_pool = false;
 };
 
 // Deterministic hostile mix: cycles through the five attack classes, spreading
@@ -181,6 +189,8 @@ class FleetSupervisor {
   World& world() { return *world_; }
   AdmissionController& admission() { return admission_; }
   const FleetConfig& config() const { return config_; }
+  Sandbox* template_sandbox() { return template_sandbox_; }
+  size_t standby_count() const { return standbys_.size(); }
 
  private:
   struct TenantState {
@@ -203,11 +213,20 @@ class FleetSupervisor {
     LatencyHistogram* latency = nullptr;  // registry-owned, per tenant
   };
 
+  // clone_of: when non-null, the program's first active slice adopts this
+  // (template) env's state and attaches as a clone instead of running full
+  // LibOS init. promoted: when non-null, the program parks (touching nothing —
+  // no fd, no confined memory, so no CoW break and no lazily-allocated
+  // isolation domain) until the flag flips at promotion.
   ProgramFn MakeServiceProgram(const std::string& name, Cycles service_cycles,
-                               bool gate_probe);
+                               bool gate_probe,
+                               std::shared_ptr<LibosEnv> clone_of = nullptr,
+                               std::shared_ptr<std::atomic<bool>> promoted = nullptr);
   StatusOr<Sandbox*> LaunchServiceSandbox(const std::string& name,
                                           Cycles service_cycles, bool gate_probe);
   Status LaunchStandby();
+  // Warm-clone pool: boots + freezes the template sandbox (pool mode only).
+  Status BootTemplate();
 
   uint64_t NowCycles() const;
   uint64_t NowNs() const { return CyclesToNs(NowCycles()); }
@@ -237,6 +256,15 @@ class FleetSupervisor {
   std::vector<TenantState> tenants_;
   std::deque<Sandbox*> standbys_;
   int standby_serial_ = 0;
+  // Warm-clone pool state (null / false unless config_.warm_clone_pool).
+  Sandbox* template_sandbox_ = nullptr;
+  std::shared_ptr<LibosEnv> template_env_;
+  // Per-standby promotion latches (by sandbox id); erased at promotion.
+  std::map<int, std::shared_ptr<std::atomic<bool>>> standby_promoted_;
+  // Flipped before SnapshotTemplate: the template task parks on it and never
+  // touches its (now read-only) confined pages again.
+  std::shared_ptr<std::atomic<bool>> template_frozen_ =
+      std::make_shared<std::atomic<bool>>(false);
   // LibOS-initialization rendezvous: each service program bumps the counter once
   // its env is up; launches pump the scheduler until the count catches up.
   // shared_ptr because the program lambdas may outlive the supervisor's frames.

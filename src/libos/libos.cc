@@ -111,6 +111,45 @@ Status LibosEnv::Initialize(SyscallContext& ctx) {
   return OkStatus();
 }
 
+void LibosEnv::AdoptTemplateState(const LibosEnv& tmpl) {
+  heap_base_ = tmpl.heap_base_;
+  heap_limit_ = tmpl.heap_limit_;
+  heap_cursor_ = tmpl.heap_cursor_;
+  heap_used_ = tmpl.heap_used_;
+  free_list_ = tmpl.free_list_;
+  memfs_ = tmpl.memfs_;
+  io_buf_va_ = tmpl.io_buf_va_;
+  io_buf_cap_ = tmpl.io_buf_cap_;
+  io_req_va_ = tmpl.io_req_va_;
+}
+
+Status LibosEnv::AttachClone(SyscallContext& ctx) {
+  if (initialized_) {
+    return OkStatus();
+  }
+  if (backend_ != LibosBackend::kSandboxed) {
+    return FailedPreconditionError("clone attach only exists for the sandboxed backend");
+  }
+  if (heap_base_ == 0) {
+    return FailedPreconditionError("AdoptTemplateState must run before AttachClone");
+  }
+  // No 2M-cycle bootstrap, no DECLARE_CONFINED, no preloads: all of that state
+  // arrived with the template's pages. Only the per-process device fd remains.
+  const std::string dev = "/dev/erebor";
+  EREBOR_ASSIGN_OR_RETURN(
+      const Vaddr staging,
+      ctx.task().aspace->CreateVma(kPageSize, pte::kPresent | pte::kUser |
+                                                  pte::kWritable | pte::kNoExecute,
+                                   VmaKind::kAnon));
+  EREBOR_RETURN_IF_ERROR(ctx.WriteUser(
+      staging, reinterpret_cast<const uint8_t*>(dev.data()), dev.size()));
+  EREBOR_ASSIGN_OR_RETURN(const uint64_t fd,
+                          ctx.Syscall(sys::kOpen, staging, dev.size(), 0));
+  erebor_fd_ = static_cast<int>(fd);
+  initialized_ = true;
+  return OkStatus();
+}
+
 StatusOr<Vaddr> LibosEnv::Alloc(uint64_t size) {
   size = (size + 15) & ~15ull;
   // First-fit over the free list.

@@ -64,6 +64,16 @@ class LibosEnv {
   Status Initialize(SyscallContext& ctx);
   bool initialized() const { return initialized_; }
 
+  // ---- Clone fast path (warm starts, ROADMAP item 2) ----
+  // Adopts the host-side bookkeeping of a template's fully initialized env —
+  // heap cursors, memfs layout, io-buffer VAs — whose backing pages the clone
+  // already shares copy-on-write at the same VAs. Run before AttachClone.
+  void AdoptTemplateState(const LibosEnv& tmpl);
+  // Replaces Initialize for clones: the arena rides in on the template's
+  // CoW-shared pages, so the whole bring-up shrinks to opening this process's
+  // own /dev/erebor fd (fds are per-task and cannot be cloned).
+  Status AttachClone(SyscallContext& ctx);
+
   // ---- Heap (bump + free-list over the confined arena) ----
   StatusOr<Vaddr> Alloc(uint64_t size);
   Status Free(Vaddr va);

@@ -683,6 +683,39 @@ Status EreborMonitor::TeardownSandbox(Cpu& cpu, Sandbox& sandbox) {
                      [&] { return sandbox_mgr_->Teardown(cpu, sandbox); });
 }
 
+Status EreborMonitor::SnapshotTemplate(Cpu& cpu, Sandbox& sandbox) {
+  EmcCall call{};
+  call.op = EmcOp::kSandboxOp;
+  call.sandbox_id = sandbox.id;
+  return EmcDispatch(cpu, call,
+                     [&] { return sandbox_mgr_->SnapshotTemplate(cpu, sandbox); });
+}
+
+StatusOr<Sandbox*> EreborMonitor::CloneSandbox(Cpu& cpu, Task& leader, Sandbox& tmpl,
+                                               const SandboxSpec& spec) {
+  CounterAdd(counters_.emc_sandbox);
+  // The clone's id does not exist until the body runs; serialize on the
+  // template, whose frames and live_clones count the body mutates.
+  Sandbox* clone = nullptr;
+  EmcCall call{};
+  call.op = EmcOp::kSandboxOp;
+  call.sandbox_id = tmpl.id;
+  EREBOR_RETURN_IF_ERROR(EmcDispatch(cpu, call, [&]() -> Status {
+    EREBOR_ASSIGN_OR_RETURN(clone,
+                            sandbox_mgr_->CloneFromTemplate(cpu, leader, tmpl, spec));
+    return OkStatus();
+  }));
+  return clone;
+}
+
+Status EreborMonitor::ActivateClone(Cpu& cpu, Sandbox& sandbox) {
+  EmcCall call{};
+  call.op = EmcOp::kSandboxOp;
+  call.sandbox_id = sandbox.id;
+  return EmcDispatch(cpu, call,
+                     [&] { return sandbox_mgr_->ActivateClone(cpu, sandbox); });
+}
+
 // ---- Proxy packet plumbing (crypto handling lives in attestation.cc) ----
 
 Status EreborMonitor::ProxyDeliver(Cpu& cpu, const Bytes& wire) {

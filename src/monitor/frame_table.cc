@@ -22,6 +22,8 @@ std::string FrameTypeName(FrameType type) {
       return "sandbox-common";
     case FrameType::kSharedIo:
       return "shared-io";
+    case FrameType::kSandboxTemplate:
+      return "sandbox-template";
   }
   return "?";
 }

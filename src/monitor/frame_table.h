@@ -24,6 +24,8 @@ enum class FrameType : uint8_t {
   kSandboxConfined,   // confined sandbox memory (single mapping, pinned)
   kSandboxCommon,     // common (shared read-only) sandbox memory
   kSharedIo,          // device-visible window (only region convertible to shared)
+  kSandboxTemplate,   // frozen template-sandbox pages shared read-only into
+                      // copy-on-write clones (many mappings, all read-only)
 };
 
 std::string FrameTypeName(FrameType type);

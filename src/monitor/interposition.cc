@@ -60,7 +60,38 @@ Status EreborMonitor::AttachKernel(Kernel* kernel) {
         }
         Task* task = kernel_ != nullptr ? kernel_->current(cpu.index()) : nullptr;
         Sandbox* sandbox = task != nullptr ? sandbox_mgr_->FindByTask(*task) : nullptr;
-        if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
+        // Copy-on-write service: a write #PF from a clone against a shared
+        // template page is the monitor's to handle, never the kernel's — the
+        // kernel's demand-fault path would map a fresh zeroed frame over the
+        // live page. Break the share here and let the access retry; the
+        // untrusted handler never runs, so no register scrub is needed.
+        bool cow_handled = false;
+        if (sandbox != nullptr && sandbox->clone_of != -1 &&
+            fault.vector == Vector::kPageFault &&
+            (fault.error_code & pf_err::kWrite) != 0) {
+          SimLockGuard held = locks_.SandboxGuard(cpu, sandbox->lock);
+          const auto broke = sandbox_mgr_->HandleCowWrite(cpu, *sandbox, fault.address);
+          if (!broke.ok()) {
+            // Hard break failure (CMA exhausted, promotion refused): contain it
+            // like any other fatal sandbox fault — kill the task, which
+            // quarantines the sandbox via the kill observer.
+            ++counters_.sandbox_kills;
+            ++sandbox->exits.kills;
+            cow_handled = true;
+          } else if (*broke) {
+            if (sandbox->state == SandboxState::kSealed) {
+              ++sandbox->exits.page_faults;  // still counts as a sandbox exit
+            }
+            cow_handled = true;
+          }
+          if (cow_handled && !broke.ok() && task != nullptr) {
+            kernel_->KillTask(*task, "copy-on-write break failed: " +
+                                         std::string(broke.status().message()));
+          }
+        }
+        if (cow_handled) {
+          // fall through to the #INT-gate restore below
+        } else if (sandbox != nullptr && sandbox->state == SandboxState::kSealed) {
           // Exit interposition: save and scrub the register file before the untrusted
           // OS handler can observe it.
           cpu.cycles().Charge(cpu.costs().interposition_save_restore);

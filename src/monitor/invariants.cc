@@ -167,6 +167,17 @@ Status InvariantChecker::CheckDomains() {
     const std::string who = "sandbox " + std::to_string(id);
     if (sandbox->state == SandboxState::kInitializing ||
         sandbox->state == SandboxState::kSealed) {
+      // Templates and unpromoted (domain-deferred) warm clones legitimately
+      // hold no domain: a parked pool must not consume the backend's budget.
+      if (sandbox->is_template || sandbox->domain_deferred) {
+        if (sandbox->domain_tag != 0) {
+          return InternalError(who + (sandbox->is_template
+                                          ? " is a template but holds domain tag "
+                                          : " is domain-deferred but holds tag ") +
+                               std::to_string(sandbox->domain_tag));
+        }
+        continue;
+      }
       ++live;
       if (sandbox->domain_tag == 0) {
         return InternalError(who + " is live without an isolation domain");

@@ -352,6 +352,18 @@ Status TmeMkBackend::AuditFrame(FrameNum frame, const FrameInfo& info,
       }
       break;
     }
+    case FrameType::kSandboxTemplate:
+      // Template frames are shared read-only into every clone: bound to the
+      // default keyID with the read-shared bit so any clone's untagged mapping
+      // may read them, while writes (which would need an exact keyID match)
+      // are impossible through any view.
+      if (map_.KeyOf(frame) != 0) {
+        return InternalError(who + " template frame bound to a non-default keyID");
+      }
+      if (!map_.ReadShared(frame)) {
+        return InternalError(who + " template frame not bound read-shared");
+      }
+      break;
     default:
       break;
   }

@@ -103,6 +103,11 @@ PolicyDecision MmuPolicy::CheckPteWrite(Paddr entry_pa, Pte value) {
       // monitor's trusted path does, exactly once.
       decision.denial_reason = "confined sandbox frame is unmappable by the kernel";
       return decision;
+    case FrameType::kSandboxTemplate:
+      // Template frames are shared into clones only by the monitor's trusted
+      // clone path; a kernel-forged mapping could hand one out writable.
+      decision.denial_reason = "template sandbox frame is unmappable by the kernel";
+      return decision;
     case FrameType::kShadowStack:
       decision.denial_reason = "shadow-stack frames are monitor-managed";
       return decision;

@@ -238,6 +238,22 @@ Status EreborMonitor::AuditInvariants() {
         }
         EREBOR_RETURN_IF_ERROR(isolation_->AuditFrame(frame, info, leaf));
         break;
+      case FrameType::kSandboxTemplate:
+        // Shared read-only into every clone: unlike confined frames there is
+        // no map-count cap, but the direct map must not reach the frame and no
+        // recorded supervisor mapping may be writable. The backend audit pins
+        // the TME-MK binding to keyID 0 + read-shared.
+        if (kernel_ != nullptr &&
+            kernel_->kernel_aspace().Lookup(layout::DirectMap(AddrOf(frame))).ok()) {
+          return InternalError("template frame " + std::to_string(frame) +
+                               " still reachable via the kernel direct map");
+        }
+        if (pte::Present(leaf) && pte::Writable(leaf)) {
+          return InternalError("template frame " + std::to_string(frame) +
+                               " has a writable supervisor mapping");
+        }
+        EREBOR_RETURN_IF_ERROR(isolation_->AuditFrame(frame, info, leaf));
+        break;
       case FrameType::kShadowStack:
       case FrameType::kFirmware:
       case FrameType::kSharedIo:

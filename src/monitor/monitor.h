@@ -147,6 +147,11 @@ class EreborMonitor {
   Status AttachCommon(Cpu& cpu, Sandbox& sandbox, int region_id, Vaddr va,
                       bool writable_until_seal);
   Status TeardownSandbox(Cpu& cpu, Sandbox& sandbox);
+  // Template snapshots + copy-on-write clones (ROADMAP item 2; sandbox.h).
+  Status SnapshotTemplate(Cpu& cpu, Sandbox& sandbox);
+  StatusOr<Sandbox*> CloneSandbox(Cpu& cpu, Task& leader, Sandbox& tmpl,
+                                  const SandboxSpec& spec);
+  Status ActivateClone(Cpu& cpu, Sandbox& sandbox);
 
   // ---- Attestation + channel (driven by the untrusted proxy) ----
   // Feeds one wire packet from the network; responses (if any) are queued for fetch.

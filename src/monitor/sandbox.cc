@@ -175,6 +175,198 @@ Status SandboxManager::DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uin
   return OkStatus();
 }
 
+Status SandboxManager::SnapshotTemplate(Cpu& cpu, Sandbox& sandbox) {
+  NoteSandboxMutation(cpu, sandbox);
+  if (sandbox.state != SandboxState::kInitializing) {
+    return FailedPreconditionError("only a pre-seal sandbox can become a template");
+  }
+  if (sandbox.is_template || sandbox.clone_of != -1) {
+    return FailedPreconditionError("sandbox already participates in a template");
+  }
+  // Freeze every confined mapping read-only and untagged, recording the layout
+  // for clones. Confined VMAs are physically contiguous (DeclareConfined uses
+  // AllocContiguous), so one (va, first, count) triple per VMA suffices.
+  for (const auto& [start, vma] : sandbox.aspace->vmas()) {
+    if (vma.kind != VmaKind::kConfined) {
+      continue;
+    }
+    Sandbox::TemplateRange range;
+    range.va = vma.start;
+    range.count = (vma.end - vma.start) >> kPageShift;
+    for (Vaddr va = vma.start; va < vma.end; va += kPageSize) {
+      EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, sandbox.aspace->Lookup(va));
+      if (va == vma.start) {
+        range.first = FrameOf(walk.pa);
+      }
+      const Pte updated = isolation_->WithTag(walk.leaf & ~pte::kWritable, 0);
+      machine_->memory().Write64(walk.leaf_entry_pa, updated);
+      cpu.cycles().Charge(cpu.costs().monitor_pte_op);
+      // W revocation must reach cached translations before any clone shares
+      // the frame, or the template itself could keep scribbling on it.
+      if (Tlb::hooks().pte_shootdown && updated != walk.leaf) {
+        machine_->ShootdownTlbLeaf(walk.leaf_entry_pa, cpu.index());
+      }
+    }
+    Vma* mutable_vma = sandbox.aspace->FindVma(start);
+    mutable_vma->flags &= ~pte::kWritable;
+    sandbox.template_ranges.push_back(range);
+  }
+  // Retype + rebind: shared read-only through any clone's untagged view
+  // (TME-MK: default keyID with the read-shared bit; PKS: user pages are never
+  // key-checked — the cleared W bit is the enforcement on both backends).
+  for (const auto& [first, count] : sandbox.confined_ranges) {
+    for (uint64_t i = 0; i < count; ++i) {
+      FrameInfo& info = frames_->info(first + i);
+      info.type = FrameType::kSandboxTemplate;
+      info.owner_sandbox = sandbox.id;
+      isolation_->BindFrame(&cpu, first + i, 0, /*read_shared=*/true);
+    }
+  }
+  // A parked template serves no tenant: return its isolation domain so the
+  // pool never pins one of the backend's scarce keys.
+  if (sandbox.domain_tag != 0) {
+    isolation_->ReleaseSandboxDomain(sandbox.domain_tag);
+    sandbox.domain_tag = 0;
+  }
+  sandbox.is_template = true;
+  MetricsRegistry::Global().Increment("sandbox.templates");
+  return OkStatus();
+}
+
+StatusOr<Sandbox*> SandboxManager::CloneFromTemplate(Cpu& cpu, Task& leader,
+                                                     Sandbox& tmpl,
+                                                     const SandboxSpec& spec) {
+  if (kernel_ == nullptr) {
+    return FailedPreconditionError("sandbox manager not attached to a kernel");
+  }
+  if (!tmpl.is_template) {
+    return FailedPreconditionError("clone source is not a template");
+  }
+  auto sandbox = std::make_unique<Sandbox>();
+  sandbox->id = next_id_++;
+  // No AllocateSandboxDomain here: a warm standby must not pin one of the
+  // backend's scarce domains (PKS has 11) before it serves a tenant.
+  sandbox->domain_deferred = true;
+  sandbox->clone_of = tmpl.id;
+  sandbox->lock = SimLock("sandbox." + std::to_string(sandbox->id), kRankSandbox,
+                          sandbox->id);
+  sandbox->spec = spec;
+  sandbox->leader = &leader;
+  sandbox->aspace = leader.aspace;
+  leader.is_sandbox_member = true;
+  leader.sandbox_id = sandbox->id;
+  // Rebuild the template's confined layout as read-only untagged mappings of
+  // the shared frames. Cost is one monitor PTE op per page — the clone's whole
+  // delta against the 126k-cycle cold boot — and the reverse map
+  // (NoteLeafWrite) records every share for the invariant checker.
+  const Pte ro_flags = pte::kPresent | pte::kUser | pte::kNoExecute;
+  PteWriter writer = TrustedWriter(cpu, *sandbox->aspace);
+  for (const auto& range : tmpl.template_ranges) {
+    EREBOR_RETURN_IF_ERROR(sandbox->aspace
+                               ->CreateVma(range.count << kPageShift, ro_flags,
+                                           VmaKind::kConfined, range.va)
+                               .status());
+    for (uint64_t i = 0; i < range.count; ++i) {
+      EREBOR_RETURN_IF_ERROR(MapPage(machine_->memory(), sandbox->aspace->root(),
+                                     range.va + AddrOf(i), range.first + i, ro_flags,
+                                     writer));
+    }
+  }
+  ++tmpl.live_clones;
+  Sandbox* raw = sandbox.get();
+  sandboxes_[sandbox->id] = std::move(sandbox);
+  MetricsRegistry::Global().Increment("sandbox.clones");
+  return raw;
+}
+
+Status SandboxManager::ActivateClone(Cpu& cpu, Sandbox& sandbox) {
+  NoteSandboxMutation(cpu, sandbox);
+  if (!sandbox.domain_deferred) {
+    return OkStatus();
+  }
+  if (sandbox.state != SandboxState::kInitializing) {
+    return FailedPreconditionError("cannot activate a torn-down clone");
+  }
+  auto domain = isolation_->AllocateSandboxDomain(sandbox.id);
+  if (!domain.ok()) {
+    MetricsRegistry::Global().Increment("fleet.domain_exhausted");
+    return UnavailableError("clone promotion refused: " +
+                            std::string(domain.status().message()));
+  }
+  sandbox.domain_tag = *domain;
+  sandbox.domain_deferred = false;
+  return OkStatus();
+}
+
+Status SandboxManager::BreakCowShare(Cpu& cpu, Sandbox& sandbox, Vaddr page_va) {
+  NoteSandboxMutation(cpu, sandbox);
+  if (sandbox.clone_of == -1) {
+    return FailedPreconditionError("copy-on-write break on a non-clone sandbox");
+  }
+  if (sandbox.state == SandboxState::kTornDown ||
+      sandbox.state == SandboxState::kQuarantined) {
+    return FailedPreconditionError("sandbox already torn down");
+  }
+  page_va = PageAlignDown(page_va);
+  EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, sandbox.aspace->Lookup(page_va));
+  const FrameNum shared = FrameOf(walk.pa);
+  const FrameInfo& shared_info = frames_->info(shared);
+  if (shared_info.type != FrameType::kSandboxTemplate ||
+      shared_info.owner_sandbox != sandbox.clone_of) {
+    return FailedPreconditionError("page is not a shared template page");
+  }
+  if (sandbox.confined_bytes + kPageSize > sandbox.spec.confined_budget_bytes) {
+    return ResourceExhaustedError("confined memory budget exceeded");
+  }
+  // First break promotes the clone: the private frame needs a domain to bind.
+  EREBOR_RETURN_IF_ERROR(ActivateClone(cpu, sandbox));
+  EREBOR_ASSIGN_OR_RETURN(const FrameNum priv, cma_->Alloc());
+  std::memcpy(machine_->memory().FramePtr(priv), machine_->memory().FramePtr(shared),
+              kPageSize);
+  cpu.cycles().Charge(cpu.costs().page_copy);
+  FrameInfo& info = frames_->info(priv);
+  info.type = FrameType::kSandboxConfined;
+  info.owner_sandbox = sandbox.id;
+  info.pinned = true;
+  // The per-frame key retrofit: the private copy is bound to the clone's own
+  // domain (TME-MK keyID), never the template's — ROADMAP item 5's follow-on.
+  isolation_->BindFrame(&cpu, priv, sandbox.domain_tag, false);
+  EREBOR_RETURN_IF_ERROR(UnmapFromDirectMap(cpu, priv, 1));
+  const Pte base_flags = pte::kPresent | pte::kUser | pte::kWritable | pte::kNoExecute;
+  PteWriter writer = TrustedWriter(cpu, *sandbox.aspace);
+  EREBOR_RETURN_IF_ERROR(MapPage(machine_->memory(), sandbox.aspace->root(), page_va,
+                                 priv,
+                                 isolation_->WithTag(base_flags, sandbox.domain_tag),
+                                 writer));
+  sandbox.confined_ranges.emplace_back(priv, 1);
+  sandbox.confined_bytes += kPageSize;
+  ++sandbox.cow_broken_pages;
+  MetricsRegistry::Global().Increment("sandbox.cow_breaks");
+  return OkStatus();
+}
+
+StatusOr<bool> SandboxManager::HandleCowWrite(Cpu& cpu, Sandbox& sandbox, Vaddr addr) {
+  if (sandbox.clone_of == -1) {
+    return false;
+  }
+  const Vaddr page_va = PageAlignDown(addr);
+  const auto walk = sandbox.aspace->Lookup(page_va);
+  if (!walk.ok()) {
+    return false;  // not mapped: the kernel's demand-fault path owns this one
+  }
+  const FrameInfo& info = frames_->info(FrameOf(walk->pa));
+  if (info.type != FrameType::kSandboxTemplate ||
+      info.owner_sandbox != sandbox.clone_of) {
+    return false;
+  }
+  // Monitor-mediated fault service: after the break the write retries against
+  // the clone's private copy.
+  cpu.cycles().Charge(cpu.costs().page_fault_service_native +
+                      cpu.costs().emc_round_trip);
+  EREBOR_RETURN_IF_ERROR(BreakCowShare(cpu, sandbox, page_va));
+  return true;
+}
+
 StatusOr<CommonRegion*> SandboxManager::CreateCommonRegion(const std::string& name,
                                                            uint64_t len,
                                                            FrameAllocator& pool) {
@@ -240,6 +432,12 @@ Status SandboxManager::Seal(Cpu& cpu, Sandbox& sandbox) {
       sandbox.state == SandboxState::kQuarantined) {
     return FailedPreconditionError("sandbox already torn down");
   }
+  // A sealed sandbox must never run without isolation: sealing a clone that was
+  // never explicitly promoted allocates its deferred domain now (and refuses the
+  // seal if the backend is out of domains).
+  if (sandbox.domain_deferred) {
+    EREBOR_RETURN_IF_ERROR(ActivateClone(cpu, sandbox));
+  }
   // Revoke write permission on any common pages already mapped.
   for (const auto& [start, vma] : sandbox.aspace->vmas()) {
     if (vma.kind != VmaKind::kCommon) {
@@ -279,6 +477,13 @@ Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
   if (sandbox.state == SandboxState::kTornDown ||
       sandbox.state == SandboxState::kQuarantined) {
     return OkStatus();  // already scrubbed and released
+  }
+  // A template's frames are mapped into every live clone; scrubbing them now
+  // would yank shared pages out from under running tenants.
+  if (sandbox.is_template && sandbox.live_clones > 0) {
+    return FailedPreconditionError("template still has " +
+                                   std::to_string(sandbox.live_clones) +
+                                   " live clones");
   }
   // Unmap confined regions from the sandbox's address space first: the frames return
   // to the CMA pool below and must not stay reachable through stale PTEs.
@@ -330,6 +535,16 @@ Status SandboxManager::Teardown(Cpu& cpu, Sandbox& sandbox) {
     isolation_->ReleaseSandboxDomain(sandbox.domain_tag);
     sandbox.domain_tag = 0;
   }
+  sandbox.domain_deferred = false;
+  // A dying clone stops sharing the template's frames (the unmap loop above
+  // already dropped its leaf references and their map counts).
+  if (sandbox.clone_of != -1) {
+    Sandbox* tmpl = Find(sandbox.clone_of);
+    if (tmpl != nullptr && tmpl->live_clones > 0) {
+      --tmpl->live_clones;
+    }
+  }
+  sandbox.template_ranges.clear();
   sandbox.state = SandboxState::kTornDown;
   return OkStatus();
 }
@@ -394,9 +609,18 @@ Status SandboxManager::CopyIntoSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va,
   uint64_t done = 0;
   while (done < len) {
     const Vaddr page_va = va + done;
-    EREBOR_ASSIGN_OR_RETURN(const WalkResult walk, sandbox.aspace->Lookup(page_va));
-    const FrameInfo& info = frames_->info(FrameOf(walk.pa));
-    if (info.type != FrameType::kSandboxConfined || info.owner_sandbox != sandbox.id) {
+    EREBOR_ASSIGN_OR_RETURN(WalkResult walk, sandbox.aspace->Lookup(page_va));
+    const FrameInfo* info = &frames_->info(FrameOf(walk.pa));
+    // A clone's target may still be a shared template page: the shepherd write
+    // is the first mutation, so break the share here (the guest's own writes
+    // take the #PF path instead).
+    if (info->type == FrameType::kSandboxTemplate &&
+        info->owner_sandbox == sandbox.clone_of && sandbox.clone_of != -1) {
+      EREBOR_RETURN_IF_ERROR(BreakCowShare(cpu, sandbox, page_va));
+      EREBOR_ASSIGN_OR_RETURN(walk, sandbox.aspace->Lookup(page_va));
+      info = &frames_->info(FrameOf(walk.pa));
+    }
+    if (info->type != FrameType::kSandboxConfined || info->owner_sandbox != sandbox.id) {
       return PermissionDeniedError("shepherd target is not this sandbox's confined memory");
     }
     const uint64_t take = std::min(len - done, kPageSize - (page_va & kPageMask));
@@ -418,7 +642,12 @@ Status SandboxManager::CopyFromSandbox(Cpu& cpu, Sandbox& sandbox, Vaddr va, uin
     const bool confined =
         info.type == FrameType::kSandboxConfined && info.owner_sandbox == sandbox.id;
     const bool common = info.type == FrameType::kSandboxCommon;
-    if (!confined && !common) {
+    // Clones may read still-shared template pages: templates hold only the
+    // pre-attestation LibOS image, never client secrets.
+    const bool cow_shared = info.type == FrameType::kSandboxTemplate &&
+                            sandbox.clone_of != -1 &&
+                            info.owner_sandbox == sandbox.clone_of;
+    if (!confined && !common && !cow_shared) {
       return PermissionDeniedError("shepherd source is not sandbox memory");
     }
     const uint64_t take = std::min(len - done, kPageSize - (page_va & kPageMask));

@@ -94,6 +94,31 @@ struct Sandbox {
   // Isolation domain held from Create until Teardown/Quarantine: a PKS key
   // (5..15) or a TME-MK keyID (5..2047), allocated through the backend.
   uint32_t domain_tag = 0;
+
+  // ---- Template/clone machinery (ROADMAP item 2) ----
+  // A template sandbox is frozen after attestation/LibOS init: its confined
+  // frames are retyped kSandboxTemplate, rebound to the default domain
+  // read-shared, and its own mappings go read-only. Clones map those frames
+  // copy-on-write and re-confine each page privately on first write.
+  bool is_template = false;
+  // Clones only: the template sandbox id whose pages this clone shares.
+  int clone_of = -1;
+  // Warm standbys hold no isolation domain until promotion (the PKS budget is
+  // 11 keys; a parked pool must not starve live tenants). Set at clone time,
+  // cleared by ActivateClone.
+  bool domain_deferred = false;
+  // Template only: the frozen confined layout recorded at snapshot time, used
+  // by CloneFromTemplate to rebuild each clone's page tables.
+  struct TemplateRange {
+    Vaddr va = 0;
+    FrameNum first = 0;
+    uint64_t count = 0;
+  };
+  std::vector<TemplateRange> template_ranges;
+  // Template only: clones currently sharing our frames (blocks teardown).
+  uint32_t live_clones = 0;
+  // Clones only: pages privately re-confined by copy-on-write breaks.
+  uint64_t cow_broken_pages = 0;
 };
 
 // Manages all sandboxes. The monitor owns exactly one of these.
@@ -113,6 +138,38 @@ class SandboxManager {
 
   // Declares a confined region of `len` bytes at sandbox VA `va` (pre-seal only).
   Status DeclareConfined(Cpu& cpu, Sandbox& sandbox, Vaddr va, uint64_t len);
+
+  // ---- Template snapshots and copy-on-write clones (ROADMAP item 2) ----
+  // Freezes a fully initialized (pre-seal) sandbox as a clone template: its
+  // confined frames are retyped kSandboxTemplate, rebound to the default
+  // domain read-shared, its own leaf mappings go read-only, and its isolation
+  // domain returns to the backend (a parked template serves no tenant).
+  Status SnapshotTemplate(Cpu& cpu, Sandbox& sandbox);
+
+  // Creates a new sandbox whose confined layout is the template's, mapped
+  // copy-on-write: every page references the shared template frame, read-only
+  // and untagged. No isolation domain is allocated (domain_deferred) — clones
+  // are warm standbys until ActivateClone. Cost is one monitor PTE op per
+  // page, not the 126k-cycle attestation + LibOS bring-up of a cold boot.
+  StatusOr<Sandbox*> CloneFromTemplate(Cpu& cpu, Task& leader, Sandbox& tmpl,
+                                       const SandboxSpec& spec);
+
+  // Promotion half of the warm pool: allocates the clone's isolation domain.
+  // Idempotent; failure (backend budget exhausted) is counted in
+  // fleet.domain_exhausted exactly like a refused cold-boot admission.
+  Status ActivateClone(Cpu& cpu, Sandbox& sandbox);
+
+  // Re-confines one shared template page privately: allocate a CMA frame, copy
+  // the template contents, bind the clone's own domain tag (the TME-MK keyID
+  // retrofit), and remap the leaf writable+tagged. Lazily activates a deferred
+  // clone on its first break.
+  Status BreakCowShare(Cpu& cpu, Sandbox& sandbox, Vaddr page_va);
+
+  // #PF-driven CoW entry point (called by the monitor's interrupt interposer
+  // before the kernel's demand-fault path). Returns true if `addr` hit a
+  // shared template page and the share was broken (the faulting access should
+  // be retried), false if this fault is not ours to handle.
+  StatusOr<bool> HandleCowWrite(Cpu& cpu, Sandbox& sandbox, Vaddr addr);
 
   // Common regions.
   StatusOr<CommonRegion*> CreateCommonRegion(const std::string& name, uint64_t len,

@@ -148,6 +148,20 @@ StatusOr<Sandbox*> World::LaunchSandboxProcess(const std::string& name,
   return monitor_->CreateSandbox(*task, spec);
 }
 
+StatusOr<Sandbox*> World::LaunchCloneProcess(const std::string& name, Sandbox& tmpl,
+                                             const SandboxSpec& spec, ProgramFn program,
+                                             Task** task_out) {
+  EREBOR_ASSIGN_OR_RETURN(Task * task, kernel_->SpawnProcess(name, std::move(program)));
+  if (task_out != nullptr) {
+    *task_out = task;
+  }
+  if (monitor_ == nullptr) {
+    return NotFoundError("sandbox clones require an Erebor mode (got " +
+                         SimModeName(config_.mode) + ")");
+  }
+  return monitor_->CloneSandbox(machine_->cpu(0), *task, tmpl, spec);
+}
+
 Status World::StartProxy() {
   if (monitor_ == nullptr) {
     return FailedPreconditionError("proxy requires Erebor");

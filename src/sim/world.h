@@ -97,6 +97,15 @@ class World {
   StatusOr<Task*> LaunchProcess(const std::string& name, ProgramFn program);
   StatusOr<Sandbox*> LaunchSandboxProcess(const std::string& name, const SandboxSpec& spec,
                                           ProgramFn program, Task** task_out = nullptr);
+  // Warm-start fast path (ROADMAP item 2): spawns a process and wraps it in a
+  // copy-on-write clone of `tmpl`, which must already be frozen with
+  // monitor()->SnapshotTemplate(). The clone comes back domain-deferred; promote
+  // it with monitor()->ActivateClone before sealing (first CoW break promotes
+  // lazily too, but an explicit promotion keeps domain exhaustion a launch-time
+  // error rather than a mid-request kill).
+  StatusOr<Sandbox*> LaunchCloneProcess(const std::string& name, Sandbox& tmpl,
+                                        const SandboxSpec& spec, ProgramFn program,
+                                        Task** task_out = nullptr);
 
   // Spawns the untrusted network proxy (Erebor modes); it pumps packets between the
   // monitor and the host network until StopProxy().
